@@ -1,0 +1,65 @@
+// Shared helpers for the experiment benches: dataset construction, model
+// builders and run configuration shared by the Fig. 4 reproductions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/trainer.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/models/factory.hpp"
+
+namespace splitmed::bench {
+
+/// CIFAR-shaped synthetic dataset at simulator scale (16x16 images keep a
+/// single-core run in seconds; shapes/classes mirror CIFAR-10/100).
+inline data::SyntheticCifar make_cifar(std::int64_t examples,
+                                       std::int64_t classes,
+                                       std::uint64_t seed = 42,
+                                       std::int64_t image_size = 16,
+                                       std::int64_t index_offset = 0,
+                                       float noise_stddev = 0.8F) {
+  data::SyntheticCifarOptions opt;
+  opt.num_examples = examples;
+  opt.num_classes = classes;
+  opt.image_size = image_size;
+  // Heavy pixel noise makes accuracy rise gradually over the step budget —
+  // the regime where byte-budget comparisons (Fig. 4) are informative.
+  opt.noise_stddev = noise_stddev;
+  opt.seed = seed;
+  opt.index_offset = index_offset;
+  return data::SyntheticCifar(opt);
+}
+
+/// Held-out test split: same seed (same class signatures = same task),
+/// virtual indices shifted past the training range (fresh examples).
+inline data::SyntheticCifar make_cifar_test(std::int64_t examples,
+                                            std::int64_t classes,
+                                            std::int64_t train_examples,
+                                            std::uint64_t seed = 42,
+                                            std::int64_t image_size = 16) {
+  return make_cifar(examples, classes, seed, image_size, train_examples);
+}
+
+/// Deterministic builder for a named mini model.
+inline core::ModelBuilder mini_builder(std::string name, std::int64_t classes,
+                                       std::int64_t image_size = 16) {
+  return [name = std::move(name), classes, image_size] {
+    models::FactoryConfig cfg;
+    cfg.name = name;
+    cfg.image_size = image_size;
+    cfg.num_classes = classes;
+    return models::build_model(cfg);
+  };
+}
+
+/// Optimizer settings shared by every protocol in a comparison — the runs
+/// differ ONLY in what bytes move when.
+inline optim::SgdOptions comparison_sgd() {
+  optim::SgdOptions sgd;
+  sgd.learning_rate = 0.02F;
+  sgd.momentum = 0.5F;
+  return sgd;
+}
+
+}  // namespace splitmed::bench

@@ -1,0 +1,65 @@
+// Cut-position ablation (the paper fixes the cut after L1): measured
+// accuracy, bytes and platform-side parameter share as the cut moves deeper
+// into vgg-mini. Trades platform compute + bytes against server knowledge.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/common/format.hpp"
+#include "src/common/table.hpp"
+#include "src/models/model_stats.hpp"
+
+namespace {
+
+using namespace splitmed;
+using namespace splitmed::bench;
+
+constexpr std::int64_t kClasses = 10;
+constexpr std::int64_t kRounds = 140;
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Cut-layer ablation (vgg-mini, measured, " << kRounds
+            << " rounds) ===\n"
+            << "paper's choice: cut after L1 (first conv + activation)\n\n";
+
+  const auto train = make_cifar(512, kClasses, 42);
+  const auto test = make_cifar_test(96, kClasses, /*train_examples=*/512);
+  Rng prng(5);
+  const auto partition = data::partition_iid(train.size(), 4, prng);
+  const auto builder = mini_builder("vgg-mini", kClasses);
+
+  Table table({"cut", "platform params", "act shape/img", "bytes total",
+               "final acc"});
+  for (const std::int64_t cut : {1L, 2L, 3L, 5L}) {
+    auto probe = builder();
+    auto stats = models::ModelStats::analyze(probe, cut);
+
+    core::SplitConfig cfg;
+    cfg.cut = cut;
+    cfg.total_batch = 32;
+    cfg.rounds = kRounds;
+    cfg.eval_every = kRounds;
+    cfg.sgd = comparison_sgd();
+    core::SplitTrainer trainer(builder, train, partition, test, cfg);
+    const auto report = trainer.run();
+
+    table.add_row({std::to_string(cut) + (cut == 2 ? " (paper)" : ""),
+                   std::to_string(stats.platform_params),
+                   stats.cut_activation_chw.str(),
+                   format_bytes(report.total_bytes),
+                   format_percent(report.final_accuracy)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: cuts 1-3 keep the same 448 parameters on the platform "
+         "(relu/pool add none), so accuracy is identical while bytes drop "
+         "4x once the cut passes the pooling stage — an easy win the "
+         "paper's fixed L1 cut leaves on the table. Cutting deeper (row 4) "
+         "moves a whole conv layer onto the platforms, whose replicas see "
+         "only local data and are never re-synchronized: accuracy "
+         "collapses. The cut trades bytes, privacy, and shared learning "
+         "against each other.\n"
+      << std::endl;
+  return 0;
+}

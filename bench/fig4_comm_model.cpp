@@ -1,0 +1,90 @@
+// Fig. 4 at paper scale (analytic): exact wire bytes for full-size VGG-16 /
+// ResNet-18 / ResNet-20 on CIFAR-10/100 shapes (50 000 training images,
+// global batch 128, K = 4 platforms).
+//
+// Communication volume is a deterministic function of architecture and
+// schedule, so these numbers are exact without GPU training (see DESIGN.md
+// substitution table). The measured minis (fig4_vgg / fig4_resnet) validate
+// that the same byte model matches the wire exactly.
+#include <iostream>
+
+#include "src/common/format.hpp"
+#include "src/common/table.hpp"
+#include "src/models/factory.hpp"
+#include "src/models/model_stats.hpp"
+
+namespace {
+
+using namespace splitmed;
+
+struct Row {
+  std::string model;
+  std::int64_t classes;
+};
+
+constexpr std::int64_t kDataset = 50'000;
+constexpr std::int64_t kBatch = 128;
+constexpr std::int64_t kPlatforms = 4;
+constexpr std::int64_t kEpochs = 10;
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 4, paper scale (analytic byte model) ===\n"
+            << "CIFAR shapes: 50k train images, batch " << kBatch << ", K="
+            << kPlatforms << " platforms, " << kEpochs << " epochs\n\n";
+
+  Table table({"model", "dataset", "params", "cut act/img", "split GB",
+               "sync-SGD GB", "fedavg GB (1 rnd/epoch)",
+               "cyclic GB (1 cyc/epoch)", "SGD/split"});
+
+  for (const Row& row : {Row{"vgg16", 10}, Row{"vgg16", 100},
+                         Row{"resnet18", 10}, Row{"resnet18", 100},
+                         Row{"resnet20", 10}, Row{"resnet20", 100}}) {
+    models::FactoryConfig cfg;
+    cfg.name = row.model;
+    cfg.image_size = 32;
+    cfg.num_classes = row.classes;
+    auto model = models::build_model(cfg);
+    auto stats = models::ModelStats::analyze(model);
+
+    const std::int64_t steps = (kDataset + kBatch - 1) / kBatch;
+    const std::uint64_t split =
+        kEpochs * stats.split_epoch_bytes(kDataset, kPlatforms, steps);
+    const std::uint64_t sgd =
+        kEpochs * stats.syncsgd_epoch_bytes(kDataset, kBatch, kPlatforms);
+    const std::uint64_t fedavg = kEpochs * stats.fedavg_round_bytes(kPlatforms);
+    const std::uint64_t cyclic = kEpochs * stats.cyclic_cycle_bytes(kPlatforms);
+
+    table.add_row(
+        {row.model, "cifar-" + std::to_string(row.classes),
+         format_bytes(static_cast<std::uint64_t>(stats.total_params) * 4),
+         format_bytes(static_cast<std::uint64_t>(
+                          stats.cut_activation_chw.numel()) *
+                      4),
+         format_fixed(static_cast<double>(split) / 1e9, 2),
+         format_fixed(static_cast<double>(sgd) / 1e9, 2),
+         format_fixed(static_cast<double>(fedavg) / 1e9, 2),
+         format_fixed(static_cast<double>(cyclic) / 1e9, 2),
+         format_fixed(static_cast<double>(sgd) / static_cast<double>(split),
+                      2) +
+             "x"});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\npaper context: Fig. 4 reports ~0.8 GB (proposed) vs ~2 GB "
+         "(Large-Scale SGD) for VGG and ~0.5 GB vs ~1.5 GB for ResNet over "
+         "a full training run.\nShape check: the proposed framework wins "
+         "whenever parameter mass dominates cut-activation volume — 16x for "
+         "VGG-16 and 5.3x for ResNet-18 (the paper's regime). The tiny "
+         "ResNet-20 (1 MB of weights) inverts the ordering (~0.5x): a "
+         "crossover the paper does not report, exposed by the analytic "
+         "model.\ncyclic/fedavg move few bytes per EPOCH but learn from "
+         "stale weights a few times per epoch (their accuracy-per-byte is "
+         "bounded by staleness, not bandwidth — see the measured fig4_vgg / "
+         "fig4_resnet runs); Large-Scale SGD is the paper's apples-to-apples "
+         "per-step baseline.\n"
+      << std::endl;
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Shared driver for the two measured Fig. 4 reproductions (VGG and ResNet).
+//
+// Protocol: train the proposed split framework for a fixed round budget,
+// note the bytes it moved, then give Large-Scale Sync SGD and FedAvg exactly
+// the same BYTE budget (they stop when it is exhausted). Reporting accuracy
+// at equal transmitted bytes is precisely the comparison Fig. 4 plots.
+#pragma once
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/baselines/cyclic.hpp"
+#include "src/baselines/fedavg.hpp"
+#include "src/baselines/sync_sgd.hpp"
+#include "src/common/format.hpp"
+#include "src/metrics/recorder.hpp"
+
+namespace splitmed::bench {
+
+struct Fig4Config {
+  std::string model = "vgg-mini";
+  std::string paper_line;          // the paper's reported numbers, for context
+  std::int64_t classes = 10;
+  std::int64_t train_examples = 512;
+  std::int64_t test_examples = 128;
+  std::int64_t platforms = 4;
+  std::int64_t total_batch = 32;
+  std::int64_t split_rounds = 120;
+  std::int64_t eval_every = 15;
+  double zipf_alpha = 0.8;         // the paper's imbalanced-hospital setting
+  std::string csv_path;
+};
+
+inline int run_fig4(const Fig4Config& cfg) {
+  std::cout << "=== Fig. 4 reproduction (" << cfg.model << ", " << cfg.classes
+            << " classes) ===\n"
+            << "paper reports: " << cfg.paper_line << "\n"
+            << "setup: K=" << cfg.platforms << " platforms, "
+            << cfg.train_examples << " train examples (zipf alpha "
+            << cfg.zipf_alpha << "), batch " << cfg.total_batch << "\n\n";
+
+  const auto train = make_cifar(cfg.train_examples, cfg.classes, 42);
+  const auto test = make_cifar_test(cfg.test_examples, cfg.classes,
+                                    cfg.train_examples, 42);
+  Rng prng(7);
+  const auto partition =
+      data::partition_zipf(train.size(), cfg.platforms, cfg.zipf_alpha, prng);
+  const auto builder = mini_builder(cfg.model, cfg.classes);
+
+  metrics::ExperimentRecorder recorder("fig4-" + cfg.model);
+
+  // Proposed framework.
+  core::SplitConfig split_cfg;
+  split_cfg.total_batch = cfg.total_batch;
+  split_cfg.policy = core::MinibatchPolicy::kProportional;
+  split_cfg.rounds = cfg.split_rounds;
+  split_cfg.eval_every = cfg.eval_every;
+  split_cfg.sgd = comparison_sgd();
+  core::SplitTrainer split(builder, train, partition, test, split_cfg);
+  auto split_report = split.run();
+  const std::uint64_t budget = split_report.total_bytes;
+  recorder.add(std::move(split_report));
+
+  // Large-Scale Sync SGD (the paper's comparator), same byte budget.
+  baselines::BaselineConfig sgd_cfg;
+  sgd_cfg.total_batch = cfg.total_batch;
+  sgd_cfg.steps = 1 << 20;  // budget-terminated
+  sgd_cfg.eval_every = 2;
+  sgd_cfg.byte_budget = budget;
+  sgd_cfg.sgd = comparison_sgd();
+  baselines::SyncSgdTrainer sgd(builder, train, partition, test, sgd_cfg);
+  recorder.add(sgd.run());
+
+  // FedAvg (related-work baseline), same byte budget.
+  baselines::BaselineConfig fed_cfg = sgd_cfg;
+  fed_cfg.eval_every = 1;
+  fed_cfg.local_steps = 5;
+  baselines::FedAvgTrainer fed(builder, train, partition, test, fed_cfg);
+  recorder.add(fed.run());
+
+  // Cyclic parameter sharing (the authors' prior approach, ref [3]),
+  // same byte budget.
+  baselines::BaselineConfig cyc_cfg = fed_cfg;
+  baselines::CyclicTrainer cyclic(builder, train, partition, test, cyc_cfg);
+  recorder.add(cyclic.run());
+
+  recorder.print_summary(std::cout);
+  std::cout << '\n';
+  recorder.print_bytes_vs_accuracy(
+      std::cout, {budget / 4, budget / 2, (3 * budget) / 4, budget});
+
+  const auto& reports = recorder.reports();
+  const double split_acc = reports[0].accuracy_at_bytes(budget);
+  const double sgd_acc = reports[1].accuracy_at_bytes(budget);
+  std::cout << "\nat the full byte budget (" << format_bytes(budget)
+            << "): proposed " << format_percent(split_acc)
+            << " vs large-scale SGD " << format_percent(sgd_acc) << " — "
+            << (split_acc > sgd_acc ? "proposed wins (matches Fig. 4 shape)"
+                                    : "UNEXPECTED: baseline wins")
+            << "\nnote: cyclic (the authors' prior approach, ref [3]) is "
+               "byte-competitive at this MINI scale because the proxy "
+               "model's parameter vector is small; at paper scale a single "
+               "hop costs a full VGG-16 (134 MB) — see fig4_comm_model.\n";
+
+  if (!cfg.csv_path.empty()) {
+    recorder.write_csv(cfg.csv_path);
+    std::cout << "curves written to " << cfg.csv_path << "\n";
+  }
+  std::cout << std::endl;
+  return split_acc > sgd_acc ? 0 : 1;
+}
+
+}  // namespace splitmed::bench

@@ -1,0 +1,116 @@
+// Micro-benchmarks of the substrates (google-benchmark): GEMM, conv layers,
+// im2col, tensor codec, simulated network send/receive.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/core/protocol.hpp"
+#include "src/net/network.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/linear.hpp"
+#include "src/serial/tensor_codec.hpp"
+#include "src/tensor/gemm.hpp"
+#include "src/tensor/im2col.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace {
+
+using namespace splitmed;
+
+void BM_GemmNN(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  ConvGeometry g{16, 32, 32, 3, 3, 1, 1};
+  Rng rng(2);
+  const Tensor img = Tensor::normal(Shape{16, 32, 32}, rng);
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (auto _ : state) {
+    im2col(g, img.data(), col);
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_ConvForward(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(3, 16, 3, 1, 1, rng);
+  const Tensor x = Tensor::normal(Shape{batch, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvForward)->Arg(1)->Arg(16);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Rng rng(4);
+  nn::Conv2d conv(3, 16, 3, 1, 1, rng);
+  const Tensor x = Tensor::normal(Shape{batch, 3, 16, 16}, rng);
+  const Tensor y = conv.forward(x, true);
+  const Tensor g = Tensor::normal(y.shape(), rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor gi = conv.backward(g);
+    benchmark::DoNotOptimize(gi.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvBackward)->Arg(16);
+
+void BM_LinearForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::Linear lin(512, 512, rng);
+  const Tensor x = Tensor::normal(Shape{32, 512}, rng);
+  for (auto _ : state) {
+    Tensor y = lin.forward(x, true);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_LinearForward);
+
+void BM_TensorCodecRoundTrip(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(6);
+  const Tensor t = Tensor::normal(Shape{n}, rng);
+  for (auto _ : state) {
+    BufferWriter w;
+    encode_tensor(t, w);
+    BufferReader r({w.bytes().data(), w.bytes().size()});
+    Tensor back = decode_tensor(r);
+    benchmark::DoNotOptimize(back.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_TensorCodecRoundTrip)->Arg(1024)->Arg(65536);
+
+void BM_NetworkSendReceive(benchmark::State& state) {
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  Rng rng(7);
+  const Tensor t = Tensor::normal(Shape{4096}, rng);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    network.send(core::make_tensor_envelope(a, b, core::MsgKind::kActivation,
+                                            ++round, t));
+    Envelope e = network.receive(b);
+    benchmark::DoNotOptimize(e.payload.data());
+  }
+}
+BENCHMARK(BM_NetworkSendReceive);
+
+}  // namespace

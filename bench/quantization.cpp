@@ -1,0 +1,54 @@
+// Wire-compression ablation (extension): int8 quantization of activations
+// and cut gradients vs the paper's f32 wire. Measures real traffic and
+// accuracy end-to-end.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/common/format.hpp"
+#include "src/common/table.hpp"
+
+namespace {
+
+using namespace splitmed;
+using namespace splitmed::bench;
+
+constexpr std::int64_t kClasses = 10;
+constexpr std::int64_t kRounds = 100;
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Wire-dtype ablation (vgg-mini, " << kRounds
+            << " rounds, K=4) ===\n\n";
+
+  const auto train = make_cifar(512, kClasses, 42);
+  const auto test = make_cifar_test(128, kClasses, 512);
+  Rng prng(5);
+  const auto partition = data::partition_zipf(train.size(), 4, 0.8, prng);
+  const auto builder = mini_builder("vgg-mini", kClasses);
+
+  Table table({"wire dtype", "bytes total", "bytes/round", "WAN time",
+               "final acc"});
+  for (const auto dtype : {core::WireDtype::kF32, core::WireDtype::kI8}) {
+    core::SplitConfig cfg;
+    cfg.total_batch = 32;
+    cfg.rounds = kRounds;
+    cfg.eval_every = kRounds;
+    cfg.sgd = comparison_sgd();
+    cfg.wire_dtype = dtype;
+    core::SplitTrainer trainer(builder, train, partition, test, cfg);
+    const auto report = trainer.run();
+    table.add_row({core::wire_dtype_name(dtype),
+                   format_bytes(report.total_bytes),
+                   format_bytes(report.total_bytes / kRounds),
+                   format_duration(report.total_sim_seconds),
+                   format_percent(report.final_accuracy)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: int8 wire encoding cuts the dominant messages "
+               "~4x (logits stay f32) with little accuracy change — stacked "
+               "on the split protocol it widens the gap to Large-Scale SGD "
+               "further.\n"
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Data-imbalance walkthrough (paper §II): shows how the proportional
+// minibatch policy changes per-platform sampling rates and epoch alignment,
+// then trains both policies on a heavily skewed partition.
+#include <iostream>
+
+#include "src/common/format.hpp"
+#include "src/common/table.hpp"
+#include "src/core/trainer.hpp"
+#include "src/data/partition.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/models/factory.hpp"
+
+int main() {
+  using namespace splitmed;
+
+  std::cout << "=== Imbalance study: s_k ∝ |D_k| (paper §II) ===\n\n";
+
+  data::SyntheticCifarOptions opt;
+  opt.num_examples = 300;
+  opt.num_classes = 4;
+  opt.image_size = 8;
+  opt.noise_stddev = 0.3F;
+  const data::SyntheticCifar train(opt);
+  opt.index_offset = opt.num_examples;
+  opt.num_examples = 80;
+  const data::SyntheticCifar test(opt);
+
+  Rng prng(9);
+  const auto partition =
+      data::partition_weighted(train.size(), {12, 4, 2, 1}, prng);
+
+  // Show what each policy does to the per-round schedule.
+  std::vector<std::int64_t> shard_sizes;
+  for (const auto& shard : partition) {
+    shard_sizes.push_back(static_cast<std::int64_t>(shard.size()));
+  }
+  const std::int64_t total_batch = 24;
+  const auto uniform = core::minibatch_sizes(core::MinibatchPolicy::kUniform,
+                                             total_batch, shard_sizes);
+  const auto proportional = core::minibatch_sizes(
+      core::MinibatchPolicy::kProportional, total_batch, shard_sizes);
+
+  Table schedule({"platform", "|D_k|", "s_k uniform", "epochs/100rnd uniform",
+                  "s_k proportional", "epochs/100rnd proportional"});
+  for (std::size_t k = 0; k < shard_sizes.size(); ++k) {
+    const auto epochs = [&](std::int64_t s) {
+      return format_fixed(100.0 * static_cast<double>(s) /
+                              static_cast<double>(shard_sizes[k]),
+                          1);
+    };
+    schedule.add_row({std::to_string(k), std::to_string(shard_sizes[k]),
+                      std::to_string(uniform[k]), epochs(uniform[k]),
+                      std::to_string(proportional[k]),
+                      epochs(proportional[k])});
+  }
+  schedule.print(std::cout);
+  std::cout << "\nuniform minibatches make small hospitals cycle their data "
+               "far more often (bias toward their distribution); the "
+               "proportional policy equalizes the per-example sampling rate "
+               "— every platform finishes an epoch together.\n\n";
+
+  // Train both policies end-to-end.
+  const core::ModelBuilder builder = [] {
+    models::FactoryConfig cfg;
+    cfg.name = "mlp";
+    cfg.image_size = 8;
+    cfg.num_classes = 4;
+    return models::build_model(cfg);
+  };
+  for (const auto policy : {core::MinibatchPolicy::kUniform,
+                            core::MinibatchPolicy::kProportional}) {
+    core::SplitConfig cfg;
+    cfg.total_batch = total_batch;
+    cfg.policy = policy;
+    cfg.rounds = 80;
+    cfg.eval_every = 80;
+    cfg.sgd.learning_rate = 0.02F;
+    cfg.sgd.momentum = 0.5F;
+    core::SplitTrainer trainer(builder, train, partition, test, cfg);
+    const auto report = trainer.run();
+    std::cout << core::minibatch_policy_name(policy)
+              << " policy: accuracy " << format_percent(report.final_accuracy)
+              << " after " << format_bytes(report.total_bytes) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Privacy audit walkthrough: what does the central server actually see, and
+// what could a curious server reconstruct from it? Uses the library's attack
+// tooling on the exact L1 a platform would deploy.
+#include <iostream>
+
+#include "src/common/format.hpp"
+#include "src/core/split_model.hpp"
+#include "src/data/synthetic_medical.hpp"
+#include "src/models/factory.hpp"
+#include "src/privacy/distance_correlation.hpp"
+#include "src/privacy/reconstruction.hpp"
+#include "src/tensor/ops.hpp"
+
+int main() {
+  using namespace splitmed;
+
+  std::cout << "=== Privacy audit of the split deployment ===\n\n";
+
+  // The hospital's scans (never sent anywhere).
+  data::SyntheticMedicalOptions opt;
+  opt.num_examples = 16;
+  opt.num_grades = 4;
+  opt.image_size = 16;
+  const data::SyntheticMedical scans(opt);
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < scans.size(); ++i) idx.push_back(i);
+  const Tensor x = scans.batch_images(idx);
+
+  // The deployed model, cut at the paper's L1.
+  models::FactoryConfig mcfg;
+  mcfg.name = "resnet-mini";
+  mcfg.in_channels = 1;
+  mcfg.image_size = 16;
+  mcfg.num_classes = 4;
+  auto model = models::build_model(mcfg);
+  auto parts = core::split_at(std::move(model.net), model.default_cut);
+
+  // 1. What crosses the wire: the smashed activations.
+  const Tensor smashed = parts.platform.forward(x, /*training=*/false);
+  const Shape per_scan{smashed.shape().dim(1), smashed.shape().dim(2),
+                       smashed.shape().dim(3)};
+  std::cout << "smashed data per scan: shape " << per_scan.str() << " ("
+            << format_bytes(static_cast<std::uint64_t>(
+                   smashed.numel() / scans.size() * 4))
+            << "/scan crosses the WAN; the raw scan is "
+            << format_bytes(static_cast<std::uint64_t>(
+                   x.numel() / scans.size() * 4))
+            << ")\n";
+
+  // 2. Statistical dependence between scans and smashed data.
+  const double dcor = privacy::distance_correlation(x, smashed);
+  std::cout << "distance correlation(scan, smashed) = "
+            << format_fixed(dcor, 3)
+            << "  (1.0 = fully dependent; high values mean the smashed data "
+               "still encodes the scan)\n\n";
+
+  // 3. Worst-case attack: the server knows L1's weights and inverts.
+  privacy::ReconstructionOptions attack;
+  attack.iterations = 250;
+  const auto result = privacy::reconstruct_inputs(parts.platform, x, attack);
+
+  float mean = 0.0F;
+  for (const float v : x.data()) mean += v;
+  mean /= static_cast<float>(x.numel());
+  float variance = 0.0F;
+  for (const float v : x.data()) variance += (v - mean) * (v - mean);
+  variance /= static_cast<float>(x.numel());
+
+  std::cout << "white-box reconstruction attack ("
+            << attack.iterations << " Adam iterations on the pixels):\n"
+            << "  reconstruction MSE: " << format_fixed(result.input_mse, 4)
+            << "\n  guess-the-mean MSE: " << format_fixed(variance, 4)
+            << " (a knows-nothing attacker)\n";
+  if (result.input_mse < 0.5F * variance) {
+    std::cout << "  verdict: scans are substantially recoverable — the "
+                 "paper's privacy argument assumes the server never learns "
+                 "L1's weights. Keep L1 local, consider a deeper or "
+                 "noise-regularized cut for defense in depth.\n";
+  } else {
+    std::cout << "  verdict: reconstruction is no better than guessing the "
+                 "mean at this cut.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared configuration for the baseline trainers. Field meanings match
+// core::SplitConfig so Fig. 4 comparisons differ only in the protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/link.hpp"
+#include "src/optim/lr_schedule.hpp"
+#include "src/optim/sgd.hpp"
+
+namespace splitmed::baselines {
+
+struct BaselineConfig {
+  /// Global batch per step (divided across workers where applicable).
+  std::int64_t total_batch = 64;
+  /// Optimization steps (sync SGD / centralized / local-only) or
+  /// communication rounds (FedAvg).
+  std::int64_t steps = 100;
+  std::int64_t eval_every = 10;
+  /// Stop once this many wire bytes moved (0 = unlimited).
+  std::uint64_t byte_budget = 0;
+  std::int64_t eval_batch = 64;
+  optim::SgdOptions sgd{};
+  optim::LrSchedule lr_schedule;  // optional, over integer epochs
+  bool hospital_wan = true;
+  net::Link uniform_link = net::Link::mbps(300.0, 20.0);
+  std::uint64_t seed = 123;
+  /// FedAvg only: local SGD steps per round on each platform.
+  std::int64_t local_steps = 5;
+};
+
+/// Message kinds used by the baselines (disjoint from core::MsgKind values).
+enum class BaselineMsg : std::uint32_t {
+  kGradPush = 101,   // worker -> server: flattened gradient
+  kParamPull = 102,  // server -> worker: flattened parameters
+  kFedPull = 201,    // server -> platform: global parameters
+  kFedPush = 202,    // platform -> server: locally updated parameters
+};
+
+}  // namespace splitmed::baselines

@@ -1,0 +1,31 @@
+// Centralized training — the privacy-violating upper bound: all data pooled
+// in one place, plain minibatch SGD, zero network traffic. The accuracy
+// ceiling the distributed protocols are measured against.
+#pragma once
+
+#include <memory>
+
+#include "src/baselines/baseline_config.hpp"
+#include "src/core/trainer.hpp"
+
+namespace splitmed::baselines {
+
+class CentralizedTrainer {
+ public:
+  CentralizedTrainer(core::ModelBuilder builder, const data::Dataset& train,
+                     const data::Dataset& test, BaselineConfig config);
+
+  metrics::TrainReport run();
+
+  [[nodiscard]] nn::Sequential& model() { return model_->net; }
+
+ private:
+  BaselineConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  std::unique_ptr<models::BuiltModel> model_;
+  std::unique_ptr<optim::Sgd> optimizer_;
+  std::unique_ptr<data::DataLoader> loader_;
+};
+
+}  // namespace splitmed::baselines

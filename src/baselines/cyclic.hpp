@@ -1,0 +1,43 @@
+// Cyclic parameter sharing (Jeon, Kim & Kim, ICAIIC 2019 — the paper's
+// reference [3], the authors' own prior approach): the FULL model travels
+// hospital -> hospital in a ring. Each platform trains it locally for a few
+// steps on its own data, then forwards the weights to the next platform
+// (one full-parameter transfer per hop; no central server involved in
+// training). Privacy-preserving like the split framework (raw data never
+// moves) but pays parameter-sized messages and learns sequentially.
+#pragma once
+
+#include <memory>
+
+#include "src/baselines/baseline_config.hpp"
+#include "src/core/trainer.hpp"
+
+namespace splitmed::baselines {
+
+/// Message kind for ring transfers (disjoint from other protocols).
+inline constexpr std::uint32_t kCyclicTransfer = 301;
+
+class CyclicTrainer {
+ public:
+  CyclicTrainer(core::ModelBuilder builder, const data::Dataset& train,
+                data::Partition partition, const data::Dataset& test,
+                BaselineConfig config);
+
+  /// config.steps counts full CYCLES around the ring; each platform runs
+  /// config.local_steps local SGD steps per visit.
+  metrics::TrainReport run();
+
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] nn::Sequential& model() { return model_->net; }
+
+ private:
+  BaselineConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  net::Network network_;
+  std::vector<NodeId> ring_;  // platform nodes in visit order
+  std::unique_ptr<models::BuiltModel> model_;
+  std::vector<data::DataLoader> loaders_;
+};
+
+}  // namespace splitmed::baselines

@@ -1,0 +1,43 @@
+// Federated Averaging (McMahan et al., AISTATS 2017) — the related-work
+// baseline the paper describes as "the de facto standard" (§II): platforms
+// pull the full model, train locally for several steps, push the full model
+// back; the server averages weighted by shard size.
+//
+// Implemented with one shared model instance plus parameter snapshots —
+// mathematically identical to per-platform replicas; traffic is generated
+// per platform and byte-accounted exactly (2 x full parameter vector per
+// platform per round).
+#pragma once
+
+#include <memory>
+
+#include "src/baselines/baseline_config.hpp"
+#include "src/core/trainer.hpp"
+
+namespace splitmed::baselines {
+
+class FedAvgTrainer {
+ public:
+  FedAvgTrainer(core::ModelBuilder builder, const data::Dataset& train,
+                data::Partition partition, const data::Dataset& test,
+                BaselineConfig config);
+
+  /// config.steps counts FedAvg ROUNDS; each round performs
+  /// config.local_steps local SGD steps per platform.
+  metrics::TrainReport run();
+
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] nn::Sequential& model() { return model_->net; }
+
+ private:
+  BaselineConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  net::Network network_;
+  net::StarTopology topology_;
+  std::unique_ptr<models::BuiltModel> model_;
+  std::vector<data::DataLoader> loaders_;
+  std::vector<double> shard_weights_;  // |D_k| / N
+};
+
+}  // namespace splitmed::baselines

@@ -1,0 +1,39 @@
+// Local-only training — what the paper says hospitals do today (§I): each
+// platform trains an independent model on its own shard, "leading to
+// overfitting" and imbalance-driven accuracy spread. Zero traffic; the
+// interesting outputs are the per-platform accuracies and their spread.
+#pragma once
+
+#include <memory>
+
+#include "src/baselines/baseline_config.hpp"
+#include "src/core/trainer.hpp"
+
+namespace splitmed::baselines {
+
+struct LocalOnlyReport {
+  metrics::TrainReport combined;           // mean-accuracy curve
+  std::vector<double> platform_accuracy;   // final per-platform accuracies
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+};
+
+class LocalOnlyTrainer {
+ public:
+  LocalOnlyTrainer(core::ModelBuilder builder, const data::Dataset& train,
+                   data::Partition partition, const data::Dataset& test,
+                   BaselineConfig config);
+
+  /// Trains each platform model for config.steps local steps.
+  LocalOnlyReport run();
+
+ private:
+  BaselineConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  std::vector<std::unique_ptr<models::BuiltModel>> models_;
+  std::vector<std::unique_ptr<optim::Sgd>> optimizers_;
+  std::vector<data::DataLoader> loaders_;
+};
+
+}  // namespace splitmed::baselines

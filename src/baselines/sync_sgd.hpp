@@ -1,0 +1,48 @@
+// Large-Scale Synchronous SGD (Chen et al., arXiv:1604.00981) — the paper's
+// comparison baseline in Fig. 4.
+//
+// Every worker holds a full model replica and its local data shard. Per
+// step, each worker computes a gradient on its minibatch and pushes the
+// FLATTENED FULL GRADIENT to the parameter server; the server averages,
+// applies SGD, and every worker pulls the FULL PARAMETER VECTOR back. Both
+// transfers cross the WAN every step — the bandwidth cost the paper's
+// framework avoids.
+//
+// Implementation note: since synchronized replicas are bit-identical after
+// every pull, a single shared model instance stands in for all K replicas.
+// The mathematics is unchanged; the wire traffic is generated exactly as if
+// the replicas were physical (K gradient pushes + K parameter pulls per
+// step, all byte-accounted).
+#pragma once
+
+#include <memory>
+
+#include "src/baselines/baseline_config.hpp"
+#include "src/core/trainer.hpp"
+
+namespace splitmed::baselines {
+
+class SyncSgdTrainer {
+ public:
+  SyncSgdTrainer(core::ModelBuilder builder, const data::Dataset& train,
+                 data::Partition partition, const data::Dataset& test,
+                 BaselineConfig config);
+
+  metrics::TrainReport run();
+
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] nn::Sequential& model() { return model_->net; }
+
+ private:
+  BaselineConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  net::Network network_;
+  net::StarTopology topology_;
+  std::unique_ptr<models::BuiltModel> model_;
+  std::unique_ptr<optim::Sgd> optimizer_;
+  std::vector<data::DataLoader> loaders_;
+  std::vector<std::int64_t> minibatches_;
+};
+
+}  // namespace splitmed::baselines

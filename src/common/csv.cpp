@@ -1,0 +1,45 @@
+#include "src/common/csv.hpp"
+
+#include <cstdio>
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw Error("CsvWriter: cannot open '" + path + "' for writing");
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw Error("CsvWriter: write to '" + path_ + "' failed");
+}
+
+std::string CsvWriter::field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string CsvWriter::field(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  const bool needs_quote =
+      raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return raw;
+  std::string out = "\"";
+  for (const char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace splitmed

@@ -1,0 +1,35 @@
+// CSV writer used by the experiment recorder so every bench emits a
+// machine-readable artifact next to its pretty-printed table.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace splitmed {
+
+/// Writes RFC-4180-style CSV. Fields containing commas, quotes or newlines are
+/// quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws splitmed::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row. Every row may have a different arity; callers are
+  /// expected to write a header row first.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  static std::string field(double v);
+  static std::string field(std::uint64_t v);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& raw);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace splitmed

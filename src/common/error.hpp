@@ -1,0 +1,75 @@
+// Error handling primitives for splitmed.
+//
+// The library reports contract violations and runtime failures with exceptions
+// (C++ Core Guidelines I.10/E.2). SPLITMED_CHECK is used for preconditions and
+// invariants that depend on runtime values; logic errors in the library itself
+// use SPLITMED_ASSERT which compiles to the same check (kept on in release
+// builds — this is a research library where silent corruption is worse than a
+// branch).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace splitmed {
+
+/// Base class of all exceptions thrown by splitmed.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument or object state violates a precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when tensor shapes are incompatible for a requested operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed serialized payloads.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on protocol violations in the distributed training layers
+/// (unexpected message kind, mismatched round ids, unknown node, ...).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+}  // namespace splitmed
+
+/// Precondition / invariant check that stays on in release builds.
+/// Usage: SPLITMED_CHECK(n > 0, "batch size must be positive, got " << n);
+#define SPLITMED_CHECK(expr, ...)                                             \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream splitmed_check_os;                                   \
+      splitmed_check_os __VA_OPT__(<< __VA_ARGS__);                           \
+      ::splitmed::detail::throw_check_failure(#expr, __FILE__, __LINE__,      \
+                                              splitmed_check_os.str());       \
+    }                                                                         \
+  } while (false)
+
+/// Internal-consistency assertion. Same behaviour as SPLITMED_CHECK; separate
+/// name so call sites document whose bug a failure would be.
+#define SPLITMED_ASSERT(expr, ...) SPLITMED_CHECK(expr, __VA_ARGS__)

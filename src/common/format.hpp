@@ -1,0 +1,26 @@
+// Small formatting helpers shared by metrics, benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace splitmed {
+
+/// "1.50 GB", "312.0 MB", "4.2 kB", "17 B" — decimal units (matches how the
+/// paper reports GB-scale traffic).
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(0.12345, 3) == "0.123".
+std::string format_fixed(double value, int digits);
+
+/// "12.3%" from a fraction in [0,1].
+std::string format_percent(double fraction, int digits = 1);
+
+/// Seconds to human-readable: "431 ms", "2.31 s", "1 m 12 s".
+std::string format_duration(double seconds);
+
+/// Left/right-pads `s` with spaces to `width` (no-op if already longer).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace splitmed

@@ -1,0 +1,20 @@
+#include "src/common/logging.hpp"
+
+#include <iostream>
+
+namespace splitmed {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+std::ostream* Log::sink_ = nullptr;
+
+void Log::set_level(LogLevel level) { level_ = level; }
+LogLevel Log::level() { return level_; }
+void Log::set_sink(std::ostream* sink) { sink_ = sink; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+  out << '[' << kNames[static_cast<int>(level)] << "] " << message << '\n';
+}
+
+}  // namespace splitmed

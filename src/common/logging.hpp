@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// splitmed is a library, so logging defaults to quiet (warnings and errors)
+// and writes to a caller-settable sink. Benches and examples raise the level
+// to Info to narrate experiment progress.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace splitmed {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logging configuration. Not thread-safe by design: configure once at
+/// startup before spawning work.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  /// Redirects output (default: std::clog). Pass nullptr to restore default.
+  static void set_sink(std::ostream* sink);
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+  static std::ostream* sink_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace splitmed
+
+#define SPLITMED_LOG(severity)                                   \
+  if (static_cast<int>(::splitmed::Log::level()) <=              \
+      static_cast<int>(::splitmed::LogLevel::severity))          \
+  ::splitmed::detail::LogLine(::splitmed::LogLevel::severity)

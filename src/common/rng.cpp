@@ -1,0 +1,88 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  SPLITMED_CHECK(n > 0, "uniform_u64 requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SPLITMED_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+float Rng::uniform() {
+  // 24 top bits -> [0,1) with full float precision.
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24F;
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  while (u1 <= 1e-12F) u1 = uniform();
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0F * std::log(u1));
+  const float theta = 6.28318530717958647692F * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(float p) { return uniform() < p; }
+
+Rng Rng::split(std::uint64_t salt) {
+  return Rng(next_u64() ^ (salt * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+}
+
+}  // namespace splitmed

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for benches and examples. Simulated time lives in
+// net::SimClock; this class only measures host time.
+#pragma once
+
+#include <chrono>
+
+namespace splitmed {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace splitmed

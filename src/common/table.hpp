@@ -1,0 +1,32 @@
+// Pretty-printed ASCII tables — the benches print the same rows the paper's
+// figures/tables report, and this keeps them legible in a terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace splitmed {
+
+/// Column-aligned table. Usage:
+///   Table t({"protocol", "bytes", "accuracy"});
+///   t.add_row({"split", "0.8 GB", "95%"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace splitmed

@@ -1,0 +1,66 @@
+#include "src/core/minibatch_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::core {
+
+std::vector<std::int64_t> minibatch_sizes(
+    MinibatchPolicy policy, std::int64_t total_batch,
+    const std::vector<std::int64_t>& shard_sizes) {
+  const std::int64_t k = static_cast<std::int64_t>(shard_sizes.size());
+  SPLITMED_CHECK(k > 0, "no platforms");
+  SPLITMED_CHECK(total_batch >= k, "total batch " << total_batch
+                                                  << " below one per platform");
+  for (const auto s : shard_sizes) {
+    SPLITMED_CHECK(s > 0, "empty shard");
+  }
+
+  std::vector<std::int64_t> out(shard_sizes.size(), 1);
+  if (policy == MinibatchPolicy::kUniform) {
+    std::fill(out.begin(), out.end(), total_batch / k);
+    for (std::int64_t r = 0; r < total_batch % k; ++r) {
+      ++out[static_cast<std::size_t>(r)];
+    }
+    return out;
+  }
+
+  // Proportional: largest-remainder apportionment with a floor of 1.
+  const double total_data = static_cast<double>(
+      std::accumulate(shard_sizes.begin(), shard_sizes.end(), std::int64_t{0}));
+  std::int64_t assigned = k;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  for (std::size_t i = 0; i < shard_sizes.size(); ++i) {
+    const double exact = static_cast<double>(shard_sizes[i]) / total_data *
+                         static_cast<double>(total_batch);
+    const std::int64_t extra =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(exact) - 1);
+    out[i] += extra;
+    assigned += extra;
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t r = 0; assigned < total_batch; ++assigned, ++r) {
+    ++out[remainders[r % remainders.size()].second];
+  }
+  while (assigned > total_batch) {
+    auto it = std::max_element(out.begin(), out.end());
+    SPLITMED_ASSERT(*it > 1, "cannot trim below the one-example floor");
+    --*it;
+    --assigned;
+  }
+  return out;
+}
+
+const char* minibatch_policy_name(MinibatchPolicy policy) {
+  switch (policy) {
+    case MinibatchPolicy::kUniform: return "uniform";
+    case MinibatchPolicy::kProportional: return "proportional";
+  }
+  return "unknown";
+}
+
+}  // namespace splitmed::core

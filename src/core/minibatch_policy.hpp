@@ -1,0 +1,28 @@
+// Minibatch-size policies — the paper's data-imbalance mitigation (§II):
+// "the minibatch size in each platform can be adjusted as the proportion of
+// the amount of local data in each platform."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace splitmed::core {
+
+enum class MinibatchPolicy {
+  /// s_k = total/K regardless of shard sizes (the ablation control).
+  kUniform,
+  /// s_k ∝ |D_k| (the paper's mitigation) — every example then has the same
+  /// expected sampling rate, and all platforms finish an epoch together.
+  kProportional,
+};
+
+/// Computes per-platform minibatch sizes summing exactly to `total_batch`
+/// with a floor of one example per platform.
+/// Requires total_batch >= #platforms and every shard non-empty.
+std::vector<std::int64_t> minibatch_sizes(
+    MinibatchPolicy policy, std::int64_t total_batch,
+    const std::vector<std::int64_t>& shard_sizes);
+
+const char* minibatch_policy_name(MinibatchPolicy policy);
+
+}  // namespace splitmed::core

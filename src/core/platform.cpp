@@ -1,0 +1,91 @@
+#include "src/core/platform.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed::core {
+
+PlatformNode::PlatformNode(NodeId id, NodeId server_id, nn::Sequential l1,
+                           data::DataLoader loader,
+                           const optim::SgdOptions& opt,
+                           PlatformOptions options)
+    : id_(id),
+      server_(server_id),
+      l1_(std::move(l1)),
+      loader_(std::move(loader)),
+      opt_(l1_.parameters(), opt),
+      options_(options),
+      noise_rng_(options.noise_seed ^
+                 (0x6C62272E07BB0142ULL + static_cast<std::uint64_t>(id))) {
+  SPLITMED_CHECK(options_.smash_noise_std >= 0.0F,
+                 "smash noise stddev must be >= 0");
+}
+
+void PlatformNode::set_minibatch_size(std::int64_t s) {
+  loader_.set_batch_size(s);
+}
+
+void PlatformNode::send_activation(net::Network& network,
+                                   std::uint64_t round) {
+  SPLITMED_CHECK(state_ == State::kIdle,
+                 "platform " << id_ << ": send_activation while mid-step");
+  data::Batch batch = loader_.next_batch();
+  pending_labels_ = std::move(batch.labels);
+  pending_round_ = round;
+  Tensor activation = l1_.forward(batch.images, /*training=*/true);
+  if (options_.smash_noise_std > 0.0F) {
+    // Privacy defense: the server only ever sees a noised view of the
+    // smashed data. L1's own cache stays clean — the noise is part of the
+    // channel, not of the platform's backward pass.
+    auto d = activation.data();
+    for (auto& v : d) v += options_.smash_noise_std * noise_rng_.normal();
+  }
+  network.send(make_tensor_envelope(id_, server_, MsgKind::kActivation, round,
+                                    activation, options_.wire_dtype));
+  state_ = State::kAwaitLogits;
+}
+
+void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
+  if (envelope.dst != id_) {
+    throw ProtocolError("platform " + std::to_string(id_) +
+                        " got a message addressed to node " +
+                        std::to_string(envelope.dst));
+  }
+  if (envelope.round != pending_round_) {
+    throw ProtocolError("platform " + std::to_string(id_) + " expected round " +
+                        std::to_string(pending_round_) + ", got " +
+                        std::to_string(envelope.round));
+  }
+  switch (static_cast<MsgKind>(envelope.kind)) {
+    case MsgKind::kLogits: {
+      if (state_ != State::kAwaitLogits) {
+        throw ProtocolError("platform: unexpected logits message");
+      }
+      const Tensor logits = decode_tensor_payload(envelope.payload);
+      last_loss_ = loss_.forward(logits, pending_labels_);
+      last_batch_accuracy_ = nn::accuracy(logits, pending_labels_);
+      network.send(make_tensor_envelope(id_, server_, MsgKind::kLogitGrad,
+                                        pending_round_, loss_.backward()));
+      state_ = State::kAwaitCutGrad;
+      return;
+    }
+    case MsgKind::kCutGrad: {
+      if (state_ != State::kAwaitCutGrad) {
+        throw ProtocolError("platform: unexpected cut-grad message");
+      }
+      const Tensor cut_grad =
+          decode_tensor_payload(envelope.payload, options_.wire_dtype);
+      l1_.zero_grad();
+      l1_.backward(cut_grad);
+      opt_.step();
+      ++steps_completed_;
+      state_ = State::kIdle;
+      return;
+    }
+    default:
+      throw ProtocolError(std::string("platform: unexpected message kind '") +
+                          msg_kind_name(static_cast<MsgKind>(envelope.kind)) +
+                          "'");
+  }
+}
+
+}  // namespace splitmed::core

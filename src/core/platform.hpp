@@ -1,0 +1,82 @@
+// PlatformNode — one geo-distributed medical platform (hospital).
+//
+// Owns: the raw local dataset shard (never serialized), the labels, the
+// first hidden layer L1 and its optimizer, and the loss (computed here so
+// labels never leave the platform). Drives its half of the 4-message
+// protocol; see core/protocol.hpp for the message sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/protocol.hpp"
+#include "src/data/dataloader.hpp"
+#include "src/net/network.hpp"
+#include "src/nn/loss.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/optim/sgd.hpp"
+
+namespace splitmed::core {
+
+/// Per-platform protocol extensions (all default to the paper's behaviour).
+struct PlatformOptions {
+  /// Wire encoding for activation / cut-grad messages (kI8 = compression).
+  WireDtype wire_dtype = WireDtype::kF32;
+  /// Gaussian noise added to outgoing activations (privacy defense; 0 = off).
+  float smash_noise_std = 0.0F;
+  std::uint64_t noise_seed = 17;
+};
+
+class PlatformNode {
+ public:
+  PlatformNode(NodeId id, NodeId server_id, nn::Sequential l1,
+               data::DataLoader loader, const optim::SgdOptions& opt,
+               PlatformOptions options = {});
+
+  /// Paper workflow step 1: draws the next minibatch (size set by
+  /// set_minibatch_size), runs L1 forward, ships the activations.
+  void send_activation(net::Network& network, std::uint64_t round);
+
+  /// Handles kLogits (compute loss + send logit grads) and kCutGrad
+  /// (backprop L1, apply the local optimizer step). Throws ProtocolError on
+  /// out-of-order or foreign messages.
+  void handle(net::Network& network, const Envelope& envelope);
+
+  /// Paper's imbalance mitigation: the trainer sets s_k per round.
+  void set_minibatch_size(std::int64_t s);
+  void set_learning_rate(float lr) { opt_.set_learning_rate(lr); }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::int64_t shard_size() const {
+    return loader_.shard_size();
+  }
+  [[nodiscard]] float last_loss() const { return last_loss_; }
+  [[nodiscard]] double last_batch_accuracy() const {
+    return last_batch_accuracy_;
+  }
+  /// Number of optimizer steps completed (== protocol rounds finished).
+  [[nodiscard]] std::int64_t steps_completed() const {
+    return steps_completed_;
+  }
+  [[nodiscard]] nn::Sequential& l1() { return l1_; }
+
+ private:
+  enum class State { kIdle, kAwaitLogits, kAwaitCutGrad };
+
+  NodeId id_;
+  NodeId server_;
+  nn::Sequential l1_;
+  data::DataLoader loader_;
+  optim::Sgd opt_;
+  nn::SoftmaxCrossEntropy loss_;
+  PlatformOptions options_;
+  Rng noise_rng_;
+
+  State state_ = State::kIdle;
+  std::uint64_t pending_round_ = 0;
+  std::vector<std::int64_t> pending_labels_;
+  float last_loss_ = 0.0F;
+  double last_batch_accuracy_ = 0.0;
+  std::int64_t steps_completed_ = 0;
+};
+
+}  // namespace splitmed::core

@@ -1,0 +1,58 @@
+#include "src/core/protocol.hpp"
+
+#include "src/common/error.hpp"
+#include "src/serial/buffer.hpp"
+#include "src/serial/quantize.hpp"
+#include "src/serial/tensor_codec.hpp"
+
+namespace splitmed::core {
+
+const char* msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kActivation: return "activation";
+    case MsgKind::kLogits: return "logits";
+    case MsgKind::kLogitGrad: return "logit-grad";
+    case MsgKind::kCutGrad: return "cut-grad";
+    case MsgKind::kL1SyncUp: return "l1-sync-up";
+    case MsgKind::kL1SyncDown: return "l1-sync-down";
+  }
+  return "unknown";
+}
+
+const char* wire_dtype_name(WireDtype dtype) {
+  switch (dtype) {
+    case WireDtype::kF32: return "f32";
+    case WireDtype::kI8: return "i8";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_tensor_payload(const Tensor& t,
+                                                WireDtype dtype) {
+  BufferWriter w;
+  if (dtype == WireDtype::kI8) {
+    encode_tensor_i8(t, w);
+  } else {
+    encode_tensor(t, w);
+  }
+  return w.take();
+}
+
+Tensor decode_tensor_payload(std::span<const std::uint8_t> payload,
+                             WireDtype dtype) {
+  BufferReader r(payload);
+  Tensor t = dtype == WireDtype::kI8 ? decode_tensor_i8(r) : decode_tensor(r);
+  if (!r.exhausted()) {
+    throw SerializationError("tensor payload has trailing bytes");
+  }
+  return t;
+}
+
+Envelope make_tensor_envelope(NodeId src, NodeId dst, std::uint32_t kind,
+                              std::uint64_t round, const Tensor& t,
+                              WireDtype dtype) {
+  return make_envelope(src, dst, kind, round,
+                       encode_tensor_payload(t, dtype));
+}
+
+}  // namespace splitmed::core

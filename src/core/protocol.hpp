@@ -1,0 +1,61 @@
+// Wire protocol of the split-learning framework (the paper's Fig. 2/3).
+//
+// One training step for platform k is exactly four messages:
+//   1. kActivation  platform -> server : L1 outputs on minibatch s_k
+//   2. kLogits      server -> platform : Lk outputs for that minibatch
+//   3. kLogitGrad   platform -> server : dLoss/dlogits (loss computed where
+//                                        the labels live — on the platform)
+//   4. kCutGrad     server -> platform : dLoss/d(L1 output)
+// kL1SyncUp/Down implement the optional L1 weight-averaging extension
+// (ablation; the paper never re-syncs L1 after initialization).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/serial/message.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::core {
+
+enum class MsgKind : std::uint32_t {
+  kActivation = 1,
+  kLogits = 2,
+  kLogitGrad = 3,
+  kCutGrad = 4,
+  kL1SyncUp = 5,
+  kL1SyncDown = 6,
+};
+
+/// Element encoding of the bulky tensors (activations / cut grads) on the
+/// wire. kI8 is the bandwidth-compression extension (symmetric int8, ~4x
+/// smaller); both ends of a deployment must be configured identically.
+enum class WireDtype : std::uint8_t { kF32 = 0, kI8 = 1 };
+
+/// Readable name for reports ("activation", "logits", ...).
+const char* msg_kind_name(MsgKind kind);
+const char* wire_dtype_name(WireDtype dtype);
+
+/// Serializes one tensor as a payload.
+std::vector<std::uint8_t> encode_tensor_payload(const Tensor& t,
+                                                WireDtype dtype =
+                                                    WireDtype::kF32);
+
+/// Parses a payload that must contain exactly one tensor.
+Tensor decode_tensor_payload(std::span<const std::uint8_t> payload,
+                             WireDtype dtype = WireDtype::kF32);
+
+/// Builds a protocol envelope around one tensor. The uint32 overload exists
+/// for baseline protocols with their own kind namespaces.
+Envelope make_tensor_envelope(NodeId src, NodeId dst, std::uint32_t kind,
+                              std::uint64_t round, const Tensor& t,
+                              WireDtype dtype = WireDtype::kF32);
+inline Envelope make_tensor_envelope(NodeId src, NodeId dst, MsgKind kind,
+                                     std::uint64_t round, const Tensor& t,
+                                     WireDtype dtype = WireDtype::kF32) {
+  return make_tensor_envelope(src, dst, static_cast<std::uint32_t>(kind),
+                              round, t, dtype);
+}
+
+}  // namespace splitmed::core

@@ -1,0 +1,74 @@
+#include "src/core/server.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed::core {
+
+CentralServer::CentralServer(NodeId id, nn::Sequential body,
+                             const optim::SgdOptions& opt,
+                             ServerOptions options)
+    : id_(id),
+      body_(std::move(body)),
+      opt_(body_.parameters(), opt),
+      options_(options) {}
+
+void CentralServer::process_activation(net::Network& network,
+                                       const Envelope& envelope) {
+  const Tensor activation =
+      decode_tensor_payload(envelope.payload, options_.wire_dtype);
+  const Tensor logits = body_.forward(activation, /*training=*/true);
+  pending_platform_ = envelope.src;
+  pending_round_ = envelope.round;
+  awaiting_grad_ = true;
+  network.send(make_tensor_envelope(id_, envelope.src, MsgKind::kLogits,
+                                    envelope.round, logits));
+}
+
+void CentralServer::handle(net::Network& network, const Envelope& envelope) {
+  if (envelope.dst != id_) {
+    throw ProtocolError("server got a message addressed to node " +
+                        std::to_string(envelope.dst));
+  }
+  switch (static_cast<MsgKind>(envelope.kind)) {
+    case MsgKind::kActivation: {
+      if (awaiting_grad_) {
+        if (!options_.allow_queueing) {
+          throw ProtocolError(
+              "server: new activation before the previous backward finished");
+        }
+        queued_activations_.push_back(envelope);
+        return;
+      }
+      process_activation(network, envelope);
+      return;
+    }
+    case MsgKind::kLogitGrad: {
+      if (!awaiting_grad_ || envelope.src != pending_platform_ ||
+          envelope.round != pending_round_) {
+        throw ProtocolError("server: logit grad does not match the pending "
+                            "forward (platform/round mismatch)");
+      }
+      const Tensor logit_grad = decode_tensor_payload(envelope.payload);
+      body_.zero_grad();
+      const Tensor cut_grad = body_.backward(logit_grad);
+      opt_.step();
+      ++steps_completed_;
+      awaiting_grad_ = false;
+      network.send(make_tensor_envelope(id_, envelope.src, MsgKind::kCutGrad,
+                                        envelope.round, cut_grad,
+                                        options_.wire_dtype));
+      if (!queued_activations_.empty()) {
+        const Envelope next = std::move(queued_activations_.front());
+        queued_activations_.pop_front();
+        process_activation(network, next);
+      }
+      return;
+    }
+    default:
+      throw ProtocolError(std::string("server: unexpected message kind '") +
+                          msg_kind_name(static_cast<MsgKind>(envelope.kind)) +
+                          "'");
+  }
+}
+
+}  // namespace splitmed::core

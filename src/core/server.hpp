@@ -1,0 +1,63 @@
+// CentralServer — owns the hidden layers L2..Lk and the output layer.
+//
+// Sees only L1 activations and logit gradients — never raw patient data or
+// labels (the paper's privacy argument). Because it trains on every
+// platform's activations it realizes the "training with all data" benefit.
+#pragma once
+
+#include <deque>
+
+#include "src/core/protocol.hpp"
+#include "src/net/network.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/optim/sgd.hpp"
+
+namespace splitmed::core {
+
+/// Server-side protocol extensions (defaults = the paper's behaviour).
+struct ServerOptions {
+  /// Must match the platforms' PlatformOptions::wire_dtype.
+  WireDtype wire_dtype = WireDtype::kF32;
+  /// When true, activations arriving while a backward is outstanding are
+  /// queued and served FIFO (the overlapped schedule); when false they are
+  /// a protocol violation (the paper's strictly sequential workflow).
+  bool allow_queueing = false;
+};
+
+class CentralServer {
+ public:
+  CentralServer(NodeId id, nn::Sequential body, const optim::SgdOptions& opt,
+                ServerOptions options = {});
+
+  /// Handles kActivation (forward L2..Lk, reply logits) and kLogitGrad
+  /// (backward, optimizer step, reply cut gradient). The protocol is
+  /// sequential per platform: an activation's backward must complete before
+  /// the next activation is PROCESSED; with allow_queueing the next
+  /// activation may ARRIVE early and waits its turn.
+  void handle(net::Network& network, const Envelope& envelope);
+
+  void set_learning_rate(float lr) { opt_.set_learning_rate(lr); }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] nn::Sequential& body() { return body_; }
+  [[nodiscard]] std::int64_t steps_completed() const {
+    return steps_completed_;
+  }
+
+ private:
+  /// Runs forward on a (decoded) activation and replies with logits.
+  void process_activation(net::Network& network, const Envelope& envelope);
+
+  NodeId id_;
+  nn::Sequential body_;
+  optim::Sgd opt_;
+  ServerOptions options_;
+
+  bool awaiting_grad_ = false;
+  NodeId pending_platform_ = 0;
+  std::uint64_t pending_round_ = 0;
+  std::int64_t steps_completed_ = 0;
+  std::deque<Envelope> queued_activations_;
+};
+
+}  // namespace splitmed::core

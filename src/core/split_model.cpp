@@ -1,0 +1,31 @@
+#include "src/core/split_model.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed::core {
+
+SplitParts split_at(nn::Sequential&& net, std::size_t cut) {
+  SPLITMED_CHECK(cut > 0 && cut < net.size(),
+                 "cut " << cut << " must leave layers on both sides of a "
+                        << net.size() << "-layer network");
+  SplitParts parts;
+  parts.platform = net.extract(0, cut);
+  parts.server = std::move(net);
+  return parts;
+}
+
+void copy_parameters(nn::Layer& src, nn::Layer& dst) {
+  const auto s = src.parameters();
+  const auto d = dst.parameters();
+  SPLITMED_CHECK(s.size() == d.size(),
+                 "copy_parameters: architectures differ (" << s.size() << " vs "
+                                                           << d.size()
+                                                           << " tensors)");
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    check_same_shape(s[i]->value.shape(), d[i]->value.shape(),
+                     "copy_parameters");
+    d[i]->value = s[i]->value;
+  }
+}
+
+}  // namespace splitmed::core

@@ -1,0 +1,26 @@
+// Splitting a network at the paper's cut point.
+//
+// split_at consumes a Sequential and divides it into the platform part
+// ("L1": the first `cut` entries) and the server part ("L2..Lk": the rest).
+// The split is a pure refactoring of the computation — tests verify that a
+// split step with one platform is bit-identical to a centralized step.
+#pragma once
+
+#include "src/nn/sequential.hpp"
+
+namespace splitmed::core {
+
+struct SplitParts {
+  nn::Sequential platform;  // L1
+  nn::Sequential server;    // L2 .. Lk (incl. output layer)
+};
+
+/// Requires 0 < cut < net.size() so both sides are non-empty.
+SplitParts split_at(nn::Sequential&& net, std::size_t cut);
+
+/// Deep-copies the parameter values of `src` into `dst` (same architecture
+/// required) — used to give every platform identical initial L1 weights, the
+/// paper's initialization postulate.
+void copy_parameters(nn::Layer& src, nn::Layer& dst);
+
+}  // namespace splitmed::core

@@ -1,0 +1,251 @@
+#include "src/core/trainer.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/logging.hpp"
+#include "src/core/split_model.hpp"
+#include "src/metrics/evaluate.hpp"
+#include "src/nn/param_util.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed::core {
+
+SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
+                           data::Partition partition,
+                           const data::Dataset& test, SplitConfig config)
+    : config_(std::move(config)), train_(&train), test_(&test) {
+  SPLITMED_CHECK(!partition.empty(), "partition has no platforms");
+  SPLITMED_CHECK(config_.rounds > 0 && config_.eval_every > 0,
+                 "rounds and eval_every must be positive");
+  SPLITMED_CHECK(config_.participation > 0.0 && config_.participation <= 1.0,
+                 "participation must be in (0, 1]");
+  participation_rng_ = Rng(config_.seed ^ 0xC2B2AE3D27D4EB4FULL);
+  const std::int64_t k = static_cast<std::int64_t>(partition.size());
+
+  topology_ = config_.hospital_wan
+                  ? net::build_hospital_star(network_, k)
+                  : net::build_uniform_star(network_, k, config_.uniform_link);
+
+  // Replica 0 supplies the server body; every replica k supplies platform
+  // k's L1. Deterministic builders make all replicas identical, realizing
+  // the paper's "same initial weights in L1" postulate.
+  std::vector<std::int64_t> shard_sizes;
+  Rng loader_rng(config_.seed);
+  for (std::int64_t p = 0; p < k; ++p) {
+    models::BuiltModel replica = builder();
+    const std::size_t cut = config_.cut > 0
+                                ? static_cast<std::size_t>(config_.cut)
+                                : replica.default_cut;
+    if (p == 0) model_name_ = replica.name;
+    SplitParts parts = split_at(std::move(replica.net), cut);
+    if (p == 0) {
+      ServerOptions server_opt;
+      server_opt.wire_dtype = config_.wire_dtype;
+      server_opt.allow_queueing = config_.schedule == Schedule::kOverlapped;
+      server_ = std::make_unique<CentralServer>(topology_.server,
+                                                std::move(parts.server),
+                                                config_.sgd, server_opt);
+    }
+    SPLITMED_CHECK(!partition[static_cast<std::size_t>(p)].empty(),
+                   "platform " << p << " has an empty shard");
+    shard_sizes.push_back(static_cast<std::int64_t>(
+        partition[static_cast<std::size_t>(p)].size()));
+    // drop_last: a platform always ships minibatches of exactly s_k — the
+    // protocol's message sizes are constant, as the paper's byte model
+    // assumes. Short epoch tails are dropped (reshuffled into next epoch).
+    data::DataLoader loader(train, partition[static_cast<std::size_t>(p)],
+                            /*batch_size=*/1,
+                            loader_rng.split(static_cast<std::uint64_t>(p)),
+                            /*drop_last=*/true);
+    PlatformOptions platform_opt;
+    platform_opt.wire_dtype = config_.wire_dtype;
+    platform_opt.smash_noise_std = config_.smash_noise_std;
+    platform_opt.noise_seed = config_.seed;
+    platforms_.push_back(std::make_unique<PlatformNode>(
+        topology_.platforms[static_cast<std::size_t>(p)], topology_.server,
+        std::move(parts.platform), std::move(loader), config_.sgd,
+        platform_opt));
+    replica_rngs_.push_back(std::move(replica.rng));
+  }
+
+  minibatches_ =
+      minibatch_sizes(config_.policy, config_.total_batch, shard_sizes);
+  for (std::size_t p = 0; p < platforms_.size(); ++p) {
+    SPLITMED_CHECK(minibatches_[p] <= shard_sizes[p],
+                   "platform " << p << ": minibatch " << minibatches_[p]
+                               << " exceeds its shard of " << shard_sizes[p]
+                               << " examples — lower total_batch or use the "
+                                  "proportional policy");
+    platforms_[p]->set_minibatch_size(minibatches_[p]);
+    examples_per_round_ += minibatches_[p];
+  }
+}
+
+PlatformNode& SplitTrainer::platform(std::size_t k) {
+  SPLITMED_CHECK(k < platforms_.size(), "platform index out of range");
+  return *platforms_[k];
+}
+
+void SplitTrainer::run_platform_step(PlatformNode& platform,
+                                     std::uint64_t step_id) {
+  platform.send_activation(network_, step_id);
+  server_->handle(network_, network_.receive(server_->id()));   // activation
+  platform.handle(network_, network_.receive(platform.id()));   // logits
+  server_->handle(network_, network_.receive(server_->id()));   // logit grad
+  platform.handle(network_, network_.receive(platform.id()));   // cut grad
+}
+
+void SplitTrainer::run_overlapped_round(
+    const std::vector<std::size_t>& participants, std::uint64_t& step_id) {
+  // Phase 1: everyone uploads concurrently (separate star links).
+  for (const std::size_t p : participants) {
+    platforms_[p]->send_activation(network_, ++step_id);
+  }
+  // Phase 2: event loop. The server drains its inbox with priority (it
+  // queues activations internally while a backward is outstanding);
+  // platforms are polled in index order for determinism. A platform's step
+  // completes when its cut gradient has been applied.
+  std::size_t completed = 0;
+  while (completed < participants.size()) {
+    if (network_.pending(server_->id()) > 0) {
+      server_->handle(network_, network_.receive(server_->id()));
+      continue;
+    }
+    bool progressed = false;
+    for (const std::size_t p : participants) {
+      if (network_.pending(platforms_[p]->id()) == 0) continue;
+      const Envelope env = network_.receive(platforms_[p]->id());
+      const bool is_cut_grad =
+          static_cast<MsgKind>(env.kind) == MsgKind::kCutGrad;
+      platforms_[p]->handle(network_, env);
+      if (is_cut_grad) ++completed;
+      progressed = true;
+      break;
+    }
+    SPLITMED_ASSERT(progressed || completed == participants.size(),
+                    "overlapped round deadlocked");
+  }
+}
+
+std::vector<std::size_t> SplitTrainer::sample_participants(
+    std::int64_t round) {
+  std::vector<std::size_t> out;
+  if (config_.participation >= 1.0) {
+    out.resize(platforms_.size());
+    for (std::size_t p = 0; p < platforms_.size(); ++p) out[p] = p;
+    return out;
+  }
+  for (std::size_t p = 0; p < platforms_.size(); ++p) {
+    if (participation_rng_.bernoulli(static_cast<float>(config_.participation))) {
+      out.push_back(p);
+    }
+  }
+  if (out.empty()) {
+    // Liveness: at least one hospital joins every round.
+    out.push_back(static_cast<std::size_t>(
+        static_cast<std::uint64_t>(round) % platforms_.size()));
+  }
+  return out;
+}
+
+void SplitTrainer::sync_l1(std::uint64_t round) {
+  // Weighted average of all platform L1 parameter vectors, by shard size.
+  Tensor mean;
+  double total_weight = 0.0;
+  for (auto& p : platforms_) total_weight += static_cast<double>(p->shard_size());
+  bool first = true;
+  for (auto& p : platforms_) {
+    const Tensor flat = nn::flatten_values(p->l1().parameters());
+    network_.send(make_tensor_envelope(p->id(), server_->id(),
+                                       MsgKind::kL1SyncUp, round, flat));
+    const Tensor received =
+        decode_tensor_payload(network_.receive(server_->id()).payload);
+    const float w = static_cast<float>(
+        static_cast<double>(p->shard_size()) / total_weight);
+    if (first) {
+      mean = ops::scale(received, w);
+      first = false;
+    } else {
+      ops::axpy(w, received, mean);
+    }
+  }
+  for (auto& p : platforms_) {
+    network_.send(make_tensor_envelope(server_->id(), p->id(),
+                                       MsgKind::kL1SyncDown, round, mean));
+    const Tensor down =
+        decode_tensor_payload(network_.receive(p->id()).payload);
+    nn::load_values(p->l1().parameters(), down);
+  }
+}
+
+double SplitTrainer::evaluate() {
+  double acc = 0.0;
+  for (auto& p : platforms_) {
+    acc += metrics::evaluate_composite(p->l1(), &server_->body(), *test_,
+                                       config_.eval_batch);
+  }
+  return acc / static_cast<double>(platforms_.size());
+}
+
+metrics::TrainReport SplitTrainer::run() {
+  metrics::TrainReport report;
+  report.protocol = "split";
+  report.model = model_name_;
+
+  std::uint64_t step_id = 0;
+  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+    if (config_.lr_schedule) {
+      const auto epoch = static_cast<std::int64_t>(
+          static_cast<double>(examples_processed_) /
+          static_cast<double>(train_->size()));
+      const float lr = config_.lr_schedule(epoch);
+      server_->set_learning_rate(lr);
+      for (auto& p : platforms_) p->set_learning_rate(lr);
+    }
+    const auto participants = sample_participants(round);
+    if (config_.schedule == Schedule::kOverlapped) {
+      run_overlapped_round(participants, step_id);
+    } else {
+      for (const std::size_t p : participants) {
+        run_platform_step(*platforms_[p], ++step_id);
+      }
+    }
+    for (const std::size_t p : participants) {
+      examples_processed_ += minibatches_[p];
+    }
+    if (config_.sync_l1_every > 0 && round % config_.sync_l1_every == 0) {
+      sync_l1(step_id);
+    }
+
+    const bool budget_hit =
+        config_.byte_budget > 0 &&
+        network_.stats().total_bytes() >= config_.byte_budget;
+    if (round % config_.eval_every == 0 || round == config_.rounds ||
+        budget_hit) {
+      metrics::CurvePoint point;
+      point.step = round;
+      point.epoch = static_cast<double>(examples_processed_) /
+                    static_cast<double>(train_->size());
+      point.cumulative_bytes = network_.stats().total_bytes();
+      point.sim_seconds = network_.clock().now();
+      double loss = 0.0;
+      for (auto& p : platforms_) loss += p->last_loss();
+      point.train_loss = loss / static_cast<double>(platforms_.size());
+      point.test_accuracy = evaluate();
+      report.curve.push_back(point);
+      SPLITMED_LOG(kInfo) << "split round " << round << " loss "
+                          << point.train_loss << " acc "
+                          << point.test_accuracy << " bytes "
+                          << point.cumulative_bytes;
+      report.steps_completed = round;
+      report.final_accuracy = point.test_accuracy;
+    }
+    if (budget_hit) break;
+  }
+  report.total_bytes = network_.stats().total_bytes();
+  report.total_sim_seconds = network_.clock().now();
+  return report;
+}
+
+}  // namespace splitmed::core

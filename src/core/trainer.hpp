@@ -1,0 +1,128 @@
+// SplitTrainer — orchestrates the paper's training workflow (Fig. 3) over
+// the simulated network.
+//
+// One round = every platform performs one 4-message protocol step against
+// the server, sequentially (the server's L2..Lk state is updated after each
+// platform's minibatch — round-robin split learning). Platforms keep their
+// own L1 replicas, initialized identically (the paper's postulate) and never
+// re-synchronized unless the sync_l1_every extension is enabled.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/minibatch_policy.hpp"
+#include "src/core/platform.hpp"
+#include "src/core/server.hpp"
+#include "src/data/partition.hpp"
+#include "src/metrics/curve.hpp"
+#include "src/models/model.hpp"
+#include "src/net/topology.hpp"
+#include "src/optim/lr_schedule.hpp"
+
+namespace splitmed::core {
+
+/// Builds one fresh replica of the model. Must be deterministic: every call
+/// returns identical weights (same seed), which is how all platforms start
+/// with the same L1.
+using ModelBuilder = std::function<models::BuiltModel()>;
+
+/// How a round's K platform steps are laid onto the WAN.
+enum class Schedule {
+  /// The paper's Fig. 3 workflow: platforms served strictly one after
+  /// another; platform k+1 starts uploading only after k fully finished.
+  kSequential,
+  /// All participating platforms upload concurrently (separate WAN links);
+  /// the server processes arrivals FIFO. Same mathematics, same bytes, less
+  /// wall-clock — the latency optimization the sequential workflow leaves
+  /// on the table.
+  kOverlapped,
+};
+
+struct SplitConfig {
+  /// Sequential entries kept on the platform; 0 = the model's default_cut.
+  std::int64_t cut = 0;
+  /// Sum of all platform minibatches per round (paper: sum of s_k).
+  std::int64_t total_batch = 64;
+  MinibatchPolicy policy = MinibatchPolicy::kProportional;
+  std::int64_t rounds = 100;
+  /// Evaluate + record a curve point every this many rounds.
+  std::int64_t eval_every = 10;
+  /// Stop early once this many wire bytes have moved (0 = unlimited).
+  std::uint64_t byte_budget = 0;
+  std::int64_t eval_batch = 64;
+  optim::SgdOptions sgd{};
+  /// Optional lr schedule over (integer) epochs; empty keeps sgd.learning_rate.
+  optim::LrSchedule lr_schedule;
+  /// Extension (ablation): average L1 weights across platforms every N
+  /// rounds through the server, byte-accounted. 0 = never (the paper).
+  std::int64_t sync_l1_every = 0;
+  /// Heterogeneous hospital WAN star vs a uniform star.
+  bool hospital_wan = true;
+  net::Link uniform_link = net::Link::mbps(300.0, 20.0);
+  std::uint64_t seed = 123;
+
+  /// --- extensions (defaults reproduce the paper exactly) -------------------
+  /// Wire encoding of activations / cut grads (kI8 = 4x compression).
+  WireDtype wire_dtype = WireDtype::kF32;
+  /// Gaussian noise stddev added to outgoing activations (privacy defense).
+  float smash_noise_std = 0.0F;
+  Schedule schedule = Schedule::kSequential;
+  /// Per-round probability that a platform participates (fault injection /
+  /// intermittent hospitals). At least one platform always participates.
+  double participation = 1.0;
+};
+
+class SplitTrainer {
+ public:
+  /// `partition[k]` is platform k's shard of `train`. Both datasets must
+  /// outlive the trainer.
+  SplitTrainer(ModelBuilder builder, const data::Dataset& train,
+               data::Partition partition, const data::Dataset& test,
+               SplitConfig config);
+
+  /// Runs the configured number of rounds (or until the byte budget) and
+  /// returns the training curve.
+  metrics::TrainReport run();
+
+  /// Mean test accuracy over the K composite models (platform k's L1 + the
+  /// shared server body) — each hospital's deployable model.
+  double evaluate();
+
+  [[nodiscard]] std::size_t num_platforms() const { return platforms_.size(); }
+  [[nodiscard]] PlatformNode& platform(std::size_t k);
+  [[nodiscard]] CentralServer& server() { return *server_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const std::vector<std::int64_t>& minibatches() const {
+    return minibatches_;
+  }
+
+ private:
+  /// One full 4-message protocol exchange for one platform.
+  void run_platform_step(PlatformNode& platform, std::uint64_t step_id);
+  /// All participants upload concurrently; arrivals served FIFO.
+  void run_overlapped_round(const std::vector<std::size_t>& participants,
+                            std::uint64_t& step_id);
+  /// Samples this round's participants (>= 1, deterministic in the seed).
+  std::vector<std::size_t> sample_participants(std::int64_t round);
+  /// L1 weight averaging extension (byte-accounted through the network).
+  void sync_l1(std::uint64_t round);
+
+  SplitConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  net::Network network_;
+  net::StarTopology topology_;
+  std::unique_ptr<CentralServer> server_;
+  std::vector<std::unique_ptr<PlatformNode>> platforms_;
+  /// Keeps each replica's Rng alive (Dropout layers hold pointers into it).
+  std::vector<std::unique_ptr<Rng>> replica_rngs_;
+  std::vector<std::int64_t> minibatches_;
+  std::string model_name_;
+  std::int64_t examples_per_round_ = 0;
+  std::int64_t examples_processed_ = 0;
+  Rng participation_rng_{0};
+};
+
+}  // namespace splitmed::core

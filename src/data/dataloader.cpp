@@ -1,0 +1,68 @@
+#include "src/data/dataloader.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::data {
+
+DataLoader::DataLoader(const Dataset& dataset,
+                       std::vector<std::int64_t> indices,
+                       std::int64_t batch_size, Rng rng, bool drop_last)
+    : dataset_(&dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      drop_last_(drop_last),
+      rng_(rng) {
+  SPLITMED_CHECK(batch_size_ > 0, "batch size must be positive");
+  SPLITMED_CHECK(!indices_.empty(), "DataLoader needs a non-empty shard");
+  for (const auto i : indices_) {
+    SPLITMED_CHECK(i >= 0 && i < dataset.size(),
+                   "shard index " << i << " out of dataset range");
+  }
+  start_epoch();
+}
+
+void DataLoader::set_batch_size(std::int64_t batch_size) {
+  SPLITMED_CHECK(batch_size > 0, "batch size must be positive");
+  batch_size_ = batch_size;
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  const std::int64_t n = shard_size();
+  return drop_last_ ? n / batch_size_ : (n + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+  rng_.shuffle(indices_);
+  cursor_ = 0;
+}
+
+Batch DataLoader::next_batch() {
+  if (cursor_ >= indices_.size() ||
+      (drop_last_ &&
+       cursor_ + static_cast<std::size_t>(batch_size_) > indices_.size())) {
+    start_epoch();
+  }
+  const std::size_t take = std::min(static_cast<std::size_t>(batch_size_),
+                                    indices_.size() - cursor_);
+  std::span<const std::int64_t> slice(indices_.data() + cursor_, take);
+  cursor_ += take;
+  Tensor images = dataset_->batch_images(slice);
+  if (transform_ != nullptr) {
+    images = apply_to_batch(*transform_, images, rng_);
+  }
+  return Batch{std::move(images), dataset_->batch_labels(slice)};
+}
+
+void DataLoader::set_transform(std::shared_ptr<const Transform> transform) {
+  transform_ = std::move(transform);
+}
+
+Batch DataLoader::full_shard() const {
+  std::vector<std::int64_t> sorted = indices_;
+  std::sort(sorted.begin(), sorted.end());
+  return Batch{dataset_->batch_images(sorted), dataset_->batch_labels(sorted)};
+}
+
+}  // namespace splitmed::data

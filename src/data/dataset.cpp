@@ -1,0 +1,41 @@
+#include "src/data/dataset.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::data {
+
+void Dataset::check_index(std::int64_t i) const {
+  SPLITMED_CHECK(i >= 0 && i < size(),
+                 "dataset index " << i << " out of range [0, " << size()
+                                  << ')');
+}
+
+Tensor Dataset::batch_images(std::span<const std::int64_t> indices) const {
+  const Shape chw = image_shape();
+  SPLITMED_CHECK(chw.rank() == 3, "image_shape must be CHW");
+  std::vector<std::int64_t> dims = {static_cast<std::int64_t>(indices.size())};
+  for (const auto d : chw.dims()) dims.push_back(d);
+  Tensor batch{Shape(std::move(dims))};
+  auto bd = batch.data();
+  const std::int64_t elems = chw.numel();
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const Tensor img = image(indices[r]);
+    check_same_shape(img.shape(), chw, "batch_images");
+    auto id = img.data();
+    std::copy(id.begin(), id.end(),
+              bd.begin() + static_cast<std::ptrdiff_t>(r) * elems);
+  }
+  return batch;
+}
+
+std::vector<std::int64_t> Dataset::batch_labels(
+    std::span<const std::int64_t> indices) const {
+  std::vector<std::int64_t> out;
+  out.reserve(indices.size());
+  for (const auto i : indices) out.push_back(label(i));
+  return out;
+}
+
+}  // namespace splitmed::data

@@ -1,0 +1,40 @@
+// Dataset abstraction.
+//
+// Images are CHW float tensors; a batch gathers to NCHW. Datasets are
+// immutable after construction and generate examples deterministically from
+// (seed, index), so two runs with the same seed see identical data without
+// storing anything — the synthetic stand-ins for CIFAR / patient records can
+// be arbitrarily large at zero memory cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::data {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  [[nodiscard]] virtual std::int64_t size() const = 0;
+  [[nodiscard]] virtual Shape image_shape() const = 0;  // CHW
+  [[nodiscard]] virtual std::int64_t num_classes() const = 0;
+
+  /// Example i as a CHW tensor. Deterministic in (dataset seed, i).
+  [[nodiscard]] virtual Tensor image(std::int64_t i) const = 0;
+  [[nodiscard]] virtual std::int64_t label(std::int64_t i) const = 0;
+
+  /// Gathers examples into an NCHW batch.
+  [[nodiscard]] Tensor batch_images(std::span<const std::int64_t> indices) const;
+  [[nodiscard]] std::vector<std::int64_t> batch_labels(
+      std::span<const std::int64_t> indices) const;
+
+ protected:
+  /// Bounds check helper for subclasses.
+  void check_index(std::int64_t i) const;
+};
+
+}  // namespace splitmed::data

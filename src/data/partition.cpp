@@ -1,0 +1,131 @@
+#include "src/data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::data {
+namespace {
+
+std::vector<std::int64_t> shuffled_indices(std::int64_t n, Rng& rng) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace
+
+Partition partition_iid(std::int64_t dataset_size, std::int64_t num_platforms,
+                        Rng& rng) {
+  SPLITMED_CHECK(num_platforms > 0, "need at least one platform");
+  SPLITMED_CHECK(dataset_size >= 0, "negative dataset size");
+  const auto idx = shuffled_indices(dataset_size, rng);
+  Partition out(static_cast<std::size_t>(num_platforms));
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    out[i % static_cast<std::size_t>(num_platforms)].push_back(idx[i]);
+  }
+  return out;
+}
+
+Partition partition_weighted(std::int64_t dataset_size,
+                             const std::vector<double>& weights, Rng& rng) {
+  SPLITMED_CHECK(!weights.empty(), "need at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    SPLITMED_CHECK(w > 0.0, "weights must be positive, got " << w);
+    total += w;
+  }
+  const std::int64_t k = static_cast<std::int64_t>(weights.size());
+  SPLITMED_CHECK(dataset_size >= k,
+                 "dataset of " << dataset_size << " cannot cover " << k
+                               << " platforms");
+  // Largest-remainder apportionment with a floor of 1 example per platform.
+  std::vector<std::int64_t> counts(weights.size(), 1);
+  std::int64_t assigned = k;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact =
+        weights[i] / total * static_cast<double>(dataset_size);
+    const std::int64_t extra =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(exact) - 1);
+    counts[i] += extra;
+    assigned += extra;
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t r = 0; assigned < dataset_size; ++assigned, ++r) {
+    ++counts[remainders[r % remainders.size()].second];
+  }
+  // Over-assignment can only come from the +1 floors; trim the largest shard.
+  while (assigned > dataset_size) {
+    auto it = std::max_element(counts.begin(), counts.end());
+    SPLITMED_ASSERT(*it > 1, "cannot trim below the one-example floor");
+    --*it;
+    --assigned;
+  }
+
+  const auto idx = shuffled_indices(dataset_size, rng);
+  Partition out(weights.size());
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    out[i].assign(idx.begin() + static_cast<std::ptrdiff_t>(cursor),
+                  idx.begin() + static_cast<std::ptrdiff_t>(
+                                    cursor + static_cast<std::size_t>(counts[i])));
+    cursor += static_cast<std::size_t>(counts[i]);
+  }
+  SPLITMED_ASSERT(cursor == idx.size(), "apportionment lost examples");
+  return out;
+}
+
+Partition partition_zipf(std::int64_t dataset_size, std::int64_t num_platforms,
+                         double alpha, Rng& rng) {
+  SPLITMED_CHECK(num_platforms > 0, "need at least one platform");
+  SPLITMED_CHECK(alpha >= 0.0, "alpha must be non-negative");
+  std::vector<double> weights;
+  weights.reserve(static_cast<std::size_t>(num_platforms));
+  for (std::int64_t k = 0; k < num_platforms; ++k) {
+    weights.push_back(1.0 / std::pow(static_cast<double>(k + 1), alpha));
+  }
+  return partition_weighted(dataset_size, weights, rng);
+}
+
+Partition partition_label_skew(const Dataset& dataset,
+                               std::int64_t num_platforms,
+                               std::int64_t shards_per_platform, Rng& rng) {
+  SPLITMED_CHECK(num_platforms > 0 && shards_per_platform > 0,
+                 "bad label-skew parameters");
+  const std::int64_t n = dataset.size();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&dataset](std::int64_t a, std::int64_t b) {
+                     return dataset.label(a) < dataset.label(b);
+                   });
+  const std::int64_t num_shards = num_platforms * shards_per_platform;
+  SPLITMED_CHECK(n >= num_shards, "dataset too small for " << num_shards
+                                                           << " shards");
+  std::vector<std::int64_t> shard_order(static_cast<std::size_t>(num_shards));
+  std::iota(shard_order.begin(), shard_order.end(), 0);
+  rng.shuffle(shard_order);
+
+  Partition out(static_cast<std::size_t>(num_platforms));
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    const std::int64_t shard = shard_order[static_cast<std::size_t>(s)];
+    const std::int64_t begin = shard * n / num_shards;
+    const std::int64_t end = (shard + 1) * n / num_shards;
+    auto& dest = out[static_cast<std::size_t>(s % num_platforms)];
+    dest.insert(dest.end(), idx.begin() + begin, idx.begin() + end);
+  }
+  return out;
+}
+
+std::int64_t partition_total(const Partition& p) {
+  std::int64_t total = 0;
+  for (const auto& shard : p) total += static_cast<std::int64_t>(shard.size());
+  return total;
+}
+
+}  // namespace splitmed::data

@@ -1,0 +1,44 @@
+// Partitioning a dataset across K geo-distributed platforms.
+//
+// The paper's setting: each hospital owns a disjoint shard of the global
+// data, and shard sizes are unequal ("data imbalance"). Partition strategies
+// produce the index sets; the imbalance-mitigation policy (minibatch size
+// proportional to |D_k|) lives in core::MinibatchPolicy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/data/dataset.hpp"
+
+namespace splitmed::data {
+
+using Partition = std::vector<std::vector<std::int64_t>>;
+
+/// Shuffles indices and deals them out as evenly as possible.
+Partition partition_iid(std::int64_t dataset_size, std::int64_t num_platforms,
+                        Rng& rng);
+
+/// Shard sizes proportional to `weights` (positive, need not sum to 1).
+/// Every platform receives at least one example when dataset_size >= K.
+Partition partition_weighted(std::int64_t dataset_size,
+                             const std::vector<double>& weights, Rng& rng);
+
+/// Zipf-like imbalance: platform k gets weight 1/(k+1)^alpha. alpha = 0 is
+/// IID-sized; larger alpha is more skewed. Matches the paper's "the amount of
+/// data in each platform is not equal" scenario.
+Partition partition_zipf(std::int64_t dataset_size, std::int64_t num_platforms,
+                         double alpha, Rng& rng);
+
+/// Label-skewed shards: sorts by label and deals contiguous shards, giving
+/// each platform `shards_per_platform` label-homogeneous chunks (non-IID in
+/// the FedAvg sense).
+Partition partition_label_skew(const Dataset& dataset,
+                               std::int64_t num_platforms,
+                               std::int64_t shards_per_platform, Rng& rng);
+
+/// Sum of shard sizes (sanity helper).
+std::int64_t partition_total(const Partition& p);
+
+}  // namespace splitmed::data

@@ -1,0 +1,74 @@
+#include "src/data/synthetic_medical.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace splitmed::data {
+
+SyntheticMedical::SyntheticMedical(SyntheticMedicalOptions options)
+    : options_(options) {
+  SPLITMED_CHECK(options_.num_examples >= 0, "negative example count");
+  SPLITMED_CHECK(options_.num_grades >= 2, "need at least healthy + 1 grade");
+  SPLITMED_CHECK(options_.image_size >= 8, "image too small for lesions");
+}
+
+Shape SyntheticMedical::image_shape() const {
+  return Shape{1, options_.image_size, options_.image_size};
+}
+
+std::int64_t SyntheticMedical::label(std::int64_t i) const {
+  check_index(i);
+  return (i + options_.index_offset) % options_.num_grades;
+}
+
+Tensor SyntheticMedical::image(std::int64_t i) const {
+  check_index(i);
+  const std::int64_t grade = label(i);
+  const auto virtual_index =
+      static_cast<std::uint64_t>(i + options_.index_offset);
+  Rng rng(options_.seed ^ (0xBF58476D1CE4E5B9ULL +
+                           virtual_index * 0x94D049BB133111EBULL));
+  const std::int64_t n = options_.image_size;
+  Tensor img(image_shape());
+  auto d = img.data();
+
+  // Anatomical background: radial ring structure + smooth gradient, shared by
+  // all grades so only the lesion is informative.
+  const float cx = static_cast<float>(n) / 2 + rng.uniform(-2.0F, 2.0F);
+  const float cy = static_cast<float>(n) / 2 + rng.uniform(-2.0F, 2.0F);
+  const float ring_freq = rng.uniform(0.5F, 0.7F);
+  const float gx = rng.uniform(-0.3F, 0.3F) / static_cast<float>(n);
+  const float gy = rng.uniform(-0.3F, 0.3F) / static_cast<float>(n);
+
+  // Lesion parameters scale with grade; grade 0 has no lesion.
+  const float grade_frac =
+      static_cast<float>(grade) / static_cast<float>(options_.num_grades - 1);
+  const float lesion_sigma = 1.5F + 2.5F * grade_frac;
+  const float lesion_gain = grade == 0 ? 0.0F : 0.5F + 0.5F * grade_frac;
+  const float lx = rng.uniform(0.25F, 0.75F) * static_cast<float>(n);
+  const float ly = rng.uniform(0.25F, 0.75F) * static_cast<float>(n);
+
+  for (std::int64_t y = 0; y < n; ++y) {
+    for (std::int64_t x = 0; x < n; ++x) {
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      const float r = std::sqrt(dx * dx + dy * dy);
+      float v = 0.45F + 0.15F * std::sin(ring_freq * r) +
+                gx * static_cast<float>(x) + gy * static_cast<float>(y);
+      if (lesion_gain > 0.0F) {
+        const float ldx = static_cast<float>(x) - lx;
+        const float ldy = static_cast<float>(y) - ly;
+        v += lesion_gain *
+             std::exp(-(ldx * ldx + ldy * ldy) /
+                      (2.0F * lesion_sigma * lesion_sigma));
+      }
+      v += options_.noise_stddev * rng.normal();
+      d[static_cast<std::size_t>(y * n + x)] = v;
+    }
+  }
+  return img;
+}
+
+}  // namespace splitmed::data

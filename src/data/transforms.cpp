@@ -1,0 +1,123 @@
+#include "src/data/transforms.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::data {
+
+RandomHorizontalFlip::RandomHorizontalFlip(float p) : p_(p) {
+  SPLITMED_CHECK(p >= 0.0F && p <= 1.0F, "flip probability must be in [0,1]");
+}
+
+Tensor RandomHorizontalFlip::apply(const Tensor& chw, Rng& rng) const {
+  SPLITMED_CHECK(chw.shape().rank() == 3, "transforms expect CHW images");
+  if (!rng.bernoulli(p_)) return chw;
+  const std::int64_t c = chw.shape().dim(0), h = chw.shape().dim(1),
+                     w = chw.shape().dim(2);
+  Tensor out(chw.shape());
+  auto id = chw.data();
+  auto od = out.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float* row = id.data() + (ch * h + y) * w;
+      float* orow = od.data() + (ch * h + y) * w;
+      for (std::int64_t x = 0; x < w; ++x) orow[x] = row[w - 1 - x];
+    }
+  }
+  return out;
+}
+
+RandomCrop::RandomCrop(std::int64_t padding) : padding_(padding) {
+  SPLITMED_CHECK(padding > 0, "crop padding must be positive");
+}
+
+Tensor RandomCrop::apply(const Tensor& chw, Rng& rng) const {
+  SPLITMED_CHECK(chw.shape().rank() == 3, "transforms expect CHW images");
+  const std::int64_t c = chw.shape().dim(0), h = chw.shape().dim(1),
+                     w = chw.shape().dim(2);
+  // Offset of the crop window inside the padded image.
+  const std::int64_t oy = rng.uniform_int(0, 2 * padding_);
+  const std::int64_t ox = rng.uniform_int(0, 2 * padding_);
+  Tensor out(chw.shape());
+  auto id = chw.data();
+  auto od = out.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::int64_t sy = y + oy - padding_;
+      float* orow = od.data() + (ch * h + y) * w;
+      if (sy < 0 || sy >= h) {
+        std::fill(orow, orow + w, 0.0F);
+        continue;
+      }
+      const float* row = id.data() + (ch * h + sy) * w;
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t sx = x + ox - padding_;
+        orow[x] = (sx >= 0 && sx < w) ? row[sx] : 0.0F;
+      }
+    }
+  }
+  return out;
+}
+
+Normalize::Normalize(std::vector<float> mean, std::vector<float> stddev)
+    : mean_(std::move(mean)), stddev_(std::move(stddev)) {
+  SPLITMED_CHECK(mean_.size() == stddev_.size() && !mean_.empty(),
+                 "Normalize: mean/stddev must be same non-zero size");
+  for (const float s : stddev_) {
+    SPLITMED_CHECK(s > 0.0F, "Normalize: stddev must be positive");
+  }
+}
+
+Tensor Normalize::apply(const Tensor& chw, Rng& /*rng*/) const {
+  SPLITMED_CHECK(chw.shape().rank() == 3, "transforms expect CHW images");
+  SPLITMED_CHECK(chw.shape().dim(0) ==
+                     static_cast<std::int64_t>(mean_.size()),
+                 "Normalize: channel count mismatch");
+  const std::int64_t hw = chw.shape().dim(1) * chw.shape().dim(2);
+  Tensor out(chw.shape());
+  auto id = chw.data();
+  auto od = out.data();
+  for (std::size_t c = 0; c < mean_.size(); ++c) {
+    const float m = mean_[c];
+    const float inv = 1.0F / stddev_[c];
+    const float* in = id.data() + static_cast<std::int64_t>(c) * hw;
+    float* o = od.data() + static_cast<std::int64_t>(c) * hw;
+    for (std::int64_t i = 0; i < hw; ++i) o[i] = (in[i] - m) * inv;
+  }
+  return out;
+}
+
+Compose::Compose(std::vector<std::unique_ptr<Transform>> transforms)
+    : transforms_(std::move(transforms)) {
+  for (const auto& t : transforms_) {
+    SPLITMED_CHECK(t != nullptr, "Compose: null transform");
+  }
+}
+
+Tensor Compose::apply(const Tensor& chw, Rng& rng) const {
+  Tensor out = chw;
+  for (const auto& t : transforms_) out = t->apply(out, rng);
+  return out;
+}
+
+Tensor apply_to_batch(const Transform& t, const Tensor& nchw, Rng& rng) {
+  SPLITMED_CHECK(nchw.shape().rank() == 4, "apply_to_batch expects NCHW");
+  const std::int64_t n = nchw.shape().dim(0);
+  Tensor out(nchw.shape());
+  const std::int64_t elems = n == 0 ? 0 : nchw.numel() / n;
+  const Shape chw_shape{nchw.shape().dim(1), nchw.shape().dim(2),
+                        nchw.shape().dim(3)};
+  auto od = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor img =
+        nchw.slice_rows(i, i + 1).reshape(chw_shape);
+    const Tensor transformed = t.apply(img, rng);
+    check_same_shape(transformed.shape(), chw_shape, "apply_to_batch");
+    auto td = transformed.data();
+    std::copy(td.begin(), td.end(), od.begin() + i * elems);
+  }
+  return out;
+}
+
+}  // namespace splitmed::data

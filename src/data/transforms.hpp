@@ -1,0 +1,67 @@
+// Train-time augmentation transforms on CHW images — the standard CIFAR
+// recipe (random horizontal flip, random crop with zero padding) plus
+// per-channel normalization. Transforms are deterministic in the Rng they
+// are given, keeping end-to-end runs reproducible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::data {
+
+/// A transform maps one CHW image to another (shape-preserving).
+class Transform {
+ public:
+  virtual ~Transform() = default;
+  virtual Tensor apply(const Tensor& chw, Rng& rng) const = 0;
+};
+
+/// Mirrors the image horizontally with probability p.
+class RandomHorizontalFlip final : public Transform {
+ public:
+  explicit RandomHorizontalFlip(float p = 0.5F);
+  Tensor apply(const Tensor& chw, Rng& rng) const override;
+
+ private:
+  float p_;
+};
+
+/// Pads by `padding` zeros on each side and crops back to the original size
+/// at a uniformly random offset (the CIFAR "random crop" augmentation).
+class RandomCrop final : public Transform {
+ public:
+  explicit RandomCrop(std::int64_t padding);
+  Tensor apply(const Tensor& chw, Rng& rng) const override;
+
+ private:
+  std::int64_t padding_;
+};
+
+/// (x - mean[c]) / stddev[c] per channel. Deterministic (ignores the rng).
+class Normalize final : public Transform {
+ public:
+  Normalize(std::vector<float> mean, std::vector<float> stddev);
+  Tensor apply(const Tensor& chw, Rng& rng) const override;
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+/// Applies transforms in order.
+class Compose final : public Transform {
+ public:
+  explicit Compose(std::vector<std::unique_ptr<Transform>> transforms);
+  Tensor apply(const Tensor& chw, Rng& rng) const override;
+
+ private:
+  std::vector<std::unique_ptr<Transform>> transforms_;
+};
+
+/// Applies `t` to every image of an NCHW batch in place of the original.
+Tensor apply_to_batch(const Transform& t, const Tensor& nchw, Rng& rng);
+
+}  // namespace splitmed::data

@@ -1,0 +1,78 @@
+#include "src/metrics/confusion.hpp"
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed::metrics {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  SPLITMED_CHECK(num_classes > 0, "need at least one class");
+}
+
+void ConfusionMatrix::add_batch(const Tensor& logits,
+                                const std::vector<std::int64_t>& labels) {
+  const auto pred = ops::argmax_rows(logits);
+  SPLITMED_CHECK(pred.size() == labels.size(),
+                 "confusion: prediction/label count mismatch");
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    SPLITMED_CHECK(labels[i] >= 0 && labels[i] < num_classes_ &&
+                       pred[i] >= 0 && pred[i] < num_classes_,
+                   "confusion: class out of range");
+    ++counts_[static_cast<std::size_t>(labels[i] * num_classes_ + pred[i])];
+    ++total_;
+  }
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t actual,
+                                    std::int64_t predicted) const {
+  SPLITMED_CHECK(actual >= 0 && actual < num_classes_ && predicted >= 0 &&
+                     predicted < num_classes_,
+                 "confusion: class out of range");
+  return counts_[static_cast<std::size_t>(actual * num_classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::int64_t cls) const {
+  std::int64_t row = 0;
+  for (std::int64_t p = 0; p < num_classes_; ++p) row += count(cls, p);
+  return row == 0 ? 0.0
+                  : static_cast<double>(count(cls, cls)) /
+                        static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::int64_t cls) const {
+  std::int64_t col = 0;
+  for (std::int64_t a = 0; a < num_classes_; ++a) col += count(a, cls);
+  return col == 0 ? 0.0
+                  : static_cast<double>(count(cls, cls)) /
+                        static_cast<double>(col);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double acc = 0.0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) acc += recall(c);
+  return acc / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::str() const {
+  std::ostringstream os;
+  os << "confusion (rows=actual, cols=predicted):\n";
+  for (std::int64_t a = 0; a < num_classes_; ++a) {
+    for (std::int64_t p = 0; p < num_classes_; ++p) {
+      os << count(a, p) << (p + 1 == num_classes_ ? '\n' : '\t');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace splitmed::metrics

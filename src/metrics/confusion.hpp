@@ -1,0 +1,39 @@
+// Confusion matrix for per-class error analysis of the medical workloads
+// (grade-level sensitivity matters more than raw accuracy in that setting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::metrics {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  /// Adds argmax(logits) vs labels.
+  void add_batch(const Tensor& logits,
+                 const std::vector<std::int64_t>& labels);
+
+  [[nodiscard]] std::int64_t count(std::int64_t actual,
+                                   std::int64_t predicted) const;
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] double accuracy() const;
+  /// Recall of one class (0 when the class never occurred).
+  [[nodiscard]] double recall(std::int64_t cls) const;
+  [[nodiscard]] double precision(std::int64_t cls) const;
+  /// Mean per-class recall — robust to class imbalance.
+  [[nodiscard]] double balanced_accuracy() const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t num_classes_;
+  std::vector<std::int64_t> counts_;  // [actual * num_classes + predicted]
+  std::int64_t total_ = 0;
+};
+
+}  // namespace splitmed::metrics

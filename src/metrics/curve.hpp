@@ -1,0 +1,52 @@
+// Training-curve records. A CurvePoint is one evaluation snapshot; a
+// TrainReport is what every trainer returns. The (cumulative_bytes,
+// accuracy) pairs across a run are exactly the series Fig. 4 plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace splitmed::metrics {
+
+struct CurvePoint {
+  std::int64_t step = 0;          // optimization steps (or rounds for FedAvg)
+  double epoch = 0.0;             // fractional epochs of the global dataset
+  std::uint64_t cumulative_bytes = 0;
+  double sim_seconds = 0.0;       // simulated WAN time elapsed
+  double train_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+
+struct TrainReport {
+  std::string protocol;           // "split", "sync-sgd", "fedavg", ...
+  std::string model;
+  std::vector<CurvePoint> curve;
+  std::uint64_t total_bytes = 0;
+  double total_sim_seconds = 0.0;
+  double final_accuracy = 0.0;
+  std::int64_t steps_completed = 0;
+
+  /// Accuracy of the last point at or under the byte budget (0.0 when the
+  /// first point already exceeds it).
+  [[nodiscard]] double accuracy_at_bytes(std::uint64_t byte_budget) const {
+    double best = 0.0;
+    for (const auto& p : curve) {
+      if (p.cumulative_bytes <= byte_budget && p.test_accuracy > best) {
+        best = p.test_accuracy;
+      }
+    }
+    return best;
+  }
+
+  /// First cumulative byte count at which accuracy reached `target`
+  /// (returns 0 when never reached).
+  [[nodiscard]] std::uint64_t bytes_to_accuracy(double target) const {
+    for (const auto& p : curve) {
+      if (p.test_accuracy >= target) return p.cumulative_bytes;
+    }
+    return 0;
+  }
+};
+
+}  // namespace splitmed::metrics

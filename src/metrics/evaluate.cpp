@@ -1,0 +1,39 @@
+#include "src/metrics/evaluate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/error.hpp"
+#include "src/nn/loss.hpp"
+
+namespace splitmed::metrics {
+
+double evaluate_composite(nn::Layer& front, nn::Layer* back,
+                          const data::Dataset& dataset,
+                          std::int64_t batch_size) {
+  SPLITMED_CHECK(batch_size > 0, "batch size must be positive");
+  const std::int64_t n = dataset.size();
+  SPLITMED_CHECK(n > 0, "cannot evaluate on an empty dataset");
+  std::int64_t correct = 0;
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(batch_size));
+  for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+    const std::int64_t end = std::min(begin + batch_size, n);
+    idx.resize(static_cast<std::size_t>(end - begin));
+    std::iota(idx.begin(), idx.end(), begin);
+    Tensor x = dataset.batch_images(idx);
+    const auto labels = dataset.batch_labels(idx);
+    Tensor logits = front.forward(x, /*training=*/false);
+    if (back != nullptr) logits = back->forward(logits, /*training=*/false);
+    correct += static_cast<std::int64_t>(
+        nn::accuracy(logits, labels) * static_cast<double>(labels.size()) +
+        0.5);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double evaluate_model(nn::Layer& model, const data::Dataset& dataset,
+                      std::int64_t batch_size) {
+  return evaluate_composite(model, nullptr, dataset, batch_size);
+}
+
+}  // namespace splitmed::metrics

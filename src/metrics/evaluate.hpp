@@ -1,0 +1,25 @@
+// Model evaluation helpers.
+//
+// evaluate_composite runs up to two layer stacks back-to-back in eval mode —
+// the natural operation for a split model, whose first stage (L1) lives on a
+// platform and whose remainder lives on the server.
+#pragma once
+
+#include <cstdint>
+
+#include "src/data/dataset.hpp"
+#include "src/nn/layer.hpp"
+
+namespace splitmed::metrics {
+
+/// Accuracy of `front` (+ optional `back`) over the whole dataset, evaluated
+/// in minibatches of `batch_size` (eval mode: no dropout, BN running stats).
+double evaluate_composite(nn::Layer& front, nn::Layer* back,
+                          const data::Dataset& dataset,
+                          std::int64_t batch_size);
+
+/// Single-stack convenience overload.
+double evaluate_model(nn::Layer& model, const data::Dataset& dataset,
+                      std::int64_t batch_size);
+
+}  // namespace splitmed::metrics

@@ -1,0 +1,62 @@
+#include "src/metrics/recorder.hpp"
+
+#include "src/common/csv.hpp"
+#include "src/common/error.hpp"
+#include "src/common/format.hpp"
+#include "src/common/table.hpp"
+
+namespace splitmed::metrics {
+
+ExperimentRecorder::ExperimentRecorder(std::string experiment_name)
+    : name_(std::move(experiment_name)) {}
+
+void ExperimentRecorder::add(TrainReport report) {
+  reports_.push_back(std::move(report));
+}
+
+void ExperimentRecorder::print_summary(std::ostream& os) const {
+  os << "== " << name_ << " ==\n";
+  Table t({"protocol", "model", "steps", "final accuracy", "bytes moved",
+           "sim time"});
+  for (const auto& r : reports_) {
+    t.add_row({r.protocol, r.model, std::to_string(r.steps_completed),
+               format_percent(r.final_accuracy), format_bytes(r.total_bytes),
+               format_duration(r.total_sim_seconds)});
+  }
+  t.print(os);
+}
+
+void ExperimentRecorder::print_bytes_vs_accuracy(
+    std::ostream& os, const std::vector<std::uint64_t>& budgets) const {
+  os << "accuracy at transmitted-byte budgets (Fig. 4 axes):\n";
+  std::vector<std::string> header = {"protocol"};
+  for (const auto b : budgets) header.push_back(format_bytes(b));
+  Table t(header);
+  for (const auto& r : reports_) {
+    std::vector<std::string> row = {r.protocol};
+    for (const auto b : budgets) {
+      row.push_back(format_percent(r.accuracy_at_bytes(b)));
+    }
+    t.add_row(row);
+  }
+  t.print(os);
+}
+
+void ExperimentRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.write_row({"experiment", "protocol", "model", "step", "epoch",
+                 "cumulative_bytes", "sim_seconds", "train_loss",
+                 "test_accuracy"});
+  for (const auto& r : reports_) {
+    for (const auto& p : r.curve) {
+      csv.write_row({name_, r.protocol, r.model, std::to_string(p.step),
+                     CsvWriter::field(p.epoch),
+                     CsvWriter::field(p.cumulative_bytes),
+                     CsvWriter::field(p.sim_seconds),
+                     CsvWriter::field(p.train_loss),
+                     CsvWriter::field(p.test_accuracy)});
+    }
+  }
+}
+
+}  // namespace splitmed::metrics

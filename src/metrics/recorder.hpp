@@ -1,0 +1,38 @@
+// Experiment recorder: collects TrainReports, prints the comparison table a
+// bench reports, and writes the full curves to CSV for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/metrics/curve.hpp"
+
+namespace splitmed::metrics {
+
+class ExperimentRecorder {
+ public:
+  explicit ExperimentRecorder(std::string experiment_name);
+
+  void add(TrainReport report);
+
+  [[nodiscard]] const std::vector<TrainReport>& reports() const {
+    return reports_;
+  }
+
+  /// Summary table: one row per protocol (final accuracy, bytes, sim time).
+  void print_summary(std::ostream& os) const;
+
+  /// Fig.4-style table: accuracy of each protocol at shared byte budgets.
+  void print_bytes_vs_accuracy(std::ostream& os,
+                               const std::vector<std::uint64_t>& budgets) const;
+
+  /// Writes every curve point of every report to `path` as CSV.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<TrainReport> reports_;
+};
+
+}  // namespace splitmed::metrics

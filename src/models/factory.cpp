@@ -1,0 +1,63 @@
+#include "src/models/factory.hpp"
+
+#include "src/common/error.hpp"
+#include "src/models/mlp.hpp"
+#include "src/models/resnet.hpp"
+#include "src/models/vgg.hpp"
+
+namespace splitmed::models {
+
+const std::vector<std::string>& model_names() {
+  static const std::vector<std::string> kNames = {
+      "vgg11",    "vgg13",    "vgg16",    "vgg-mini",    "vgg16-bn",
+      "vgg-mini-bn", "resnet18", "resnet20", "resnet32", "resnet-mini",
+      "mlp"};
+  return kNames;
+}
+
+BuiltModel build_model(const FactoryConfig& config) {
+  const auto vgg = [&](VggVariant v, bool batch_norm = false) {
+    VggConfig c;
+    c.variant = v;
+    c.in_channels = config.in_channels;
+    c.image_size = config.image_size;
+    c.num_classes = config.num_classes;
+    c.batch_norm = batch_norm;
+    c.seed = config.seed;
+    BuiltModel m = make_vgg(c);
+    if (batch_norm) m.name += "-bn";
+    return m;
+  };
+  const auto resnet = [&](ResNetVariant v) {
+    ResNetConfig c;
+    c.variant = v;
+    c.in_channels = config.in_channels;
+    c.image_size = config.image_size;
+    c.num_classes = config.num_classes;
+    c.seed = config.seed;
+    return make_resnet(c);
+  };
+
+  if (config.name == "vgg11") return vgg(VggVariant::kVgg11);
+  if (config.name == "vgg13") return vgg(VggVariant::kVgg13);
+  if (config.name == "vgg16") return vgg(VggVariant::kVgg16);
+  if (config.name == "vgg-mini") return vgg(VggVariant::kMini);
+  if (config.name == "vgg16-bn") return vgg(VggVariant::kVgg16, true);
+  if (config.name == "vgg-mini-bn") return vgg(VggVariant::kMini, true);
+  if (config.name == "resnet18") return resnet(ResNetVariant::kResNet18);
+  if (config.name == "resnet20") return resnet(ResNetVariant::kResNet20);
+  if (config.name == "resnet32") return resnet(ResNetVariant::kResNet32);
+  if (config.name == "resnet-mini") return resnet(ResNetVariant::kMini);
+  if (config.name == "mlp") {
+    MlpConfig c;
+    c.input_shape =
+        Shape{config.in_channels, config.image_size, config.image_size};
+    c.num_classes = config.num_classes;
+    c.seed = config.seed;
+    return make_mlp(c);
+  }
+  throw InvalidArgument("unknown model '" + config.name +
+                        "'; see models::model_names()");
+}
+
+}  // namespace splitmed::models

@@ -1,0 +1,28 @@
+// String-keyed model factory, so benches and examples can select
+// architectures from the command line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/models/model.hpp"
+
+namespace splitmed::models {
+
+struct FactoryConfig {
+  /// One of model_names().
+  std::string name = "vgg-mini";
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 32;
+  std::int64_t num_classes = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a model by name. Throws InvalidArgument for unknown names.
+BuiltModel build_model(const FactoryConfig& config);
+
+/// {"vgg11","vgg13","vgg16","vgg-mini","resnet18","resnet20","resnet32",
+///  "resnet-mini","mlp"}.
+const std::vector<std::string>& model_names();
+
+}  // namespace splitmed::models

@@ -1,0 +1,34 @@
+#include "src/models/mlp.hpp"
+
+#include "src/common/error.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/linear.hpp"
+
+namespace splitmed::models {
+
+BuiltModel make_mlp(const MlpConfig& config) {
+  SPLITMED_CHECK(!config.hidden.empty(), "MLP needs at least one hidden layer");
+  SPLITMED_CHECK(config.num_classes > 0, "bad class count");
+
+  BuiltModel model;
+  model.name = "mlp";
+  model.input_shape = config.input_shape;
+  model.num_classes = config.num_classes;
+  model.rng = std::make_unique<Rng>(config.seed);
+  Rng& rng = *model.rng;
+
+  model.net.emplace<nn::Flatten>();
+  std::int64_t features = config.input_shape.numel();
+  for (const auto h : config.hidden) {
+    model.net.emplace<nn::Linear>(features, h, rng);
+    model.net.emplace<nn::ReLU>();
+    features = h;
+  }
+  model.net.emplace<nn::Linear>(features, config.num_classes, rng);
+
+  model.default_cut = 3;  // Flatten + Linear + ReLU
+  return model;
+}
+
+}  // namespace splitmed::models

@@ -1,0 +1,22 @@
+// Plain MLP — the smallest model the split framework supports; used by the
+// quickstart example and by tests where conv depth is irrelevant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/models/model.hpp"
+
+namespace splitmed::models {
+
+struct MlpConfig {
+  Shape input_shape{3, 32, 32};  // per-example CHW (flattened internally)
+  std::vector<std::int64_t> hidden = {128, 64};
+  std::int64_t num_classes = 10;
+  std::uint64_t seed = 1;
+};
+
+/// default_cut = 3 (Flatten + first Linear + ReLU) — the first hidden layer.
+BuiltModel make_mlp(const MlpConfig& config);
+
+}  // namespace splitmed::models

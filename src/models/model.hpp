@@ -1,0 +1,27 @@
+// BuiltModel: a constructed network plus the metadata the split framework
+// needs — most importantly `default_cut`, the number of leading Sequential
+// entries that constitute the paper's "first hidden layer L1" (kept on the
+// platform; everything after it goes to the server).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.hpp"
+#include "src/nn/sequential.hpp"
+
+namespace splitmed::models {
+
+struct BuiltModel {
+  nn::Sequential net;
+  /// Leading `default_cut` Sequential entries form L1 (e.g. {Conv, ReLU}).
+  std::size_t default_cut = 0;
+  std::string name;
+  Shape input_shape;  // per-example CHW
+  std::int64_t num_classes = 0;
+  /// Generator threaded into stochastic layers (Dropout); owned here so its
+  /// address is stable across moves of the BuiltModel.
+  std::unique_ptr<Rng> rng;
+};
+
+}  // namespace splitmed::models

@@ -1,0 +1,136 @@
+#include "src/models/model_stats.hpp"
+
+#include "src/common/error.hpp"
+#include "src/serial/message.hpp"
+#include "src/serial/tensor_codec.hpp"
+
+namespace splitmed::models {
+namespace {
+
+/// Shape [batch, per-example dims...].
+Shape with_batch(const Shape& per_example, std::int64_t batch) {
+  std::vector<std::int64_t> dims = {batch};
+  for (const auto d : per_example.dims()) dims.push_back(d);
+  return Shape(std::move(dims));
+}
+
+std::uint64_t message_bytes(const Shape& tensor_shape) {
+  return Envelope::kEnvelopeHeaderBytes + encoded_tensor_bytes(tensor_shape);
+}
+
+}  // namespace
+
+ModelStats ModelStats::analyze(BuiltModel& model, std::size_t cut) {
+  SPLITMED_CHECK(cut > 0 && cut < model.net.size(),
+                 "cut " << cut << " must leave layers on both sides of "
+                        << model.net.size());
+  ModelStats s;
+  s.model_name = model.name;
+  s.input_chw = model.input_shape;
+  s.num_classes = model.num_classes;
+
+  const auto shapes = model.net.activation_shapes(with_batch(model.input_shape, 1));
+  const Shape& at_cut = shapes[cut];
+  // Strip the leading batch dim to store the per-example activation shape.
+  std::vector<std::int64_t> dims(at_cut.dims().begin() + 1,
+                                 at_cut.dims().end());
+  s.cut_activation_chw = Shape(std::move(dims));
+
+  for (std::size_t i = 0; i < model.net.size(); ++i) {
+    const std::int64_t p = model.net.layer(i).parameter_count();
+    s.total_params += p;
+    if (i < cut) {
+      s.platform_params += p;
+    } else {
+      s.server_params += p;
+    }
+  }
+  return s;
+}
+
+ModelStats ModelStats::analyze(BuiltModel& model) {
+  return analyze(model, model.default_cut);
+}
+
+std::uint64_t ModelStats::activation_message_bytes(std::int64_t batch) const {
+  SPLITMED_CHECK(batch > 0, "batch must be positive");
+  return message_bytes(with_batch(cut_activation_chw, batch));
+}
+
+std::uint64_t ModelStats::logits_message_bytes(std::int64_t batch) const {
+  SPLITMED_CHECK(batch > 0, "batch must be positive");
+  return message_bytes(Shape{batch, num_classes});
+}
+
+std::uint64_t ModelStats::parameter_message_bytes() const {
+  // Parameters travel as one flat tensor — the tightest realistic encoding.
+  return message_bytes(Shape{total_params});
+}
+
+std::uint64_t ModelStats::split_step_bytes(
+    std::span<const std::int64_t> platform_batches) const {
+  std::uint64_t total = 0;
+  for (const auto s_k : platform_batches) {
+    total += 2 * activation_message_bytes(s_k) + 2 * logits_message_bytes(s_k);
+  }
+  return total;
+}
+
+std::uint64_t ModelStats::split_step_bytes_uniform(
+    std::int64_t total_batch, std::int64_t num_platforms) const {
+  SPLITMED_CHECK(num_platforms > 0 && total_batch >= num_platforms,
+                 "cannot split batch " << total_batch << " across "
+                                       << num_platforms << " platforms");
+  std::vector<std::int64_t> batches(static_cast<std::size_t>(num_platforms),
+                                    total_batch / num_platforms);
+  for (std::int64_t r = 0; r < total_batch % num_platforms; ++r) {
+    ++batches[static_cast<std::size_t>(r)];
+  }
+  return split_step_bytes(batches);
+}
+
+std::uint64_t ModelStats::split_epoch_bytes(std::int64_t dataset_size,
+                                            std::int64_t num_platforms,
+                                            std::int64_t steps_per_epoch) const {
+  SPLITMED_CHECK(dataset_size > 0 && num_platforms > 0 && steps_per_epoch > 0,
+                 "bad epoch parameters");
+  // Payload: every example's activation crosses twice, its logit row twice.
+  const std::uint64_t per_example =
+      2 * 4 * static_cast<std::uint64_t>(cut_activation_chw.numel()) +
+      2 * 4 * static_cast<std::uint64_t>(num_classes);
+  // Framing: 4 messages per platform per step.
+  const std::uint64_t framing_per_message =
+      Envelope::kEnvelopeHeaderBytes + 4 /*rank*/ +
+      8 * (1 + static_cast<std::uint64_t>(cut_activation_chw.rank()));
+  return static_cast<std::uint64_t>(dataset_size) * per_example +
+         4 * static_cast<std::uint64_t>(num_platforms * steps_per_epoch) *
+             framing_per_message;
+}
+
+std::uint64_t ModelStats::syncsgd_step_bytes(std::int64_t num_workers) const {
+  SPLITMED_CHECK(num_workers > 0, "need at least one worker");
+  return 2 * static_cast<std::uint64_t>(num_workers) *
+         parameter_message_bytes();
+}
+
+std::uint64_t ModelStats::syncsgd_epoch_bytes(std::int64_t dataset_size,
+                                              std::int64_t total_batch,
+                                              std::int64_t num_workers) const {
+  SPLITMED_CHECK(dataset_size > 0 && total_batch > 0, "bad epoch parameters");
+  const std::int64_t steps = (dataset_size + total_batch - 1) / total_batch;
+  return static_cast<std::uint64_t>(steps) * syncsgd_step_bytes(num_workers);
+}
+
+std::uint64_t ModelStats::fedavg_round_bytes(std::int64_t num_platforms) const {
+  SPLITMED_CHECK(num_platforms > 0, "need at least one platform");
+  return 2 * static_cast<std::uint64_t>(num_platforms) *
+         parameter_message_bytes();
+}
+
+std::uint64_t ModelStats::cyclic_cycle_bytes(std::int64_t num_platforms) const {
+  SPLITMED_CHECK(num_platforms > 0, "need at least one platform");
+  return static_cast<std::uint64_t>(num_platforms) *
+         parameter_message_bytes();
+}
+
+}  // namespace splitmed::models

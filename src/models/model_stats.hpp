@@ -1,0 +1,76 @@
+// Analytic communication model.
+//
+// Computes, from architecture alone (shape propagation — no training), the
+// exact wire bytes each protocol moves. This powers the paper-scale Fig. 4
+// rows (full VGG-16 / ResNet on CIFAR shapes, which would take GPU-weeks to
+// actually train) and cross-checks the measured byte counts of the simulated
+// runs — both paths share encoded_tensor_bytes() and the envelope header, so
+// they cannot drift apart.
+//
+// Protocol byte model (per DESIGN.md):
+//  split, one step, platform k with minibatch s_k — four messages:
+//    1. platform->server  activations  [s_k, cut CHW]
+//    2. server->platform  logits       [s_k, classes]
+//    3. platform->server  logit grads  [s_k, classes]
+//    4. server->platform  cut grads    [s_k, cut CHW]
+//  large-scale sync SGD, one step, per worker: gradient push [P] +
+//    parameter pull [P].
+//  FedAvg, one round, per platform: parameter pull [P] + update push [P].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/models/model.hpp"
+
+namespace splitmed::models {
+
+struct ModelStats {
+  std::string model_name;
+  std::int64_t total_params = 0;
+  std::int64_t platform_params = 0;  // parameters in L1 (before the cut)
+  std::int64_t server_params = 0;    // parameters in L2..Lk
+  Shape input_chw;                   // per-example input
+  Shape cut_activation_chw;          // per-example activation at the cut
+  std::int64_t num_classes = 0;
+
+  /// Analyzes `model` cut after its first `cut` Sequential entries.
+  static ModelStats analyze(BuiltModel& model, std::size_t cut);
+  /// Same, using the model's default (paper-faithful) cut.
+  static ModelStats analyze(BuiltModel& model);
+
+  /// --- per-message building blocks ----------------------------------------
+  [[nodiscard]] std::uint64_t activation_message_bytes(
+      std::int64_t batch) const;
+  [[nodiscard]] std::uint64_t logits_message_bytes(std::int64_t batch) const;
+  [[nodiscard]] std::uint64_t parameter_message_bytes() const;
+
+  /// --- split protocol -------------------------------------------------------
+  /// One step with the given per-platform minibatch sizes (4 messages each).
+  [[nodiscard]] std::uint64_t split_step_bytes(
+      std::span<const std::int64_t> platform_batches) const;
+  /// One step, `total_batch` split evenly across `num_platforms`.
+  [[nodiscard]] std::uint64_t split_step_bytes_uniform(
+      std::int64_t total_batch, std::int64_t num_platforms) const;
+  /// One epoch: every one of `dataset_size` examples crosses the cut once in
+  /// each direction (plus the logits round-trip).
+  [[nodiscard]] std::uint64_t split_epoch_bytes(
+      std::int64_t dataset_size, std::int64_t num_platforms,
+      std::int64_t steps_per_epoch) const;
+
+  /// --- baselines ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t syncsgd_step_bytes(
+      std::int64_t num_workers) const;
+  [[nodiscard]] std::uint64_t syncsgd_epoch_bytes(std::int64_t dataset_size,
+                                                  std::int64_t total_batch,
+                                                  std::int64_t num_workers) const;
+  [[nodiscard]] std::uint64_t fedavg_round_bytes(
+      std::int64_t num_platforms) const;
+  /// Cyclic parameter sharing (paper ref [3]): one full-parameter transfer
+  /// per hop, K hops per cycle around the ring.
+  [[nodiscard]] std::uint64_t cyclic_cycle_bytes(
+      std::int64_t num_platforms) const;
+};
+
+}  // namespace splitmed::models

@@ -1,0 +1,91 @@
+#include "src/models/resnet.hpp"
+
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/pool.hpp"
+#include "src/nn/residual.hpp"
+
+namespace splitmed::models {
+namespace {
+
+struct Stage {
+  std::int64_t channels = 0;
+  std::int64_t blocks = 0;
+  std::int64_t stride = 1;
+};
+
+struct Plan {
+  std::int64_t stem_channels = 0;
+  std::vector<Stage> stages;
+};
+
+Plan plan_for(ResNetVariant v) {
+  switch (v) {
+    case ResNetVariant::kResNet18:
+      return {64, {{64, 2, 1}, {128, 2, 2}, {256, 2, 2}, {512, 2, 2}}};
+    case ResNetVariant::kResNet20:
+      return {16, {{16, 3, 1}, {32, 3, 2}, {64, 3, 2}}};
+    case ResNetVariant::kResNet32:
+      return {16, {{16, 5, 1}, {32, 5, 2}, {64, 5, 2}}};
+    case ResNetVariant::kMini:
+      return {16, {{16, 1, 1}, {32, 1, 2}, {64, 1, 2}, {128, 1, 2}}};
+  }
+  throw InvalidArgument("unknown ResNet variant");
+}
+
+}  // namespace
+
+std::string resnet_variant_name(ResNetVariant variant) {
+  switch (variant) {
+    case ResNetVariant::kResNet18: return "resnet18";
+    case ResNetVariant::kResNet20: return "resnet20";
+    case ResNetVariant::kResNet32: return "resnet32";
+    case ResNetVariant::kMini: return "resnet-mini";
+  }
+  throw InvalidArgument("unknown ResNet variant");
+}
+
+BuiltModel make_resnet(const ResNetConfig& config) {
+  SPLITMED_CHECK(config.num_classes > 0 && config.in_channels > 0 &&
+                     config.image_size >= 8,
+                 "bad ResNet config");
+  const Plan plan = plan_for(config.variant);
+
+  BuiltModel model;
+  model.name = resnet_variant_name(config.variant);
+  model.input_shape =
+      Shape{config.in_channels, config.image_size, config.image_size};
+  model.num_classes = config.num_classes;
+  model.rng = std::make_unique<Rng>(config.seed);
+  Rng& rng = *model.rng;
+
+  // CIFAR-style stem (3x3 stride 1) — the paper trains on 32x32 inputs where
+  // ImageNet's 7x7/s2 stem would destroy resolution.
+  model.net.emplace<nn::Conv2d>(config.in_channels, plan.stem_channels, 3, 1,
+                                1, rng);
+  model.net.emplace<nn::BatchNorm2d>(plan.stem_channels);
+  model.net.emplace<nn::ReLU>();
+
+  std::int64_t channels = plan.stem_channels;
+  for (const Stage& stage : plan.stages) {
+    for (std::int64_t b = 0; b < stage.blocks; ++b) {
+      const std::int64_t stride = b == 0 ? stage.stride : 1;
+      model.net.emplace<nn::ResidualBlock>(channels, stage.channels, stride,
+                                           rng);
+      channels = stage.channels;
+    }
+  }
+  model.net.emplace<nn::GlobalAvgPool>();
+  model.net.emplace<nn::Linear>(channels, config.num_classes, rng);
+
+  // L1 = stem conv + BN + ReLU.
+  model.default_cut = 3;
+  return model;
+}
+
+}  // namespace splitmed::models

@@ -1,0 +1,30 @@
+// ResNet family (He et al.): ImageNet-style ResNet-18 adapted to small
+// inputs, the CIFAR-style ResNet-20/32, and a "mini" variant trainable on
+// the single-core simulator (one block per stage, narrower widths — but four
+// stages so parameter mass still dominates cut-activation traffic, the
+// property Fig. 4 depends on).
+#pragma once
+
+#include <cstdint>
+
+#include "src/models/model.hpp"
+
+namespace splitmed::models {
+
+enum class ResNetVariant { kResNet18, kResNet20, kResNet32, kMini };
+
+struct ResNetConfig {
+  ResNetVariant variant = ResNetVariant::kMini;
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 32;
+  std::int64_t num_classes = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the network. default_cut = 3 (Conv + BatchNorm + ReLU): the
+/// paper's L1 on the platform, residual trunk + head on the server.
+BuiltModel make_resnet(const ResNetConfig& config);
+
+std::string resnet_variant_name(ResNetVariant variant);
+
+}  // namespace splitmed::models

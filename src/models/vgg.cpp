@@ -1,0 +1,114 @@
+#include "src/models/vgg.hpp"
+
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/dropout.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/pool.hpp"
+
+namespace splitmed::models {
+namespace {
+
+// Conv plans: positive = conv to that many channels (3x3, pad 1), -1 = 2x2
+// max-pool. These are the standard VGG-A/B/D tables.
+std::vector<std::int64_t> conv_plan(VggVariant v) {
+  switch (v) {
+    case VggVariant::kVgg11:
+      return {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1};
+    case VggVariant::kVgg13:
+      return {64, 64, -1, 128, 128, -1, 256, 256, -1,
+              512, 512, -1, 512, 512, -1};
+    case VggVariant::kVgg16:
+      return {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+              512, 512, 512, -1, 512, 512, 512, -1};
+    case VggVariant::kMini:
+      return {16, -1, 32, -1, 64, -1};
+  }
+  throw InvalidArgument("unknown VGG variant");
+}
+
+std::int64_t default_fc_width(VggVariant v) {
+  return v == VggVariant::kMini ? 512 : 4096;
+}
+
+std::int64_t pool_stages(const std::vector<std::int64_t>& plan) {
+  std::int64_t n = 0;
+  for (const auto p : plan) {
+    if (p == -1) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string vgg_variant_name(VggVariant variant) {
+  switch (variant) {
+    case VggVariant::kVgg11: return "vgg11";
+    case VggVariant::kVgg13: return "vgg13";
+    case VggVariant::kVgg16: return "vgg16";
+    case VggVariant::kMini: return "vgg-mini";
+  }
+  throw InvalidArgument("unknown VGG variant");
+}
+
+BuiltModel make_vgg(const VggConfig& config) {
+  const auto plan = conv_plan(config.variant);
+  const std::int64_t stages = pool_stages(plan);
+  const std::int64_t divisor = std::int64_t{1} << stages;
+  SPLITMED_CHECK(config.image_size % divisor == 0 &&
+                     config.image_size / divisor >= 1,
+                 "image size " << config.image_size << " incompatible with "
+                               << stages << " pool stages");
+  SPLITMED_CHECK(config.num_classes > 0 && config.in_channels > 0,
+                 "bad VGG config");
+
+  BuiltModel model;
+  model.name = vgg_variant_name(config.variant);
+  model.input_shape =
+      Shape{config.in_channels, config.image_size, config.image_size};
+  model.num_classes = config.num_classes;
+  model.rng = std::make_unique<Rng>(config.seed);
+  Rng& rng = *model.rng;
+
+  std::int64_t channels = config.in_channels;
+  for (const auto p : plan) {
+    if (p == -1) {
+      model.net.emplace<nn::MaxPool2d>(2);
+    } else {
+      model.net.emplace<nn::Conv2d>(channels, p, 3, 1, 1, rng);
+      if (config.batch_norm) model.net.emplace<nn::BatchNorm2d>(p);
+      model.net.emplace<nn::ReLU>();
+      channels = p;
+    }
+  }
+  model.net.emplace<nn::Flatten>();
+  const Shape flat = model.net.output_shape(
+      Shape{1, config.in_channels, config.image_size, config.image_size});
+  const std::int64_t features = flat.dim(1);
+  const std::int64_t fc =
+      config.fc_width > 0 ? config.fc_width : default_fc_width(config.variant);
+  model.net.emplace<nn::Linear>(features, fc, rng);
+  model.net.emplace<nn::ReLU>();
+  if (config.dropout > 0.0F) model.net.emplace<nn::Dropout>(config.dropout, rng);
+  if (config.variant != VggVariant::kMini) {
+    // Paper-scale head has two 4096-wide FC layers.
+    model.net.emplace<nn::Linear>(fc, fc, rng);
+    model.net.emplace<nn::ReLU>();
+    if (config.dropout > 0.0F) {
+      model.net.emplace<nn::Dropout>(config.dropout, rng);
+    }
+  }
+  model.net.emplace<nn::Linear>(fc, config.num_classes, rng);
+
+  // The paper's L1 = first hidden layer: the first conv + its activation
+  // (+ its BN when enabled).
+  model.default_cut = config.batch_norm ? 3 : 2;
+  return model;
+}
+
+}  // namespace splitmed::models

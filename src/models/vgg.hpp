@@ -1,0 +1,37 @@
+// VGG family (Simonyan & Zisserman), adapted to small inputs as in the
+// paper's CIFAR evaluation, plus a "mini" variant that is actually trainable
+// on the single-core simulator while keeping VGG's defining property for the
+// communication study: parameter mass concentrated in fully-connected layers.
+#pragma once
+
+#include <cstdint>
+
+#include "src/models/model.hpp"
+
+namespace splitmed::models {
+
+enum class VggVariant { kVgg11, kVgg13, kVgg16, kMini };
+
+struct VggConfig {
+  VggVariant variant = VggVariant::kMini;
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 32;  // must be divisible by 2^(#pool stages)
+  std::int64_t num_classes = 10;
+  /// Hidden width of the FC head (4096 in the paper-scale variants; the mini
+  /// variant defaults to 512).
+  std::int64_t fc_width = 0;  // 0 = variant default
+  float dropout = 0.5F;
+  /// VGG-BN style: BatchNorm after every conv (faster convergence; shifts
+  /// default_cut to conv+bn+relu).
+  bool batch_norm = false;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the network. default_cut = 2 (first Conv + ReLU): the paper keeps
+/// exactly the first hidden layer on the platform.
+BuiltModel make_vgg(const VggConfig& config);
+
+/// Variant name for reports ("vgg16", "vgg-mini", ...).
+std::string vgg_variant_name(VggVariant variant);
+
+}  // namespace splitmed::models

@@ -1,0 +1,22 @@
+#include "src/net/link.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed::net {
+
+double Link::transfer_time(std::uint64_t bytes) const {
+  SPLITMED_CHECK(bandwidth_bytes_per_sec > 0.0, "link bandwidth must be > 0");
+  SPLITMED_CHECK(latency_sec >= 0.0, "link latency must be >= 0");
+  return latency_sec +
+         static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+}
+
+Link Link::mbps(double megabits_per_sec, double latency_ms) {
+  return Link{megabits_per_sec * 1e6 / 8.0, latency_ms * 1e-3};
+}
+
+Link Link::gbps(double gigabits_per_sec, double latency_ms) {
+  return Link{gigabits_per_sec * 1e9 / 8.0, latency_ms * 1e-3};
+}
+
+}  // namespace splitmed::net

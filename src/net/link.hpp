@@ -1,0 +1,24 @@
+// Point-to-point link model: fixed propagation latency plus serialization
+// delay at a given bandwidth. Deterministic — no jitter — so byte and time
+// accounting are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace splitmed::net {
+
+struct Link {
+  /// Usable bandwidth in bytes per second (not bits).
+  double bandwidth_bytes_per_sec = 125e6;  // 1 Gbps default
+  /// One-way propagation latency in seconds.
+  double latency_sec = 0.0;
+
+  /// Time between send start and full arrival of `bytes`.
+  [[nodiscard]] double transfer_time(std::uint64_t bytes) const;
+
+  /// Convenience constructors in conventional units.
+  static Link mbps(double megabits_per_sec, double latency_ms);
+  static Link gbps(double gigabits_per_sec, double latency_ms);
+};
+
+}  // namespace splitmed::net

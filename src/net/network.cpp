@@ -1,0 +1,98 @@
+#include "src/net/network.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::net {
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(std::move(name));
+  inbox_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  check_node(id);
+  return nodes_[id];
+}
+
+void Network::check_node(NodeId id) const {
+  SPLITMED_CHECK(id < nodes_.size(), "unknown node id " << id);
+}
+
+void Network::set_link(NodeId a, NodeId b, Link link) {
+  check_node(a);
+  check_node(b);
+  SPLITMED_CHECK(a != b, "cannot set a self-link");
+  links_[{a, b}] = link;
+  links_[{b, a}] = link;
+}
+
+const Link& Network::link(NodeId src, NodeId dst) const {
+  const auto it = links_.find({src, dst});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void Network::send(Envelope envelope) {
+  check_node(envelope.src);
+  check_node(envelope.dst);
+  SPLITMED_CHECK(envelope.src != envelope.dst,
+                 "node " << envelope.src << " sending to itself");
+  const Link& l = link(envelope.src, envelope.dst);
+  const std::uint64_t bytes = envelope.wire_bytes();
+
+  // The link serializes transmissions: start when it frees up.
+  double& busy_until = link_busy_until_[{envelope.src, envelope.dst}];
+  const double start = std::max(clock_.now(), busy_until);
+  const double serialization =
+      static_cast<double>(bytes) / l.bandwidth_bytes_per_sec;
+  busy_until = start + serialization;
+  const double arrival = busy_until + l.latency_sec;
+
+  stats_.record(envelope);
+  inbox_[envelope.dst].push_back(
+      InFlight{arrival, sequence_++, std::move(envelope)});
+}
+
+Envelope Network::receive(NodeId node) {
+  check_node(node);
+  auto& box = inbox_[node];
+  if (box.empty()) {
+    throw ProtocolError("receive on node '" + nodes_[node] +
+                        "' with no message in flight");
+  }
+  const auto it = std::min_element(
+      box.begin(), box.end(), [](const InFlight& a, const InFlight& b) {
+        return a.arrival != b.arrival ? a.arrival < b.arrival
+                                      : a.sequence < b.sequence;
+      });
+  clock_.advance_to(it->arrival);
+  Envelope out = std::move(it->envelope);
+  box.erase(it);
+  return out;
+}
+
+std::optional<Envelope> Network::try_receive(NodeId node) {
+  check_node(node);
+  auto& box = inbox_[node];
+  auto best = box.end();
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->arrival > clock_.now()) continue;
+    if (best == box.end() || it->arrival < best->arrival ||
+        (it->arrival == best->arrival && it->sequence < best->sequence)) {
+      best = it;
+    }
+  }
+  if (best == box.end()) return std::nullopt;
+  Envelope out = std::move(best->envelope);
+  box.erase(best);
+  return out;
+}
+
+std::size_t Network::pending(NodeId node) const {
+  SPLITMED_CHECK(node < nodes_.size(), "unknown node id " << node);
+  return inbox_[node].size();
+}
+
+}  // namespace splitmed::net

@@ -1,0 +1,81 @@
+// Deterministic simulated network.
+//
+// Nodes exchange Envelopes over point-to-point links. Each directed link
+// serializes transmissions (a second message on the same link waits for the
+// first), models bandwidth + latency, and every envelope is byte-accounted in
+// TrafficStats. Delivery order per receiving node is by arrival time, with
+// send order as the tie-breaker — deterministic for equal inputs.
+//
+// The transport is in-process and synchronous by design (DESIGN.md decision
+// #2): protocol code sees only send()/receive(), so a socket transport could
+// replace this class without touching the trainers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/link.hpp"
+#include "src/net/sim_clock.hpp"
+#include "src/net/traffic_stats.hpp"
+#include "src/serial/message.hpp"
+
+namespace splitmed::net {
+
+class Network {
+ public:
+  /// Registers a node; ids are dense and start at 0.
+  NodeId add_node(std::string name);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  /// Link used for a directed pair without an explicit override.
+  void set_default_link(Link link) { default_link_ = link; }
+  /// Overrides the link for both directions between a and b.
+  void set_link(NodeId a, NodeId b, Link link);
+  [[nodiscard]] const Link& link(NodeId src, NodeId dst) const;
+
+  /// Sends an envelope from envelope.src to envelope.dst. The transmission
+  /// starts at the current simulated time (or when the link frees up) and is
+  /// accounted immediately.
+  void send(Envelope envelope);
+
+  /// Receives the earliest message addressed to `node`, advancing the clock
+  /// to its arrival time. Throws ProtocolError if none is in flight —
+  /// in a synchronous protocol that is always a bug.
+  Envelope receive(NodeId node);
+
+  /// Receives only if a message for `node` has already arrived (clock not
+  /// advanced). Used by tests.
+  std::optional<Envelope> try_receive(NodeId node);
+
+  /// Number of in-flight + queued messages for a node.
+  [[nodiscard]] std::size_t pending(NodeId node) const;
+
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] const SimClock& clock() const { return clock_; }
+  [[nodiscard]] TrafficStats& stats() { return stats_; }
+  [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    double arrival = 0.0;
+    std::uint64_t sequence = 0;  // send order tie-breaker
+    Envelope envelope;
+  };
+
+  void check_node(NodeId id) const;
+
+  std::vector<std::string> nodes_;
+  Link default_link_{};
+  std::map<std::pair<NodeId, NodeId>, Link> links_;
+  std::map<std::pair<NodeId, NodeId>, double> link_busy_until_;
+  std::vector<std::vector<InFlight>> inbox_;  // per destination node
+  std::uint64_t sequence_ = 0;
+  SimClock clock_;
+  TrafficStats stats_;
+};
+
+}  // namespace splitmed::net

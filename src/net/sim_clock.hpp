@@ -1,0 +1,24 @@
+// Deterministic simulated clock. Time is seconds as double; it only moves
+// forward via advance_to(), driven by the Network when messages are received.
+#pragma once
+
+#include "src/common/error.hpp"
+
+namespace splitmed::net {
+
+class SimClock {
+ public:
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Moves time forward to t (no-op when t <= now; time never goes back).
+  void advance_to(double t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace splitmed::net

@@ -1,0 +1,37 @@
+#include "src/net/traffic_stats.hpp"
+
+namespace splitmed::net {
+
+void TrafficStats::record(const Envelope& envelope) {
+  const std::uint64_t bytes = envelope.wire_bytes();
+  total_bytes_ += bytes;
+  ++total_messages_;
+  by_kind_bytes_[envelope.kind] += bytes;
+  ++by_kind_messages_[envelope.kind];
+  by_pair_bytes_[{envelope.src, envelope.dst}] += bytes;
+}
+
+std::uint64_t TrafficStats::bytes_for_kind(std::uint32_t kind) const {
+  const auto it = by_kind_bytes_.find(kind);
+  return it == by_kind_bytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t TrafficStats::messages_for_kind(std::uint32_t kind) const {
+  const auto it = by_kind_messages_.find(kind);
+  return it == by_kind_messages_.end() ? 0 : it->second;
+}
+
+std::uint64_t TrafficStats::bytes_between(NodeId src, NodeId dst) const {
+  const auto it = by_pair_bytes_.find({src, dst});
+  return it == by_pair_bytes_.end() ? 0 : it->second;
+}
+
+void TrafficStats::reset() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  by_kind_bytes_.clear();
+  by_kind_messages_.clear();
+  by_pair_bytes_.clear();
+}
+
+}  // namespace splitmed::net

@@ -1,0 +1,45 @@
+// Traffic accounting — the ground truth behind every communication figure.
+//
+// Counts messages and wire bytes per (src, dst) pair and per message kind.
+// Fig. 4's x-axis is total_bytes() over a training run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/serial/message.hpp"
+
+namespace splitmed::net {
+
+class TrafficStats {
+ public:
+  void record(const Envelope& envelope);
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
+
+  /// Bytes carried by messages of one protocol kind.
+  [[nodiscard]] std::uint64_t bytes_for_kind(std::uint32_t kind) const;
+  [[nodiscard]] std::uint64_t messages_for_kind(std::uint32_t kind) const;
+
+  /// Bytes that crossed the (src -> dst) direction.
+  [[nodiscard]] std::uint64_t bytes_between(NodeId src, NodeId dst) const;
+
+  /// Per-kind byte map (kind -> bytes), for reports.
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& bytes_by_kind()
+      const {
+    return by_kind_bytes_;
+  }
+
+  void reset();
+
+ private:
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::map<std::uint32_t, std::uint64_t> by_kind_bytes_;
+  std::map<std::uint32_t, std::uint64_t> by_kind_messages_;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> by_pair_bytes_;
+};
+
+}  // namespace splitmed::net

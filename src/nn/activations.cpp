@@ -1,0 +1,79 @@
+#include "src/nn/activations.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  auto id = input.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    od[i] = id[i] > 0.0F ? id[i] : 0.0F;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  check_same_shape(grad_output.shape(), cached_input_.shape(),
+                   "ReLU backward");
+  Tensor grad(grad_output.shape());
+  auto gd = grad_output.data();
+  auto id = cached_input_.data();
+  auto out = grad.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    out[i] = id[i] > 0.0F ? gd[i] : 0.0F;
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out(input.shape());
+  auto id = input.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < id.size(); ++i) od[i] = std::tanh(id[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  check_same_shape(grad_output.shape(), cached_output_.shape(),
+                   "Tanh backward");
+  Tensor grad(grad_output.shape());
+  auto gd = grad_output.data();
+  auto yd = cached_output_.data();
+  auto out = grad.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    out[i] = gd[i] * (1.0F - yd[i] * yd[i]);
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  Tensor out(input.shape());
+  auto id = input.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    od[i] = 1.0F / (1.0F + std::exp(-id[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  check_same_shape(grad_output.shape(), cached_output_.shape(),
+                   "Sigmoid backward");
+  Tensor grad(grad_output.shape());
+  auto gd = grad_output.data();
+  auto yd = cached_output_.data();
+  auto out = grad.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    out[i] = gd[i] * yd[i] * (1.0F - yd[i]);
+  }
+  return grad;
+}
+
+}  // namespace splitmed::nn

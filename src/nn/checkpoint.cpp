@@ -1,0 +1,71 @@
+#include "src/nn/checkpoint.hpp"
+
+#include <fstream>
+
+#include "src/common/error.hpp"
+#include "src/serial/buffer.hpp"
+#include "src/serial/tensor_codec.hpp"
+
+namespace splitmed {
+
+namespace {
+constexpr char kMagic[] = "SMCKPT01";
+constexpr std::size_t kMagicLen = 8;
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params) {
+  BufferWriter w;
+  for (std::size_t i = 0; i < kMagicLen; ++i) w.write_u8(kMagic[i]);
+  w.write_u32(static_cast<std::uint32_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    SPLITMED_CHECK(p != nullptr, "null parameter");
+    w.write_string(p->name);
+    encode_tensor(p->value, w);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("checkpoint: cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  if (!out) throw Error("checkpoint: write to '" + path + "' failed");
+}
+
+void load_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("checkpoint: cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  BufferReader r({bytes.data(), bytes.size()});
+  for (std::size_t i = 0; i < kMagicLen; ++i) {
+    if (r.read_u8() != static_cast<std::uint8_t>(kMagic[i])) {
+      throw SerializationError("checkpoint: bad magic in '" + path + "'");
+    }
+  }
+  const std::uint32_t count = r.read_u32();
+  if (count != params.size()) {
+    throw SerializationError(
+        "checkpoint: parameter count mismatch: file has " +
+        std::to_string(count) + ", model has " +
+        std::to_string(params.size()));
+  }
+  for (nn::Parameter* p : params) {
+    const std::string name = r.read_string();
+    if (name != p->name) {
+      throw SerializationError("checkpoint: parameter name mismatch: file '" +
+                               name + "' vs model '" + p->name + "'");
+    }
+    Tensor value = decode_tensor(r);
+    if (value.shape() != p->value.shape()) {
+      throw SerializationError("checkpoint: shape mismatch for '" + name +
+                               "': file " + value.shape().str() + " vs model " +
+                               p->value.shape().str());
+    }
+    p->value = std::move(value);
+  }
+  if (!r.exhausted()) {
+    throw SerializationError("checkpoint: trailing bytes in '" + path + "'");
+  }
+}
+
+}  // namespace splitmed

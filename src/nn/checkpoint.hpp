@@ -1,0 +1,32 @@
+// Parameter checkpointing — save/restore a model's (or a split half's)
+// parameters to a file. Production necessity for geo-distributed training:
+// platforms and server checkpoint independently and can resume after faults.
+//
+// File format: magic "SMCKPT01", u32 parameter count, then per parameter a
+// length-prefixed name and the tensor payload.
+//
+// Scope: trainable parameters only. Non-parameter state (BatchNorm running
+// statistics, optimizer momentum) is not captured; a restored model is exact
+// for parameter-only layers, while BatchNorm eval statistics re-estimate
+// from post-restore batches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nn/parameter.hpp"
+
+namespace splitmed {
+
+/// Writes all parameter VALUES to `path` (overwrites). Throws Error on I/O
+/// failure.
+void save_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params);
+
+/// Restores parameter values from `path`. The file must contain exactly the
+/// same parameters (count, names in order, shapes) — mismatches throw
+/// SerializationError rather than silently loading a different model.
+void load_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params);
+
+}  // namespace splitmed

@@ -1,0 +1,140 @@
+#include "src/nn/conv2d.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/nn/init.hpp"
+#include "src/tensor/gemm.hpp"
+
+namespace splitmed::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_("conv.weight",
+              he_normal(Shape{out_channels, in_channels * kernel * kernel},
+                        in_channels * kernel * kernel, rng)),
+      bias_("conv.bias", Tensor::zeros(Shape{out_channels})) {
+  SPLITMED_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                     stride > 0 && pad >= 0,
+                 "Conv2d: bad hyperparameters");
+}
+
+ConvGeometry Conv2d::geometry(std::int64_t in_h, std::int64_t in_w) const {
+  ConvGeometry g;
+  g.channels = in_c_;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.kernel_h = kernel_;
+  g.kernel_w = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  g.validate();
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  SPLITMED_CHECK(input.shape().rank() == 4 && input.shape().dim(1) == in_c_,
+                 name() << ": bad input " << input.shape().str());
+  cached_input_ = input;
+  const std::int64_t batch = input.shape().dim(0);
+  const ConvGeometry g = geometry(input.shape().dim(2), input.shape().dim(3));
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor out(Shape{batch, out_c_, oh, ow});
+
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  const std::int64_t image_elems = in_c_ * g.in_h * g.in_w;
+  const std::int64_t out_elems = out_c_ * oh * ow;
+  auto id = input.data();
+  auto od = out.data();
+  auto bd = bias_.value.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    im2col(g, id.subspan(static_cast<std::size_t>(b * image_elems),
+                         static_cast<std::size_t>(image_elems)),
+           col);
+    // out[b] = W[out_c, crk] · col[crk, oh*ow]
+    gemm_nn(out_c_, g.col_cols(), g.col_rows(), weight_.value.data(), col,
+            od.subspan(static_cast<std::size_t>(b * out_elems),
+                       static_cast<std::size_t>(out_elems)));
+    float* ob = od.data() + b * out_elems;
+    for (std::int64_t c = 0; c < out_c_; ++c) {
+      float* plane = ob + c * oh * ow;
+      const float bias = bd[c];
+      for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += bias;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  SPLITMED_CHECK(cached_input_.shape().rank() == 4,
+                 "Conv2d backward before forward");
+  const std::int64_t batch = cached_input_.shape().dim(0);
+  const ConvGeometry g =
+      geometry(cached_input_.shape().dim(2), cached_input_.shape().dim(3));
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  check_same_shape(grad_output.shape(), Shape{batch, out_c_, oh, ow},
+                   "Conv2d backward");
+
+  Tensor grad_input(cached_input_.shape());
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  std::vector<float> dcol(col.size());
+  std::vector<float> dw_local(static_cast<std::size_t>(weight_.value.numel()));
+
+  const std::int64_t image_elems = in_c_ * g.in_h * g.in_w;
+  const std::int64_t out_elems = out_c_ * oh * ow;
+  auto id = cached_input_.data();
+  auto gd = grad_output.data();
+  auto gi = grad_input.data();
+  auto wg = weight_.grad.data();
+  auto bg = bias_.grad.data();
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    auto g_out = gd.subspan(static_cast<std::size_t>(b * out_elems),
+                            static_cast<std::size_t>(out_elems));
+    // Bias grad: spatial sums per channel.
+    for (std::int64_t c = 0; c < out_c_; ++c) {
+      const float* plane = g_out.data() + c * oh * ow;
+      float acc = 0.0F;
+      for (std::int64_t i = 0; i < oh * ow; ++i) acc += plane[i];
+      bg[c] += acc;
+    }
+    // Weight grad: dW += g_out[out_c, ohw] · colᵀ[ohw, crk]  (gemm_nt).
+    im2col(g, id.subspan(static_cast<std::size_t>(b * image_elems),
+                         static_cast<std::size_t>(image_elems)),
+           col);
+    gemm_nt(out_c_, g.col_rows(), g.col_cols(), g_out, col,
+            std::span<float>(dw_local));
+    for (std::size_t i = 0; i < dw_local.size(); ++i) wg[i] += dw_local[i];
+    // Input grad: dcol = Wᵀ[crk, out_c] · g_out[out_c, ohw] (gemm_tn), then
+    // scatter-add back to image space.
+    gemm_tn(g.col_rows(), g.col_cols(), out_c_, weight_.value.data(), g_out,
+            std::span<float>(dcol));
+    col2im(g, dcol,
+           gi.subspan(static_cast<std::size_t>(b * image_elems),
+                      static_cast<std::size_t>(image_elems)));
+  }
+  return grad_input;
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  SPLITMED_CHECK(input.rank() == 4 && input.dim(1) == in_c_,
+                 name() << "::output_shape: bad input " << input.str());
+  const ConvGeometry g = geometry(input.dim(2), input.dim(3));
+  return Shape{input.dim(0), out_c_, g.out_h(), g.out_w()};
+}
+
+std::string Conv2d::name() const {
+  std::ostringstream os;
+  os << "Conv2d(" << in_c_ << "->" << out_c_ << ", k" << kernel_ << " s"
+     << stride_ << " p" << pad_ << ')';
+  return os.str();
+}
+
+}  // namespace splitmed::nn

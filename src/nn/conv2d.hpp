@@ -1,0 +1,39 @@
+// 2-D convolution (NCHW) via im2col + GEMM.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+#include "src/tensor/im2col.hpp"
+
+namespace splitmed::nn {
+
+class Conv2d final : public Layer {
+ public:
+  /// Square kernel, symmetric padding. He-normal init, zero bias.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::int64_t in_channels() const { return in_c_; }
+  [[nodiscard]] std::int64_t out_channels() const { return out_c_; }
+
+ private:
+  [[nodiscard]] ConvGeometry geometry(std::int64_t in_h,
+                                      std::int64_t in_w) const;
+
+  std::int64_t in_c_;
+  std::int64_t out_c_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Parameter weight_;  // [out_c, in_c * k * k]
+  Parameter bias_;    // [out_c]
+  Tensor cached_input_;
+};
+
+}  // namespace splitmed::nn

@@ -1,0 +1,36 @@
+#include "src/nn/dropout.hpp"
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed::nn {
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+  SPLITMED_CHECK(p >= 0.0F && p < 1.0F, "Dropout: p must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0F) return input;
+  mask_ = Tensor(input.shape());
+  const float keep_scale = 1.0F / (1.0F - p_);
+  auto md = mask_.data();
+  for (auto& m : md) m = rng_->bernoulli(p_) ? 0.0F : keep_scale;
+  return ops::mul(input, mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!last_training_ || p_ == 0.0F) return grad_output;
+  check_same_shape(grad_output.shape(), mask_.shape(), "Dropout backward");
+  return ops::mul(grad_output, mask_);
+}
+
+std::string Dropout::name() const {
+  std::ostringstream os;
+  os << "Dropout(p=" << p_ << ')';
+  return os.str();
+}
+
+}  // namespace splitmed::nn

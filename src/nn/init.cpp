@@ -1,0 +1,24 @@
+#include "src/nn/init.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::nn {
+
+Tensor he_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  SPLITMED_CHECK(fan_in > 0, "he_normal: fan_in must be positive");
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  return Tensor::normal(std::move(shape), rng, 0.0F, stddev);
+}
+
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng) {
+  SPLITMED_CHECK(fan_in > 0 && fan_out > 0,
+                 "xavier_uniform: fans must be positive");
+  const float limit =
+      std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform(std::move(shape), rng, -limit, limit);
+}
+
+}  // namespace splitmed::nn

@@ -1,0 +1,17 @@
+// Weight initializers. fan_in/fan_out are passed explicitly because the
+// caller (Linear/Conv2d) knows the semantic fan, not the raw shape.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::nn {
+
+/// He/Kaiming normal — stddev sqrt(2/fan_in); the right choice before ReLU.
+Tensor he_normal(Shape shape, std::int64_t fan_in, Rng& rng);
+
+/// Glorot/Xavier uniform — limit sqrt(6/(fan_in+fan_out)).
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng);
+
+}  // namespace splitmed::nn

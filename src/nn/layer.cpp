@@ -1,0 +1,2 @@
+// Layer is header-only today; this TU anchors the vtable.
+#include "src/nn/layer.hpp"

@@ -1,0 +1,64 @@
+// The Layer abstraction.
+//
+// Layers use explicit forward/backward (Caffe-style) rather than a tape
+// autograd: the split-learning protocol cuts the network at an arbitrary
+// layer boundary and ships activations/gradients across a (simulated) WAN, so
+// "gradient w.r.t. my input given gradient w.r.t. my output" must be a
+// first-class operation.
+//
+// Contract:
+//  - forward(x, training) caches whatever backward needs. One forward is
+//    matched by at most one backward before the next forward.
+//  - backward(grad_out) ACCUMULATES into each Parameter::grad (callers run
+//    zero_grad() between steps) and returns grad w.r.t. the forward input.
+//  - output_shape(in) is pure: it computes shapes without running data
+//    through the layer (used by the analytic communication model).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/parameter.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer. `training` toggles train-time behaviour (dropout masks,
+  /// batchnorm batch statistics).
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagates: accumulates parameter gradients, returns dL/dinput.
+  /// Precondition: forward() was called and its cache is still valid.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Output shape for a given input shape, without executing.
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Trainable parameters (may be empty). Pointers remain valid for the
+  /// lifetime of the layer (C.G. R.3: non-owning raw pointers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Human-readable layer description, e.g. "Conv2d(3->64, k3 s1 p1)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::int64_t parameter_count() {
+    std::int64_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.numel();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace splitmed::nn

@@ -1,0 +1,67 @@
+#include "src/nn/linear.hpp"
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/nn/init.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_("linear.weight",
+              he_normal(Shape{out_features, in_features}, in_features, rng)),
+      bias_("linear.bias", Tensor::zeros(Shape{out_features})) {
+  SPLITMED_CHECK(in_features > 0 && out_features > 0,
+                 "Linear: feature counts must be positive");
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  SPLITMED_CHECK(input.shape().rank() == 2 && input.shape().dim(1) == in_,
+                 "Linear(" << in_ << "->" << out_ << "): bad input "
+                           << input.shape().str());
+  cached_input_ = input;
+  Tensor out = ops::matmul_nt(input, weight_.value);  // [b,in]·[out,in]ᵀ
+  auto od = out.data();
+  auto bd = bias_.value.data();
+  const std::int64_t batch = input.shape().dim(0);
+  for (std::int64_t r = 0; r < batch; ++r) {
+    float* row = od.data() + r * out_;
+    for (std::int64_t c = 0; c < out_; ++c) row[c] += bd[c];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  SPLITMED_CHECK(grad_output.shape().rank() == 2 &&
+                     grad_output.shape().dim(1) == out_,
+                 "Linear backward: bad grad " << grad_output.shape().str());
+  SPLITMED_CHECK(cached_input_.shape().rank() == 2,
+                 "Linear backward before forward");
+  // dW += gᵀ·x : [out,b]·[b,in]; db += column sums of g; dx = g·W.
+  ops::axpy(1.0F, ops::matmul_tn(grad_output, cached_input_), weight_.grad);
+  auto gd = grad_output.data();
+  auto bg = bias_.grad.data();
+  const std::int64_t batch = grad_output.shape().dim(0);
+  for (std::int64_t r = 0; r < batch; ++r) {
+    const float* row = gd.data() + r * out_;
+    for (std::int64_t c = 0; c < out_; ++c) bg[c] += row[c];
+  }
+  return ops::matmul(grad_output, weight_.value);
+}
+
+Shape Linear::output_shape(const Shape& input) const {
+  SPLITMED_CHECK(input.rank() == 2 && input.dim(1) == in_,
+                 "Linear::output_shape: bad input " << input.str());
+  return Shape{input.dim(0), out_};
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "Linear(" << in_ << "->" << out_ << ')';
+  return os.str();
+}
+
+}  // namespace splitmed::nn

@@ -1,0 +1,33 @@
+// Fully-connected layer: y = x·Wᵀ + b, x: [batch, in], W: [out, in].
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace splitmed::nn {
+
+class Linear final : public Layer {
+ public:
+  /// He-normal weight init (library default: layers feed ReLUs), zero bias.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::int64_t in_features() const { return in_; }
+  [[nodiscard]] std::int64_t out_features() const { return out_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor cached_input_;
+};
+
+}  // namespace splitmed::nn

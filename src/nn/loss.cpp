@@ -1,0 +1,76 @@
+#include "src/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::int64_t>& labels) {
+  SPLITMED_CHECK(logits.shape().rank() == 2,
+                 "SoftmaxCrossEntropy: logits must be [batch, classes]");
+  const std::int64_t batch = logits.shape().dim(0);
+  const std::int64_t classes = logits.shape().dim(1);
+  SPLITMED_CHECK(static_cast<std::int64_t>(labels.size()) == batch,
+                 "SoftmaxCrossEntropy: " << labels.size() << " labels for "
+                                         << batch << " rows");
+  SPLITMED_CHECK(batch > 0 && classes > 0,
+                 "SoftmaxCrossEntropy: empty batch or classes");
+
+  probs_ = Tensor(logits.shape());
+  labels_ = labels;
+  auto ld = logits.data();
+  auto pd = probs_.data();
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < batch; ++r) {
+    const float* row = ld.data() + r * classes;
+    float* prow = pd.data() + r * classes;
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    SPLITMED_CHECK(y >= 0 && y < classes,
+                   "label " << y << " out of range [0, " << classes << ')');
+    const float mx = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      prow[c] = std::exp(row[c] - mx);
+      denom += prow[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < classes; ++c) prow[c] *= inv;
+    loss -= std::log(std::max(static_cast<double>(prow[y]), 1e-12));
+  }
+  return static_cast<float>(loss / batch);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  SPLITMED_CHECK(probs_.shape().rank() == 2,
+                 "SoftmaxCrossEntropy::backward before forward");
+  const std::int64_t batch = probs_.shape().dim(0);
+  const std::int64_t classes = probs_.shape().dim(1);
+  Tensor grad = probs_;
+  auto gd = grad.data();
+  const float inv_batch = 1.0F / static_cast<float>(batch);
+  for (std::int64_t r = 0; r < batch; ++r) {
+    float* row = gd.data() + r * classes;
+    row[labels_[static_cast<std::size_t>(r)]] -= 1.0F;
+    for (std::int64_t c = 0; c < classes; ++c) row[c] *= inv_batch;
+  }
+  return grad;
+}
+
+double accuracy(const Tensor& logits,
+                const std::vector<std::int64_t>& labels) {
+  const auto pred = ops::argmax_rows(logits);
+  SPLITMED_CHECK(pred.size() == labels.size(),
+                 "accuracy: prediction/label count mismatch");
+  if (pred.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace splitmed::nn

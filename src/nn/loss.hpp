@@ -1,0 +1,33 @@
+// Losses. In the split protocol the loss lives on the PLATFORM (labels never
+// leave the hospital), so losses are standalone objects, not layers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::nn {
+
+/// Softmax + cross-entropy, fused for numerical stability.
+/// forward: logits [batch, classes], labels in [0, classes).
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns the mean loss over the batch; caches softmax for backward.
+  float forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits: (softmax - onehot)/batch.
+  [[nodiscard]] Tensor backward() const;
+
+  /// Softmax probabilities from the last forward (for metrics).
+  [[nodiscard]] const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// Accuracy of argmax(logits) against labels, in [0,1].
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace splitmed::nn

@@ -1,0 +1,86 @@
+#include "src/nn/param_util.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::nn {
+namespace {
+
+template <typename Select>
+Tensor flatten_impl(const std::vector<Parameter*>& params, Select select) {
+  Tensor flat(Shape{parameter_numel(params)});
+  auto out = flat.data();
+  std::size_t offset = 0;
+  for (Parameter* p : params) {
+    const auto src = select(*p).data();
+    std::copy(src.begin(), src.end(), out.begin() + offset);
+    offset += src.size();
+  }
+  return flat;
+}
+
+template <typename Select>
+void scatter_impl(const std::vector<Parameter*>& params, const Tensor& flat,
+                  Select select) {
+  SPLITMED_CHECK(flat.shape().rank() == 1 &&
+                     flat.numel() == parameter_numel(params),
+                 "flat tensor " << flat.shape().str()
+                                << " does not match parameter count "
+                                << parameter_numel(params));
+  auto src = flat.data();
+  std::size_t offset = 0;
+  for (Parameter* p : params) {
+    auto dst = select(*p).data();
+    std::copy_n(src.begin() + offset, dst.size(), dst.begin());
+    offset += dst.size();
+  }
+}
+
+}  // namespace
+
+std::int64_t parameter_numel(const std::vector<Parameter*>& params) {
+  std::int64_t n = 0;
+  for (const Parameter* p : params) {
+    SPLITMED_CHECK(p != nullptr, "null parameter pointer");
+    n += p->value.numel();
+  }
+  return n;
+}
+
+Tensor flatten_values(const std::vector<Parameter*>& params) {
+  return flatten_impl(params,
+                      [](Parameter& p) -> Tensor& { return p.value; });
+}
+
+Tensor flatten_gradients(const std::vector<Parameter*>& params) {
+  return flatten_impl(params, [](Parameter& p) -> Tensor& { return p.grad; });
+}
+
+void load_values(const std::vector<Parameter*>& params, const Tensor& flat) {
+  scatter_impl(params, flat,
+               [](Parameter& p) -> Tensor& { return p.value; });
+}
+
+void load_gradients(const std::vector<Parameter*>& params,
+                    const Tensor& flat) {
+  scatter_impl(params, flat, [](Parameter& p) -> Tensor& { return p.grad; });
+}
+
+void axpy_values(const std::vector<Parameter*>& params, float scale,
+                 const Tensor& flat) {
+  SPLITMED_CHECK(flat.shape().rank() == 1 &&
+                     flat.numel() == parameter_numel(params),
+                 "flat tensor does not match parameter count");
+  auto src = flat.data();
+  std::size_t offset = 0;
+  for (Parameter* p : params) {
+    auto dst = p->value.data();
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] += scale * src[offset + i];
+    }
+    offset += dst.size();
+  }
+}
+
+}  // namespace splitmed::nn

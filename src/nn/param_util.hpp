@@ -1,0 +1,33 @@
+// Parameter vector utilities: flattening model parameters/gradients into one
+// contiguous tensor and back. This is the wire representation the baselines
+// exchange (gradient push / parameter pull in Large-Scale SGD, weight
+// averaging in FedAvg).
+#pragma once
+
+#include <vector>
+
+#include "src/nn/parameter.hpp"
+
+namespace splitmed::nn {
+
+/// Total scalar count across parameters.
+std::int64_t parameter_numel(const std::vector<Parameter*>& params);
+
+/// Concatenates all parameter VALUES into one rank-1 tensor.
+Tensor flatten_values(const std::vector<Parameter*>& params);
+
+/// Concatenates all parameter GRADIENTS into one rank-1 tensor.
+Tensor flatten_gradients(const std::vector<Parameter*>& params);
+
+/// Writes a flat tensor back into the parameter values. Sizes must match.
+void load_values(const std::vector<Parameter*>& params, const Tensor& flat);
+
+/// Writes a flat tensor into the parameter GRADIENT accumulators
+/// (overwrites, does not accumulate).
+void load_gradients(const std::vector<Parameter*>& params, const Tensor& flat);
+
+/// values += scale * flat (e.g. FedAvg weighted accumulation).
+void axpy_values(const std::vector<Parameter*>& params, float scale,
+                 const Tensor& flat);
+
+}  // namespace splitmed::nn

@@ -1,0 +1,26 @@
+// A trainable parameter: value + gradient accumulator + name.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::nn {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string param_name, Tensor initial_value)
+      : name(std::move(param_name)),
+        value(std::move(initial_value)),
+        grad(value.shape()) {}
+
+  /// Resets the gradient accumulator to zero (kept same-shape as value).
+  void zero_grad() { grad.zero(); }
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+}  // namespace splitmed::nn

@@ -1,0 +1,209 @@
+#include "src/nn/pool.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  SPLITMED_CHECK(window_ > 0 && stride_ > 0, "MaxPool2d: bad window/stride");
+}
+
+Shape MaxPool2d::output_shape(const Shape& input) const {
+  SPLITMED_CHECK(input.rank() == 4, "MaxPool2d: input must be NCHW");
+  SPLITMED_CHECK(input.dim(2) >= window_ && input.dim(3) >= window_,
+                 "MaxPool2d: window " << window_ << " larger than input "
+                                      << input.str());
+  const std::int64_t oh = (input.dim(2) - window_) / stride_ + 1;
+  const std::int64_t ow = (input.dim(3) - window_) / stride_ + 1;
+  SPLITMED_CHECK(oh > 0 && ow > 0,
+                 "MaxPool2d: window " << window_ << " too large for "
+                                      << input.str());
+  return Shape{input.dim(0), input.dim(1), oh, ow};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_shape_ = input.shape();
+  Tensor out(out_shape);
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+
+  const std::int64_t batch = input.shape().dim(0), ch = input.shape().dim(1);
+  const std::int64_t ih = input.shape().dim(2), iw = input.shape().dim(3);
+  const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
+  auto id = input.data();
+  auto od = out.data();
+  std::size_t o = 0;
+  for (std::int64_t bc = 0; bc < batch * ch; ++bc) {
+    const float* plane = id.data() + bc * ih * iw;
+    const std::int64_t plane_base = bc * ih * iw;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_idx = 0;
+        for (std::int64_t wy = 0; wy < window_; ++wy) {
+          const std::int64_t iy = y * stride_ + wy;
+          for (std::int64_t wx = 0; wx < window_; ++wx) {
+            const std::int64_t ix = x * stride_ + wx;
+            const float v = plane[iy * iw + ix];
+            if (v > best) {
+              best = v;
+              best_idx = plane_base + iy * iw + ix;
+            }
+          }
+        }
+        od[o] = best;
+        argmax_[o] = best_idx;
+        ++o;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  SPLITMED_CHECK(cached_input_shape_.rank() == 4,
+                 "MaxPool2d backward before forward");
+  check_same_shape(grad_output.shape(), output_shape(cached_input_shape_),
+                   "MaxPool2d backward");
+  Tensor grad(cached_input_shape_);
+  auto gd = grad_output.data();
+  auto out = grad.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    out[static_cast<std::size_t>(argmax_[i])] += gd[i];
+  }
+  return grad;
+}
+
+std::string MaxPool2d::name() const {
+  std::ostringstream os;
+  os << "MaxPool2d(w" << window_ << " s" << stride_ << ')';
+  return os.str();
+}
+
+AvgPool2d::AvgPool2d(std::int64_t window, std::int64_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  SPLITMED_CHECK(window_ > 0 && stride_ > 0, "AvgPool2d: bad window/stride");
+}
+
+Shape AvgPool2d::output_shape(const Shape& input) const {
+  SPLITMED_CHECK(input.rank() == 4, "AvgPool2d: input must be NCHW");
+  SPLITMED_CHECK(input.dim(2) >= window_ && input.dim(3) >= window_,
+                 "AvgPool2d: window " << window_ << " larger than input "
+                                      << input.str());
+  const std::int64_t oh = (input.dim(2) - window_) / stride_ + 1;
+  const std::int64_t ow = (input.dim(3) - window_) / stride_ + 1;
+  return Shape{input.dim(0), input.dim(1), oh, ow};
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_shape_ = input.shape();
+  Tensor out(out_shape);
+  const std::int64_t planes = input.shape().dim(0) * input.shape().dim(1);
+  const std::int64_t ih = input.shape().dim(2), iw = input.shape().dim(3);
+  const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
+  const float inv = 1.0F / static_cast<float>(window_ * window_);
+  auto id = input.data();
+  auto od = out.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* plane = id.data() + p * ih * iw;
+    float* out_plane = od.data() + p * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float acc = 0.0F;
+        for (std::int64_t wy = 0; wy < window_; ++wy) {
+          const float* row = plane + (y * stride_ + wy) * iw + x * stride_;
+          for (std::int64_t wx = 0; wx < window_; ++wx) acc += row[wx];
+        }
+        out_plane[y * ow + x] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  SPLITMED_CHECK(cached_input_shape_.rank() == 4,
+                 "AvgPool2d backward before forward");
+  check_same_shape(grad_output.shape(), output_shape(cached_input_shape_),
+                   "AvgPool2d backward");
+  Tensor grad(cached_input_shape_);
+  const std::int64_t planes =
+      cached_input_shape_.dim(0) * cached_input_shape_.dim(1);
+  const std::int64_t ih = cached_input_shape_.dim(2),
+                     iw = cached_input_shape_.dim(3);
+  const std::int64_t oh = grad_output.shape().dim(2),
+                     ow = grad_output.shape().dim(3);
+  const float inv = 1.0F / static_cast<float>(window_ * window_);
+  auto gd = grad_output.data();
+  auto out = grad.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* g_plane = gd.data() + p * oh * ow;
+    float* plane = out.data() + p * ih * iw;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float g = g_plane[y * ow + x] * inv;
+        for (std::int64_t wy = 0; wy < window_; ++wy) {
+          float* row = plane + (y * stride_ + wy) * iw + x * stride_;
+          for (std::int64_t wx = 0; wx < window_; ++wx) row[wx] += g;
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+std::string AvgPool2d::name() const {
+  std::ostringstream os;
+  os << "AvgPool2d(w" << window_ << " s" << stride_ << ')';
+  return os.str();
+}
+
+Shape GlobalAvgPool::output_shape(const Shape& input) const {
+  SPLITMED_CHECK(input.rank() == 4, "GlobalAvgPool: input must be NCHW");
+  return Shape{input.dim(0), input.dim(1)};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_shape_ = input.shape();
+  Tensor out(out_shape);
+  const std::int64_t planes = input.shape().dim(0) * input.shape().dim(1);
+  const std::int64_t hw = input.shape().dim(2) * input.shape().dim(3);
+  auto id = input.data();
+  auto od = out.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* plane = id.data() + p * hw;
+    float acc = 0.0F;
+    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+    od[static_cast<std::size_t>(p)] = acc / static_cast<float>(hw);
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  SPLITMED_CHECK(cached_input_shape_.rank() == 4,
+                 "GlobalAvgPool backward before forward");
+  check_same_shape(grad_output.shape(), output_shape(cached_input_shape_),
+                   "GlobalAvgPool backward");
+  Tensor grad(cached_input_shape_);
+  const std::int64_t planes =
+      cached_input_shape_.dim(0) * cached_input_shape_.dim(1);
+  const std::int64_t hw =
+      cached_input_shape_.dim(2) * cached_input_shape_.dim(3);
+  auto gd = grad_output.data();
+  auto out = grad.data();
+  const float inv = 1.0F / static_cast<float>(hw);
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float g = gd[static_cast<std::size_t>(p)] * inv;
+    float* plane = out.data() + p * hw;
+    for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+  }
+  return grad;
+}
+
+}  // namespace splitmed::nn

@@ -1,0 +1,87 @@
+#include "src/nn/sequential.hpp"
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  SPLITMED_CHECK(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+  }
+  return g;
+}
+
+Shape Sequential::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (const auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::string Sequential::name() const {
+  std::ostringstream os;
+  os << "Sequential(" << layers_.size() << " layers)";
+  return os.str();
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  SPLITMED_CHECK(i < layers_.size(), "Sequential::layer: index " << i
+                                         << " out of range");
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+  SPLITMED_CHECK(i < layers_.size(), "Sequential::layer: index " << i
+                                         << " out of range");
+  return *layers_[i];
+}
+
+Sequential Sequential::extract(std::size_t begin, std::size_t end) {
+  SPLITMED_CHECK(begin <= end && end <= layers_.size(),
+                 "Sequential::extract [" << begin << ", " << end
+                                         << ") out of range, size "
+                                         << layers_.size());
+  Sequential out;
+  for (std::size_t i = begin; i < end; ++i) {
+    out.add(std::move(layers_[i]));
+  }
+  layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(begin),
+                layers_.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+std::vector<Shape> Sequential::activation_shapes(const Shape& input) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(layers_.size() + 1);
+  shapes.push_back(input);
+  Shape s = input;
+  for (const auto& layer : layers_) {
+    s = layer->output_shape(s);
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+}  // namespace splitmed::nn

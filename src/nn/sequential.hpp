@@ -1,0 +1,46 @@
+// Ordered container of layers — the unit the split-learning cut operates on.
+#pragma once
+
+#include <memory>
+
+#include "src/nn/layer.hpp"
+
+namespace splitmed::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Emplace-style append: seq.emplace<ReLU>(); seq.emplace<Linear>(4, 2, rng);
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i);
+  [[nodiscard]] const Layer& layer(std::size_t i) const;
+
+  /// Moves layers [begin, end) out into a new Sequential, erasing them from
+  /// this one. This is the primitive the split framework uses to divide a
+  /// network between platform (front) and server (back).
+  Sequential extract(std::size_t begin, std::size_t end);
+
+  /// Shapes of every intermediate activation for the given input shape:
+  /// result[0] = input, result[i+1] = output of layer i. Pure.
+  [[nodiscard]] std::vector<Shape> activation_shapes(const Shape& input) const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace splitmed::nn

@@ -1,0 +1,34 @@
+#include "src/optim/lr_schedule.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::optim {
+
+LrSchedule constant_lr(float lr) {
+  SPLITMED_CHECK(lr > 0.0F, "constant_lr: lr must be positive");
+  return [lr](std::int64_t) { return lr; };
+}
+
+LrSchedule step_lr(float lr, std::int64_t step_size, float gamma) {
+  SPLITMED_CHECK(lr > 0.0F && step_size > 0 && gamma > 0.0F,
+                 "step_lr: bad arguments");
+  return [=](std::int64_t epoch) {
+    return lr * std::pow(gamma, static_cast<float>(epoch / step_size));
+  };
+}
+
+LrSchedule cosine_lr(float lr, float lr_min, std::int64_t total_epochs) {
+  SPLITMED_CHECK(lr > lr_min && lr_min >= 0.0F && total_epochs > 0,
+                 "cosine_lr: bad arguments");
+  return [=](std::int64_t epoch) {
+    const float t = static_cast<float>(epoch) /
+                    static_cast<float>(total_epochs);
+    const float clamped = t > 1.0F ? 1.0F : t;
+    return lr_min + 0.5F * (lr - lr_min) *
+                        (1.0F + std::cos(3.14159265358979F * clamped));
+  };
+}
+
+}  // namespace splitmed::optim

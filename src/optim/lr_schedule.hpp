@@ -1,0 +1,20 @@
+// Learning-rate schedules as pure epoch -> lr functions, applied by trainers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace splitmed::optim {
+
+using LrSchedule = std::function<float(std::int64_t epoch)>;
+
+/// Constant lr.
+LrSchedule constant_lr(float lr);
+
+/// lr * gamma^(epoch / step_size) — classic step decay.
+LrSchedule step_lr(float lr, std::int64_t step_size, float gamma);
+
+/// Cosine annealing from lr to lr_min over total_epochs.
+LrSchedule cosine_lr(float lr, float lr_min, std::int64_t total_epochs);
+
+}  // namespace splitmed::optim

@@ -1,0 +1,40 @@
+// Optimizer interface: owns no parameters, updates the ones it is given.
+//
+// The split framework instantiates one optimizer on the server (for L2…Lk)
+// and one per platform (for L1), each over its own parameter set — exactly
+// the paper's division of labour.
+#pragma once
+
+#include <vector>
+
+#include "src/nn/parameter.hpp"
+
+namespace splitmed::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients. Does NOT zero them.
+  virtual void step() = 0;
+
+  /// Zeroes all gradient accumulators.
+  void zero_grad() {
+    for (nn::Parameter* p : params_) p->zero_grad();
+  }
+
+  /// Current learning rate (mutable so schedules can drive it).
+  [[nodiscard]] virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+
+  [[nodiscard]] const std::vector<nn::Parameter*>& parameters() const {
+    return params_;
+  }
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+};
+
+}  // namespace splitmed::optim

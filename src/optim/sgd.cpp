@@ -1,0 +1,44 @@
+#include "src/optim/sgd.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed::optim {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, SgdOptions options)
+    : Optimizer(std::move(params)), options_(options) {
+  SPLITMED_CHECK(options_.learning_rate > 0.0F, "Sgd: lr must be positive");
+  SPLITMED_CHECK(options_.momentum >= 0.0F && options_.momentum < 1.0F,
+                 "Sgd: momentum must be in [0,1)");
+  SPLITMED_CHECK(!options_.nesterov || options_.momentum > 0.0F,
+                 "Sgd: nesterov requires momentum");
+  velocity_.reserve(params_.size());
+  for (const nn::Parameter* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const float lr = options_.learning_rate;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    auto v = p.value.data();
+    auto g = p.grad.data();
+    if (options_.momentum == 0.0F) {
+      for (std::size_t j = 0; j < v.size(); ++j) {
+        const float grad = g[j] + options_.weight_decay * v[j];
+        v[j] -= lr * grad;
+      }
+      continue;
+    }
+    auto vel = velocity_[i].data();
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      const float grad = g[j] + options_.weight_decay * v[j];
+      vel[j] = options_.momentum * vel[j] + grad;
+      const float update =
+          options_.nesterov ? grad + options_.momentum * vel[j] : vel[j];
+      v[j] -= lr * update;
+    }
+  }
+}
+
+}  // namespace splitmed::optim

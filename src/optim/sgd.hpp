@@ -1,0 +1,31 @@
+// SGD with optional momentum, Nesterov and decoupled L2 weight decay.
+#pragma once
+
+#include "src/optim/optimizer.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::optim {
+
+struct SgdOptions {
+  float learning_rate = 0.01F;
+  float momentum = 0.0F;
+  float weight_decay = 0.0F;
+  bool nesterov = false;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, SgdOptions options);
+
+  void step() override;
+  [[nodiscard]] float learning_rate() const override {
+    return options_.learning_rate;
+  }
+  void set_learning_rate(float lr) override { options_.learning_rate = lr; }
+
+ private:
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;  // parallel to params_, lazily sized
+};
+
+}  // namespace splitmed::optim

@@ -1,0 +1,75 @@
+#include "src/privacy/distance_correlation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace splitmed::privacy {
+namespace {
+
+/// Pairwise Euclidean distance matrix between rows, doubly centered.
+std::vector<double> centered_distances(const Tensor& t) {
+  SPLITMED_CHECK(t.shape().rank() >= 1, "need at least rank 1");
+  const std::int64_t n = t.shape().dim(0);
+  SPLITMED_CHECK(n >= 2, "distance correlation needs >= 2 samples");
+  const std::int64_t d = t.numel() / n;
+  auto data = t.data();
+
+  std::vector<double> dist(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* ri = data.data() + i * d;
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const float* rj = data.data() + j * d;
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(ri[c]) - rj[c];
+        acc += diff * diff;
+      }
+      const double v = std::sqrt(acc);
+      dist[static_cast<std::size_t>(i * n + j)] = v;
+      dist[static_cast<std::size_t>(j * n + i)] = v;
+    }
+  }
+
+  std::vector<double> row_mean(static_cast<std::size_t>(n), 0.0);
+  double grand = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      row_mean[static_cast<std::size_t>(i)] +=
+          dist[static_cast<std::size_t>(i * n + j)];
+    }
+    row_mean[static_cast<std::size_t>(i)] /= static_cast<double>(n);
+    grand += row_mean[static_cast<std::size_t>(i)];
+  }
+  grand /= static_cast<double>(n);
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      dist[static_cast<std::size_t>(i * n + j)] +=
+          grand - row_mean[static_cast<std::size_t>(i)] -
+          row_mean[static_cast<std::size_t>(j)];
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+double distance_correlation(const Tensor& a, const Tensor& b) {
+  SPLITMED_CHECK(a.shape().dim(0) == b.shape().dim(0),
+                 "distance_correlation: sample counts differ");
+  const auto ca = centered_distances(a);
+  const auto cb = centered_distances(b);
+  double vab = 0.0, vaa = 0.0, vbb = 0.0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    vab += ca[i] * cb[i];
+    vaa += ca[i] * ca[i];
+    vbb += cb[i] * cb[i];
+  }
+  if (vaa <= 0.0 || vbb <= 0.0) return 0.0;
+  const double r2 = vab / std::sqrt(vaa * vbb);
+  return r2 <= 0.0 ? 0.0 : std::sqrt(r2);
+}
+
+}  // namespace splitmed::privacy

@@ -1,0 +1,16 @@
+// Distance correlation — a standard leakage metric for split learning
+// (Vepakomma et al.): how statistically dependent are the smashed activations
+// the server sees on the raw inputs? 1.0 = fully dependent, 0.0 =
+// independent. Quantifies (rather than assumes) the paper's privacy claim.
+#pragma once
+
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::privacy {
+
+/// Empirical distance correlation between row-paired samples.
+/// a: [n, da...] and b: [n, db...] are flattened per row; O(n^2) memory/time.
+/// Requires n >= 2.
+double distance_correlation(const Tensor& a, const Tensor& b);
+
+}  // namespace splitmed::privacy

@@ -1,0 +1,65 @@
+#include "src/privacy/reconstruction.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed::privacy {
+
+ReconstructionResult reconstruct_from_observation(
+    nn::Layer& l1, const Tensor& observed_activation, const Tensor& true_x,
+    const ReconstructionOptions& options) {
+  SPLITMED_CHECK(options.iterations > 0 && options.learning_rate > 0.0F,
+                 "bad reconstruction options");
+  Rng rng(options.seed);
+  Tensor x = Tensor::normal(true_x.shape(), rng, 0.5F, 0.25F);
+  // Adam state over the pixel tensor.
+  Tensor m(x.shape()), v(x.shape());
+  const float beta1 = 0.9F, beta2 = 0.999F, eps = 1e-8F;
+
+  float last_loss = 0.0F;
+  for (std::int64_t it = 1; it <= options.iterations; ++it) {
+    const Tensor a = l1.forward(x, /*training=*/false);
+    check_same_shape(a.shape(), observed_activation.shape(),
+                     "reconstruct_from_observation");
+    const Tensor diff = ops::sub(a, observed_activation);
+    last_loss = ops::mse(a, observed_activation);
+    // d/da of mean squared error.
+    const Tensor grad_a =
+        ops::scale(diff, 2.0F / static_cast<float>(a.numel()));
+    const Tensor grad_x = l1.backward(grad_a);
+
+    const float bc1 = 1.0F - std::pow(beta1, static_cast<float>(it));
+    const float bc2 = 1.0F - std::pow(beta2, static_cast<float>(it));
+    const float lr = options.learning_rate * std::sqrt(bc2) / bc1;
+    auto xd = x.data();
+    auto gd = grad_x.data();
+    auto md = m.data();
+    auto vd = v.data();
+    for (std::size_t i = 0; i < xd.size(); ++i) {
+      md[i] = beta1 * md[i] + (1.0F - beta1) * gd[i];
+      vd[i] = beta2 * vd[i] + (1.0F - beta2) * gd[i] * gd[i];
+      xd[i] -= lr * md[i] / (std::sqrt(vd[i]) + eps);
+    }
+  }
+  // The attack must not corrupt L1's training state.
+  l1.zero_grad();
+
+  ReconstructionResult result;
+  result.activation_mse = last_loss;
+  result.input_mse = ops::mse(x, true_x);
+  result.reconstruction = std::move(x);
+  return result;
+}
+
+ReconstructionResult reconstruct_inputs(nn::Layer& l1, const Tensor& target_x,
+                                        const ReconstructionOptions& options) {
+  SPLITMED_CHECK(options.iterations > 0 && options.learning_rate > 0.0F,
+                 "bad reconstruction options");
+  // The attacker's observation (eval mode: deterministic L1).
+  const Tensor target_a = l1.forward(target_x, /*training=*/false);
+  return reconstruct_from_observation(l1, target_a, target_x, options);
+}
+
+}  // namespace splitmed::privacy

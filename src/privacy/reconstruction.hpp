@@ -1,0 +1,45 @@
+// Model-inversion reconstruction attack against the split protocol.
+//
+// Threat model: an honest-but-curious server knows the L1 architecture AND
+// weights (worst case — e.g. it orchestrated initialization) and observes a
+// platform's smashed activations a* = L1(x*). It reconstructs x̂ by gradient
+// descent on || L1(x̂) − a* ||² over the input pixels.
+//
+// The attack turns the paper's qualitative "the server cannot look at the
+// original data" into a measurable quantity: reconstruction MSE (and its
+// trend with cut depth — deeper cuts leak less, at higher platform cost).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace splitmed::privacy {
+
+struct ReconstructionOptions {
+  std::int64_t iterations = 300;
+  float learning_rate = 0.05F;  // Adam on the input pixels
+  std::uint64_t seed = 99;
+};
+
+struct ReconstructionResult {
+  Tensor reconstruction;   // same shape as the target input
+  float activation_mse = 0.0F;  // final || L1(x̂) − a* ||² / numel
+  float input_mse = 0.0F;       // || x̂ − x* ||² / numel (attacker can't see it)
+};
+
+/// Runs the attack against `l1` for target input batch `target_x`
+/// ([n, C, H, W]). Uses only L1's forward/backward — parameters are left
+/// untouched (their gradients are zeroed afterwards).
+ReconstructionResult reconstruct_inputs(nn::Layer& l1, const Tensor& target_x,
+                                        const ReconstructionOptions& options);
+
+/// Same attack, but from an OBSERVED activation (e.g. one that crossed the
+/// wire with defensive noise applied): minimizes ||L1(x̂) − observed||².
+/// `true_x` is only used to score input_mse; pass the ground truth.
+ReconstructionResult reconstruct_from_observation(
+    nn::Layer& l1, const Tensor& observed_activation, const Tensor& true_x,
+    const ReconstructionOptions& options);
+
+}  // namespace splitmed::privacy

@@ -1,0 +1,120 @@
+#include "src/serial/buffer.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+
+static_assert(std::endian::native == std::endian::little,
+              "splitmed wire codec assumes a little-endian host");
+static_assert(sizeof(float) == 4 && sizeof(double) == 8,
+              "splitmed wire codec assumes IEEE-754 float/double");
+
+void BufferWriter::write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BufferWriter::write_u32(std::uint32_t v) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + 4);
+  std::memcpy(buf_.data() + at, &v, 4);
+}
+
+void BufferWriter::write_u64(std::uint64_t v) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + 8);
+  std::memcpy(buf_.data() + at, &v, 8);
+}
+
+void BufferWriter::write_i64(std::int64_t v) {
+  write_u64(static_cast<std::uint64_t>(v));
+}
+
+void BufferWriter::write_f32(float v) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + 4);
+  std::memcpy(buf_.data() + at, &v, 4);
+}
+
+void BufferWriter::write_f64(double v) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + 8);
+  std::memcpy(buf_.data() + at, &v, 8);
+}
+
+void BufferWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  const std::size_t at = buf_.size();
+  buf_.resize(at + s.size());
+  std::memcpy(buf_.data() + at, s.data(), s.size());
+}
+
+void BufferWriter::write_f32_span(std::span<const float> vs) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + vs.size() * 4);
+  std::memcpy(buf_.data() + at, vs.data(), vs.size() * 4);
+}
+
+void BufferReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw SerializationError("truncated buffer: need " + std::to_string(n) +
+                             " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t BufferReader::read_u8() {
+  require(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t BufferReader::read_u32() {
+  require(4);
+  std::uint32_t v;
+  std::memcpy(&v, bytes_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BufferReader::read_u64() {
+  require(8);
+  std::uint64_t v;
+  std::memcpy(&v, bytes_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t BufferReader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
+float BufferReader::read_f32() {
+  require(4);
+  float v;
+  std::memcpy(&v, bytes_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+double BufferReader::read_f64() {
+  require(8);
+  double v;
+  std::memcpy(&v, bytes_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+std::string BufferReader::read_string() {
+  const std::uint32_t n = read_u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void BufferReader::read_f32_span(std::span<float> out) {
+  require(out.size() * 4);
+  std::memcpy(out.data(), bytes_.data() + pos_, out.size() * 4);
+  pos_ += out.size() * 4;
+}
+
+}  // namespace splitmed

@@ -1,0 +1,61 @@
+// Binary serialization buffers.
+//
+// Wire format is little-endian, fixed-width, no alignment padding. These are
+// the byte streams the simulated network transfers and whose sizes the
+// Fig. 4 reproduction counts, so the encoding is explicit rather than
+// memcpy-of-struct (which would make message size compiler-dependent).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace splitmed {
+
+/// Append-only write buffer.
+class BufferWriter {
+ public:
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_span(std::span<const float> vs);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential read cursor over a byte span. Throws SerializationError on
+/// truncated input — a malformed message must never produce garbage tensors.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  void read_f32_span(std::span<float> out);
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace splitmed

@@ -1,0 +1,43 @@
+// Message envelope — the unit the simulated network transfers.
+//
+// An Envelope carries an opaque payload plus routing/framing metadata. The
+// wire size of an envelope (header + payload) is THE quantity Fig. 4 counts,
+// so it is defined here once and used by both the real transport
+// (net::Network) and the analytic communication model (models::ModelStats).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace splitmed {
+
+/// Identifies a node in the simulated network (platforms, server).
+using NodeId = std::uint32_t;
+
+struct Envelope {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Protocol-defined discriminator (core::MsgKind, baseline kinds, ...).
+  std::uint32_t kind = 0;
+  /// Training round / step the message belongs to.
+  std::uint64_t round = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Bytes this envelope occupies on the wire.
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return kEnvelopeHeaderBytes + payload.size();
+  }
+
+  /// src(4) + dst(4) + kind(4) + round(8) + payload length(8).
+  static constexpr std::uint64_t kEnvelopeHeaderBytes = 28;
+};
+
+/// Convenience constructor.
+inline Envelope make_envelope(NodeId src, NodeId dst, std::uint32_t kind,
+                              std::uint64_t round,
+                              std::vector<std::uint8_t> payload) {
+  return Envelope{src, dst, kind, round, std::move(payload)};
+}
+
+}  // namespace splitmed

@@ -1,0 +1,28 @@
+// Int8 tensor quantization for the wire.
+//
+// Extension to the paper: the split protocol's traffic is dominated by the
+// smashed activations and their gradients; symmetric per-tensor int8
+// quantization cuts those messages ~4x at a small accuracy cost (ablated in
+// bench/quantization). Format: rank, dims, scale (f32), then int8 payload.
+#pragma once
+
+#include "src/serial/buffer.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed {
+
+/// Symmetric linear quantization: q = round(x / scale), scale = max|x| / 127.
+/// An all-zero tensor encodes with scale 0 and decodes to zeros.
+void encode_tensor_i8(const Tensor& t, BufferWriter& w);
+
+/// Decodes and dequantizes.
+Tensor decode_tensor_i8(BufferReader& r);
+
+/// Exact encoded size: 4 (rank) + 8*rank (dims) + 4 (scale) + numel bytes.
+std::uint64_t encoded_tensor_i8_bytes(const Shape& s);
+
+/// Worst-case elementwise quantization error for data of amplitude max_abs:
+/// half a quantization step.
+inline float quantization_step(float max_abs) { return max_abs / 127.0F; }
+
+}  // namespace splitmed

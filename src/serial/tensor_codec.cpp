@@ -1,0 +1,50 @@
+#include "src/serial/tensor_codec.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+
+namespace {
+// Guards against hostile/corrupt headers allocating unbounded memory.
+constexpr std::uint32_t kMaxRank = 16;
+constexpr std::int64_t kMaxElements = std::int64_t{1} << 32;
+}  // namespace
+
+void encode_tensor(const Tensor& t, BufferWriter& w) {
+  w.write_u32(static_cast<std::uint32_t>(t.shape().rank()));
+  for (const auto d : t.shape().dims()) w.write_i64(d);
+  w.write_f32_span(t.data());
+}
+
+Tensor decode_tensor(BufferReader& r) {
+  const std::uint32_t rank = r.read_u32();
+  if (rank > kMaxRank) {
+    throw SerializationError("tensor rank " + std::to_string(rank) +
+                             " exceeds limit");
+  }
+  std::vector<std::int64_t> dims(rank);
+  std::int64_t numel = 1;
+  for (auto& d : dims) {
+    d = r.read_i64();
+    if (d < 0) throw SerializationError("negative tensor dimension");
+    numel *= d;
+    if (numel > kMaxElements) {
+      throw SerializationError("tensor payload exceeds element limit");
+    }
+  }
+  // Validate against the actual remaining bytes BEFORE allocating — a
+  // corrupt header must not trigger a giant allocation.
+  if (static_cast<std::uint64_t>(numel) * 4 > r.remaining()) {
+    throw SerializationError("tensor header larger than remaining payload");
+  }
+  Tensor t{Shape(std::move(dims))};
+  r.read_f32_span(t.data());
+  return t;
+}
+
+std::uint64_t encoded_tensor_bytes(const Shape& s) {
+  return 4 + 8 * static_cast<std::uint64_t>(s.rank()) +
+         4 * static_cast<std::uint64_t>(s.numel());
+}
+
+}  // namespace splitmed

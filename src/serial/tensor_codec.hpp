@@ -1,0 +1,24 @@
+// Tensor wire codec: rank, dims, then raw fp32 payload.
+//
+// encoded_tensor_bytes() is the single source of truth for "how many bytes
+// does sending this tensor cost" — used both by the real encoder and by the
+// analytic communication model in models::ModelStats, so the measured and
+// analytic Fig. 4 numbers can never drift apart.
+#pragma once
+
+#include "src/serial/buffer.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed {
+
+/// Appends `t` to `w`.
+void encode_tensor(const Tensor& t, BufferWriter& w);
+
+/// Reads one tensor; throws SerializationError on malformed input.
+Tensor decode_tensor(BufferReader& r);
+
+/// Exact encoded size of a tensor of shape `s`:
+/// 4 (rank) + 8*rank (dims) + 4*numel (payload).
+std::uint64_t encoded_tensor_bytes(const Shape& s);
+
+}  // namespace splitmed

@@ -1,0 +1,83 @@
+#include "src/tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+namespace {
+
+// Cache-blocking tile sizes; modest because the simulator's matrices are
+// small-to-medium. The i-k-j loop order keeps the innermost loop contiguous
+// in both B and C, which the compiler auto-vectorizes.
+constexpr std::int64_t kTileI = 32;
+constexpr std::int64_t kTileK = 64;
+
+void check_sizes(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::size_t a, std::size_t b, std::size_t c) {
+  SPLITMED_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  SPLITMED_CHECK(a >= static_cast<std::size_t>(m * k) &&
+                     b >= static_cast<std::size_t>(k * n) &&
+                     c >= static_cast<std::size_t>(m * n),
+                 "gemm: span smaller than m/n/k imply");
+}
+
+}  // namespace
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  for (std::int64_t i0 = 0; i0 < m; i0 += kTileI) {
+    const std::int64_t i1 = std::min(i0 + kTileI, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      const std::int64_t k1 = std::min(k0 + kTileK, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* ci = c.data() + i * n;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = a[static_cast<std::size_t>(i * k + kk)];
+          const float* bk = b.data() + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  // A is [k, m]; walk k outermost so both A-row and B-row are contiguous.
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* ak = a.data() + kk * m;
+    const float* bk = b.data() + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aki = ak[i];
+      float* ci = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+    }
+  }
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  // B is [n, k]; dot products over contiguous rows of A and B.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float acc = 0.0F;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+      ci[j] = acc;
+    }
+  }
+}
+
+}  // namespace splitmed

@@ -1,0 +1,25 @@
+// Blocked single-precision GEMM kernels on raw spans. ops::matmul* wrap these
+// with shape checking; nn::Conv2d uses them via im2col.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace splitmed {
+
+/// C[m,n] = A[m,k] * B[k,n]  (C is overwritten).
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c);
+
+/// C[m,n] = A[k,m]^T * B[k,n].
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c);
+
+/// C[m,n] = A[m,k] * B[n,k]^T.
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c);
+
+}  // namespace splitmed

@@ -1,0 +1,82 @@
+#include "src/tensor/im2col.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+
+void ConvGeometry::validate() const {
+  SPLITMED_CHECK(channels > 0 && in_h > 0 && in_w > 0,
+                 "conv geometry: non-positive input dims");
+  SPLITMED_CHECK(kernel_h > 0 && kernel_w > 0, "conv geometry: bad kernel");
+  SPLITMED_CHECK(stride > 0, "conv geometry: stride must be positive");
+  SPLITMED_CHECK(pad >= 0, "conv geometry: negative padding");
+  SPLITMED_CHECK(out_h() > 0 && out_w() > 0,
+                 "conv geometry: kernel larger than padded input");
+}
+
+void im2col(const ConvGeometry& g, std::span<const float> image,
+            std::span<float> col) {
+  SPLITMED_CHECK(image.size() >=
+                     static_cast<std::size_t>(g.channels * g.in_h * g.in_w),
+                 "im2col: image span too small");
+  SPLITMED_CHECK(col.size() >=
+                     static_cast<std::size_t>(g.col_rows() * g.col_cols()),
+                 "im2col: col span too small");
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::size_t r = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* chan = image.data() + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        float* out_row = col.data() + r * oh * ow;
+        ++r;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          float* out = out_row + y * ow;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t x = 0; x < ow; ++x) out[x] = 0.0F;
+            continue;
+          }
+          const float* in_row = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            out[x] = (ix >= 0 && ix < g.in_w) ? in_row[ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, std::span<const float> col,
+            std::span<float> image) {
+  SPLITMED_CHECK(image.size() >=
+                     static_cast<std::size_t>(g.channels * g.in_h * g.in_w),
+                 "col2im: image span too small");
+  SPLITMED_CHECK(col.size() >=
+                     static_cast<std::size_t>(g.col_rows() * g.col_cols()),
+                 "col2im: col span too small");
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::size_t r = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* chan = image.data() + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        const float* in_row_base = col.data() + r * oh * ow;
+        ++r;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          const float* in = in_row_base + y * ow;
+          float* out_row = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            if (ix >= 0 && ix < g.in_w) out_row[ix] += in[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace splitmed

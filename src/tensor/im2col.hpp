@@ -1,0 +1,50 @@
+// im2col / col2im lowering for convolutions.
+//
+// Conv2d forward is im2col + GEMM; its backward passes are GEMMs + col2im.
+// Layout: images are NCHW; the column matrix is
+// [C*kh*kw, out_h*out_w] per image (one image at a time keeps the working set
+// small on the single-core simulator).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace splitmed {
+
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  [[nodiscard]] std::int64_t out_h() const {
+    return (in_h + 2 * pad - kernel_h) / stride + 1;
+  }
+  [[nodiscard]] std::int64_t out_w() const {
+    return (in_w + 2 * pad - kernel_w) / stride + 1;
+  }
+  /// Rows of the column matrix: channels * kernel_h * kernel_w.
+  [[nodiscard]] std::int64_t col_rows() const {
+    return channels * kernel_h * kernel_w;
+  }
+  /// Columns of the column matrix: out_h * out_w.
+  [[nodiscard]] std::int64_t col_cols() const { return out_h() * out_w(); }
+
+  /// Throws InvalidArgument if the geometry is degenerate.
+  void validate() const;
+};
+
+/// image: CHW contiguous (channels*in_h*in_w floats);
+/// col: col_rows()*col_cols() floats, overwritten.
+void im2col(const ConvGeometry& g, std::span<const float> image,
+            std::span<float> col);
+
+/// Inverse scatter-add: accumulates col back into image (image must be
+/// zeroed by the caller when a fresh gradient is wanted).
+void col2im(const ConvGeometry& g, std::span<const float> col,
+            std::span<float> image);
+
+}  // namespace splitmed

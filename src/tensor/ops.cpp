@@ -1,0 +1,211 @@
+#include "src/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/tensor/gemm.hpp"
+
+namespace splitmed::ops {
+namespace {
+
+Tensor binary(const Tensor& a, const Tensor& b, const char* name,
+              float (*f)(float, float)) {
+  check_same_shape(a.shape(), b.shape(), name);
+  Tensor out(a.shape());
+  auto ad = a.data();
+  auto bd = b.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] = f(ad[i], bd[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "add", [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "sub", [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "mul", [](float x, float y) { return x * y; });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  auto ad = a.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] = ad[i] * s;
+  return out;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  auto ad = a.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] = f(ad[i]);
+  return out;
+}
+
+void axpy(float s, const Tensor& b, Tensor& a) {
+  check_same_shape(a.shape(), b.shape(), "axpy");
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) ad[i] += s * bd[i];
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;  // double accumulator: stable across large tensors
+  for (const float v : a.data()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  SPLITMED_CHECK(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max(const Tensor& a) {
+  SPLITMED_CHECK(a.numel() > 0, "max of empty tensor");
+  return *std::max_element(a.data().begin(), a.data().end());
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  SPLITMED_CHECK(a.shape().rank() == 2, "argmax_rows requires rank-2 tensor");
+  const std::int64_t rows = a.shape().dim(0);
+  const std::int64_t cols = a.shape().dim(1);
+  SPLITMED_CHECK(cols > 0, "argmax_rows requires at least one column");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  auto d = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = d.data() + r * cols;
+    out[static_cast<std::size_t>(r)] =
+        std::max_element(row, row + cols) - row;
+  }
+  return out;
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (const float v : a.data()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float mse(const Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "mse");
+  SPLITMED_CHECK(a.numel() > 0, "mse of empty tensors");
+  double acc = 0.0;
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) {
+    const double d = static_cast<double>(ad[i]) - bd[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(a.numel()));
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "max_abs_diff");
+  float m = 0.0F;
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) {
+    m = std::max(m, std::abs(ad[i] - bd[i]));
+  }
+  return m;
+}
+
+namespace {
+
+void check_rank2(const Tensor& t, const char* name) {
+  SPLITMED_CHECK(t.shape().rank() == 2,
+                 name << " requires rank-2 tensors, got " << t.shape().str());
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const std::int64_t m = a.shape().dim(0), k = a.shape().dim(1);
+  SPLITMED_CHECK(b.shape().dim(0) == k, "matmul: inner dims " << a.shape().str()
+                                          << " vs " << b.shape().str());
+  const std::int64_t n = b.shape().dim(1);
+  Tensor c(Shape{m, n});
+  gemm_nn(m, n, k, a.data(), b.data(), c.data());
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const std::int64_t k = a.shape().dim(0), m = a.shape().dim(1);
+  SPLITMED_CHECK(b.shape().dim(0) == k, "matmul_tn: inner dims "
+                                            << a.shape().str() << " vs "
+                                            << b.shape().str());
+  const std::int64_t n = b.shape().dim(1);
+  Tensor c(Shape{m, n});
+  gemm_tn(m, n, k, a.data(), b.data(), c.data());
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const std::int64_t m = a.shape().dim(0), k = a.shape().dim(1);
+  SPLITMED_CHECK(b.shape().dim(1) == k, "matmul_nt: inner dims "
+                                            << a.shape().str() << " vs "
+                                            << b.shape().str());
+  const std::int64_t n = b.shape().dim(0);
+  Tensor c(Shape{m, n});
+  gemm_nt(m, n, k, a.data(), b.data(), c.data());
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const std::int64_t rows = a.shape().dim(0), cols = a.shape().dim(1);
+  Tensor out(Shape{cols, rows});
+  auto ad = a.data();
+  auto od = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      od[static_cast<std::size_t>(c * rows + r)] =
+          ad[static_cast<std::size_t>(r * cols + c)];
+    }
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  SPLITMED_CHECK(!parts.empty(), "concat_rows of zero tensors");
+  const Shape& first = parts.front().shape();
+  SPLITMED_CHECK(first.rank() >= 1, "concat_rows requires rank >= 1");
+  std::int64_t total_rows = 0;
+  for (const auto& p : parts) {
+    SPLITMED_CHECK(p.shape().rank() == first.rank(),
+                   "concat_rows: rank mismatch");
+    for (std::int64_t ax = 1; ax < static_cast<std::int64_t>(first.rank());
+         ++ax) {
+      SPLITMED_CHECK(p.shape().dim(ax) == first.dim(ax),
+                     "concat_rows: trailing dim mismatch at axis " << ax);
+    }
+    total_rows += p.shape().dim(0);
+  }
+  std::vector<std::int64_t> dims = first.dims();
+  dims[0] = total_rows;
+  Tensor out{Shape(std::move(dims))};
+  auto od = out.data();
+  std::size_t offset = 0;
+  for (const auto& p : parts) {
+    auto pd = p.data();
+    std::copy(pd.begin(), pd.end(), od.begin() + offset);
+    offset += pd.size();
+  }
+  return out;
+}
+
+}  // namespace splitmed::ops

@@ -1,0 +1,47 @@
+// Elementwise / reduction operations on tensors. Free functions (not members)
+// so the op vocabulary can grow without touching the Tensor ABI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::ops {
+
+/// out-of-place elementwise --------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+/// in-place accumulation: a += s * b (the optimizer/backprop workhorse).
+void axpy(float s, const Tensor& b, Tensor& a);
+
+/// reductions -----------------------------------------------------------------
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max(const Tensor& a);
+/// Index of maximum along the last axis of a rank-2 tensor; returns [rows].
+std::vector<std::int64_t> argmax_rows(const Tensor& a);
+/// L2 norm of all elements.
+float l2_norm(const Tensor& a);
+/// Mean squared difference between equal-shaped tensors.
+float mse(const Tensor& a, const Tensor& b);
+/// Largest absolute elementwise difference.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// matrix helpers (rank-2) -----------------------------------------------------
+/// C = A · B, shapes [m,k]·[k,n] -> [m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = Aᵀ · B, shapes [k,m]·[k,n] -> [m,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A · Bᵀ, shapes [m,k]·[n,k] -> [m,n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor transpose(const Tensor& a);
+
+/// Concatenates along axis 0. All inputs must agree on trailing dims.
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+}  // namespace splitmed::ops

@@ -1,0 +1,127 @@
+#include "src/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace splitmed {
+
+Tensor::Tensor() : shape_({}), data_(1, 0.0F) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  SPLITMED_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                 "data size " << data_.size() << " != numel of shape "
+                              << shape_.str());
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0F); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  SPLITMED_CHECK(n >= 0, "arange requires n >= 0");
+  Tensor t(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) t.data_[static_cast<std::size_t>(i)] =
+      static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  SPLITMED_CHECK(new_shape.numel() == numel(),
+                 "reshape " << shape_.str() << " -> " << new_shape.str()
+                            << " changes element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::slice_rows(std::int64_t row_begin, std::int64_t row_end) const {
+  SPLITMED_CHECK(shape_.rank() >= 1, "slice_rows requires rank >= 1");
+  const std::int64_t rows = shape_.dim(0);
+  SPLITMED_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= rows,
+                 "slice_rows [" << row_begin << ", " << row_end
+                                << ") out of range for " << shape_.str());
+  const std::int64_t row_elems = rows == 0 ? 0 : numel() / rows;
+  std::vector<std::int64_t> dims = shape_.dims();
+  dims[0] = row_end - row_begin;
+  std::vector<float> out(static_cast<std::size_t>((row_end - row_begin) *
+                                                  row_elems));
+  std::copy_n(data_.begin() + row_begin * row_elems, out.size(), out.begin());
+  return Tensor(Shape(std::move(dims)), std::move(out));
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> index) {
+  return data_[static_cast<std::size_t>(
+      [this, &index] {
+        SPLITMED_CHECK(index.size() == shape_.rank(),
+                       "index rank " << index.size() << " != tensor rank "
+                                     << shape_.rank());
+        const auto strides = shape_.strides();
+        std::int64_t flat = 0;
+        std::size_t axis = 0;
+        for (const auto i : index) {
+          SPLITMED_CHECK(i >= 0 && i < shape_.dim(static_cast<std::int64_t>(axis)),
+                         "index " << i << " out of range at axis " << axis
+                                  << " for " << shape_.str());
+          flat += i * strides[axis];
+          ++axis;
+        }
+        return flat;
+      }())];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return const_cast<Tensor*>(this)->at(index);
+}
+
+float& Tensor::operator[](std::int64_t i) {
+  SPLITMED_CHECK(i >= 0 && i < numel(),
+                 "flat index " << i << " out of range for " << shape_.str());
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::operator[](std::int64_t i) const {
+  return (*const_cast<Tensor*>(this))[i];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Tensor::str() const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.str() << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), 16);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace splitmed

@@ -1,0 +1,84 @@
+// Dense float32 tensor with row-major layout and value semantics.
+//
+// Design notes:
+//  - Copies are deep. Training-scale tensors here are small (CPU simulator),
+//    and deep copies remove a whole class of aliasing bugs at module
+//    boundaries (activations crossing the simulated network must not alias
+//    platform-side buffers).
+//  - Element type is float only. The paper's evaluation is entirely fp32; a
+//    dtype-generic tensor would buy nothing but template noise.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/tensor/shape.hpp"
+
+namespace splitmed {
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Rank-0 scalar containing 0.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Takes ownership of `data`; data.size() must equal shape.numel().
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// --- factories -----------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// Uniform in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0F, float hi = 1.0F);
+  /// Normal(mean, stddev).
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.0F,
+                       float stddev = 1.0F);
+  /// 0,1,2,... (useful in tests).
+  static Tensor arange(std::int64_t n);
+
+  /// --- structure -----------------------------------------------------------
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return shape_.numel(); }
+  [[nodiscard]] std::size_t byte_size() const {
+    return static_cast<std::size_t>(numel()) * sizeof(float);
+  }
+
+  /// Same data, new shape; numel must match.
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+
+  /// Rows [row_begin, row_end) along axis 0 (deep copy).
+  [[nodiscard]] Tensor slice_rows(std::int64_t row_begin,
+                                  std::int64_t row_end) const;
+
+  /// --- element access ------------------------------------------------------
+  [[nodiscard]] std::span<float> data() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> data() const {
+    return {data_.data(), data_.size()};
+  }
+
+  float& at(std::initializer_list<std::int64_t> index);
+  [[nodiscard]] float at(std::initializer_list<std::int64_t> index) const;
+
+  /// Flat (row-major) access with bounds check.
+  float& operator[](std::int64_t i);
+  float operator[](std::int64_t i) const;
+
+  /// --- in-place helpers ----------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0F); }
+
+  /// "Tensor[2, 3] {1, 2, 3, 4, 5, 6}" — truncated for large tensors.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace splitmed

@@ -1,0 +1,245 @@
+// Tests for core/: minibatch policy, model splitting, protocol message
+// handling and state-machine enforcement.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/common/error.hpp"
+#include "src/core/minibatch_policy.hpp"
+#include "src/core/platform.hpp"
+#include "src/core/protocol.hpp"
+#include "src/core/server.hpp"
+#include "src/core/split_model.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/models/mlp.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+TEST(MinibatchPolicy, UniformIgnoresShardSizes) {
+  const auto s = core::minibatch_sizes(core::MinibatchPolicy::kUniform, 10,
+                                       {100, 1, 1});
+  EXPECT_EQ(s, (std::vector<std::int64_t>{4, 3, 3}));
+}
+
+TEST(MinibatchPolicy, ProportionalTracksShardSizes) {
+  const auto s = core::minibatch_sizes(core::MinibatchPolicy::kProportional,
+                                       12, {600, 300, 300});
+  EXPECT_EQ(s, (std::vector<std::int64_t>{6, 3, 3}));
+}
+
+TEST(MinibatchPolicy, ProportionalSumsExactlyToTotal) {
+  for (const std::int64_t total : {7L, 16L, 33L}) {
+    const auto s = core::minibatch_sizes(core::MinibatchPolicy::kProportional,
+                                         total, {13, 7, 29, 5});
+    EXPECT_EQ(std::accumulate(s.begin(), s.end(), std::int64_t{0}), total);
+    for (const auto v : s) EXPECT_GE(v, 1);
+  }
+}
+
+TEST(MinibatchPolicy, ProportionalEqualizesSamplingRate) {
+  // The paper's point: s_k / |D_k| should be (approximately) equal, so every
+  // example is sampled at the same expected rate regardless of hospital size.
+  const std::vector<std::int64_t> shards = {800, 400, 200, 100};
+  const auto s = core::minibatch_sizes(core::MinibatchPolicy::kProportional,
+                                       150, shards);
+  const double base = static_cast<double>(s[0]) / shards[0];
+  for (std::size_t k = 1; k < shards.size(); ++k) {
+    const double rate = static_cast<double>(s[k]) / shards[k];
+    EXPECT_NEAR(rate / base, 1.0, 0.15) << "platform " << k;
+  }
+}
+
+TEST(MinibatchPolicy, GuaranteesFloorOfOne) {
+  const auto s = core::minibatch_sizes(core::MinibatchPolicy::kProportional,
+                                       4, {1000000, 1, 1, 1});
+  for (const auto v : s) EXPECT_GE(v, 1);
+  EXPECT_EQ(std::accumulate(s.begin(), s.end(), std::int64_t{0}), 4);
+}
+
+TEST(MinibatchPolicy, Validation) {
+  EXPECT_THROW(core::minibatch_sizes(core::MinibatchPolicy::kUniform, 1,
+                                     {10, 10}),
+               InvalidArgument);
+  EXPECT_THROW(core::minibatch_sizes(core::MinibatchPolicy::kProportional, 4,
+                                     {10, 0}),
+               InvalidArgument);
+}
+
+TEST(SplitModel, SplitAtDividesLayersAndParams) {
+  models::MlpConfig cfg;
+  cfg.input_shape = Shape{1, 4, 4};
+  cfg.hidden = {8, 6};
+  cfg.num_classes = 3;
+  auto model = models::make_mlp(cfg);
+  const std::size_t total_layers = model.net.size();
+  const std::int64_t total_params =
+      nn::Sequential(std::move(model.net)).parameter_count();
+  // Rebuild (the move above consumed it).
+  auto model2 = models::make_mlp(cfg);
+  auto parts = core::split_at(std::move(model2.net), model2.default_cut);
+  EXPECT_EQ(parts.platform.size(), model2.default_cut);
+  EXPECT_EQ(parts.platform.size() + parts.server.size(), total_layers);
+  EXPECT_EQ(parts.platform.parameter_count() + parts.server.parameter_count(),
+            total_params);
+}
+
+TEST(SplitModel, SplitComposesToSameFunction) {
+  models::MlpConfig cfg;
+  cfg.input_shape = Shape{1, 4, 4};
+  cfg.hidden = {8};
+  cfg.num_classes = 3;
+  auto whole = models::make_mlp(cfg);
+  auto split_src = models::make_mlp(cfg);  // identical weights (same seed)
+  auto parts = core::split_at(std::move(split_src.net), split_src.default_cut);
+
+  Rng xr(5);
+  const Tensor x = Tensor::normal(Shape{4, 1, 4, 4}, xr);
+  const Tensor direct = whole.net.forward(x, false);
+  const Tensor composed =
+      parts.server.forward(parts.platform.forward(x, false), false);
+  EXPECT_EQ(ops::max_abs_diff(direct, composed), 0.0F);
+}
+
+TEST(SplitModel, InvalidCutRejected) {
+  models::MlpConfig cfg;
+  auto model = models::make_mlp(cfg);
+  EXPECT_THROW(core::split_at(std::move(model.net), 0), InvalidArgument);
+}
+
+TEST(SplitModel, CopyParametersTransfersValues) {
+  models::MlpConfig cfg;
+  cfg.hidden = {4};
+  cfg.seed = 1;
+  auto a = models::make_mlp(cfg);
+  cfg.seed = 2;
+  auto b = models::make_mlp(cfg);
+  EXPECT_GT(ops::max_abs_diff(a.net.parameters()[0]->value,
+                              b.net.parameters()[0]->value),
+            0.0F);
+  core::copy_parameters(a.net, b.net);
+  for (std::size_t i = 0; i < a.net.parameters().size(); ++i) {
+    EXPECT_EQ(ops::max_abs_diff(a.net.parameters()[i]->value,
+                                b.net.parameters()[i]->value),
+              0.0F);
+  }
+}
+
+TEST(Protocol, TensorEnvelopeRoundTrip) {
+  Rng rng(1);
+  const Tensor t = Tensor::normal(Shape{3, 4}, rng);
+  const Envelope e =
+      core::make_tensor_envelope(1, 2, core::MsgKind::kActivation, 9, t);
+  EXPECT_EQ(e.kind, 1U);
+  EXPECT_EQ(e.round, 9U);
+  const Tensor back = core::decode_tensor_payload(e.payload);
+  EXPECT_EQ(ops::max_abs_diff(back, t), 0.0F);
+}
+
+TEST(Protocol, TrailingBytesRejected) {
+  Rng rng(1);
+  const Tensor t = Tensor::normal(Shape{2}, rng);
+  Envelope e = core::make_tensor_envelope(1, 2, core::MsgKind::kLogits, 0, t);
+  e.payload.push_back(0);
+  EXPECT_THROW(core::decode_tensor_payload(e.payload), SerializationError);
+}
+
+TEST(Protocol, KindNames) {
+  EXPECT_STREQ(core::msg_kind_name(core::MsgKind::kActivation), "activation");
+  EXPECT_STREQ(core::msg_kind_name(core::MsgKind::kCutGrad), "cut-grad");
+}
+
+class ProtocolStateMachine : public ::testing::Test {
+ protected:
+  ProtocolStateMachine()
+      : dataset_(make_dataset()),
+        server_id_(network_.add_node("server")),
+        platform_id_(network_.add_node("platform")) {
+    models::MlpConfig cfg;
+    cfg.input_shape = Shape{3, 8, 8};
+    cfg.hidden = {8};
+    cfg.num_classes = 4;
+    auto model = models::make_mlp(cfg);
+    auto parts = core::split_at(std::move(model.net), model.default_cut);
+    server_ = std::make_unique<core::CentralServer>(
+        server_id_, std::move(parts.server), optim::SgdOptions{});
+    std::vector<std::int64_t> shard = {0, 1, 2, 3};
+    platform_ = std::make_unique<core::PlatformNode>(
+        platform_id_, server_id_, std::move(parts.platform),
+        data::DataLoader(dataset_, shard, 2, Rng(1)), optim::SgdOptions{});
+  }
+
+  static data::SyntheticCifar make_dataset() {
+    data::SyntheticCifarOptions opt;
+    opt.num_examples = 8;
+    opt.num_classes = 4;
+    opt.image_size = 8;
+    return data::SyntheticCifar(opt);
+  }
+
+  data::SyntheticCifar dataset_;
+  net::Network network_;
+  NodeId server_id_;
+  NodeId platform_id_;
+  std::unique_ptr<core::CentralServer> server_;
+  std::unique_ptr<core::PlatformNode> platform_;
+};
+
+TEST_F(ProtocolStateMachine, FullStepCompletesAndCounts) {
+  platform_->send_activation(network_, 1);
+  server_->handle(network_, network_.receive(server_id_));
+  platform_->handle(network_, network_.receive(platform_id_));
+  server_->handle(network_, network_.receive(server_id_));
+  platform_->handle(network_, network_.receive(platform_id_));
+  EXPECT_EQ(platform_->steps_completed(), 1);
+  EXPECT_EQ(server_->steps_completed(), 1);
+  EXPECT_GT(platform_->last_loss(), 0.0F);
+  // Exactly 4 messages crossed the wire.
+  EXPECT_EQ(network_.stats().total_messages(), 4U);
+}
+
+TEST_F(ProtocolStateMachine, DoubleActivationWithoutBackwardThrows) {
+  platform_->send_activation(network_, 1);
+  server_->handle(network_, network_.receive(server_id_));
+  // A second activation before the grad round-trip must be rejected.
+  Envelope rogue = core::make_tensor_envelope(
+      platform_id_, server_id_, core::MsgKind::kActivation, 2,
+      Tensor(Shape{1, 192}));
+  EXPECT_THROW(server_->handle(network_, rogue), ProtocolError);
+}
+
+TEST_F(ProtocolStateMachine, PlatformRejectsWrongRound) {
+  platform_->send_activation(network_, 1);
+  Envelope wrong = core::make_tensor_envelope(
+      server_id_, platform_id_, core::MsgKind::kLogits, 7,
+      Tensor(Shape{2, 4}));
+  EXPECT_THROW(platform_->handle(network_, wrong), ProtocolError);
+}
+
+TEST_F(ProtocolStateMachine, PlatformRejectsOutOfOrderKind) {
+  platform_->send_activation(network_, 1);
+  Envelope cut_grad_too_early = core::make_tensor_envelope(
+      server_id_, platform_id_, core::MsgKind::kCutGrad, 1,
+      Tensor(Shape{2, 8}));
+  EXPECT_THROW(platform_->handle(network_, cut_grad_too_early),
+               ProtocolError);
+}
+
+TEST_F(ProtocolStateMachine, ServerRejectsGradFromWrongPlatform) {
+  platform_->send_activation(network_, 1);
+  server_->handle(network_, network_.receive(server_id_));
+  Envelope forged = core::make_tensor_envelope(
+      NodeId{7}, server_id_, core::MsgKind::kLogitGrad, 1, Tensor(Shape{2, 4}));
+  // Node 7 does not exist in the network, but the server checks identity
+  // before any network interaction.
+  EXPECT_THROW(server_->handle(network_, forged), ProtocolError);
+}
+
+TEST_F(ProtocolStateMachine, SendWhileMidStepThrows) {
+  platform_->send_activation(network_, 1);
+  EXPECT_THROW(platform_->send_activation(network_, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace splitmed

@@ -1,0 +1,232 @@
+// Robustness / property fuzz tests: corrupted wire payloads must never
+// crash (throw SerializationError or decode cleanly), random network
+// traffic keeps accounting consistent, and random layer stacks keep
+// shape/gradient plumbing coherent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/data/dataloader.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/net/network.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/pool.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/serial/quantize.hpp"
+#include "src/serial/tensor_codec.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+TEST(CodecFuzz, CorruptedF32PayloadsNeverCrash) {
+  Rng rng(1);
+  const Tensor t = Tensor::normal(Shape{3, 5, 2}, rng);
+  BufferWriter w;
+  encode_tensor(t, w);
+  const auto original = w.bytes();
+
+  int threw = 0, decoded = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = original;
+    // Corrupt 1-4 random bytes.
+    const int mutations = 1 + static_cast<int>(rng.uniform_u64(4));
+    for (int m = 0; m < mutations; ++m) {
+      bytes[rng.uniform_u64(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    try {
+      BufferReader r({bytes.data(), bytes.size()});
+      const Tensor back = decode_tensor(r);
+      (void)back.numel();
+      ++decoded;
+    } catch (const SerializationError&) {
+      ++threw;
+    } catch (const InvalidArgument&) {
+      ++threw;  // e.g. absurd-but-positive dims rejected by Shape
+    }
+  }
+  EXPECT_EQ(threw + decoded, 500);
+  // Header corruption must be detected at least sometimes.
+  EXPECT_GT(threw, 0);
+}
+
+TEST(CodecFuzz, CorruptedI8PayloadsNeverCrash) {
+  Rng rng(2);
+  const Tensor t = Tensor::normal(Shape{4, 7}, rng);
+  BufferWriter w;
+  encode_tensor_i8(t, w);
+  const auto original = w.bytes();
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = original;
+    bytes[rng.uniform_u64(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    try {
+      BufferReader r({bytes.data(), bytes.size()});
+      (void)decode_tensor_i8(r);
+    } catch (const SerializationError&) {
+    } catch (const InvalidArgument&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CodecFuzz, RandomByteSoupNeverCrashes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.uniform_u64(64));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    try {
+      BufferReader r({bytes.data(), bytes.size()});
+      (void)decode_tensor(r);
+    } catch (const SerializationError&) {
+    } catch (const InvalidArgument&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(NetworkFuzz, RandomTrafficKeepsAccountingConsistent) {
+  Rng rng(4);
+  net::Network network;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(network.add_node("n" + std::to_string(i)));
+  }
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+      network.set_link(nodes[a], nodes[b],
+                       net::Link::mbps(rng.uniform(10.0F, 1000.0F),
+                                       rng.uniform(1.0F, 50.0F)));
+    }
+  }
+
+  std::uint64_t sent_bytes = 0;
+  std::vector<int> expected(nodes.size(), 0);
+  constexpr int kMessages = 300;
+  for (int m = 0; m < kMessages; ++m) {
+    const NodeId src = nodes[rng.uniform_u64(nodes.size())];
+    NodeId dst = src;
+    while (dst == src) dst = nodes[rng.uniform_u64(nodes.size())];
+    Envelope e = make_envelope(
+        src, dst, static_cast<std::uint32_t>(rng.uniform_u64(5)), m,
+        std::vector<std::uint8_t>(rng.uniform_u64(4096)));
+    sent_bytes += e.wire_bytes();
+    ++expected[dst];
+    network.send(std::move(e));
+  }
+  EXPECT_EQ(network.stats().total_bytes(), sent_bytes);
+  EXPECT_EQ(network.stats().total_messages(), kMessages);
+
+  // Drain everything; clock must be monotone and all messages delivered.
+  double last = network.clock().now();
+  int received = 0;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    while (network.pending(nodes[n]) > 0) {
+      (void)network.receive(nodes[n]);
+      EXPECT_GE(network.clock().now(), last);
+      last = network.clock().now();
+      ++received;
+      --expected[n];
+    }
+    EXPECT_EQ(expected[n], 0);
+  }
+  EXPECT_EQ(received, kMessages);
+}
+
+/// Builds a random conv stack ending in a classifier; returns input shape.
+nn::Sequential random_stack(Rng& rng, Shape& input_shape,
+                            std::int64_t* out_classes) {
+  const std::int64_t channels = 1 + static_cast<std::int64_t>(rng.uniform_u64(3));
+  std::int64_t size = 8 + 4 * static_cast<std::int64_t>(rng.uniform_u64(3));
+  input_shape = Shape{2, channels, size, size};
+
+  nn::Sequential seq;
+  std::int64_t c = channels;
+  const int conv_blocks = 1 + static_cast<int>(rng.uniform_u64(3));
+  for (int b = 0; b < conv_blocks; ++b) {
+    const std::int64_t out_c = 2 + static_cast<std::int64_t>(rng.uniform_u64(6));
+    seq.emplace<nn::Conv2d>(c, out_c, 3, 1, 1, rng);
+    c = out_c;
+    if (rng.bernoulli(0.5F)) seq.emplace<nn::BatchNorm2d>(c);
+    seq.emplace<nn::ReLU>();
+    if (size >= 4 && rng.bernoulli(0.6F)) {
+      seq.emplace<nn::MaxPool2d>(2);
+      size /= 2;
+    }
+  }
+  seq.emplace<nn::Flatten>();
+  const std::int64_t classes = 2 + static_cast<std::int64_t>(rng.uniform_u64(8));
+  seq.emplace<nn::Linear>(c * size * size, classes, rng);
+  *out_classes = classes;
+  return seq;
+}
+
+TEST(LayerFuzz, RandomStacksKeepShapesAndGradientsCoherent) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Shape input_shape;
+    std::int64_t classes = 0;
+    nn::Sequential seq = random_stack(rng, input_shape, &classes);
+
+    // Pure shape propagation agrees with execution.
+    const Shape predicted = seq.output_shape(input_shape);
+    const Tensor x = Tensor::normal(input_shape, rng);
+    const Tensor y = seq.forward(x, true);
+    ASSERT_EQ(y.shape(), predicted) << "trial " << trial;
+    ASSERT_EQ(y.shape(), Shape({2, classes}));
+
+    // Backward returns the input shape and produces finite gradients.
+    seq.zero_grad();
+    const Tensor g = Tensor::normal(y.shape(), rng);
+    const Tensor gin = seq.backward(g);
+    ASSERT_EQ(gin.shape(), input_shape);
+    for (const float v : gin.data()) ASSERT_TRUE(std::isfinite(v));
+    for (nn::Parameter* p : seq.parameters()) {
+      for (const float v : p->grad.data()) ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(DataLoaderStress, EveryIndexSeenOncePerEpoch) {
+  // Over E epochs with drop_last=false, every shard index appears exactly E
+  // times regardless of batch size.
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t shard_size =
+        3 + static_cast<std::int64_t>(rng.uniform_u64(40));
+    const std::int64_t batch =
+        1 + static_cast<std::int64_t>(rng.uniform_u64(7));
+    data::SyntheticCifarOptions opt;
+    opt.num_examples = 64;
+    opt.num_classes = 64;  // label == index: lets us track identity
+    opt.image_size = 8;
+    const data::SyntheticCifar ds(opt);
+    std::vector<std::int64_t> shard;
+    for (std::int64_t i = 0; i < shard_size; ++i) shard.push_back(i);
+    data::DataLoader loader(ds, shard, batch, Rng(trial));
+
+    constexpr int kEpochs = 3;
+    std::vector<int> seen(static_cast<std::size_t>(shard_size), 0);
+    const std::int64_t batches = loader.batches_per_epoch() * kEpochs;
+    for (std::int64_t b = 0; b < batches; ++b) {
+      for (const auto label : loader.next_batch().labels) {
+        ASSERT_LT(label, shard_size);
+        ++seen[static_cast<std::size_t>(label)];
+      }
+    }
+    for (const int count : seen) EXPECT_EQ(count, kEpochs);
+  }
+}
+
+}  // namespace
+}  // namespace splitmed

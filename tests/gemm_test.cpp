@@ -1,0 +1,110 @@
+// Property tests for the blocked GEMM kernels against a naive reference,
+// parameterized across a sweep of (m, n, k) shapes including degenerate ones.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/gemm.hpp"
+
+namespace splitmed {
+namespace {
+
+using Dims = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+void naive_nn(std::int64_t m, std::int64_t n, std::int64_t k,
+              const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>& c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+class GemmSweep : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(GemmSweep, NnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + n * 101 + k));
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> c(static_cast<std::size_t>(m * n), -1.0F);
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  gemm_nn(m, n, k, a, b, c);
+  naive_nn(m, n, k, a, b, ref);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3F * (1.0F + std::abs(ref[i])));
+  }
+}
+
+TEST_P(GemmSweep, TnMatchesTransposedNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m + n * 31 + k * 977));
+  // A stored [k, m].
+  std::vector<float> at(static_cast<std::size_t>(k * m));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : at) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  // Build row-major A [m, k] from At for the naive reference.
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      a[i * k + kk] = at[kk * m + i];
+    }
+  }
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  gemm_tn(m, n, k, at, b, c);
+  naive_nn(m, n, k, a, b, ref);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3F * (1.0F + std::abs(ref[i])));
+  }
+}
+
+TEST_P(GemmSweep, NtMatchesTransposedNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 3 + n * 7 + k * 11));
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  // B stored [n, k].
+  std::vector<float> bt(static_cast<std::size_t>(n * k));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : bt) v = rng.normal();
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      b[kk * n + j] = bt[j * k + kk];
+    }
+  }
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  gemm_nt(m, n, k, a, bt, c);
+  naive_nn(m, n, k, a, b, ref);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3F * (1.0F + std::abs(ref[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(Dims{1, 1, 1}, Dims{1, 7, 3}, Dims{5, 1, 2},
+                      Dims{4, 4, 4}, Dims{3, 5, 7}, Dims{17, 19, 23},
+                      Dims{32, 32, 32}, Dims{33, 65, 70}, Dims{64, 2, 128},
+                      Dims{2, 64, 128}));
+
+TEST(Gemm, ZeroKProducesZeroMatrix) {
+  std::vector<float> a, b;
+  std::vector<float> c(6, 5.0F);
+  gemm_nn(2, 3, 0, a, b, c);
+  for (const float v : c) EXPECT_EQ(v, 0.0F);
+}
+
+}  // namespace
+}  // namespace splitmed

@@ -1,0 +1,118 @@
+// Tests for nn/loss.hpp: softmax cross-entropy values, gradients, accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/loss.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor logits(Shape{2, 4});  // all zeros -> uniform softmax
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0F), 1e-5F);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3});
+  logits.at({0, 1}) = 50.0F;
+  EXPECT_NEAR(loss.forward(logits, {1}), 0.0F, 1e-4F);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentWrongIsLarge) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3});
+  logits.at({0, 1}) = 20.0F;
+  EXPECT_GT(loss.forward(logits, {0}), 10.0F);
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForHugeLogits) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 2});
+  logits.at({0, 0}) = 10000.0F;
+  logits.at({0, 1}) = 9999.0F;
+  const float l = loss.forward(logits, {0});
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, std::log(1.0F + std::exp(-1.0F)), 1e-3F);
+}
+
+TEST(SoftmaxCrossEntropy, ProbabilitiesSumToOne) {
+  nn::SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  const Tensor logits = Tensor::normal(Shape{5, 7}, rng);
+  loss.forward(logits, {0, 1, 2, 3, 4});
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < 7; ++c) s += loss.probabilities().at({r, c});
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehotOverBatch) {
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor logits(Shape{2, 2});  // uniform: softmax = 0.5 everywhere
+  loss.forward(logits, {0, 1});
+  const Tensor g = loss.backward();
+  EXPECT_NEAR(g.at({0, 0}), (0.5F - 1.0F) / 2.0F, 1e-6F);
+  EXPECT_NEAR(g.at({0, 1}), 0.5F / 2.0F, 1e-6F);
+  EXPECT_NEAR(g.at({1, 1}), (0.5F - 1.0F) / 2.0F, 1e-6F);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  nn::SoftmaxCrossEntropy loss;
+  Rng rng(2);
+  Tensor logits = Tensor::normal(Shape{3, 5}, rng);
+  const std::vector<std::int64_t> labels = {4, 0, 2};
+  loss.forward(logits, labels);
+  const Tensor g = loss.backward();
+  const float eps = 1e-2F;
+  for (const std::int64_t flat : {0L, 7L, 14L}) {
+    Tensor lp = logits, lm = logits;
+    lp[flat] += eps;
+    lm[flat] -= eps;
+    nn::SoftmaxCrossEntropy fresh;
+    const float numeric =
+        (fresh.forward(lp, labels) - fresh.forward(lm, labels)) / (2 * eps);
+    EXPECT_NEAR(g[flat], numeric, 1e-3F) << "logit " << flat;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  nn::SoftmaxCrossEntropy loss;
+  Rng rng(3);
+  const Tensor logits = Tensor::normal(Shape{4, 6}, rng);
+  loss.forward(logits, {0, 1, 2, 3});
+  const Tensor g = loss.backward();
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < 6; ++c) s += g.at({r, c});
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ValidatesInputs) {
+  nn::SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.forward(Tensor(Shape{2, 3}), {0}), InvalidArgument);
+  EXPECT_THROW(loss.forward(Tensor(Shape{1, 3}), {3}), InvalidArgument);
+  EXPECT_THROW(loss.forward(Tensor(Shape{1, 3}), {-1}), InvalidArgument);
+  nn::SoftmaxCrossEntropy fresh;
+  EXPECT_THROW(fresh.backward(), InvalidArgument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  const Tensor logits(Shape{3, 2}, {1, 0,
+                                    0, 1,
+                                    2, 5});
+  EXPECT_DOUBLE_EQ(nn::accuracy(logits, {0, 1, 1}), 1.0);
+  EXPECT_NEAR(nn::accuracy(logits, {1, 1, 1}), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(nn::accuracy(logits, {1, 0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace splitmed

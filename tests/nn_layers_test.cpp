@@ -1,0 +1,388 @@
+// Behavioural tests for nn layers: output shapes, forward semantics,
+// train/eval mode differences. Gradient correctness lives in
+// nn_gradcheck_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/dropout.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/init.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/pool.hpp"
+#include "src/nn/residual.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+TEST(Init, HeNormalStddev) {
+  Rng rng(1);
+  const Tensor w = nn::he_normal(Shape{10000}, 50, rng);
+  double sq = 0.0;
+  for (const float v : w.data()) sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sq / 10000.0), std::sqrt(2.0 / 50.0), 0.01);
+}
+
+TEST(Init, XavierUniformBounds) {
+  Rng rng(2);
+  const Tensor w = nn::xavier_uniform(Shape{1000}, 30, 70, rng);
+  const float limit = std::sqrt(6.0F / 100.0F);
+  for (const float v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(3);
+  nn::Linear lin(2, 2, rng);
+  lin.weight().value = Tensor(Shape{2, 2}, {1, 2, 3, 4});
+  lin.bias().value = Tensor(Shape{2}, {10, 20});
+  const Tensor x(Shape{1, 2}, {1, 1});
+  const Tensor y = lin.forward(x, true);
+  EXPECT_EQ(y.at({0, 0}), 13.0F);  // 1*1+2*1+10
+  EXPECT_EQ(y.at({0, 1}), 27.0F);  // 3*1+4*1+20
+}
+
+TEST(Linear, RejectsWrongInput) {
+  Rng rng(3);
+  nn::Linear lin(4, 2, rng);
+  EXPECT_THROW(lin.forward(Tensor(Shape{1, 5}), true), InvalidArgument);
+  EXPECT_THROW(lin.forward(Tensor(Shape{4}), true), InvalidArgument);
+}
+
+TEST(Linear, OutputShapeAndParamCount) {
+  Rng rng(3);
+  nn::Linear lin(4, 3, rng);
+  EXPECT_EQ(lin.output_shape(Shape{7, 4}), Shape({7, 3}));
+  EXPECT_EQ(lin.parameter_count(), 4 * 3 + 3);
+  EXPECT_EQ(lin.name(), "Linear(4->3)");
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(4);
+  nn::Conv2d conv(1, 1, 1, 1, 0, rng);
+  conv.parameters()[0]->value = Tensor(Shape{1, 1}, {1.0F});
+  conv.parameters()[1]->value = Tensor(Shape{1}, {0.0F});
+  Rng xr(5);
+  const Tensor x = Tensor::normal(Shape{2, 1, 4, 4}, xr);
+  const Tensor y = conv.forward(x, true);
+  EXPECT_LT(ops::max_abs_diff(x, y), 1e-6F);
+}
+
+TEST(Conv2d, KnownSmallConvolution) {
+  Rng rng(4);
+  nn::Conv2d conv(1, 1, 2, 1, 0, rng);
+  // Kernel [[1,2],[3,4]], bias 1.
+  conv.parameters()[0]->value = Tensor(Shape{1, 4}, {1, 2, 3, 4});
+  conv.parameters()[1]->value = Tensor(Shape{1}, {1.0F});
+  const Tensor x(Shape{1, 1, 2, 2}, {1, 1, 1, 1});
+  const Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_EQ(y[0], 11.0F);  // 1+2+3+4 + bias
+}
+
+TEST(Conv2d, OutputShapeWithStridePad) {
+  Rng rng(4);
+  nn::Conv2d conv(3, 8, 3, 2, 1, rng);
+  EXPECT_EQ(conv.output_shape(Shape{5, 3, 32, 32}), Shape({5, 8, 16, 16}));
+  EXPECT_EQ(conv.parameter_count(), 8 * 27 + 8);
+}
+
+TEST(Conv2d, RejectsWrongChannels) {
+  Rng rng(4);
+  nn::Conv2d conv(3, 8, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 4, 8, 8}), true),
+               InvalidArgument);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  nn::ReLU relu;
+  const Tensor x(Shape{4}, {-2, -0.5F, 0, 3});
+  const Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0F);
+  EXPECT_EQ(y[1], 0.0F);
+  EXPECT_EQ(y[2], 0.0F);
+  EXPECT_EQ(y[3], 3.0F);
+}
+
+TEST(ReLU, BackwardMasks) {
+  nn::ReLU relu;
+  const Tensor x(Shape{3}, {-1, 2, -3});
+  relu.forward(x, true);
+  const Tensor g(Shape{3}, {10, 20, 30});
+  const Tensor gin = relu.backward(g);
+  EXPECT_EQ(gin[0], 0.0F);
+  EXPECT_EQ(gin[1], 20.0F);
+  EXPECT_EQ(gin[2], 0.0F);
+}
+
+TEST(Activations, TanhSigmoidRanges) {
+  nn::Tanh tanh_layer;
+  nn::Sigmoid sig;
+  Rng rng(6);
+  const Tensor x = Tensor::normal(Shape{64}, rng, 0.0F, 3.0F);
+  const Tensor ty = tanh_layer.forward(x, true);
+  const Tensor sy = sig.forward(x, true);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_GT(ty[i], -1.0F);
+    EXPECT_LT(ty[i], 1.0F);
+    EXPECT_GT(sy[i], 0.0F);
+    EXPECT_LT(sy[i], 1.0F);
+    EXPECT_NEAR(ty[i], std::tanh(x[i]), 1e-5F);
+  }
+}
+
+TEST(MaxPool2d, SelectsWindowMaxima) {
+  nn::MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 4}, {1, 5, 2, 0,
+                                     3, 4, 8, 7});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_EQ(y[0], 5.0F);
+  EXPECT_EQ(y[1], 8.0F);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  nn::MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 2}, {1, 9, 3, 4});
+  pool.forward(x, true);
+  const Tensor g(Shape{1, 1, 1, 1}, {5.0F});
+  const Tensor gin = pool.backward(g);
+  EXPECT_EQ(gin[0], 0.0F);
+  EXPECT_EQ(gin[1], 5.0F);
+  EXPECT_EQ(gin[2], 0.0F);
+  EXPECT_EQ(gin[3], 0.0F);
+}
+
+TEST(MaxPool2d, WindowTooLargeThrows) {
+  nn::MaxPool2d pool(4);
+  EXPECT_THROW(pool.output_shape(Shape{1, 1, 2, 2}), InvalidArgument);
+}
+
+TEST(GlobalAvgPool, AveragesPlanes) {
+  nn::GlobalAvgPool gap;
+  const Tensor x(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5F);
+  EXPECT_FLOAT_EQ(y[1], 10.0F);
+}
+
+
+TEST(AvgPool2d, AveragesWindows) {
+  nn::AvgPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 4}, {1, 5, 2, 0,
+                                     3, 7, 8, 6});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 4.0F);
+  EXPECT_FLOAT_EQ(y[1], 4.0F);
+}
+
+TEST(AvgPool2d, BackwardSpreadsUniformly) {
+  nn::AvgPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 2});
+  pool.forward(x, true);
+  const Tensor g(Shape{1, 1, 1, 1}, {8.0F});
+  const Tensor gin = pool.backward(g);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gin[i], 2.0F);
+}
+
+TEST(AvgPool2d, WindowTooLargeThrows) {
+  nn::AvgPool2d pool(3);
+  EXPECT_THROW(pool.output_shape(Shape{1, 1, 2, 2}), InvalidArgument);
+}
+
+TEST(BatchNorm2d, NormalizesBatchStatistics) {
+  nn::BatchNorm2d bn(2);
+  Rng rng(7);
+  const Tensor x = Tensor::normal(Shape{8, 2, 4, 4}, rng, 3.0F, 2.0F);
+  const Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1 after normalization with unit gamma.
+  const std::int64_t hw = 16, batch = 8;
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const float v = y[(b * 2 + c) * hw + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    const double n = static_cast<double>(batch * hw);
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  nn::BatchNorm2d bn(1);
+  Rng rng(8);
+  // Feed several batches to converge running stats toward N(5, 4).
+  for (int i = 0; i < 200; ++i) {
+    const Tensor x = Tensor::normal(Shape{4, 1, 4, 4}, rng, 5.0F, 2.0F);
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0F, 0.3F);
+  EXPECT_NEAR(bn.running_var()[0], 4.0F, 0.6F);
+  // Eval on a constant input: output should be (5-mean)/sqrt(var) ~ 0.
+  const Tensor x = Tensor::full(Shape{1, 1, 2, 2}, 5.0F);
+  const Tensor y = bn.forward(x, false);
+  EXPECT_NEAR(y[0], 0.0F, 0.2F);
+}
+
+TEST(BatchNorm2d, BackwardBeforeAnyForwardThrows) {
+  nn::BatchNorm2d bn(1);
+  EXPECT_THROW(bn.backward(Tensor(Shape{1, 1, 2, 2})), InvalidArgument);
+}
+
+TEST(BatchNorm2d, EvalBackwardIsFrozenAffine) {
+  nn::BatchNorm2d bn(1);
+  Rng rng(30);
+  // Converge running stats so eval normalization is non-trivial.
+  for (int i = 0; i < 50; ++i) {
+    bn.forward(Tensor::normal(Shape{4, 1, 3, 3}, rng, 2.0F, 3.0F), true);
+  }
+  bn.zero_grad();
+  const Tensor x = Tensor::normal(Shape{2, 1, 3, 3}, rng);
+  bn.forward(x, false);
+  const Tensor g = Tensor::ones(Shape{2, 1, 3, 3});
+  const Tensor gin = bn.backward(g);
+  // dx = gamma / sqrt(rv + eps) * g — constant per channel.
+  const float scale =
+      1.0F / std::sqrt(bn.running_var()[0] + 1e-5F);
+  for (std::int64_t i = 0; i < gin.numel(); ++i) {
+    EXPECT_NEAR(gin[i], scale, 1e-5F);
+  }
+  // dbeta = sum g = 18.
+  EXPECT_NEAR(bn.parameters()[1]->grad[0], 18.0F, 1e-4F);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(9);
+  nn::Dropout drop(0.5F, rng);
+  Rng xr(10);
+  const Tensor x = Tensor::normal(Shape{64}, xr);
+  const Tensor y = drop.forward(x, false);
+  EXPECT_EQ(ops::max_abs_diff(x, y), 0.0F);
+}
+
+TEST(Dropout, TrainModeDropsAndRescales) {
+  Rng rng(11);
+  nn::Dropout drop(0.5F, rng);
+  const Tensor x = Tensor::ones(Shape{10000});
+  const Tensor y = drop.forward(x, true);
+  std::int64_t zeros = 0;
+  for (const float v : y.data()) {
+    if (v == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0F);  // kept values scaled by 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(12);
+  nn::Dropout drop(0.3F, rng);
+  const Tensor x = Tensor::ones(Shape{128});
+  const Tensor y = drop.forward(x, true);
+  const Tensor gin = drop.backward(Tensor::ones(Shape{128}));
+  // grad passes exactly where the forward passed.
+  EXPECT_EQ(ops::max_abs_diff(gin, y), 0.0F);
+}
+
+TEST(Dropout, RejectsBadProbability) {
+  Rng rng(13);
+  EXPECT_THROW(nn::Dropout(1.0F, rng), InvalidArgument);
+  EXPECT_THROW(nn::Dropout(-0.1F, rng), InvalidArgument);
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  nn::Flatten flat;
+  const Tensor x(Shape{2, 3, 4});
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 12}));
+  const Tensor g = flat.backward(Tensor(Shape{2, 12}));
+  EXPECT_EQ(g.shape(), Shape({2, 3, 4}));
+}
+
+TEST(Sequential, ChainsLayersAndShapes) {
+  Rng rng(14);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::MaxPool2d>(2);
+  seq.emplace<nn::Flatten>();
+  seq.emplace<nn::Linear>(4 * 4 * 4, 5, rng);
+  EXPECT_EQ(seq.size(), 5U);
+  EXPECT_EQ(seq.output_shape(Shape{2, 1, 8, 8}), Shape({2, 5}));
+  const Tensor y = seq.forward(Tensor(Shape{2, 1, 8, 8}), true);
+  EXPECT_EQ(y.shape(), Shape({2, 5}));
+  EXPECT_EQ(seq.parameters().size(), 4U);  // conv W/b + linear W/b
+}
+
+TEST(Sequential, ActivationShapesListsEveryStage) {
+  Rng rng(15);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(1, 2, 3, 1, 1, rng);
+  seq.emplace<nn::MaxPool2d>(2);
+  const auto shapes = seq.activation_shapes(Shape{1, 1, 8, 8});
+  ASSERT_EQ(shapes.size(), 3U);
+  EXPECT_EQ(shapes[0], Shape({1, 1, 8, 8}));
+  EXPECT_EQ(shapes[1], Shape({1, 2, 8, 8}));
+  EXPECT_EQ(shapes[2], Shape({1, 2, 4, 4}));
+}
+
+TEST(Sequential, ExtractSplitsInPlace) {
+  Rng rng(16);
+  nn::Sequential seq;
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::Tanh>();
+  seq.emplace<nn::Sigmoid>();
+  nn::Sequential front = seq.extract(0, 1);
+  EXPECT_EQ(front.size(), 1U);
+  EXPECT_EQ(seq.size(), 2U);
+  EXPECT_EQ(front.layer(0).name(), "ReLU");
+  EXPECT_EQ(seq.layer(0).name(), "Tanh");
+}
+
+TEST(Sequential, ExtractValidatesRange) {
+  nn::Sequential seq;
+  seq.emplace<nn::ReLU>();
+  EXPECT_THROW(seq.extract(0, 2), InvalidArgument);
+  EXPECT_THROW(seq.extract(2, 1), InvalidArgument);
+}
+
+TEST(ResidualBlock, IdentityShapeAndProjection) {
+  Rng rng(17);
+  nn::ResidualBlock same(8, 8, 1, rng);
+  EXPECT_EQ(same.output_shape(Shape{2, 8, 8, 8}), Shape({2, 8, 8, 8}));
+  EXPECT_EQ(same.parameters().size(), 8U);  // 2x(conv W/b) + 2x(bn g/b)
+
+  nn::ResidualBlock proj(8, 16, 2, rng);
+  EXPECT_EQ(proj.output_shape(Shape{2, 8, 8, 8}), Shape({2, 16, 4, 4}));
+  EXPECT_EQ(proj.parameters().size(), 12U);  // + projection conv/bn
+}
+
+TEST(ResidualBlock, ForwardRunsAndIsNonNegative) {
+  Rng rng(18);
+  nn::ResidualBlock block(4, 4, 1, rng);
+  Rng xr(19);
+  const Tensor x = Tensor::normal(Shape{2, 4, 6, 6}, xr);
+  const Tensor y = block.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (const float v : y.data()) EXPECT_GE(v, 0.0F);  // final ReLU
+}
+
+}  // namespace
+}  // namespace splitmed

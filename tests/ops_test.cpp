@@ -1,0 +1,137 @@
+// Tests for tensor/ops.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+TEST(Ops, ElementwiseBasics) {
+  const Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {4, 5, 6});
+  EXPECT_EQ(ops::add(a, b)[1], 7.0F);
+  EXPECT_EQ(ops::sub(b, a)[2], 3.0F);
+  EXPECT_EQ(ops::mul(a, b)[0], 4.0F);
+  EXPECT_EQ(ops::scale(a, 2.0F)[2], 6.0F);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(ops::add(a, b), ShapeError);
+  EXPECT_THROW(ops::mse(a, b), ShapeError);
+}
+
+TEST(Ops, MapAppliesFunction) {
+  const Tensor a(Shape{3}, {-1, 0, 2});
+  const Tensor r = ops::map(a, [](float v) { return v * v; });
+  EXPECT_EQ(r[0], 1.0F);
+  EXPECT_EQ(r[2], 4.0F);
+}
+
+TEST(Ops, AxpyAccumulates) {
+  Tensor a(Shape{2}, {1, 1});
+  const Tensor b(Shape{2}, {2, 4});
+  ops::axpy(0.5F, b, a);
+  EXPECT_EQ(a[0], 2.0F);
+  EXPECT_EQ(a[1], 3.0F);
+}
+
+TEST(Ops, Reductions) {
+  const Tensor a(Shape{4}, {1, 2, 3, 4});
+  EXPECT_EQ(ops::sum(a), 10.0F);
+  EXPECT_EQ(ops::mean(a), 2.5F);
+  EXPECT_EQ(ops::max(a), 4.0F);
+  EXPECT_FLOAT_EQ(ops::l2_norm(a), std::sqrt(30.0F));
+}
+
+TEST(Ops, EmptyReductionsThrow) {
+  const Tensor a(Shape{0});
+  EXPECT_THROW(ops::mean(a), InvalidArgument);
+  EXPECT_THROW(ops::max(a), InvalidArgument);
+}
+
+TEST(Ops, MseAndMaxAbsDiff) {
+  const Tensor a(Shape{2}, {0, 0});
+  const Tensor b(Shape{2}, {3, 4});
+  EXPECT_FLOAT_EQ(ops::mse(a, b), 12.5F);
+  EXPECT_FLOAT_EQ(ops::max_abs_diff(a, b), 4.0F);
+}
+
+TEST(Ops, ArgmaxRows) {
+  const Tensor a(Shape{2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto idx = ops::argmax_rows(a);
+  ASSERT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, MatmulSmallKnown) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_EQ(c.at({0, 0}), 58.0F);
+  EXPECT_EQ(c.at({0, 1}), 64.0F);
+  EXPECT_EQ(c.at({1, 0}), 139.0F);
+  EXPECT_EQ(c.at({1, 1}), 154.0F);
+}
+
+TEST(Ops, MatmulInnerDimMismatchThrows) {
+  EXPECT_THROW(ops::matmul(Tensor(Shape{2, 3}), Tensor(Shape{2, 3})),
+               InvalidArgument);
+}
+
+TEST(Ops, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  const Tensor a = Tensor::normal(Shape{4, 5}, rng);
+  const Tensor b = Tensor::normal(Shape{4, 6}, rng);
+  // matmul_tn(a, b) == transpose(a) * b
+  const Tensor tn = ops::matmul_tn(a, b);
+  const Tensor ref_tn = ops::matmul(ops::transpose(a), b);
+  EXPECT_LT(ops::max_abs_diff(tn, ref_tn), 1e-5F);
+
+  const Tensor c = Tensor::normal(Shape{5, 6}, rng);
+  const Tensor d = Tensor::normal(Shape{7, 6}, rng);
+  // matmul_nt(c, d) == c * transpose(d)
+  const Tensor nt = ops::matmul_nt(c, d);
+  const Tensor ref_nt = ops::matmul(c, ops::transpose(d));
+  EXPECT_LT(ops::max_abs_diff(nt, ref_nt), 1e-5F);
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(4);
+  const Tensor a = Tensor::normal(Shape{3, 7}, rng);
+  EXPECT_LT(ops::max_abs_diff(ops::transpose(ops::transpose(a)), a), 0.0F + 1e-9F);
+}
+
+TEST(Ops, ConcatRows) {
+  const Tensor a(Shape{1, 2}, {1, 2});
+  const Tensor b(Shape{2, 2}, {3, 4, 5, 6});
+  const Tensor c = ops::concat_rows({a, b});
+  EXPECT_EQ(c.shape(), Shape({3, 2}));
+  EXPECT_EQ(c.at({0, 1}), 2.0F);
+  EXPECT_EQ(c.at({2, 0}), 5.0F);
+}
+
+TEST(Ops, ConcatRowsValidates) {
+  EXPECT_THROW(ops::concat_rows({}), InvalidArgument);
+  EXPECT_THROW(
+      ops::concat_rows({Tensor(Shape{1, 2}), Tensor(Shape{1, 3})}),
+      InvalidArgument);
+}
+
+TEST(Ops, SumUsesStableAccumulation) {
+  // 1e7 values of 0.1 — float accumulation would drift visibly; the double
+  // accumulator keeps relative error tiny.
+  Tensor t(Shape{1000000});
+  t.fill(0.1F);
+  EXPECT_NEAR(ops::sum(t) / 100000.0F, 1.0F, 1e-3F);
+}
+
+}  // namespace
+}  // namespace splitmed

@@ -1,0 +1,180 @@
+// Tests for optim/: SGD variants, Adam, lr schedules, convergence property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/loss.hpp"
+#include "src/nn/parameter.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/optim/adam.hpp"
+#include "src/optim/lr_schedule.hpp"
+#include "src/optim/sgd.hpp"
+
+namespace splitmed {
+namespace {
+
+nn::Parameter make_param(std::vector<float> value) {
+  const auto n = static_cast<std::int64_t>(value.size());
+  return nn::Parameter("p", Tensor(Shape{n}, std::move(value)));
+}
+
+TEST(Sgd, PlainStep) {
+  nn::Parameter p = make_param({1.0F, 2.0F});
+  p.grad = Tensor(Shape{2}, {0.5F, -1.0F});
+  optim::Sgd opt({&p}, {.learning_rate = 0.1F});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95F);
+  EXPECT_FLOAT_EQ(p.value[1], 2.1F);
+}
+
+TEST(Sgd, StepDoesNotClearGradients) {
+  nn::Parameter p = make_param({1.0F});
+  p.grad = Tensor(Shape{1}, {1.0F});
+  optim::Sgd opt({&p}, {.learning_rate = 0.1F});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.grad[0], 1.0F);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0F);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  nn::Parameter p = make_param({0.0F});
+  optim::Sgd opt({&p}, {.learning_rate = 1.0F, .momentum = 0.9F});
+  p.grad = Tensor(Shape{1}, {1.0F});
+  opt.step();  // v=1, p=-1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0F);
+  p.grad = Tensor(Shape{1}, {1.0F});
+  opt.step();  // v=1.9, p=-2.9
+  EXPECT_FLOAT_EQ(p.value[0], -2.9F);
+}
+
+TEST(Sgd, WeightDecayAddsL2Pull) {
+  nn::Parameter p = make_param({2.0F});
+  p.grad = Tensor(Shape{1}, {0.0F});
+  optim::Sgd opt({&p}, {.learning_rate = 0.5F, .weight_decay = 0.1F});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 2.0F - 0.5F * 0.2F);
+}
+
+TEST(Sgd, NesterovDiffersFromHeavyBall) {
+  nn::Parameter a = make_param({0.0F});
+  nn::Parameter b = make_param({0.0F});
+  optim::Sgd heavy({&a}, {.learning_rate = 1.0F, .momentum = 0.9F});
+  optim::Sgd nesterov(
+      {&b}, {.learning_rate = 1.0F, .momentum = 0.9F, .nesterov = true});
+  for (int i = 0; i < 2; ++i) {
+    a.grad = Tensor(Shape{1}, {1.0F});
+    b.grad = Tensor(Shape{1}, {1.0F});
+    heavy.step();
+    nesterov.step();
+  }
+  EXPECT_NE(a.value[0], b.value[0]);
+}
+
+TEST(Sgd, ValidatesOptions) {
+  nn::Parameter p = make_param({0.0F});
+  EXPECT_THROW(optim::Sgd({&p}, {.learning_rate = 0.0F}), InvalidArgument);
+  EXPECT_THROW(optim::Sgd({&p}, {.learning_rate = 0.1F, .momentum = 1.0F}),
+               InvalidArgument);
+  EXPECT_THROW(
+      optim::Sgd({&p}, {.learning_rate = 0.1F, .nesterov = true}),
+      InvalidArgument);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // minimize f(x) = 0.5*(x-3)^2; grad = x-3.
+  nn::Parameter p = make_param({10.0F});
+  optim::Sgd opt({&p}, {.learning_rate = 0.1F, .momentum = 0.5F});
+  for (int i = 0; i < 200; ++i) {
+    p.grad = Tensor(Shape{1}, {p.value[0] - 3.0F});
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0F, 1e-3F);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  nn::Parameter p = make_param({0.0F});
+  optim::Adam opt({&p}, {.learning_rate = 0.1F});
+  p.grad = Tensor(Shape{1}, {123.0F});
+  opt.step();
+  // Bias-corrected Adam's first step is ~lr regardless of gradient scale.
+  EXPECT_NEAR(p.value[0], -0.1F, 1e-4F);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  nn::Parameter p = make_param({-5.0F});
+  optim::Adam opt({&p}, {.learning_rate = 0.2F});
+  for (int i = 0; i < 400; ++i) {
+    p.grad = Tensor(Shape{1}, {p.value[0] - 1.5F});
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 1.5F, 1e-2F);
+}
+
+TEST(Adam, ValidatesOptions) {
+  nn::Parameter p = make_param({0.0F});
+  EXPECT_THROW(optim::Adam({&p}, {.learning_rate = -1.0F}), InvalidArgument);
+  EXPECT_THROW(optim::Adam({&p}, {.learning_rate = 0.1F, .beta1 = 1.0F}),
+               InvalidArgument);
+}
+
+
+TEST(Optim, AdamTrainsASmallConvNet) {
+  // End-to-end: Adam on a tiny conv net fits a 4-example batch exactly.
+  Rng rng(42);
+  nn::Sequential net;
+  net.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Linear>(4 * 4 * 4, 2, rng);
+  optim::Adam opt(net.parameters(), {.learning_rate = 0.01F});
+  Rng xr(1);
+  const Tensor x = Tensor::normal(Shape{4, 1, 4, 4}, xr);
+  const std::vector<std::int64_t> labels = {0, 1, 0, 1};
+  nn::SoftmaxCrossEntropy loss;
+  float final_loss = 0.0F;
+  for (int i = 0; i < 150; ++i) {
+    opt.zero_grad();
+    final_loss = loss.forward(net.forward(x, true), labels);
+    net.backward(loss.backward());
+    opt.step();
+  }
+  EXPECT_LT(final_loss, 0.05F);
+}
+
+TEST(LrSchedule, Constant) {
+  const auto s = optim::constant_lr(0.05F);
+  EXPECT_FLOAT_EQ(s(0), 0.05F);
+  EXPECT_FLOAT_EQ(s(100), 0.05F);
+}
+
+TEST(LrSchedule, StepDecay) {
+  const auto s = optim::step_lr(1.0F, 10, 0.1F);
+  EXPECT_FLOAT_EQ(s(0), 1.0F);
+  EXPECT_FLOAT_EQ(s(9), 1.0F);
+  EXPECT_FLOAT_EQ(s(10), 0.1F);
+  EXPECT_NEAR(s(25), 0.01F, 1e-6F);
+}
+
+TEST(LrSchedule, CosineEndpoints) {
+  const auto s = optim::cosine_lr(1.0F, 0.0F, 100);
+  EXPECT_NEAR(s(0), 1.0F, 1e-5F);
+  EXPECT_NEAR(s(50), 0.5F, 1e-5F);
+  EXPECT_NEAR(s(100), 0.0F, 1e-5F);
+  EXPECT_NEAR(s(200), 0.0F, 1e-5F);  // clamped past the horizon
+}
+
+TEST(LrSchedule, ValidatesArguments) {
+  EXPECT_THROW(optim::constant_lr(0.0F), InvalidArgument);
+  EXPECT_THROW(optim::step_lr(0.1F, 0, 0.5F), InvalidArgument);
+  EXPECT_THROW(optim::cosine_lr(0.1F, 0.2F, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace splitmed

@@ -1,0 +1,100 @@
+// Tests for nn/param_util.hpp — the flatten/scatter machinery the weight-
+// exchange baselines and the L1-sync extension depend on.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/param_util.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+nn::Sequential make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(4, 3, rng);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::Linear>(3, 2, rng);
+  return seq;
+}
+
+TEST(ParamUtil, NumelSumsAllParameters) {
+  auto net = make_net(1);
+  // 4*3 + 3 + 3*2 + 2 = 23.
+  EXPECT_EQ(nn::parameter_numel(net.parameters()), 23);
+}
+
+TEST(ParamUtil, FlattenLoadValuesRoundTrip) {
+  auto a = make_net(1);
+  auto b = make_net(2);
+  const Tensor flat = nn::flatten_values(a.parameters());
+  EXPECT_EQ(flat.shape(), Shape({23}));
+  nn::load_values(b.parameters(), flat);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(ops::max_abs_diff(pa[i]->value, pb[i]->value), 0.0F);
+  }
+}
+
+TEST(ParamUtil, FlattenPreservesParameterOrder) {
+  auto net = make_net(3);
+  const auto params = net.parameters();
+  params[0]->value.fill(1.0F);  // first linear weight (12 elems)
+  params[1]->value.fill(2.0F);  // first linear bias (3)
+  params[2]->value.fill(3.0F);  // second linear weight (6)
+  params[3]->value.fill(4.0F);  // second linear bias (2)
+  const Tensor flat = nn::flatten_values(params);
+  EXPECT_EQ(flat[0], 1.0F);
+  EXPECT_EQ(flat[11], 1.0F);
+  EXPECT_EQ(flat[12], 2.0F);
+  EXPECT_EQ(flat[15], 3.0F);
+  EXPECT_EQ(flat[21], 4.0F);
+}
+
+TEST(ParamUtil, GradientFlattenAndScatter) {
+  auto net = make_net(4);
+  const auto params = net.parameters();
+  for (auto* p : params) p->grad.fill(5.0F);
+  const Tensor g = nn::flatten_gradients(params);
+  EXPECT_EQ(g.numel(), 23);
+  for (std::int64_t i = 0; i < g.numel(); ++i) EXPECT_EQ(g[i], 5.0F);
+
+  Tensor replacement = Tensor::full(Shape{23}, -1.0F);
+  nn::load_gradients(params, replacement);
+  EXPECT_EQ(params[2]->grad[0], -1.0F);
+}
+
+TEST(ParamUtil, AxpyValuesAccumulates) {
+  auto net = make_net(5);
+  const auto params = net.parameters();
+  for (auto* p : params) p->value.fill(1.0F);
+  const Tensor delta = Tensor::full(Shape{23}, 2.0F);
+  nn::axpy_values(params, 0.5F, delta);
+  EXPECT_FLOAT_EQ(params[0]->value[0], 2.0F);
+  EXPECT_FLOAT_EQ(params[3]->value[1], 2.0F);
+}
+
+TEST(ParamUtil, SizeMismatchRejected) {
+  auto net = make_net(6);
+  const Tensor wrong(Shape{10});
+  EXPECT_THROW(nn::load_values(net.parameters(), wrong), InvalidArgument);
+  EXPECT_THROW(nn::load_gradients(net.parameters(), wrong), InvalidArgument);
+  EXPECT_THROW(nn::axpy_values(net.parameters(), 1.0F, wrong),
+               InvalidArgument);
+  const Tensor wrong_rank(Shape{23, 1});
+  EXPECT_THROW(nn::load_values(net.parameters(), wrong_rank),
+               InvalidArgument);
+}
+
+TEST(ParamUtil, NullParameterRejected) {
+  std::vector<nn::Parameter*> params = {nullptr};
+  EXPECT_THROW(nn::parameter_numel(params), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace splitmed

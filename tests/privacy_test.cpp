@@ -1,0 +1,139 @@
+// Tests for privacy/: distance correlation properties and the reconstruction
+// attack's qualitative behaviour (shallow linear cuts leak, deeper
+// compressive cuts leak less).
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/pool.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/privacy/distance_correlation.hpp"
+#include "src/privacy/reconstruction.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+TEST(DistanceCorrelation, SelfIsOne) {
+  Rng rng(1);
+  const Tensor x = Tensor::normal(Shape{24, 10}, rng);
+  EXPECT_NEAR(privacy::distance_correlation(x, x), 1.0, 1e-9);
+}
+
+TEST(DistanceCorrelation, AffineTransformIsOne) {
+  Rng rng(2);
+  const Tensor x = Tensor::normal(Shape{24, 10}, rng);
+  Tensor y = ops::scale(x, 3.0F);
+  for (auto& v : y.data()) v += 7.0F;
+  EXPECT_NEAR(privacy::distance_correlation(x, y), 1.0, 1e-6);
+}
+
+TEST(DistanceCorrelation, IndependentIsWellBelowDependent) {
+  // The empirical dCor of independent samples has a positive finite-sample
+  // bias (~0.5 at n=64), so compare against the dependent case rather than
+  // asserting near-zero.
+  Rng rng(3);
+  const Tensor x = Tensor::normal(Shape{64, 8}, rng);
+  const Tensor y = Tensor::normal(Shape{64, 8}, rng);
+  const double independent = privacy::distance_correlation(x, y);
+  EXPECT_LT(independent, 0.7);
+  EXPECT_GT(privacy::distance_correlation(x, x), independent + 0.25);
+}
+
+TEST(DistanceCorrelation, OrderedByDependence) {
+  Rng rng(4);
+  const Tensor x = Tensor::normal(Shape{48, 6}, rng);
+  // y = x + noise at two noise levels: less noise -> higher dependence.
+  Tensor y_low = x, y_high = x;
+  for (auto& v : y_low.data()) v += 0.1F * rng.normal();
+  for (auto& v : y_high.data()) v += 3.0F * rng.normal();
+  EXPECT_GT(privacy::distance_correlation(x, y_low),
+            privacy::distance_correlation(x, y_high));
+}
+
+TEST(DistanceCorrelation, ValidatesInputs) {
+  const Tensor one_sample(Shape{1, 4});
+  EXPECT_THROW(privacy::distance_correlation(one_sample, one_sample),
+               InvalidArgument);  // needs >= 2 samples
+  const Tensor four(Shape{4, 2});
+  const Tensor five(Shape{5, 2});
+  EXPECT_THROW(privacy::distance_correlation(four, five), InvalidArgument);
+}
+
+TEST(Reconstruction, WideLinearCutLeaksInputs) {
+  // L1 = Flatten + overcomplete Linear: essentially invertible. The attack
+  // should recover the inputs to low MSE.
+  Rng rng(5);
+  nn::Sequential l1;
+  l1.emplace<nn::Flatten>();
+  l1.emplace<nn::Linear>(16, 32, rng);
+
+  Rng xr(6);
+  const Tensor x = Tensor::normal(Shape{2, 1, 4, 4}, xr, 0.5F, 0.25F);
+  privacy::ReconstructionOptions opt;
+  opt.iterations = 400;
+  const auto result = privacy::reconstruct_inputs(l1, x, opt);
+  // Input variance is 0.0625; recovering to far below that = leakage.
+  EXPECT_LT(result.input_mse, 0.01F);
+  EXPECT_LT(result.activation_mse, 1e-4F);
+  EXPECT_EQ(result.reconstruction.shape(), x.shape());
+}
+
+TEST(Reconstruction, CompressiveCutLeaksLess) {
+  // Deep compressive L1 (conv + relu + pool + conv stride 2) destroys
+  // information; the same attack should do clearly worse than on the wide
+  // linear cut.
+  Rng rng(7);
+  nn::Sequential shallow;
+  shallow.emplace<nn::Flatten>();
+  shallow.emplace<nn::Linear>(64, 128, rng);
+
+  nn::Sequential deep;
+  deep.emplace<nn::Conv2d>(1, 2, 3, 1, 1, rng);
+  deep.emplace<nn::ReLU>();
+  deep.emplace<nn::MaxPool2d>(2);
+  deep.emplace<nn::Conv2d>(2, 2, 3, 2, 1, rng);
+
+  Rng xr(8);
+  const Tensor x = Tensor::normal(Shape{2, 1, 8, 8}, xr, 0.5F, 0.25F);
+  privacy::ReconstructionOptions opt;
+  opt.iterations = 300;
+  const auto shallow_result = privacy::reconstruct_inputs(shallow, x, opt);
+  const auto deep_result = privacy::reconstruct_inputs(deep, x, opt);
+  EXPECT_GT(deep_result.input_mse, 2.0F * shallow_result.input_mse);
+}
+
+TEST(Reconstruction, DoesNotCorruptL1State) {
+  Rng rng(9);
+  nn::Sequential l1;
+  l1.emplace<nn::Flatten>();
+  l1.emplace<nn::Linear>(16, 8, rng);
+  const Tensor w_before = l1.parameters()[0]->value;
+
+  Rng xr(10);
+  const Tensor x = Tensor::normal(Shape{1, 1, 4, 4}, xr);
+  privacy::ReconstructionOptions opt;
+  opt.iterations = 50;
+  privacy::reconstruct_inputs(l1, x, opt);
+
+  EXPECT_EQ(ops::max_abs_diff(l1.parameters()[0]->value, w_before), 0.0F);
+  EXPECT_EQ(ops::l2_norm(l1.parameters()[0]->grad), 0.0F);
+}
+
+TEST(Reconstruction, ValidatesOptions) {
+  Rng rng(11);
+  nn::Sequential l1;
+  l1.emplace<nn::Flatten>();
+  l1.emplace<nn::Linear>(4, 4, rng);
+  privacy::ReconstructionOptions opt;
+  opt.iterations = 0;
+  const Tensor x(Shape{1, 1, 2, 2});
+  EXPECT_THROW(privacy::reconstruct_inputs(l1, x, opt), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace splitmed

@@ -1,0 +1,183 @@
+// THE core correctness property (DESIGN.md): the split protocol is a pure
+// refactoring of centralized training. With one platform holding all the
+// data, one split protocol step must produce BIT-IDENTICAL parameters to a
+// centralized SGD step on the same minibatch. Also verifies that measured
+// wire bytes equal the analytic ModelStats prediction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/common/error.hpp"
+#include "src/core/trainer.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/models/factory.hpp"
+#include "src/models/model_stats.hpp"
+#include "src/nn/loss.hpp"
+#include "src/optim/sgd.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+data::SyntheticCifar make_dataset(std::int64_t n, std::int64_t classes,
+                                  std::int64_t size) {
+  data::SyntheticCifarOptions opt;
+  opt.num_examples = n;
+  opt.num_classes = classes;
+  opt.image_size = size;
+  return data::SyntheticCifar(opt);
+}
+
+core::ModelBuilder mlp_builder() {
+  return [] {
+    models::FactoryConfig cfg;
+    cfg.name = "mlp";
+    cfg.image_size = 8;
+    cfg.num_classes = 4;
+    return models::build_model(cfg);
+  };
+}
+
+core::ModelBuilder resnet_builder() {
+  return [] {
+    models::FactoryConfig cfg;
+    cfg.name = "resnet-mini";
+    cfg.image_size = 16;
+    cfg.num_classes = 4;
+    return models::build_model(cfg);
+  };
+}
+
+/// Runs `rounds` centralized SGD steps drawing batches exactly as platform 0
+/// of a single-platform SplitTrainer would (same loader seed derivation).
+models::BuiltModel centralized_reference(
+    const core::ModelBuilder& builder,
+                                         const data::Dataset& train,
+                                         const std::vector<std::int64_t>& shard,
+                                         std::int64_t batch,
+                                         std::int64_t rounds,
+                                         const optim::SgdOptions& sgd,
+                                         std::uint64_t seed) {
+  models::BuiltModel model = builder();
+  optim::Sgd opt(model.net.parameters(), sgd);
+  Rng loader_rng(seed);
+  data::DataLoader loader(train, shard, batch, loader_rng.split(0),
+                          /*drop_last=*/true);
+  nn::SoftmaxCrossEntropy loss;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    data::Batch b = loader.next_batch();
+    model.net.zero_grad();
+    const Tensor logits = model.net.forward(b.images, true);
+    loss.forward(logits, b.labels);
+    model.net.backward(loss.backward());
+    opt.step();
+  }
+  return model;
+}
+
+void expect_split_equals_centralized(const core::ModelBuilder& builder,
+                                     const data::Dataset& train,
+                                     std::int64_t batch, std::int64_t rounds) {
+  std::vector<std::int64_t> shard(static_cast<std::size_t>(train.size()));
+  std::iota(shard.begin(), shard.end(), 0);
+
+  core::SplitConfig cfg;
+  cfg.total_batch = batch;
+  cfg.rounds = rounds;
+  cfg.eval_every = rounds;
+  cfg.sgd.learning_rate = 0.05F;
+  cfg.sgd.momentum = 0.9F;
+  cfg.seed = 2024;
+  const auto test = make_dataset(8, 4, train.image_shape().dim(1));
+  core::SplitTrainer trainer(builder, train, {shard}, test, cfg);
+  trainer.run();
+
+  models::BuiltModel reference = centralized_reference(
+      builder, train, shard, batch, rounds, cfg.sgd, cfg.seed);
+
+  // Reassemble the split model's parameters: L1 from the platform, the rest
+  // from the server — must equal the centralized model parameter-for-
+  // parameter, bit-identically.
+  std::vector<nn::Parameter*> split_params;
+  for (nn::Parameter* p : trainer.platform(0).l1().parameters()) {
+    split_params.push_back(p);
+  }
+  for (nn::Parameter* p : trainer.server().body().parameters()) {
+    split_params.push_back(p);
+  }
+  const auto ref_params = reference.net.parameters();
+  ASSERT_EQ(split_params.size(), ref_params.size());
+  for (std::size_t i = 0; i < ref_params.size(); ++i) {
+    EXPECT_EQ(ops::max_abs_diff(split_params[i]->value, ref_params[i]->value),
+              0.0F)
+        << "parameter " << i << " (" << ref_params[i]->name << ") diverged";
+  }
+}
+
+TEST(SplitEquivalence, MlpSingleStep) {
+  const auto train = make_dataset(32, 4, 8);
+  expect_split_equals_centralized(mlp_builder(), train, 8, 1);
+}
+
+TEST(SplitEquivalence, MlpMultiStepWithMomentum) {
+  const auto train = make_dataset(32, 4, 8);
+  expect_split_equals_centralized(mlp_builder(), train, 8, 5);
+}
+
+TEST(SplitEquivalence, ResNetWithBatchNorm) {
+  const auto train = make_dataset(16, 4, 16);
+  expect_split_equals_centralized(resnet_builder(), train, 4, 2);
+}
+
+TEST(SplitEquivalence, MeasuredBytesMatchAnalyticModel) {
+  const auto train = make_dataset(48, 4, 8);
+  const auto test = make_dataset(8, 4, 8);
+  Rng prng(7);
+  const auto partition = data::partition_zipf(train.size(), 3, 1.0, prng);
+
+  core::SplitConfig cfg;
+  cfg.total_batch = 12;
+  cfg.rounds = 4;
+  cfg.eval_every = 4;
+  cfg.seed = 5;
+  core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+  const auto report = trainer.run();
+
+  models::BuiltModel model = mlp_builder()();
+  auto stats = models::ModelStats::analyze(model);
+  const std::uint64_t expected =
+      4 * stats.split_step_bytes(trainer.minibatches());
+  EXPECT_EQ(report.total_bytes, expected);
+  EXPECT_EQ(trainer.network().stats().total_bytes(), expected);
+  // 4 messages per platform per round.
+  EXPECT_EQ(trainer.network().stats().total_messages(), 4U * 3U * 4U);
+}
+
+TEST(SplitEquivalence, PerKindTrafficIsSymmetric) {
+  const auto train = make_dataset(32, 4, 8);
+  const auto test = make_dataset(8, 4, 8);
+  Rng prng(9);
+  const auto partition = data::partition_iid(train.size(), 2, prng);
+
+  core::SplitConfig cfg;
+  cfg.total_batch = 8;
+  cfg.rounds = 3;
+  cfg.eval_every = 3;
+  core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+  trainer.run();
+
+  const auto& stats = trainer.network().stats();
+  // Activation traffic equals cut-grad traffic (same tensors both ways),
+  // and logits traffic equals logit-grad traffic.
+  EXPECT_EQ(stats.bytes_for_kind(
+                static_cast<std::uint32_t>(core::MsgKind::kActivation)),
+            stats.bytes_for_kind(
+                static_cast<std::uint32_t>(core::MsgKind::kCutGrad)));
+  EXPECT_EQ(stats.bytes_for_kind(
+                static_cast<std::uint32_t>(core::MsgKind::kLogits)),
+            stats.bytes_for_kind(
+                static_cast<std::uint32_t>(core::MsgKind::kLogitGrad)));
+}
+
+}  // namespace
+}  // namespace splitmed

@@ -1,0 +1,124 @@
+// Tests for tensor/tensor.hpp.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero) {
+  const Tensor t;
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t[0], 0.0F);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{2, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_EQ(Tensor::ones(Shape{3})[1], 1.0F);
+  EXPECT_EQ(Tensor::full(Shape{2}, 2.5F)[0], 2.5F);
+  const Tensor a = Tensor::arange(4);
+  EXPECT_EQ(a[0], 0.0F);
+  EXPECT_EQ(a[3], 3.0F);
+}
+
+TEST(Tensor, RandomFactoriesDeterministic) {
+  Rng r1(9), r2(9);
+  const Tensor a = Tensor::normal(Shape{16}, r1);
+  const Tensor b = Tensor::normal(Shape{16}, r2);
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Tensor, UniformRespectsBounds) {
+  Rng rng(1);
+  const Tensor t = Tensor::uniform(Shape{256}, rng, -1.0F, 2.0F);
+  for (const float v : t.data()) {
+    EXPECT_GE(v, -1.0F);
+    EXPECT_LT(v, 2.0F);
+  }
+}
+
+TEST(Tensor, MultiDimAtUsesRowMajorOrder) {
+  Tensor t(Shape{2, 3});
+  t.at({1, 2}) = 7.0F;
+  EXPECT_EQ(t[5], 7.0F);
+  EXPECT_EQ(t.at({1, 2}), 7.0F);
+}
+
+TEST(Tensor, AtValidatesRankAndBounds) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at({1}), InvalidArgument);
+  EXPECT_THROW(t.at({2, 0}), InvalidArgument);
+  EXPECT_THROW(t.at({0, 3}), InvalidArgument);
+}
+
+TEST(Tensor, FlatIndexBounds) {
+  Tensor t(Shape{4});
+  EXPECT_THROW(t[4], InvalidArgument);
+  EXPECT_THROW(t[-1], InvalidArgument);
+}
+
+TEST(Tensor, ReshapeKeepsDataChecksCount) {
+  const Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshape(Shape{3, 2});
+  EXPECT_EQ(r.at({2, 1}), 6.0F);
+  EXPECT_THROW(t.reshape(Shape{4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, SliceRowsCopies) {
+  const Tensor t(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor s = t.slice_rows(1, 3);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 3.0F);
+  EXPECT_EQ(s.at({1, 1}), 6.0F);
+}
+
+TEST(Tensor, SliceRowsValidatesRange) {
+  const Tensor t(Shape{3, 2});
+  EXPECT_THROW(t.slice_rows(2, 1), InvalidArgument);
+  EXPECT_THROW(t.slice_rows(0, 4), InvalidArgument);
+}
+
+TEST(Tensor, SliceRowsEmptyRangeAllowed) {
+  const Tensor t(Shape{3, 2});
+  const Tensor s = t.slice_rows(1, 1);
+  EXPECT_EQ(s.shape().dim(0), 0);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Tensor, ByteSize) {
+  EXPECT_EQ(Tensor(Shape{2, 3}).byte_size(), 24U);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t(Shape{4});
+  t.fill(3.0F);
+  EXPECT_EQ(t[2], 3.0F);
+  t.zero();
+  EXPECT_EQ(t[2], 0.0F);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b = a;
+  b[0] = 9.0F;
+  EXPECT_EQ(a[0], 1.0F);
+}
+
+TEST(Tensor, StrTruncates) {
+  const Tensor t(Shape{100});
+  EXPECT_NE(t.str().find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace splitmed

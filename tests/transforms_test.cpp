@@ -1,0 +1,137 @@
+// Tests for data/transforms.hpp and an augmentation-in-training smoke test.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/error.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/data/transforms.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace splitmed {
+namespace {
+
+Tensor test_image() {
+  // 1 channel, 2x3, distinct values.
+  return Tensor(Shape{1, 2, 3}, {1, 2, 3,
+                                 4, 5, 6});
+}
+
+TEST(RandomHorizontalFlip, AlwaysFlipMirrorsColumns) {
+  data::RandomHorizontalFlip flip(1.0F);
+  Rng rng(1);
+  const Tensor out = flip.apply(test_image(), rng);
+  EXPECT_EQ(out.at({0, 0, 0}), 3.0F);
+  EXPECT_EQ(out.at({0, 0, 2}), 1.0F);
+  EXPECT_EQ(out.at({0, 1, 1}), 5.0F);
+}
+
+TEST(RandomHorizontalFlip, NeverFlipIsIdentity) {
+  data::RandomHorizontalFlip flip(0.0F);
+  Rng rng(1);
+  const Tensor in = test_image();
+  EXPECT_EQ(ops::max_abs_diff(flip.apply(in, rng), in), 0.0F);
+}
+
+TEST(RandomHorizontalFlip, FlipIsInvolution) {
+  data::RandomHorizontalFlip flip(1.0F);
+  Rng rng(2);
+  const Tensor in = test_image();
+  const Tensor twice = flip.apply(flip.apply(in, rng), rng);
+  EXPECT_EQ(ops::max_abs_diff(twice, in), 0.0F);
+}
+
+TEST(RandomHorizontalFlip, RateRoughlyP) {
+  data::RandomHorizontalFlip flip(0.3F);
+  Rng rng(3);
+  const Tensor in = test_image();
+  int flips = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (ops::max_abs_diff(flip.apply(in, rng), in) > 0.0F) ++flips;
+  }
+  EXPECT_NEAR(flips / 2000.0, 0.3, 0.05);
+}
+
+TEST(RandomCrop, PreservesShapeAndContentSet) {
+  data::RandomCrop crop(1);
+  Rng rng(4);
+  const Tensor in = test_image();
+  const Tensor out = crop.apply(in, rng);
+  EXPECT_EQ(out.shape(), in.shape());
+  // Every output value is either zero padding or one of the inputs.
+  for (const float v : out.data()) {
+    const bool known = v == 0.0F || (v >= 1.0F && v <= 6.0F);
+    EXPECT_TRUE(known) << v;
+  }
+}
+
+TEST(RandomCrop, CenterOffsetIsIdentity) {
+  // With padding 1, offset (1,1) reproduces the original; over many draws
+  // the identity must occur.
+  data::RandomCrop crop(1);
+  Rng rng(5);
+  const Tensor in = test_image();
+  bool saw_identity = false;
+  for (int i = 0; i < 100 && !saw_identity; ++i) {
+    saw_identity = ops::max_abs_diff(crop.apply(in, rng), in) == 0.0F;
+  }
+  EXPECT_TRUE(saw_identity);
+}
+
+TEST(Normalize, StandardizesChannels) {
+  data::Normalize norm({2.0F}, {4.0F});
+  Rng rng(6);
+  const Tensor in = test_image();
+  const Tensor out = norm.apply(in, rng);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0}), (1.0F - 2.0F) / 4.0F);
+  EXPECT_FLOAT_EQ(out.at({0, 1, 2}), 1.0F);
+}
+
+TEST(Normalize, ValidatesChannels) {
+  data::Normalize norm({0.0F, 0.0F}, {1.0F, 1.0F});
+  Rng rng(7);
+  EXPECT_THROW(norm.apply(test_image(), rng), InvalidArgument);
+  EXPECT_THROW(data::Normalize({0.0F}, {0.0F}), InvalidArgument);
+}
+
+TEST(Compose, AppliesInOrder) {
+  std::vector<std::unique_ptr<data::Transform>> ts;
+  ts.push_back(std::make_unique<data::RandomHorizontalFlip>(1.0F));
+  ts.push_back(std::make_unique<data::Normalize>(
+      std::vector<float>{0.0F}, std::vector<float>{2.0F}));
+  data::Compose compose(std::move(ts));
+  Rng rng(8);
+  const Tensor out = compose.apply(test_image(), rng);
+  // flipped then halved: position (0,0,0) = 3 / 2.
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0}), 1.5F);
+}
+
+TEST(ApplyToBatch, TransformsEveryImage) {
+  data::RandomHorizontalFlip flip(1.0F);
+  Rng rng(9);
+  Tensor batch(Shape{2, 1, 2, 3});
+  auto d = batch.data();
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = static_cast<float>(i);
+  const Tensor out = data::apply_to_batch(flip, batch, rng);
+  EXPECT_EQ(out.shape(), batch.shape());
+  EXPECT_EQ(out.at({0, 0, 0, 0}), 2.0F);
+  EXPECT_EQ(out.at({1, 0, 0, 0}), 8.0F);
+}
+
+TEST(ApplyToBatch, DeterministicForSameRngState) {
+  data::RandomCrop crop(2);
+  const auto ds = [] {
+    data::SyntheticCifarOptions opt;
+    opt.num_examples = 4;
+    opt.image_size = 8;
+    return data::SyntheticCifar(opt);
+  }();
+  const Tensor batch = ds.batch_images(std::vector<std::int64_t>{0, 1, 2, 3});
+  Rng r1(42), r2(42);
+  const Tensor a = data::apply_to_batch(crop, batch, r1);
+  const Tensor b = data::apply_to_batch(crop, batch, r2);
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.0F);
+}
+
+}  // namespace
+}  // namespace splitmed
