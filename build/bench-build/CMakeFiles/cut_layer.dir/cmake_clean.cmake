@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cut_layer"
+  "../bench/cut_layer.pdb"
+  "CMakeFiles/cut_layer.dir/cut_layer.cpp.o"
+  "CMakeFiles/cut_layer.dir/cut_layer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cut_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/depth_sweep"
+  "../bench/depth_sweep.pdb"
+  "CMakeFiles/depth_sweep.dir/depth_sweep.cpp.o"
+  "CMakeFiles/depth_sweep.dir/depth_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

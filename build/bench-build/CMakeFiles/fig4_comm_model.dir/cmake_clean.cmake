@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_comm_model"
+  "../bench/fig4_comm_model.pdb"
+  "CMakeFiles/fig4_comm_model.dir/fig4_comm_model.cpp.o"
+  "CMakeFiles/fig4_comm_model.dir/fig4_comm_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_resnet"
+  "../bench/fig4_resnet.pdb"
+  "CMakeFiles/fig4_resnet.dir/fig4_resnet.cpp.o"
+  "CMakeFiles/fig4_resnet.dir/fig4_resnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

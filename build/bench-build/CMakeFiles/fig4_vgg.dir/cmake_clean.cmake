@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_vgg"
+  "../bench/fig4_vgg.pdb"
+  "CMakeFiles/fig4_vgg.dir/fig4_vgg.cpp.o"
+  "CMakeFiles/fig4_vgg.dir/fig4_vgg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/imbalance"
+  "../bench/imbalance.pdb"
+  "CMakeFiles/imbalance.dir/imbalance.cpp.o"
+  "CMakeFiles/imbalance.dir/imbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

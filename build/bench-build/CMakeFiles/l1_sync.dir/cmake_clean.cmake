@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/l1_sync"
+  "../bench/l1_sync.pdb"
+  "CMakeFiles/l1_sync.dir/l1_sync.cpp.o"
+  "CMakeFiles/l1_sync.dir/l1_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l1_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/noise_defense"
+  "../bench/noise_defense.pdb"
+  "CMakeFiles/noise_defense.dir/noise_defense.cpp.o"
+  "CMakeFiles/noise_defense.dir/noise_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

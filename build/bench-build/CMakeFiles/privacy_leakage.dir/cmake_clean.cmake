@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/privacy_leakage"
+  "../bench/privacy_leakage.pdb"
+  "CMakeFiles/privacy_leakage.dir/privacy_leakage.cpp.o"
+  "CMakeFiles/privacy_leakage.dir/privacy_leakage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/schedule"
+  "../bench/schedule.pdb"
+  "CMakeFiles/schedule.dir/schedule.cpp.o"
+  "CMakeFiles/schedule.dir/schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_network.dir/hospital_network.cpp.o"
+  "CMakeFiles/hospital_network.dir/hospital_network.cpp.o.d"
+  "hospital_network"
+  "hospital_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalance_study.dir/imbalance_study.cpp.o"
+  "CMakeFiles/imbalance_study.dir/imbalance_study.cpp.o.d"
+  "imbalance_study"
+  "imbalance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_baselines.dir/centralized.cpp.o"
+  "CMakeFiles/splitmed_baselines.dir/centralized.cpp.o.d"
+  "CMakeFiles/splitmed_baselines.dir/cyclic.cpp.o"
+  "CMakeFiles/splitmed_baselines.dir/cyclic.cpp.o.d"
+  "CMakeFiles/splitmed_baselines.dir/fedavg.cpp.o"
+  "CMakeFiles/splitmed_baselines.dir/fedavg.cpp.o.d"
+  "CMakeFiles/splitmed_baselines.dir/local_only.cpp.o"
+  "CMakeFiles/splitmed_baselines.dir/local_only.cpp.o.d"
+  "CMakeFiles/splitmed_baselines.dir/sync_sgd.cpp.o"
+  "CMakeFiles/splitmed_baselines.dir/sync_sgd.cpp.o.d"
+  "libsplitmed_baselines.a"
+  "libsplitmed_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_common.dir/csv.cpp.o"
+  "CMakeFiles/splitmed_common.dir/csv.cpp.o.d"
+  "CMakeFiles/splitmed_common.dir/flags.cpp.o"
+  "CMakeFiles/splitmed_common.dir/flags.cpp.o.d"
+  "CMakeFiles/splitmed_common.dir/format.cpp.o"
+  "CMakeFiles/splitmed_common.dir/format.cpp.o.d"
+  "CMakeFiles/splitmed_common.dir/logging.cpp.o"
+  "CMakeFiles/splitmed_common.dir/logging.cpp.o.d"
+  "CMakeFiles/splitmed_common.dir/rng.cpp.o"
+  "CMakeFiles/splitmed_common.dir/rng.cpp.o.d"
+  "CMakeFiles/splitmed_common.dir/table.cpp.o"
+  "CMakeFiles/splitmed_common.dir/table.cpp.o.d"
+  "libsplitmed_common.a"
+  "libsplitmed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/minibatch_policy.cpp" "src/core/CMakeFiles/splitmed_core.dir/minibatch_policy.cpp.o" "gcc" "src/core/CMakeFiles/splitmed_core.dir/minibatch_policy.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/splitmed_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/splitmed_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/splitmed_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/splitmed_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/splitmed_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/splitmed_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/split_model.cpp" "src/core/CMakeFiles/splitmed_core.dir/split_model.cpp.o" "gcc" "src/core/CMakeFiles/splitmed_core.dir/split_model.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/splitmed_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/splitmed_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/splitmed_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/splitmed_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/splitmed_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/splitmed_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/splitmed_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/splitmed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/splitmed_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

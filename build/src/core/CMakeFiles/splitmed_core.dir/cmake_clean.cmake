@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_core.dir/minibatch_policy.cpp.o"
+  "CMakeFiles/splitmed_core.dir/minibatch_policy.cpp.o.d"
+  "CMakeFiles/splitmed_core.dir/platform.cpp.o"
+  "CMakeFiles/splitmed_core.dir/platform.cpp.o.d"
+  "CMakeFiles/splitmed_core.dir/protocol.cpp.o"
+  "CMakeFiles/splitmed_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/splitmed_core.dir/server.cpp.o"
+  "CMakeFiles/splitmed_core.dir/server.cpp.o.d"
+  "CMakeFiles/splitmed_core.dir/split_model.cpp.o"
+  "CMakeFiles/splitmed_core.dir/split_model.cpp.o.d"
+  "CMakeFiles/splitmed_core.dir/trainer.cpp.o"
+  "CMakeFiles/splitmed_core.dir/trainer.cpp.o.d"
+  "libsplitmed_core.a"
+  "libsplitmed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

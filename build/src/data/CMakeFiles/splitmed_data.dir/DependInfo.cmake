@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataloader.cpp" "src/data/CMakeFiles/splitmed_data.dir/dataloader.cpp.o" "gcc" "src/data/CMakeFiles/splitmed_data.dir/dataloader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/splitmed_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/splitmed_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/data/CMakeFiles/splitmed_data.dir/partition.cpp.o" "gcc" "src/data/CMakeFiles/splitmed_data.dir/partition.cpp.o.d"
+  "/root/repo/src/data/synthetic_cifar.cpp" "src/data/CMakeFiles/splitmed_data.dir/synthetic_cifar.cpp.o" "gcc" "src/data/CMakeFiles/splitmed_data.dir/synthetic_cifar.cpp.o.d"
+  "/root/repo/src/data/synthetic_medical.cpp" "src/data/CMakeFiles/splitmed_data.dir/synthetic_medical.cpp.o" "gcc" "src/data/CMakeFiles/splitmed_data.dir/synthetic_medical.cpp.o.d"
+  "/root/repo/src/data/transforms.cpp" "src/data/CMakeFiles/splitmed_data.dir/transforms.cpp.o" "gcc" "src/data/CMakeFiles/splitmed_data.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

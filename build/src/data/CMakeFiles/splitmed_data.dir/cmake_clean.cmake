@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_data.dir/dataloader.cpp.o"
+  "CMakeFiles/splitmed_data.dir/dataloader.cpp.o.d"
+  "CMakeFiles/splitmed_data.dir/dataset.cpp.o"
+  "CMakeFiles/splitmed_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/splitmed_data.dir/partition.cpp.o"
+  "CMakeFiles/splitmed_data.dir/partition.cpp.o.d"
+  "CMakeFiles/splitmed_data.dir/synthetic_cifar.cpp.o"
+  "CMakeFiles/splitmed_data.dir/synthetic_cifar.cpp.o.d"
+  "CMakeFiles/splitmed_data.dir/synthetic_medical.cpp.o"
+  "CMakeFiles/splitmed_data.dir/synthetic_medical.cpp.o.d"
+  "CMakeFiles/splitmed_data.dir/transforms.cpp.o"
+  "CMakeFiles/splitmed_data.dir/transforms.cpp.o.d"
+  "libsplitmed_data.a"
+  "libsplitmed_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/confusion.cpp" "src/metrics/CMakeFiles/splitmed_metrics.dir/confusion.cpp.o" "gcc" "src/metrics/CMakeFiles/splitmed_metrics.dir/confusion.cpp.o.d"
+  "/root/repo/src/metrics/evaluate.cpp" "src/metrics/CMakeFiles/splitmed_metrics.dir/evaluate.cpp.o" "gcc" "src/metrics/CMakeFiles/splitmed_metrics.dir/evaluate.cpp.o.d"
+  "/root/repo/src/metrics/recorder.cpp" "src/metrics/CMakeFiles/splitmed_metrics.dir/recorder.cpp.o" "gcc" "src/metrics/CMakeFiles/splitmed_metrics.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/splitmed_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/splitmed_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/splitmed_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

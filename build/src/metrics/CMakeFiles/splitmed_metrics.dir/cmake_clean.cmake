@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_metrics.dir/confusion.cpp.o"
+  "CMakeFiles/splitmed_metrics.dir/confusion.cpp.o.d"
+  "CMakeFiles/splitmed_metrics.dir/evaluate.cpp.o"
+  "CMakeFiles/splitmed_metrics.dir/evaluate.cpp.o.d"
+  "CMakeFiles/splitmed_metrics.dir/recorder.cpp.o"
+  "CMakeFiles/splitmed_metrics.dir/recorder.cpp.o.d"
+  "libsplitmed_metrics.a"
+  "libsplitmed_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/factory.cpp" "src/models/CMakeFiles/splitmed_models.dir/factory.cpp.o" "gcc" "src/models/CMakeFiles/splitmed_models.dir/factory.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/models/CMakeFiles/splitmed_models.dir/mlp.cpp.o" "gcc" "src/models/CMakeFiles/splitmed_models.dir/mlp.cpp.o.d"
+  "/root/repo/src/models/model_stats.cpp" "src/models/CMakeFiles/splitmed_models.dir/model_stats.cpp.o" "gcc" "src/models/CMakeFiles/splitmed_models.dir/model_stats.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/models/CMakeFiles/splitmed_models.dir/resnet.cpp.o" "gcc" "src/models/CMakeFiles/splitmed_models.dir/resnet.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "src/models/CMakeFiles/splitmed_models.dir/vgg.cpp.o" "gcc" "src/models/CMakeFiles/splitmed_models.dir/vgg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/splitmed_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/splitmed_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_models.dir/factory.cpp.o"
+  "CMakeFiles/splitmed_models.dir/factory.cpp.o.d"
+  "CMakeFiles/splitmed_models.dir/mlp.cpp.o"
+  "CMakeFiles/splitmed_models.dir/mlp.cpp.o.d"
+  "CMakeFiles/splitmed_models.dir/model_stats.cpp.o"
+  "CMakeFiles/splitmed_models.dir/model_stats.cpp.o.d"
+  "CMakeFiles/splitmed_models.dir/resnet.cpp.o"
+  "CMakeFiles/splitmed_models.dir/resnet.cpp.o.d"
+  "CMakeFiles/splitmed_models.dir/vgg.cpp.o"
+  "CMakeFiles/splitmed_models.dir/vgg.cpp.o.d"
+  "libsplitmed_models.a"
+  "libsplitmed_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/splitmed_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/splitmed_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/splitmed_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/splitmed_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/splitmed_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/splitmed_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/traffic_stats.cpp" "src/net/CMakeFiles/splitmed_net.dir/traffic_stats.cpp.o" "gcc" "src/net/CMakeFiles/splitmed_net.dir/traffic_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/splitmed_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_net.dir/link.cpp.o"
+  "CMakeFiles/splitmed_net.dir/link.cpp.o.d"
+  "CMakeFiles/splitmed_net.dir/network.cpp.o"
+  "CMakeFiles/splitmed_net.dir/network.cpp.o.d"
+  "CMakeFiles/splitmed_net.dir/topology.cpp.o"
+  "CMakeFiles/splitmed_net.dir/topology.cpp.o.d"
+  "CMakeFiles/splitmed_net.dir/traffic_stats.cpp.o"
+  "CMakeFiles/splitmed_net.dir/traffic_stats.cpp.o.d"
+  "libsplitmed_net.a"
+  "libsplitmed_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

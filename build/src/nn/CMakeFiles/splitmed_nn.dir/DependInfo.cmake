@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/param_util.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/param_util.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/param_util.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/splitmed_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/splitmed_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/splitmed_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_nn.dir/activations.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/dropout.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/flatten.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/init.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/init.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/layer.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/linear.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/loss.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/param_util.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/param_util.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/pool.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/residual.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/splitmed_nn.dir/sequential.cpp.o"
+  "CMakeFiles/splitmed_nn.dir/sequential.cpp.o.d"
+  "libsplitmed_nn.a"
+  "libsplitmed_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_optim.dir/adam.cpp.o"
+  "CMakeFiles/splitmed_optim.dir/adam.cpp.o.d"
+  "CMakeFiles/splitmed_optim.dir/lr_schedule.cpp.o"
+  "CMakeFiles/splitmed_optim.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/splitmed_optim.dir/sgd.cpp.o"
+  "CMakeFiles/splitmed_optim.dir/sgd.cpp.o.d"
+  "libsplitmed_optim.a"
+  "libsplitmed_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsplitmed_optim.a"
+)

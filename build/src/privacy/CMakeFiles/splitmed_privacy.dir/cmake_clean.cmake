@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_privacy.dir/distance_correlation.cpp.o"
+  "CMakeFiles/splitmed_privacy.dir/distance_correlation.cpp.o.d"
+  "CMakeFiles/splitmed_privacy.dir/reconstruction.cpp.o"
+  "CMakeFiles/splitmed_privacy.dir/reconstruction.cpp.o.d"
+  "libsplitmed_privacy.a"
+  "libsplitmed_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

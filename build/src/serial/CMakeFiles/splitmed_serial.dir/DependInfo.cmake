@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/buffer.cpp" "src/serial/CMakeFiles/splitmed_serial.dir/buffer.cpp.o" "gcc" "src/serial/CMakeFiles/splitmed_serial.dir/buffer.cpp.o.d"
+  "/root/repo/src/serial/quantize.cpp" "src/serial/CMakeFiles/splitmed_serial.dir/quantize.cpp.o" "gcc" "src/serial/CMakeFiles/splitmed_serial.dir/quantize.cpp.o.d"
+  "/root/repo/src/serial/tensor_codec.cpp" "src/serial/CMakeFiles/splitmed_serial.dir/tensor_codec.cpp.o" "gcc" "src/serial/CMakeFiles/splitmed_serial.dir/tensor_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

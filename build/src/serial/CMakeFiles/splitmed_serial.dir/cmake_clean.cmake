@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_serial.dir/buffer.cpp.o"
+  "CMakeFiles/splitmed_serial.dir/buffer.cpp.o.d"
+  "CMakeFiles/splitmed_serial.dir/quantize.cpp.o"
+  "CMakeFiles/splitmed_serial.dir/quantize.cpp.o.d"
+  "CMakeFiles/splitmed_serial.dir/tensor_codec.cpp.o"
+  "CMakeFiles/splitmed_serial.dir/tensor_codec.cpp.o.d"
+  "libsplitmed_serial.a"
+  "libsplitmed_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitmed_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/splitmed_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/splitmed_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/splitmed_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/splitmed_tensor.dir/ops.cpp.o"
+  "CMakeFiles/splitmed_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/splitmed_tensor.dir/shape.cpp.o"
+  "CMakeFiles/splitmed_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/splitmed_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/splitmed_tensor.dir/tensor.cpp.o.d"
+  "libsplitmed_tensor.a"
+  "libsplitmed_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitmed_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

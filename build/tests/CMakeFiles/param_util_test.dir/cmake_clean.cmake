@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_util_test.dir/param_util_test.cpp.o"
+  "CMakeFiles/param_util_test.dir/param_util_test.cpp.o.d"
+  "param_util_test"
+  "param_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

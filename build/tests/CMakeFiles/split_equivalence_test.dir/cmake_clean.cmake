@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_equivalence_test.dir/split_equivalence_test.cpp.o"
+  "CMakeFiles/split_equivalence_test.dir/split_equivalence_test.cpp.o.d"
+  "split_equivalence_test"
+  "split_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_integration_test.dir/trainer_integration_test.cpp.o"
+  "CMakeFiles/trainer_integration_test.dir/trainer_integration_test.cpp.o.d"
+  "trainer_integration_test"
+  "trainer_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
