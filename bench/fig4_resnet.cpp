@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   cfg.platforms = flags.get_int("platforms", cfg.platforms);
   cfg.split_rounds = flags.get_int("rounds", 100);
   cfg.zipf_alpha = flags.get_double("zipf", cfg.zipf_alpha);
+  cfg.threads = flags.get_int("threads", cfg.threads);
   flags.validate_no_unknown();
   cfg.paper_line =
       "ResNet + CIFAR-10/100: proposed 0.5 GB @ 75% vs Large-Scale SGD "

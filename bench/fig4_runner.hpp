@@ -28,6 +28,9 @@ struct Fig4Config {
   std::int64_t split_rounds = 120;
   std::int64_t eval_every = 15;
   double zipf_alpha = 0.8;         // the paper's imbalanced-hospital setting
+  /// Substrate compute threads (0 = hardware default, 1 = serial). Changes
+  /// wall-clock only: bytes, message order, and curves are invariant.
+  std::int64_t threads = 0;
   std::string csv_path;
 };
 
@@ -56,6 +59,7 @@ inline int run_fig4(const Fig4Config& cfg) {
   split_cfg.rounds = cfg.split_rounds;
   split_cfg.eval_every = cfg.eval_every;
   split_cfg.sgd = comparison_sgd();
+  split_cfg.threads = static_cast<int>(cfg.threads);
   core::SplitTrainer split(builder, train, partition, test, split_cfg);
   auto split_report = split.run();
   const std::uint64_t budget = split_report.total_bytes;
@@ -68,6 +72,7 @@ inline int run_fig4(const Fig4Config& cfg) {
   sgd_cfg.eval_every = 2;
   sgd_cfg.byte_budget = budget;
   sgd_cfg.sgd = comparison_sgd();
+  sgd_cfg.threads = static_cast<int>(cfg.threads);
   baselines::SyncSgdTrainer sgd(builder, train, partition, test, sgd_cfg);
   recorder.add(sgd.run());
 

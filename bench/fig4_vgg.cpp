@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   cfg.platforms = flags.get_int("platforms", cfg.platforms);
   cfg.split_rounds = flags.get_int("rounds", cfg.split_rounds);
   cfg.zipf_alpha = flags.get_double("zipf", cfg.zipf_alpha);
+  cfg.threads = flags.get_int("threads", cfg.threads);
   flags.validate_no_unknown();
   cfg.paper_line =
       "VGG + CIFAR-10/100: proposed 0.8 GB @ 95% vs Large-Scale SGD "

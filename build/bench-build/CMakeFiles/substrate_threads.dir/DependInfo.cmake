@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/substrate_threads.cpp" "bench-build/CMakeFiles/substrate_threads.dir/substrate_threads.cpp.o" "gcc" "bench-build/CMakeFiles/substrate_threads.dir/substrate_threads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/splitmed_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/splitmed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/splitmed_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/splitmed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/splitmed_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/splitmed_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/splitmed_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/splitmed_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/splitmed_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/splitmed_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/splitmed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/splitmed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/substrate_threads"
+  "../bench/substrate_threads.pdb"
+  "CMakeFiles/substrate_threads.dir/substrate_threads.cpp.o"
+  "CMakeFiles/substrate_threads.dir/substrate_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -233,5 +233,16 @@ src/baselines/CMakeFiles/splitmed_baselines.dir/fedavg.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/data/partition.hpp /root/repo/src/metrics/curve.hpp \
  /root/repo/src/models/model.hpp /root/repo/src/net/topology.hpp \
- /root/repo/src/common/logging.hpp /root/repo/src/metrics/evaluate.hpp \
+ /root/repo/src/common/logging.hpp /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/metrics/evaluate.hpp \
  /root/repo/src/nn/param_util.hpp /root/repo/src/tensor/ops.hpp

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/splitmed_common.dir/rng.cpp.o.d"
   "CMakeFiles/splitmed_common.dir/table.cpp.o"
   "CMakeFiles/splitmed_common.dir/table.cpp.o.d"
+  "CMakeFiles/splitmed_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/splitmed_common.dir/thread_pool.cpp.o.d"
   "libsplitmed_common.a"
   "libsplitmed_common.pdb"
 )

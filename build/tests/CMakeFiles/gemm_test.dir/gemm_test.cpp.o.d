@@ -293,5 +293,5 @@ tests/CMakeFiles/gemm_test.dir/gemm_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/rng.hpp /root/repo/src/tensor/gemm.hpp \
- /usr/include/c++/12/span
+ /root/repo/src/common/error.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/tensor/gemm.hpp /usr/include/c++/12/span

@@ -293,7 +293,17 @@ tests/CMakeFiles/trainer_integration_test.dir/trainer_integration_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/trainer.hpp /root/repo/src/core/minibatch_policy.hpp \
+ /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/trainer.hpp \
+ /root/repo/src/core/minibatch_policy.hpp \
  /root/repo/src/core/platform.hpp /root/repo/src/core/protocol.hpp \
  /usr/include/c++/12/span /root/repo/src/serial/message.hpp \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \

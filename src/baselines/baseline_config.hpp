@@ -27,6 +27,9 @@ struct BaselineConfig {
   std::uint64_t seed = 123;
   /// FedAvg only: local SGD steps per round on each platform.
   std::int64_t local_steps = 5;
+  /// Compute threads for the tensor substrate (same contract as
+  /// core::SplitConfig::threads): 0 = keep the global default, 1 = serial.
+  int threads = 0;
 };
 
 /// Message kinds used by the baselines (disjoint from core::MsgKind values).

@@ -4,6 +4,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/metrics/evaluate.hpp"
 #include "src/nn/loss.hpp"
 
@@ -14,6 +15,7 @@ CentralizedTrainer::CentralizedTrainer(core::ModelBuilder builder,
                                        const data::Dataset& test,
                                        BaselineConfig config)
     : config_(std::move(config)), train_(&train), test_(&test) {
+  if (config_.threads > 0) set_global_threads(config_.threads);
   model_ = std::make_unique<models::BuiltModel>(builder());
   optimizer_ =
       std::make_unique<optim::Sgd>(model_->net.parameters(), config_.sgd);

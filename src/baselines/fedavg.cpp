@@ -2,6 +2,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/protocol.hpp"
 #include "src/metrics/evaluate.hpp"
 #include "src/nn/loss.hpp"
@@ -15,6 +16,7 @@ FedAvgTrainer::FedAvgTrainer(core::ModelBuilder builder,
                              data::Partition partition,
                              const data::Dataset& test, BaselineConfig config)
     : config_(std::move(config)), train_(&train), test_(&test) {
+  if (config_.threads > 0) set_global_threads(config_.threads);
   SPLITMED_CHECK(!partition.empty(), "partition has no platforms");
   SPLITMED_CHECK(config_.local_steps > 0, "local_steps must be positive");
   const std::int64_t k = static_cast<std::int64_t>(partition.size());

@@ -4,6 +4,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/metrics/evaluate.hpp"
 #include "src/nn/loss.hpp"
 
@@ -15,6 +16,7 @@ LocalOnlyTrainer::LocalOnlyTrainer(core::ModelBuilder builder,
                                    const data::Dataset& test,
                                    BaselineConfig config)
     : config_(std::move(config)), train_(&train), test_(&test) {
+  if (config_.threads > 0) set_global_threads(config_.threads);
   SPLITMED_CHECK(!partition.empty(), "partition has no platforms");
   const std::int64_t k = static_cast<std::int64_t>(partition.size());
   const std::int64_t local_batch =

@@ -3,6 +3,7 @@
 #include "src/baselines/baseline_config.hpp"
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/protocol.hpp"
 #include "src/metrics/evaluate.hpp"
 #include "src/nn/loss.hpp"
@@ -17,6 +18,7 @@ SyncSgdTrainer::SyncSgdTrainer(core::ModelBuilder builder,
                                const data::Dataset& test,
                                BaselineConfig config)
     : config_(std::move(config)), train_(&train), test_(&test) {
+  if (config_.threads > 0) set_global_threads(config_.threads);
   SPLITMED_CHECK(!partition.empty(), "partition has no workers");
   const std::int64_t k = static_cast<std::int64_t>(partition.size());
   SPLITMED_CHECK(config_.total_batch >= k, "batch below one per worker");

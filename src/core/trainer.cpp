@@ -4,6 +4,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/split_model.hpp"
 #include "src/metrics/evaluate.hpp"
 #include "src/nn/param_util.hpp"
@@ -16,6 +17,7 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                            const data::Dataset& test, SplitConfig config)
     : config_(std::move(config)), train_(&train), test_(&test) {
   SPLITMED_CHECK(!partition.empty(), "partition has no platforms");
+  if (config_.threads > 0) set_global_threads(config_.threads);
   SPLITMED_CHECK(config_.rounds > 0 && config_.eval_every > 0,
                  "rounds and eval_every must be positive");
   SPLITMED_CHECK(config_.participation > 0.0 && config_.participation <= 1.0,
@@ -179,6 +181,31 @@ void SplitTrainer::sync_l1(std::uint64_t round) {
   }
 }
 
+double SplitTrainer::round_train_loss(
+    const std::vector<std::size_t>& participants) const {
+  // Once every platform has stepped at least once, all last_loss() values
+  // are real (if possibly a round stale) and the all-platform average is the
+  // smoother curve. Before that — early rounds under partial participation —
+  // averaging everyone would mix initial last_loss_ = 0 placeholders into
+  // the reported loss, biasing the Fig. 4 curve low, so only this round's
+  // participants count.
+  bool all_stepped = true;
+  for (const auto& p : platforms_) {
+    if (p->steps_completed() == 0) {
+      all_stepped = false;
+      break;
+    }
+  }
+  double loss = 0.0;
+  if (all_stepped) {
+    for (const auto& p : platforms_) loss += p->last_loss();
+    return loss / static_cast<double>(platforms_.size());
+  }
+  SPLITMED_ASSERT(!participants.empty(), "round without participants");
+  for (const std::size_t p : participants) loss += platforms_[p]->last_loss();
+  return loss / static_cast<double>(participants.size());
+}
+
 double SplitTrainer::evaluate() {
   double acc = 0.0;
   for (auto& p : platforms_) {
@@ -229,9 +256,7 @@ metrics::TrainReport SplitTrainer::run() {
                     static_cast<double>(train_->size());
       point.cumulative_bytes = network_.stats().total_bytes();
       point.sim_seconds = network_.clock().now();
-      double loss = 0.0;
-      for (auto& p : platforms_) loss += p->last_loss();
-      point.train_loss = loss / static_cast<double>(platforms_.size());
+      point.train_loss = round_train_loss(participants);
       point.test_accuracy = evaluate();
       report.curve.push_back(point);
       SPLITMED_LOG(kInfo) << "split round " << round << " loss "

@@ -72,6 +72,11 @@ struct SplitConfig {
   /// Per-round probability that a platform participates (fault injection /
   /// intermittent hospitals). At least one platform always participates.
   double participation = 1.0;
+  /// Compute threads for the tensor substrate (resizes the process-global
+  /// pool). 0 keeps the current global default (SPLITMED_THREADS env var or
+  /// hardware_concurrency); 1 forces the serial path. Thread count never
+  /// changes bytes, message order, or curves — see docs/PROTOCOL.md.
+  int threads = 0;
 };
 
 class SplitTrainer {
@@ -106,6 +111,9 @@ class SplitTrainer {
                             std::uint64_t& step_id);
   /// Samples this round's participants (>= 1, deterministic in the seed).
   std::vector<std::size_t> sample_participants(std::int64_t round);
+  /// Mean last_loss over this round's participants; once every platform has
+  /// taken >= 1 step, the mean over all platforms (see docs/PROTOCOL.md).
+  double round_train_loss(const std::vector<std::size_t>& participants) const;
   /// L1 weight averaging extension (byte-accounted through the network).
   void sync_l1(std::uint64_t round);
 

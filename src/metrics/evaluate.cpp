@@ -4,9 +4,45 @@
 #include <numeric>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/nn/loss.hpp"
 
 namespace splitmed::metrics {
+
+namespace {
+
+/// Counts label hits over the logits rows. The argmax of each row lands in a
+/// per-row flag slot (disjoint writes), and the integer reduction runs
+/// serially — bitwise-stable for every thread count.
+std::int64_t count_correct(const Tensor& logits,
+                           const std::vector<std::int64_t>& labels) {
+  SPLITMED_CHECK(logits.shape().rank() == 2,
+                 "evaluate: logits must be [batch, classes]");
+  const std::int64_t rows = logits.shape().dim(0);
+  const std::int64_t classes = logits.shape().dim(1);
+  SPLITMED_CHECK(rows == static_cast<std::int64_t>(labels.size()),
+                 "evaluate: prediction/label count mismatch");
+  SPLITMED_CHECK(classes > 0, "evaluate: logits need at least one class");
+  auto ld = logits.data();
+  std::vector<unsigned char> hit(static_cast<std::size_t>(rows), 0);
+  const std::int64_t grain = std::max<std::int64_t>(1, 1024 / classes);
+  parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* row = ld.data() + r * classes;
+      std::int64_t best = 0;
+      for (std::int64_t c = 1; c < classes; ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      hit[static_cast<std::size_t>(r)] =
+          best == labels[static_cast<std::size_t>(r)] ? 1 : 0;
+    }
+  });
+  std::int64_t correct = 0;
+  for (const unsigned char h : hit) correct += h;
+  return correct;
+}
+
+}  // namespace
 
 double evaluate_composite(nn::Layer& front, nn::Layer* back,
                           const data::Dataset& dataset,
@@ -24,9 +60,7 @@ double evaluate_composite(nn::Layer& front, nn::Layer* back,
     const auto labels = dataset.batch_labels(idx);
     Tensor logits = front.forward(x, /*training=*/false);
     if (back != nullptr) logits = back->forward(logits, /*training=*/false);
-    correct += static_cast<std::int64_t>(
-        nn::accuracy(logits, labels) * static_cast<double>(labels.size()) +
-        0.5);
+    correct += count_correct(logits, labels);
   }
   return static_cast<double>(correct) / static_cast<double>(n);
 }

@@ -1,11 +1,26 @@
 #include "src/nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace splitmed::nn {
+namespace {
+
+/// Channels per parallel chunk. Every BatchNorm loop below is a sweep of
+/// independent channels — statistics, parameters, and activation planes are
+/// all indexed by c — so a channel partition writes disjoint memory and the
+/// per-channel accumulation order never changes with the thread count.
+std::int64_t bn_channel_grain(std::int64_t batch, std::int64_t hw) {
+  constexpr std::int64_t kParallelElems = 16 * 1024;
+  return std::max<std::int64_t>(
+      1, kParallelElems / std::max<std::int64_t>(batch * hw, 1));
+}
+
+}  // namespace
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
     : channels_(channels),
@@ -49,7 +64,9 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
     auto is = cached_inv_std_.data();
     auto rm = running_mean_.data();
     auto rv = running_var_.data();
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    parallel_for(0, channels_, bn_channel_grain(batch, hw),
+                 [&](std::int64_t cc0, std::int64_t cc1) {
+    for (std::int64_t c = cc0; c < cc1; ++c) {
       double sum = 0.0, sq = 0.0;
       for (std::int64_t b = 0; b < batch; ++b) {
         const float* plane = id.data() + (b * channels_ + c) * hw;
@@ -82,11 +99,14 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
         }
       }
     }
+    });
   } else {
     cached_eval_input_ = input;
     auto rm = running_mean_.data();
     auto rv = running_var_.data();
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    parallel_for(0, channels_, bn_channel_grain(batch, hw),
+                 [&](std::int64_t cc0, std::int64_t cc1) {
+    for (std::int64_t c = cc0; c < cc1; ++c) {
       const float mean = rm[static_cast<std::size_t>(c)];
       const float inv_std =
           1.0F / std::sqrt(rv[static_cast<std::size_t>(c)] + eps_);
@@ -100,6 +120,7 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
         }
       }
     }
+    });
   }
   return out;
 }
@@ -123,7 +144,9 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
     auto gv = gamma_.value.data();
     auto rm = running_mean_.data();
     auto rv = running_var_.data();
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    parallel_for(0, channels_, bn_channel_grain(batch, hw),
+                 [&](std::int64_t cc0, std::int64_t cc1) {
+    for (std::int64_t c = cc0; c < cc1; ++c) {
       const float mean = rm[static_cast<std::size_t>(c)];
       const float inv_std =
           1.0F / std::sqrt(rv[static_cast<std::size_t>(c)] + eps_);
@@ -143,6 +166,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       bg[static_cast<std::size_t>(c)] += static_cast<float>(sum_g);
       gg[static_cast<std::size_t>(c)] += static_cast<float>(sum_gx);
     }
+    });
     return grad_input;
   }
   SPLITMED_CHECK(cached_xhat_.shape().rank() == 4,
@@ -163,7 +187,9 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   auto gv = gamma_.value.data();
   auto gi = grad_input.data();
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  parallel_for(0, channels_, bn_channel_grain(batch, hw),
+               [&](std::int64_t cc0, std::int64_t cc1) {
+  for (std::int64_t c = cc0; c < cc1; ++c) {
     double sum_g = 0.0, sum_gx = 0.0;
     for (std::int64_t b = 0; b < batch; ++b) {
       const float* g_plane = gd.data() + (b * channels_ + c) * hw;
@@ -189,6 +215,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       }
     }
   }
+  });
   return grad_input;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/nn/init.hpp"
 #include "src/tensor/gemm.hpp"
 
@@ -48,27 +49,34 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   Tensor out(Shape{batch, out_c_, oh, ow});
 
-  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
   const std::int64_t image_elems = in_c_ * g.in_h * g.in_w;
   const std::int64_t out_elems = out_c_ * oh * ow;
   auto id = input.data();
   auto od = out.data();
   auto bd = bias_.value.data();
-  for (std::int64_t b = 0; b < batch; ++b) {
-    im2col(g, id.subspan(static_cast<std::size_t>(b * image_elems),
-                         static_cast<std::size_t>(image_elems)),
-           col);
-    // out[b] = W[out_c, crk] · col[crk, oh*ow]
-    gemm_nn(out_c_, g.col_cols(), g.col_rows(), weight_.value.data(), col,
-            od.subspan(static_cast<std::size_t>(b * out_elems),
-                       static_cast<std::size_t>(out_elems)));
-    float* ob = od.data() + b * out_elems;
-    for (std::int64_t c = 0; c < out_c_; ++c) {
-      float* plane = ob + c * oh * ow;
-      const float bias = bd[c];
-      for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += bias;
+  // Samples write disjoint output planes, so the batch loop partitions
+  // cleanly across threads; each chunk owns a private col scratch buffer.
+  // (Nested kernel calls run serially inside a chunk; with a single-sample
+  // batch the chunk runs inline and the kernels parallelize instead.)
+  parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float> col(
+        static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      im2col(g, id.subspan(static_cast<std::size_t>(b * image_elems),
+                           static_cast<std::size_t>(image_elems)),
+             col);
+      // out[b] = W[out_c, crk] · col[crk, oh*ow]
+      gemm_nn(out_c_, g.col_cols(), g.col_rows(), weight_.value.data(), col,
+              od.subspan(static_cast<std::size_t>(b * out_elems),
+                         static_cast<std::size_t>(out_elems)));
+      float* ob = od.data() + b * out_elems;
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        float* plane = ob + c * oh * ow;
+        const float bias = bd[c];
+        for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += bias;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -84,7 +92,6 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 
   Tensor grad_input(cached_input_.shape());
   std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  std::vector<float> dcol(col.size());
   std::vector<float> dw_local(static_cast<std::size_t>(weight_.value.numel()));
 
   const std::int64_t image_elems = in_c_ * g.in_h * g.in_w;
@@ -95,6 +102,27 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   auto wg = weight_.grad.data();
   auto bg = bias_.grad.data();
 
+  // Input grad touches disjoint image planes per sample, so the batch loop
+  // partitions across threads (private dcol scratch per chunk):
+  // dcol = Wᵀ[crk, out_c] · g_out[out_c, ohw] (gemm_tn), then scatter-add
+  // back to image space.
+  parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float> dcol(
+        static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+    for (std::int64_t b = b0; b < b1; ++b) {
+      auto g_out = gd.subspan(static_cast<std::size_t>(b * out_elems),
+                              static_cast<std::size_t>(out_elems));
+      gemm_tn(g.col_rows(), g.col_cols(), out_c_, weight_.value.data(), g_out,
+              std::span<float>(dcol));
+      col2im(g, dcol,
+             gi.subspan(static_cast<std::size_t>(b * image_elems),
+                        static_cast<std::size_t>(image_elems)));
+    }
+  });
+
+  // Weight/bias grads accumulate across samples; the batch loop stays
+  // serial so the reduction order (and therefore the float result) never
+  // depends on the thread count — the im2col/gemm_nt inside still fan out.
   for (std::int64_t b = 0; b < batch; ++b) {
     auto g_out = gd.subspan(static_cast<std::size_t>(b * out_elems),
                             static_cast<std::size_t>(out_elems));
@@ -112,13 +140,6 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     gemm_nt(out_c_, g.col_rows(), g.col_cols(), g_out, col,
             std::span<float>(dw_local));
     for (std::size_t i = 0; i < dw_local.size(); ++i) wg[i] += dw_local[i];
-    // Input grad: dcol = Wᵀ[crk, out_c] · g_out[out_c, ohw] (gemm_tn), then
-    // scatter-add back to image space.
-    gemm_tn(g.col_rows(), g.col_cols(), out_c_, weight_.value.data(), g_out,
-            std::span<float>(dcol));
-    col2im(g, dcol,
-           gi.subspan(static_cast<std::size_t>(b * image_elems),
-                      static_cast<std::size_t>(image_elems)));
   }
   return grad_input;
 }

@@ -1,11 +1,24 @@
 #include "src/nn/pool.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace splitmed::nn {
+namespace {
+
+/// Planes per parallel chunk so each chunk moves >= ~16k elements; pooling
+/// planes are fully independent in both forward and backward.
+std::int64_t plane_grain(std::int64_t per_plane_cost) {
+  constexpr std::int64_t kParallelElems = 16 * 1024;
+  return std::max<std::int64_t>(
+      1, kParallelElems / std::max<std::int64_t>(per_plane_cost, 1));
+}
+
+}  // namespace
 
 MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
     : window_(window), stride_(stride == 0 ? window : stride) {
@@ -36,31 +49,35 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
   auto id = input.data();
   auto od = out.data();
-  std::size_t o = 0;
-  for (std::int64_t bc = 0; bc < batch * ch; ++bc) {
-    const float* plane = id.data() + bc * ih * iw;
-    const std::int64_t plane_base = bc * ih * iw;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x) {
-        float best = -std::numeric_limits<float>::infinity();
-        std::int64_t best_idx = 0;
-        for (std::int64_t wy = 0; wy < window_; ++wy) {
-          const std::int64_t iy = y * stride_ + wy;
-          for (std::int64_t wx = 0; wx < window_; ++wx) {
-            const std::int64_t ix = x * stride_ + wx;
-            const float v = plane[iy * iw + ix];
-            if (v > best) {
-              best = v;
-              best_idx = plane_base + iy * iw + ix;
+  // Each (batch, channel) plane reads and writes its own slices only.
+  parallel_for(0, batch * ch, plane_grain(oh * ow * window_ * window_),
+               [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t bc = p0; bc < p1; ++bc) {
+      const float* plane = id.data() + bc * ih * iw;
+      const std::int64_t plane_base = bc * ih * iw;
+      std::size_t o = static_cast<std::size_t>(bc * oh * ow);
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t wy = 0; wy < window_; ++wy) {
+            const std::int64_t iy = y * stride_ + wy;
+            for (std::int64_t wx = 0; wx < window_; ++wx) {
+              const std::int64_t ix = x * stride_ + wx;
+              const float v = plane[iy * iw + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * iw + ix;
+              }
             }
           }
+          od[o] = best;
+          argmax_[o] = best_idx;
+          ++o;
         }
-        od[o] = best;
-        argmax_[o] = best_idx;
-        ++o;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -72,9 +89,19 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   Tensor grad(cached_input_shape_);
   auto gd = grad_output.data();
   auto out = grad.data();
-  for (std::size_t i = 0; i < gd.size(); ++i) {
-    out[static_cast<std::size_t>(argmax_[i])] += gd[i];
-  }
+  // argmax indices never leave their own input plane, so partitioning the
+  // scatter-add at plane boundaries keeps writes disjoint across chunks.
+  const std::int64_t planes =
+      cached_input_shape_.dim(0) * cached_input_shape_.dim(1);
+  const std::int64_t per_plane =
+      static_cast<std::int64_t>(gd.size()) / std::max<std::int64_t>(planes, 1);
+  parallel_for(0, planes, plane_grain(per_plane),
+               [&](std::int64_t p0, std::int64_t p1) {
+    for (std::size_t i = static_cast<std::size_t>(p0 * per_plane);
+         i < static_cast<std::size_t>(p1 * per_plane); ++i) {
+      out[static_cast<std::size_t>(argmax_[i])] += gd[i];
+    }
+  });
   return grad;
 }
 
@@ -109,20 +136,23 @@ Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
   const float inv = 1.0F / static_cast<float>(window_ * window_);
   auto id = input.data();
   auto od = out.data();
-  for (std::int64_t p = 0; p < planes; ++p) {
-    const float* plane = id.data() + p * ih * iw;
-    float* out_plane = od.data() + p * oh * ow;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x) {
-        float acc = 0.0F;
-        for (std::int64_t wy = 0; wy < window_; ++wy) {
-          const float* row = plane + (y * stride_ + wy) * iw + x * stride_;
-          for (std::int64_t wx = 0; wx < window_; ++wx) acc += row[wx];
+  parallel_for(0, planes, plane_grain(oh * ow * window_ * window_),
+               [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const float* plane = id.data() + p * ih * iw;
+      float* out_plane = od.data() + p * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float acc = 0.0F;
+          for (std::int64_t wy = 0; wy < window_; ++wy) {
+            const float* row = plane + (y * stride_ + wy) * iw + x * stride_;
+            for (std::int64_t wx = 0; wx < window_; ++wx) acc += row[wx];
+          }
+          out_plane[y * ow + x] = acc * inv;
         }
-        out_plane[y * ow + x] = acc * inv;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -141,19 +171,22 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
   const float inv = 1.0F / static_cast<float>(window_ * window_);
   auto gd = grad_output.data();
   auto out = grad.data();
-  for (std::int64_t p = 0; p < planes; ++p) {
-    const float* g_plane = gd.data() + p * oh * ow;
-    float* plane = out.data() + p * ih * iw;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x) {
-        const float g = g_plane[y * ow + x] * inv;
-        for (std::int64_t wy = 0; wy < window_; ++wy) {
-          float* row = plane + (y * stride_ + wy) * iw + x * stride_;
-          for (std::int64_t wx = 0; wx < window_; ++wx) row[wx] += g;
+  parallel_for(0, planes, plane_grain(oh * ow * window_ * window_),
+               [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const float* g_plane = gd.data() + p * oh * ow;
+      float* plane = out.data() + p * ih * iw;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const float g = g_plane[y * ow + x] * inv;
+          for (std::int64_t wy = 0; wy < window_; ++wy) {
+            float* row = plane + (y * stride_ + wy) * iw + x * stride_;
+            for (std::int64_t wx = 0; wx < window_; ++wx) row[wx] += g;
+          }
         }
       }
     }
-  }
+  });
   return grad;
 }
 
@@ -176,12 +209,15 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t hw = input.shape().dim(2) * input.shape().dim(3);
   auto id = input.data();
   auto od = out.data();
-  for (std::int64_t p = 0; p < planes; ++p) {
-    const float* plane = id.data() + p * hw;
-    float acc = 0.0F;
-    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
-    od[static_cast<std::size_t>(p)] = acc / static_cast<float>(hw);
-  }
+  parallel_for(0, planes, plane_grain(hw), [&](std::int64_t p0,
+                                               std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const float* plane = id.data() + p * hw;
+      float acc = 0.0F;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      od[static_cast<std::size_t>(p)] = acc / static_cast<float>(hw);
+    }
+  });
   return out;
 }
 
@@ -198,11 +234,14 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
   auto gd = grad_output.data();
   auto out = grad.data();
   const float inv = 1.0F / static_cast<float>(hw);
-  for (std::int64_t p = 0; p < planes; ++p) {
-    const float g = gd[static_cast<std::size_t>(p)] * inv;
-    float* plane = out.data() + p * hw;
-    for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
-  }
+  parallel_for(0, planes, plane_grain(hw), [&](std::int64_t p0,
+                                               std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const float g = gd[static_cast<std::size_t>(p)] * inv;
+      float* plane = out.data() + p * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  });
   return grad;
 }
 

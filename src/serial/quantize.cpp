@@ -9,18 +9,35 @@ namespace splitmed {
 namespace {
 constexpr std::uint32_t kMaxRank = 16;
 constexpr std::int64_t kMaxElements = std::int64_t{1} << 32;
+
+/// Round half away from zero (2.5 -> 3, -2.5 -> -3). std::nearbyint honors
+/// the process FP rounding mode (round-half-to-even by default, and mutable
+/// at runtime), which would make the wire bytes platform-dependent; this is
+/// a fixed function of the value only.
+float round_half_away(float v) {
+  return std::copysign(std::floor(std::abs(v) + 0.5F), v);
+}
+
 }  // namespace
 
 void encode_tensor_i8(const Tensor& t, BufferWriter& w) {
   w.write_u32(static_cast<std::uint32_t>(t.shape().rank()));
   for (const auto d : t.shape().dims()) w.write_i64(d);
   float max_abs = 0.0F;
-  for (const float v : t.data()) max_abs = std::max(max_abs, std::abs(v));
+  for (const float v : t.data()) {
+    // A NaN/Inf element would poison max_abs and therefore scale, silently
+    // producing garbage wire bytes the decoder cannot detect.
+    if (!std::isfinite(v)) {
+      throw SerializationError(
+          "encode_tensor_i8: non-finite tensor element cannot be quantized");
+    }
+    max_abs = std::max(max_abs, std::abs(v));
+  }
   const float scale = max_abs / 127.0F;
   w.write_f32(scale);
   const float inv = scale > 0.0F ? 1.0F / scale : 0.0F;
   for (const float v : t.data()) {
-    const float q = std::nearbyint(v * inv);
+    const float q = round_half_away(v * inv);
     w.write_u8(static_cast<std::uint8_t>(
         static_cast<std::int8_t>(std::max(-127.0F, std::min(127.0F, q)))));
   }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace splitmed {
 namespace {
@@ -14,13 +15,33 @@ namespace {
 constexpr std::int64_t kTileI = 32;
 constexpr std::int64_t kTileK = 64;
 
+// Matrices below this many multiply-adds are not worth a fork-join; also
+// sets the minimum per-chunk work when partitioning rows across threads.
+constexpr std::int64_t kParallelFlops = 32 * 1024;
+
+/// Multiplies non-negative int64 dims, throwing instead of overflowing.
+std::int64_t checked_mul(std::int64_t x, std::int64_t y) {
+  std::int64_t out = 0;
+  SPLITMED_CHECK(!__builtin_mul_overflow(x, y, &out),
+                 "gemm: dimension product " << x << " * " << y
+                                            << " overflows int64");
+  return out;
+}
+
 void check_sizes(std::int64_t m, std::int64_t n, std::int64_t k,
                  std::size_t a, std::size_t b, std::size_t c) {
   SPLITMED_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
-  SPLITMED_CHECK(a >= static_cast<std::size_t>(m * k) &&
-                     b >= static_cast<std::size_t>(k * n) &&
-                     c >= static_cast<std::size_t>(m * n),
+  SPLITMED_CHECK(a >= static_cast<std::size_t>(checked_mul(m, k)) &&
+                     b >= static_cast<std::size_t>(checked_mul(k, n)) &&
+                     c >= static_cast<std::size_t>(checked_mul(m, n)),
                  "gemm: span smaller than m/n/k imply");
+}
+
+/// Minimum rows per parallel chunk so each chunk does >= kParallelFlops
+/// multiply-adds (rows below that run serially inline).
+std::int64_t row_grain(std::int64_t n, std::int64_t k) {
+  const std::int64_t per_row = std::max<std::int64_t>(n * k, 1);
+  return std::max<std::int64_t>(1, kParallelFlops / per_row);
 }
 
 }  // namespace
@@ -30,20 +51,25 @@ void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<float> c) {
   check_sizes(m, n, k, a.size(), b.size(), c.size());
   std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  for (std::int64_t i0 = 0; i0 < m; i0 += kTileI) {
-    const std::int64_t i1 = std::min(i0 + kTileI, m);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
-      const std::int64_t k1 = std::min(k0 + kTileK, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* ci = c.data() + i * n;
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float aik = a[static_cast<std::size_t>(i * k + kk)];
-          const float* bk = b.data() + kk * n;
-          for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+  // Rows of C are independent; each chunk runs the serial tiled kernel over
+  // its own disjoint row span, so any partition is bitwise identical to the
+  // single-threaded result (per row, the k-loop order never changes).
+  parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i0 = r0; i0 < r1; i0 += kTileI) {
+      const std::int64_t i1 = std::min(i0 + kTileI, r1);
+      for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
+        const std::int64_t k1 = std::min(k0 + kTileK, k);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* ci = c.data() + i * n;
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float aik = a[static_cast<std::size_t>(i * k + kk)];
+            const float* bk = b.data() + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+          }
         }
       }
     }
-  }
+  });
 }
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -52,15 +78,19 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
   check_sizes(m, n, k, a.size(), b.size(), c.size());
   std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
   // A is [k, m]; walk k outermost so both A-row and B-row are contiguous.
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* ak = a.data() + kk * m;
-    const float* bk = b.data() + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aki = ak[i];
-      float* ci = c.data() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+  // Partitioning over rows of C keeps each row's k-ascending accumulation
+  // order intact, so results match the serial path bitwise.
+  parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* ak = a.data() + kk * m;
+      const float* bk = b.data() + kk * n;
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float aki = ak[i];
+        float* ci = c.data() + i * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+      }
     }
-  }
+  });
 }
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -68,16 +98,18 @@ void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<float> c) {
   check_sizes(m, n, k, a.size(), b.size(), c.size());
   // B is [n, k]; dot products over contiguous rows of A and B.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* ai = a.data() + i * k;
-    float* ci = c.data() + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* bj = b.data() + j * k;
-      float acc = 0.0F;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-      ci[j] = acc;
+  parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* ai = a.data() + i * k;
+      float* ci = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b.data() + j * k;
+        float acc = 0.0F;
+        for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+        ci[j] = acc;
+      }
     }
-  }
+  });
 }
 
 }  // namespace splitmed

@@ -1,8 +1,25 @@
 #include "src/tensor/im2col.hpp"
 
+#include <algorithm>
+
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace splitmed {
+namespace {
+
+// Minimum per-chunk element traffic before a fork-join pays off.
+constexpr std::int64_t kParallelElems = 16 * 1024;
+
+/// Channels per parallel chunk; each channel moves kernel_h*kernel_w*oh*ow
+/// elements and touches only its own slice of both buffers.
+std::int64_t channel_grain(const ConvGeometry& g) {
+  const std::int64_t per_channel = std::max<std::int64_t>(
+      g.kernel_h * g.kernel_w * g.out_h() * g.out_w(), 1);
+  return std::max<std::int64_t>(1, kParallelElems / per_channel);
+}
+
+}  // namespace
 
 void ConvGeometry::validate() const {
   SPLITMED_CHECK(channels > 0 && in_h > 0 && in_w > 0,
@@ -23,9 +40,14 @@ void im2col(const ConvGeometry& g, std::span<const float> image,
                      static_cast<std::size_t>(g.col_rows() * g.col_cols()),
                  "im2col: col span too small");
   const std::int64_t oh = g.out_h(), ow = g.out_w();
-  std::size_t r = 0;
-  for (std::int64_t c = 0; c < g.channels; ++c) {
+  // Channel c fills exactly col rows [c*kh*kw, (c+1)*kh*kw) from its own
+  // image plane — disjoint reads and writes, so any channel partition is
+  // bitwise identical to the serial sweep.
+  parallel_for(0, g.channels, channel_grain(g), [&](std::int64_t c0,
+                                                    std::int64_t c1) {
+  for (std::int64_t c = c0; c < c1; ++c) {
     const float* chan = image.data() + c * g.in_h * g.in_w;
+    std::size_t r = static_cast<std::size_t>(c * g.kernel_h * g.kernel_w);
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
         float* out_row = col.data() + r * oh * ow;
@@ -46,6 +68,7 @@ void im2col(const ConvGeometry& g, std::span<const float> image,
       }
     }
   }
+  });
 }
 
 void col2im(const ConvGeometry& g, std::span<const float> col,
@@ -57,9 +80,14 @@ void col2im(const ConvGeometry& g, std::span<const float> col,
                      static_cast<std::size_t>(g.col_rows() * g.col_cols()),
                  "col2im: col span too small");
   const std::int64_t oh = g.out_h(), ow = g.out_w();
-  std::size_t r = 0;
-  for (std::int64_t c = 0; c < g.channels; ++c) {
+  // Channel c accumulates only into its own image plane, from its own col
+  // rows, in the serial kh/kw/y/x order — the accumulation order within a
+  // plane is identical for every channel partition.
+  parallel_for(0, g.channels, channel_grain(g), [&](std::int64_t c0,
+                                                    std::int64_t c1) {
+  for (std::int64_t c = c0; c < c1; ++c) {
     float* chan = image.data() + c * g.in_h * g.in_w;
+    std::size_t r = static_cast<std::size_t>(c * g.kernel_h * g.kernel_w);
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
         const float* in_row_base = col.data() + r * oh * ow;
@@ -77,6 +105,7 @@ void col2im(const ConvGeometry& g, std::span<const float> col,
       }
     }
   }
+  });
 }
 
 }  // namespace splitmed

@@ -3,8 +3,10 @@
 // participation (fault injection).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "src/common/error.hpp"
 #include "src/core/trainer.hpp"
@@ -50,6 +52,43 @@ TEST(Quantize, AllZerosRoundTripExactly) {
   BufferReader r({w.bytes().data(), w.bytes().size()});
   const Tensor back = decode_tensor_i8(r);
   EXPECT_EQ(ops::max_abs_diff(t, back), 0.0F);
+}
+
+TEST(Quantize, RejectsNaNInput) {
+  Tensor t(Shape{3});
+  t.data()[1] = std::numeric_limits<float>::quiet_NaN();
+  BufferWriter w;
+  EXPECT_THROW(encode_tensor_i8(t, w), SerializationError);
+}
+
+TEST(Quantize, RejectsInfInput) {
+  Tensor pos(Shape{3});
+  pos.data()[2] = std::numeric_limits<float>::infinity();
+  BufferWriter w;
+  EXPECT_THROW(encode_tensor_i8(pos, w), SerializationError);
+
+  Tensor neg(Shape{3});
+  neg.data()[0] = -std::numeric_limits<float>::infinity();
+  BufferWriter w2;
+  EXPECT_THROW(encode_tensor_i8(neg, w2), SerializationError);
+}
+
+TEST(Quantize, TiesRoundHalfAwayFromZero) {
+  // max_abs = 127 makes the scale exactly 1.0, so the quantized codes are
+  // just the rounded inputs. Half-away-from-zero gives 2.5 -> 3 and
+  // -2.5 -> -3; nearbyint under the default round-to-even mode would
+  // produce 2 / -2 / 0 instead.
+  Tensor t(Shape{5});
+  const float vals[] = {127.0F, 2.5F, -2.5F, 0.5F, -0.5F};
+  std::copy(std::begin(vals), std::end(vals), t.data().begin());
+  BufferWriter w;
+  encode_tensor_i8(t, w);
+  BufferReader r({w.bytes().data(), w.bytes().size()});
+  const Tensor back = decode_tensor_i8(r);
+  const float expected[] = {127.0F, 3.0F, -3.0F, 1.0F, -1.0F};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(back.data()[i], expected[i]) << "element " << i;
+  }
 }
 
 TEST(Quantize, FourTimesSmallerThanF32) {

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 #include "src/tensor/gemm.hpp"
 
@@ -104,6 +105,16 @@ TEST(Gemm, ZeroKProducesZeroMatrix) {
   std::vector<float> c(6, 5.0F);
   gemm_nn(2, 3, 0, a, b, c);
   for (const float v : c) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Gemm, OverflowingDimensionProductThrows) {
+  // m * k overflows int64; before the overflow check this wrapped to a small
+  // (even negative) product and the size precondition silently passed.
+  const std::int64_t big = std::int64_t{1} << 32;
+  std::vector<float> a(1), b(1), c(1);
+  EXPECT_THROW(gemm_nn(big, big, big, a, b, c), InvalidArgument);
+  EXPECT_THROW(gemm_tn(big, 1, big, a, b, c), InvalidArgument);
+  EXPECT_THROW(gemm_nt(big, big, 1, a, b, c), InvalidArgument);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/trainer.hpp"
 #include "src/data/synthetic_cifar.hpp"
 #include "src/models/factory.hpp"
@@ -151,6 +152,50 @@ TEST(SplitEquivalence, MeasuredBytesMatchAnalyticModel) {
   EXPECT_EQ(trainer.network().stats().total_bytes(), expected);
   // 4 messages per platform per round.
   EXPECT_EQ(trainer.network().stats().total_messages(), 4U * 3U * 4U);
+}
+
+TEST(SplitEquivalence, ScheduleAndThreadsInvariantBytesAndAccuracy) {
+  // ISSUE: sequential and overlapped schedules are the same mathematics on
+  // the same wire — only sim wall-clock may differ. And neither schedule may
+  // react to the substrate thread count. All four (schedule, threads)
+  // combinations must report identical byte totals, final accuracy, and
+  // loss curves for a 3-platform run.
+  const auto train = make_dataset(48, 4, 8);
+  const auto test = make_dataset(16, 4, 8);
+
+  std::vector<metrics::TrainReport> reports;
+  for (const core::Schedule schedule :
+       {core::Schedule::kSequential, core::Schedule::kOverlapped}) {
+    for (const int threads : {1, 4}) {
+      core::SplitConfig cfg;
+      cfg.total_batch = 12;
+      cfg.rounds = 4;
+      cfg.eval_every = 2;
+      cfg.seed = 77;
+      cfg.schedule = schedule;
+      cfg.threads = threads;
+      Rng prng(31);
+      const auto partition = data::partition_iid(train.size(), 3, prng);
+      core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+      reports.push_back(trainer.run());
+      EXPECT_EQ(trainer.network().stats().total_bytes(),
+                reports.front().total_bytes);
+    }
+  }
+  set_global_threads(0);
+
+  const auto& ref = reports.front();
+  ASSERT_EQ(ref.curve.size(), 2U);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].total_bytes, ref.total_bytes);
+    ASSERT_EQ(reports[i].curve.size(), ref.curve.size());
+    EXPECT_EQ(reports[i].final_accuracy, ref.final_accuracy);
+    for (std::size_t j = 0; j < ref.curve.size(); ++j) {
+      EXPECT_EQ(reports[i].curve[j].train_loss, ref.curve[j].train_loss);
+      EXPECT_EQ(reports[i].curve[j].cumulative_bytes,
+                ref.curve[j].cumulative_bytes);
+    }
+  }
 }
 
 TEST(SplitEquivalence, PerKindTrafficIsSymmetric) {

@@ -2,6 +2,7 @@
 // byte budgets, imbalance policy, and the L1-sync extension.
 #include <gtest/gtest.h>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/trainer.hpp"
 #include "src/data/synthetic_cifar.hpp"
 #include "src/data/synthetic_medical.hpp"
@@ -79,6 +80,100 @@ TEST(SplitTrainer, DeterministicAcrossRuns) {
   }
   EXPECT_EQ(r1.total_bytes, r2.total_bytes);
   EXPECT_EQ(r1.total_sim_seconds, r2.total_sim_seconds);
+}
+
+TEST(SplitTrainer, PartialParticipationLossIgnoresIdlePlatforms) {
+  // Regression: with participation < 1 the first-round curve point used to
+  // average last_loss() over ALL platforms, mixing the initial
+  // last_loss_ = 0 of hospitals that skipped the round into the reported
+  // loss and biasing the curve low.
+  const auto train = make_dataset(128);
+  const auto test = make_dataset(16);
+  Rng prng(23);
+  const std::size_t platforms = 6;
+  const auto partition = data::partition_iid(train.size(), platforms, prng);
+  auto cfg = base_config();
+  cfg.rounds = 1;
+  cfg.eval_every = 1;
+  cfg.participation = 0.5;
+  core::SplitTrainer trainer(builder(), train, partition, test, cfg);
+  const auto report = trainer.run();
+  ASSERT_EQ(report.curve.size(), 1U);
+
+  // Reconstruct both definitions from the platform state after round 1.
+  double participant_sum = 0.0, all_sum = 0.0;
+  std::size_t participant_count = 0;
+  for (std::size_t p = 0; p < platforms; ++p) {
+    all_sum += trainer.platform(p).last_loss();
+    if (trainer.platform(p).steps_completed() > 0) {
+      participant_sum += trainer.platform(p).last_loss();
+      ++participant_count;
+    }
+  }
+  ASSERT_GT(participant_count, 0U);
+  // The seed must leave at least one platform idle for the regression to
+  // bite; seed 23 with participation 0.5 over 6 platforms does.
+  ASSERT_LT(participant_count, platforms);
+
+  const double fixed = participant_sum / static_cast<double>(participant_count);
+  const double biased = all_sum / static_cast<double>(platforms);
+  EXPECT_DOUBLE_EQ(report.curve[0].train_loss, fixed);
+  EXPECT_NE(report.curve[0].train_loss, biased);  // old definition fails
+}
+
+TEST(SplitTrainer, PartialParticipationLossAveragesAllOnceWarm) {
+  // Once every platform has stepped at least once, the reported loss is the
+  // all-platform average again (stale-but-real losses, no zero bias).
+  const auto train = make_dataset(128);
+  const auto test = make_dataset(16);
+  Rng prng(23);
+  const auto partition = data::partition_iid(train.size(), 3, prng);
+  auto cfg = base_config();
+  cfg.rounds = 40;
+  cfg.eval_every = 40;
+  cfg.participation = 0.5;
+  core::SplitTrainer trainer(builder(), train, partition, test, cfg);
+  const auto report = trainer.run();
+  ASSERT_EQ(report.curve.size(), 1U);
+  double all_sum = 0.0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    ASSERT_GT(trainer.platform(p).steps_completed(), 0);
+    all_sum += trainer.platform(p).last_loss();
+  }
+  EXPECT_DOUBLE_EQ(report.curve[0].train_loss, all_sum / 3.0);
+}
+
+TEST(SplitTrainer, CurvesAndBytesInvariantToThreadCount) {
+  // The determinism contract (docs/PROTOCOL.md): --threads only changes
+  // wall-clock, never wire bytes, loss curves, or accuracy.
+  const auto train = make_dataset(64);
+  const auto test = make_dataset(16);
+  auto cfg = base_config();
+  cfg.rounds = 6;
+  cfg.eval_every = 3;
+  cfg.participation = 0.7;
+
+  metrics::TrainReport reports[2];
+  for (int run = 0; run < 2; ++run) {
+    cfg.threads = run == 0 ? 1 : 4;
+    Rng prng(3);
+    const auto partition = data::partition_iid(train.size(), 3, prng);
+    core::SplitTrainer trainer(builder(), train, partition, test, cfg);
+    reports[run] = trainer.run();
+  }
+  set_global_threads(0);
+  ASSERT_EQ(reports[0].curve.size(), reports[1].curve.size());
+  for (std::size_t i = 0; i < reports[0].curve.size(); ++i) {
+    EXPECT_EQ(reports[0].curve[i].train_loss, reports[1].curve[i].train_loss);
+    EXPECT_EQ(reports[0].curve[i].test_accuracy,
+              reports[1].curve[i].test_accuracy);
+    EXPECT_EQ(reports[0].curve[i].cumulative_bytes,
+              reports[1].curve[i].cumulative_bytes);
+    EXPECT_EQ(reports[0].curve[i].sim_seconds,
+              reports[1].curve[i].sim_seconds);
+  }
+  EXPECT_EQ(reports[0].total_bytes, reports[1].total_bytes);
+  EXPECT_EQ(reports[0].total_sim_seconds, reports[1].total_sim_seconds);
 }
 
 TEST(SplitTrainer, ByteBudgetStopsEarly) {
