@@ -1,0 +1,68 @@
+// WAN fault sweep (extension): split training under seeded link faults —
+// drops, duplicates, corruption, and delay spikes — with the protocol-level
+// recovery layer (CRC trailers, timeouts, retransmissions, idempotent
+// replay) keeping training alive. Sweeps fault intensity and reports the
+// goodput cost: wire bytes vs bytes that actually advanced the protocol.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/common/format.hpp"
+#include "src/common/table.hpp"
+
+namespace {
+
+using namespace splitmed;
+using namespace splitmed::bench;
+
+constexpr std::int64_t kClasses = 4;
+constexpr std::int64_t kPlatforms = 4;
+constexpr std::int64_t kRounds = 40;
+
+}  // namespace
+
+int main() {
+  std::cout << "=== WAN fault injection sweep (mlp, " << kPlatforms
+            << " platforms, " << kRounds << " rounds, heterogeneous WAN) ===\n\n";
+
+  const auto train = make_cifar(384, kClasses, 42, 8, 0, 0.4F);
+  const auto test = make_cifar(96, kClasses, 42, 8, 384, 0.4F);
+  const auto builder = mini_builder("mlp", kClasses, 8);
+  Rng prng(7);
+  const auto partition = data::partition_iid(train.size(), kPlatforms, prng);
+
+  Table table({"fault rate", "bytes", "goodput", "retrans", "dropped",
+               "corrupt", "skipped", "WAN time", "final acc"});
+  for (const double rate : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    core::SplitConfig cfg;
+    cfg.total_batch = 4 * kPlatforms;
+    cfg.rounds = kRounds;
+    cfg.eval_every = kRounds;
+    cfg.sgd = comparison_sgd();
+    cfg.faults.drop_rate = rate;
+    cfg.faults.duplicate_rate = rate;
+    cfg.faults.corrupt_rate = rate;
+    cfg.faults.delay_spike_rate = rate;
+    cfg.faults.delay_spike_sec = 2.0;
+    core::SplitTrainer trainer(builder, train, partition, test, cfg);
+    const auto report = trainer.run();
+    const auto& stats = trainer.network().stats();
+    table.add_row({format_percent(rate, 0), format_bytes(report.total_bytes),
+                   format_bytes(stats.goodput_bytes()),
+                   std::to_string(stats.retransmits()),
+                   std::to_string(stats.dropped()),
+                   std::to_string(stats.corrupted()),
+                   std::to_string(report.skipped_steps),
+                   format_duration(report.total_sim_seconds),
+                   format_percent(report.final_accuracy)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: every row is bit-reproducible from the seed. "
+               "Recovery holds accuracy near the fault-free run while the "
+               "wire-bytes-to-goodput gap widens with the fault rate — the "
+               "WAN tax is retransmissions and discarded frames, not lost "
+               "learning. Skipped steps stay rare until drop rates are "
+               "extreme (a hospital must lose a frame on every retry to "
+               "miss a round).\n"
+            << std::endl;
+  return 0;
+}

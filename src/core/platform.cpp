@@ -26,7 +26,7 @@ void PlatformNode::set_minibatch_size(std::int64_t s) {
 
 void PlatformNode::send_activation(net::Network& network,
                                    std::uint64_t round) {
-  SPLITMED_CHECK(state_ == State::kIdle,
+  SPLITMED_CHECK(state_ == PlatformState::kIdle,
                  "platform " << id_ << ": send_activation while mid-step");
   data::Batch batch = loader_.next_batch();
   pending_labels_ = std::move(batch.labels);
@@ -39,9 +39,30 @@ void PlatformNode::send_activation(net::Network& network,
     auto d = activation.data();
     for (auto& v : d) v += options_.smash_noise_std * noise_rng_.normal();
   }
-  network.send(make_tensor_envelope(id_, server_, MsgKind::kActivation, round,
-                                    activation, options_.wire_dtype));
-  state_ = State::kAwaitLogits;
+  Envelope out = make_tensor_envelope(id_, server_, MsgKind::kActivation,
+                                      round, activation, options_.wire_dtype);
+  if (options_.tolerate_faults) last_sent_ = out;
+  network.send(std::move(out));
+  state_ = PlatformState::kAwaitLogits;
+}
+
+void PlatformNode::resend_last(net::Network& network) {
+  SPLITMED_CHECK(options_.tolerate_faults,
+                 "resend_last requires tolerate_faults");
+  SPLITMED_CHECK(last_sent_.has_value(),
+                 "platform " << id_ << ": nothing to retransmit");
+  Envelope copy = *last_sent_;
+  copy.retransmit = true;
+  network.send(std::move(copy));
+}
+
+void PlatformNode::abort_step() {
+  SPLITMED_CHECK(state_ != PlatformState::kIdle,
+                 "platform " << id_ << ": abort_step while idle");
+  state_ = PlatformState::kIdle;
+  pending_labels_.clear();
+  last_sent_.reset();
+  ++aborted_steps_;
 }
 
 void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
@@ -50,42 +71,53 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
                         " got a message addressed to node " +
                         std::to_string(envelope.dst));
   }
-  if (envelope.round != pending_round_) {
-    throw ProtocolError("platform " + std::to_string(id_) + " expected round " +
-                        std::to_string(pending_round_) + ", got " +
-                        std::to_string(envelope.round));
-  }
-  switch (static_cast<MsgKind>(envelope.kind)) {
-    case MsgKind::kLogits: {
-      if (state_ != State::kAwaitLogits) {
-        throw ProtocolError("platform: unexpected logits message");
-      }
-      const Tensor logits = decode_tensor_payload(envelope.payload);
-      last_loss_ = loss_.forward(logits, pending_labels_);
-      last_batch_accuracy_ = nn::accuracy(logits, pending_labels_);
-      network.send(make_tensor_envelope(id_, server_, MsgKind::kLogitGrad,
-                                        pending_round_, loss_.backward()));
-      state_ = State::kAwaitCutGrad;
+  const auto kind = static_cast<MsgKind>(envelope.kind);
+  // Which message would advance the state machine right now?
+  const bool expected =
+      (state_ == PlatformState::kAwaitLogits && kind == MsgKind::kLogits &&
+       envelope.round == pending_round_) ||
+      (state_ == PlatformState::kAwaitCutGrad && kind == MsgKind::kCutGrad &&
+       envelope.round == pending_round_);
+  if (!expected) {
+    if (options_.tolerate_faults &&
+        (kind == MsgKind::kLogits || kind == MsgKind::kCutGrad)) {
+      // A duplicated delivery or a reply to a step already completed or
+      // abandoned — drop it; the WAN produced it, not a peer bug.
+      ++stale_ignored_;
       return;
     }
-    case MsgKind::kCutGrad: {
-      if (state_ != State::kAwaitCutGrad) {
-        throw ProtocolError("platform: unexpected cut-grad message");
-      }
-      const Tensor cut_grad =
-          decode_tensor_payload(envelope.payload, options_.wire_dtype);
-      l1_.zero_grad();
-      l1_.backward(cut_grad);
-      opt_.step();
-      ++steps_completed_;
-      state_ = State::kIdle;
-      return;
+    if (envelope.round != pending_round_) {
+      throw ProtocolError("platform " + std::to_string(id_) +
+                          " expected round " + std::to_string(pending_round_) +
+                          ", got " + std::to_string(envelope.round));
     }
-    default:
-      throw ProtocolError(std::string("platform: unexpected message kind '") +
-                          msg_kind_name(static_cast<MsgKind>(envelope.kind)) +
-                          "'");
+    if (kind == MsgKind::kLogits || kind == MsgKind::kCutGrad) {
+      throw ProtocolError(std::string("platform: unexpected ") +
+                          msg_kind_name(kind) + " message");
+    }
+    throw ProtocolError(std::string("platform: unexpected message kind '") +
+                        msg_kind_name(kind) + "'");
   }
+  if (kind == MsgKind::kLogits) {
+    const Tensor logits = decode_tensor_payload(envelope.payload);
+    last_loss_ = loss_.forward(logits, pending_labels_);
+    last_batch_accuracy_ = nn::accuracy(logits, pending_labels_);
+    Envelope grad = make_tensor_envelope(id_, server_, MsgKind::kLogitGrad,
+                                         pending_round_, loss_.backward());
+    if (options_.tolerate_faults) last_sent_ = grad;
+    network.send(std::move(grad));
+    state_ = PlatformState::kAwaitCutGrad;
+    return;
+  }
+  // kCutGrad
+  const Tensor cut_grad =
+      decode_tensor_payload(envelope.payload, options_.wire_dtype);
+  l1_.zero_grad();
+  l1_.backward(cut_grad);
+  opt_.step();
+  ++steps_completed_;
+  state_ = PlatformState::kIdle;
+  last_sent_.reset();
 }
 
 }  // namespace splitmed::core

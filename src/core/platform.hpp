@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "src/core/protocol.hpp"
 #include "src/data/dataloader.hpp"
@@ -24,7 +25,16 @@ struct PlatformOptions {
   /// Gaussian noise added to outgoing activations (privacy defense; 0 = off).
   float smash_noise_std = 0.0F;
   std::uint64_t noise_seed = 17;
+  /// WAN fault tolerance: stale / duplicated protocol messages are counted
+  /// and ignored instead of throwing, and the most recent outgoing message
+  /// is cached so the recovery layer can retransmit it. Off = the paper's
+  /// strict state machine (any anomaly is a ProtocolError).
+  bool tolerate_faults = false;
 };
+
+/// Protocol position of a platform; exposed so the recovery layer can tell
+/// when a step progressed without inspecting message contents.
+enum class PlatformState { kIdle, kAwaitLogits, kAwaitCutGrad };
 
 class PlatformNode {
  public:
@@ -38,8 +48,18 @@ class PlatformNode {
 
   /// Handles kLogits (compute loss + send logit grads) and kCutGrad
   /// (backprop L1, apply the local optimizer step). Throws ProtocolError on
-  /// out-of-order or foreign messages.
+  /// out-of-order or foreign messages — unless tolerate_faults, which
+  /// counts and ignores stale/duplicate frames (WAN recovery).
   void handle(net::Network& network, const Envelope& envelope);
+
+  /// Re-sends the most recent outgoing message, flagged as a retransmission
+  /// (recovery path; requires tolerate_faults and a message in flight).
+  void resend_last(net::Network& network);
+
+  /// Abandons the in-flight step after retransmissions were exhausted: the
+  /// platform returns to Idle without applying an optimizer step (the drawn
+  /// minibatch is lost — the hospital was unreachable this round).
+  void abort_step();
 
   /// Paper's imbalance mitigation: the trainer sets s_k per round.
   void set_minibatch_size(std::int64_t s);
@@ -57,11 +77,14 @@ class PlatformNode {
   [[nodiscard]] std::int64_t steps_completed() const {
     return steps_completed_;
   }
+  [[nodiscard]] PlatformState state() const { return state_; }
+  /// Stale or duplicated messages ignored under tolerate_faults.
+  [[nodiscard]] std::int64_t stale_ignored() const { return stale_ignored_; }
+  /// Steps abandoned by abort_step().
+  [[nodiscard]] std::int64_t aborted_steps() const { return aborted_steps_; }
   [[nodiscard]] nn::Sequential& l1() { return l1_; }
 
  private:
-  enum class State { kIdle, kAwaitLogits, kAwaitCutGrad };
-
   NodeId id_;
   NodeId server_;
   nn::Sequential l1_;
@@ -71,12 +94,15 @@ class PlatformNode {
   PlatformOptions options_;
   Rng noise_rng_;
 
-  State state_ = State::kIdle;
+  PlatformState state_ = PlatformState::kIdle;
   std::uint64_t pending_round_ = 0;
   std::vector<std::int64_t> pending_labels_;
+  std::optional<Envelope> last_sent_;  // cached only under tolerate_faults
   float last_loss_ = 0.0F;
   double last_batch_accuracy_ = 0.0;
   std::int64_t steps_completed_ = 0;
+  std::int64_t stale_ignored_ = 0;
+  std::int64_t aborted_steps_ = 0;
 };
 
 }  // namespace splitmed::core

@@ -12,6 +12,14 @@ CentralServer::CentralServer(NodeId id, nn::Sequential body,
       opt_(body_.parameters(), opt),
       options_(options) {}
 
+void CentralServer::expect_round(std::uint64_t round) { min_round_ = round; }
+
+void CentralServer::abort_pending(NodeId platform) {
+  if (awaiting_grad_ && pending_platform_ == platform) {
+    awaiting_grad_ = false;
+  }
+}
+
 void CentralServer::process_activation(net::Network& network,
                                        const Envelope& envelope) {
   const Tensor activation =
@@ -20,8 +28,48 @@ void CentralServer::process_activation(net::Network& network,
   pending_platform_ = envelope.src;
   pending_round_ = envelope.round;
   awaiting_grad_ = true;
-  network.send(make_tensor_envelope(id_, envelope.src, MsgKind::kLogits,
-                                    envelope.round, logits));
+  Envelope reply = make_tensor_envelope(id_, envelope.src, MsgKind::kLogits,
+                                        envelope.round, logits);
+  if (options_.tolerate_faults) {
+    reply_cache_[envelope.src] =
+        CachedReply{envelope.kind, envelope.round, reply};
+    last_request_round_[envelope.src] = envelope.round;
+  }
+  network.send(std::move(reply));
+}
+
+bool CentralServer::absorb_faulty(net::Network& network,
+                                  const Envelope& envelope) {
+  // A duplicate of a request already answered: re-send the cached reply
+  // instead of re-training on it (idempotence).
+  const auto cached = reply_cache_.find(envelope.src);
+  if (cached != reply_cache_.end() &&
+      cached->second.request_kind == envelope.kind &&
+      cached->second.request_round == envelope.round) {
+    Envelope again = cached->second.reply;
+    again.retransmit = true;
+    network.send(std::move(again));
+    ++replays_;
+    return true;
+  }
+  // Frames the strict state machine would accept are not ours to absorb.
+  const auto kind = static_cast<MsgKind>(envelope.kind);
+  if (kind == MsgKind::kLogitGrad && awaiting_grad_ &&
+      envelope.src == pending_platform_ && envelope.round == pending_round_) {
+    return false;
+  }
+  if (kind == MsgKind::kActivation && !awaiting_grad_ &&
+      envelope.round >= min_round_) {
+    const auto last = last_request_round_.find(envelope.src);
+    if (last == last_request_round_.end() || envelope.round > last->second) {
+      return false;
+    }
+  }
+  // Anything else is WAN debris: a reply to an abandoned round, a duplicate
+  // whose cache slot was already superseded, a frame from before the
+  // current expect_round() horizon.
+  ++stale_ignored_;
+  return true;
 }
 
 void CentralServer::handle(net::Network& network, const Envelope& envelope) {
@@ -29,6 +77,7 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
     throw ProtocolError("server got a message addressed to node " +
                         std::to_string(envelope.dst));
   }
+  if (options_.tolerate_faults && absorb_faulty(network, envelope)) return;
   switch (static_cast<MsgKind>(envelope.kind)) {
     case MsgKind::kActivation: {
       if (awaiting_grad_) {
@@ -54,9 +103,15 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
       opt_.step();
       ++steps_completed_;
       awaiting_grad_ = false;
-      network.send(make_tensor_envelope(id_, envelope.src, MsgKind::kCutGrad,
-                                        envelope.round, cut_grad,
-                                        options_.wire_dtype));
+      Envelope reply =
+          make_tensor_envelope(id_, envelope.src, MsgKind::kCutGrad,
+                               envelope.round, cut_grad, options_.wire_dtype);
+      if (options_.tolerate_faults) {
+        reply_cache_[envelope.src] =
+            CachedReply{envelope.kind, envelope.round, reply};
+        last_request_round_[envelope.src] = envelope.round;
+      }
+      network.send(std::move(reply));
       if (!queued_activations_.empty()) {
         const Envelope next = std::move(queued_activations_.front());
         queued_activations_.pop_front();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 
 #include "src/core/protocol.hpp"
 #include "src/net/network.hpp"
@@ -22,6 +23,11 @@ struct ServerOptions {
   /// queued and served FIFO (the overlapped schedule); when false they are
   /// a protocol violation (the paper's strictly sequential workflow).
   bool allow_queueing = false;
+  /// WAN fault tolerance: requests are handled idempotently — a duplicated
+  /// request (same src, kind, round as one already processed) re-sends the
+  /// cached reply instead of re-training on it, and stale frames are counted
+  /// and ignored instead of throwing. Off = strict state machine.
+  bool tolerate_faults = false;
 };
 
 class CentralServer {
@@ -36,6 +42,15 @@ class CentralServer {
   /// activation may ARRIVE early and waits its turn.
   void handle(net::Network& network, const Envelope& envelope);
 
+  /// Recovery: no request with round < `round` will be treated as new work
+  /// anymore (retransmissions of abandoned steps must not start training).
+  /// The trainer calls this as each protocol step begins.
+  void expect_round(std::uint64_t round);
+
+  /// Recovery: clears a pending forward for `platform` after the trainer
+  /// gave up on its step (the logit gradient will never come).
+  void abort_pending(NodeId platform);
+
   void set_learning_rate(float lr) { opt_.set_learning_rate(lr); }
 
   [[nodiscard]] NodeId id() const { return id_; }
@@ -43,10 +58,26 @@ class CentralServer {
   [[nodiscard]] std::int64_t steps_completed() const {
     return steps_completed_;
   }
+  /// Idempotent reply re-sends triggered by duplicated requests.
+  [[nodiscard]] std::int64_t replays() const { return replays_; }
+  /// Stale frames ignored under tolerate_faults.
+  [[nodiscard]] std::int64_t stale_ignored() const { return stale_ignored_; }
 
  private:
   /// Runs forward on a (decoded) activation and replies with logits.
   void process_activation(net::Network& network, const Envelope& envelope);
+  /// Tolerant-mode triage for frames that do not match the strict state
+  /// machine: replay the cached reply for a duplicated request, ignore the
+  /// rest. Returns true when the frame was consumed.
+  bool absorb_faulty(net::Network& network, const Envelope& envelope);
+
+  /// Last reply per platform, keyed by the request that produced it — the
+  /// idempotence unit for duplicate/retransmitted requests.
+  struct CachedReply {
+    std::uint32_t request_kind = 0;
+    std::uint64_t request_round = 0;
+    Envelope reply;
+  };
 
   NodeId id_;
   nn::Sequential body_;
@@ -58,6 +89,14 @@ class CentralServer {
   std::uint64_t pending_round_ = 0;
   std::int64_t steps_completed_ = 0;
   std::deque<Envelope> queued_activations_;
+  std::map<NodeId, CachedReply> reply_cache_;
+  /// Round of the newest request processed per platform — a fresh request
+  /// must beat it (rejects duplicates arriving after their reply was
+  /// already superseded in the cache).
+  std::map<NodeId, std::uint64_t> last_request_round_;
+  std::uint64_t min_round_ = 0;
+  std::int64_t replays_ = 0;
+  std::int64_t stale_ignored_ = 0;
 };
 
 }  // namespace splitmed::core

@@ -22,12 +22,26 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                  "rounds and eval_every must be positive");
   SPLITMED_CHECK(config_.participation > 0.0 && config_.participation <= 1.0,
                  "participation must be in (0, 1]");
+  config_.faults.validate();
+  config_.recovery.validate();
+  const bool faulted = config_.faults.any();
+  if (faulted) {
+    SPLITMED_CHECK(config_.schedule == Schedule::kSequential,
+                   "WAN fault injection requires the sequential schedule");
+    SPLITMED_CHECK(config_.sync_l1_every == 0,
+                   "WAN fault injection does not cover the L1-sync extension");
+  }
   participation_rng_ = Rng(config_.seed ^ 0xC2B2AE3D27D4EB4FULL);
   const std::int64_t k = static_cast<std::int64_t>(partition.size());
 
   topology_ = config_.hospital_wan
                   ? net::build_hospital_star(network_, k)
                   : net::build_uniform_star(network_, k, config_.uniform_link);
+  if (faulted) {
+    // A dedicated stream: fault draws never perturb loaders or init.
+    network_.set_fault_seed(config_.seed ^ 0x9E3779B97F4A7C15ULL);
+    network_.set_default_fault_plan(config_.faults);
+  }
 
   // Replica 0 supplies the server body; every replica k supplies platform
   // k's L1. Deterministic builders make all replicas identical, realizing
@@ -45,6 +59,7 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
       ServerOptions server_opt;
       server_opt.wire_dtype = config_.wire_dtype;
       server_opt.allow_queueing = config_.schedule == Schedule::kOverlapped;
+      server_opt.tolerate_faults = config_.faults.any();
       server_ = std::make_unique<CentralServer>(topology_.server,
                                                 std::move(parts.server),
                                                 config_.sgd, server_opt);
@@ -64,6 +79,7 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
     platform_opt.wire_dtype = config_.wire_dtype;
     platform_opt.smash_noise_std = config_.smash_noise_std;
     platform_opt.noise_seed = config_.seed;
+    platform_opt.tolerate_faults = config_.faults.any();
     platforms_.push_back(std::make_unique<PlatformNode>(
         topology_.platforms[static_cast<std::size_t>(p)], topology_.server,
         std::move(parts.platform), std::move(loader), config_.sgd,
@@ -96,6 +112,66 @@ void SplitTrainer::run_platform_step(PlatformNode& platform,
   platform.handle(network_, network_.receive(platform.id()));   // logits
   server_->handle(network_, network_.receive(server_->id()));   // logit grad
   platform.handle(network_, network_.receive(platform.id()));   // cut grad
+}
+
+bool SplitTrainer::await_platform_progress(PlatformNode& platform) {
+  const PlatformState entry = platform.state();
+  double timeout = config_.recovery.timeout_sec;
+  for (int attempt = 0; attempt <= config_.recovery.max_retries; ++attempt) {
+    const double deadline = network_.clock().now() + timeout;
+    while (platform.state() == entry) {
+      // Deliver the earliest frame across the two protocol inboxes (the
+      // server wins exact ties — request before stale reply).
+      const auto server_at = network_.next_arrival(server_->id());
+      const auto platform_at = network_.next_arrival(platform.id());
+      NodeId target;
+      double earliest;
+      if (server_at && (!platform_at || *server_at <= *platform_at)) {
+        target = server_->id();
+        earliest = *server_at;
+      } else if (platform_at) {
+        target = platform.id();
+        earliest = *platform_at;
+      } else {
+        break;  // nothing in flight at all — only a retransmit can help
+      }
+      if (earliest > deadline) break;  // next event is beyond this window
+      const auto env = network_.receive_before(target, deadline);
+      // nullopt: the window held only corrupted frames (now discarded and
+      // counted) — re-evaluate the inboxes.
+      if (!env) continue;
+      if (env->dst == server_->id()) {
+        server_->handle(network_, *env);
+      } else {
+        platform.handle(network_, *env);
+      }
+    }
+    if (platform.state() != entry) return true;
+    network_.clock().advance_to(deadline);
+    if (attempt == config_.recovery.max_retries) break;
+    platform.resend_last(network_);
+    timeout *= config_.recovery.backoff;
+  }
+  return false;
+}
+
+bool SplitTrainer::run_platform_step_reliable(PlatformNode& platform,
+                                              std::uint64_t step_id) {
+  server_->expect_round(step_id);
+  platform.send_activation(network_, step_id);
+  // Stage 1: reach kAwaitCutGrad (activation delivered, logits back).
+  // Stage 2: reach kIdle (logit grad delivered, cut grad back).
+  for (int stage = 0; stage < 2; ++stage) {
+    if (!await_platform_progress(platform)) {
+      SPLITMED_LOG(kWarn) << "platform " << platform.id()
+                          << " unreachable in round " << step_id
+                          << " — skipping its step";
+      platform.abort_step();
+      server_->abort_pending(platform.id());
+      return false;
+    }
+  }
+  return true;
 }
 
 void SplitTrainer::run_overlapped_round(
@@ -231,14 +307,28 @@ metrics::TrainReport SplitTrainer::run() {
       for (auto& p : platforms_) p->set_learning_rate(lr);
     }
     const auto participants = sample_participants(round);
+    // Under fault injection a participant's step can be abandoned (hospital
+    // unreachable); only platforms that actually stepped count toward the
+    // examples processed and the reported loss.
+    std::vector<std::size_t> stepped;
     if (config_.schedule == Schedule::kOverlapped) {
       run_overlapped_round(participants, step_id);
-    } else {
+      stepped = participants;
+    } else if (!config_.faults.any()) {
       for (const std::size_t p : participants) {
         run_platform_step(*platforms_[p], ++step_id);
       }
+      stepped = participants;
+    } else {
+      for (const std::size_t p : participants) {
+        if (run_platform_step_reliable(*platforms_[p], ++step_id)) {
+          stepped.push_back(p);
+        } else {
+          ++skipped_steps_;
+        }
+      }
     }
-    for (const std::size_t p : participants) {
+    for (const std::size_t p : stepped) {
       examples_processed_ += minibatches_[p];
     }
     if (config_.sync_l1_every > 0 && round % config_.sync_l1_every == 0) {
@@ -256,7 +346,10 @@ metrics::TrainReport SplitTrainer::run() {
                     static_cast<double>(train_->size());
       point.cumulative_bytes = network_.stats().total_bytes();
       point.sim_seconds = network_.clock().now();
-      point.train_loss = round_train_loss(participants);
+      // When every participant was unreachable this round, fall back to the
+      // sampled participants' (stale) losses rather than averaging nothing.
+      point.train_loss = round_train_loss(stepped.empty() ? participants
+                                                          : stepped);
       point.test_accuracy = evaluate();
       report.curve.push_back(point);
       SPLITMED_LOG(kInfo) << "split round " << round << " loss "
@@ -270,6 +363,7 @@ metrics::TrainReport SplitTrainer::run() {
   }
   report.total_bytes = network_.stats().total_bytes();
   report.total_sim_seconds = network_.clock().now();
+  report.skipped_steps = skipped_steps_;
   return report;
 }
 

@@ -72,6 +72,17 @@ struct SplitConfig {
   /// Per-round probability that a platform participates (fault injection /
   /// intermittent hospitals). At least one platform always participates.
   double participation = 1.0;
+  /// WAN fault injection (extension): seeded per-link drop / duplicate /
+  /// corruption / delay-spike rates, installed as the network-wide default
+  /// plan. Any nonzero rate turns on CRC trailers and protocol-level
+  /// recovery (timeouts, retransmissions, idempotent duplicate handling).
+  /// All-zero (the default) leaves every byte and RNG stream untouched —
+  /// bitwise identical to a fault-free build. Requires the sequential
+  /// schedule and sync_l1_every == 0.
+  net::FaultPlan faults{};
+  /// Timeout / exponential-backoff retransmission policy (simulated time)
+  /// used when `faults` has any nonzero rate.
+  net::RetryPolicy recovery{};
   /// Compute threads for the tensor substrate (resizes the process-global
   /// pool). 0 keeps the current global default (SPLITMED_THREADS env var or
   /// hardware_concurrency); 1 forces the serial path. Thread count never
@@ -106,6 +117,15 @@ class SplitTrainer {
  private:
   /// One full 4-message protocol exchange for one platform.
   void run_platform_step(PlatformNode& platform, std::uint64_t step_id);
+  /// Fault-tolerant variant: pumps the WAN with per-stage timeouts and
+  /// bounded retransmissions; returns false when the step was abandoned
+  /// (the platform was unreachable this round).
+  bool run_platform_step_reliable(PlatformNode& platform,
+                                  std::uint64_t step_id);
+  /// Delivers frames until `platform` leaves its current protocol state,
+  /// retransmitting its last message on timeout (exponential backoff over
+  /// simulated time). False = retries exhausted without progress.
+  bool await_platform_progress(PlatformNode& platform);
   /// All participants upload concurrently; arrivals served FIFO.
   void run_overlapped_round(const std::vector<std::size_t>& participants,
                             std::uint64_t& step_id);
@@ -130,6 +150,7 @@ class SplitTrainer {
   std::string model_name_;
   std::int64_t examples_per_round_ = 0;
   std::int64_t examples_processed_ = 0;
+  std::int64_t skipped_steps_ = 0;
   Rng participation_rng_{0};
 };
 

@@ -26,6 +26,9 @@ struct TrainReport {
   double total_sim_seconds = 0.0;
   double final_accuracy = 0.0;
   std::int64_t steps_completed = 0;
+  /// Platform steps abandoned after retransmissions were exhausted (WAN
+  /// fault recovery; always 0 in a fault-free run).
+  std::int64_t skipped_steps = 0;
 
   /// Accuracy of the last point at or under the byte budget (0.0 when the
   /// first point already exceeds it).

@@ -1,0 +1,35 @@
+#include "src/net/fault.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed::net {
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+  SPLITMED_CHECK(rate >= 0.0 && rate <= 1.0,
+                 name << " must be in [0, 1], got " << rate);
+}
+
+}  // namespace
+
+bool FaultPlan::any() const {
+  return drop_rate > 0.0 || duplicate_rate > 0.0 || corrupt_rate > 0.0 ||
+         delay_spike_rate > 0.0;
+}
+
+void FaultPlan::validate() const {
+  check_rate(drop_rate, "drop_rate");
+  check_rate(duplicate_rate, "duplicate_rate");
+  check_rate(corrupt_rate, "corrupt_rate");
+  check_rate(delay_spike_rate, "delay_spike_rate");
+  SPLITMED_CHECK(delay_spike_sec >= 0.0, "delay_spike_sec must be >= 0");
+}
+
+void RetryPolicy::validate() const {
+  SPLITMED_CHECK(timeout_sec > 0.0, "timeout_sec must be > 0");
+  SPLITMED_CHECK(backoff >= 1.0, "backoff must be >= 1");
+  SPLITMED_CHECK(max_retries >= 0, "max_retries must be >= 0");
+}
+
+}  // namespace splitmed::net

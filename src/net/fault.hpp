@@ -1,0 +1,54 @@
+// WAN failure model — seeded, deterministic fault injection per directed link.
+//
+// The paper's deployment is hospitals on real WANs, where links drop,
+// duplicate, delay, and corrupt frames. A FaultPlan attaches those behaviours
+// to a link; every decision is drawn from the Network's dedicated fault Rng,
+// so a faulted run is exactly reproducible from its seed. An all-zero plan
+// is inert: it changes no byte, no arrival time, and consumes no randomness
+// (the determinism contract in docs/PROTOCOL.md).
+#pragma once
+
+#include <cstdint>
+
+namespace splitmed::net {
+
+struct FaultPlan {
+  /// Probability a transmission is lost in flight (still occupies the link
+  /// and is byte-accounted — the sender paid for it).
+  double drop_rate = 0.0;
+  /// Probability an extra copy of the frame is injected right behind the
+  /// original (re-serializes on the same link).
+  double duplicate_rate = 0.0;
+  /// Probability the frame's payload is bit-flipped in flight. Detected by
+  /// the CRC-32 trailer at the receiver and discarded, never delivered.
+  double corrupt_rate = 0.0;
+  /// Probability the frame's arrival is delayed by delay_spike_sec
+  /// (congestion / rerouting spike on top of the deterministic link model).
+  double delay_spike_rate = 0.0;
+  double delay_spike_sec = 1.0;
+
+  /// True when any fault behaviour is active.
+  [[nodiscard]] bool any() const;
+
+  /// Throws InvalidArgument unless all rates are probabilities and the
+  /// spike duration is non-negative.
+  void validate() const;
+};
+
+/// Client-side recovery parameters for the split protocol under faults:
+/// a platform that sent a request re-sends it when no reply lands within
+/// the (simulated-time) timeout, backing off exponentially; after
+/// max_retries unanswered retransmissions the trainer folds the platform
+/// into the round's non-participants instead of aborting training.
+struct RetryPolicy {
+  /// First-attempt reply timeout in simulated seconds.
+  double timeout_sec = 30.0;
+  /// Timeout multiplier applied after each retransmission.
+  double backoff = 2.0;
+  /// Retransmissions before the platform is skipped for the round.
+  int max_retries = 5;
+
+  void validate() const;
+};
+
+}  // namespace splitmed::net

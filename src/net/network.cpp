@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/serial/crc32.hpp"
 
 namespace splitmed::net {
 
@@ -34,13 +35,58 @@ const Link& Network::link(NodeId src, NodeId dst) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
+void Network::set_default_fault_plan(FaultPlan plan) {
+  plan.validate();
+  default_fault_plan_ = plan;
+  faults_enabled_ = faults_enabled_ || plan.any();
+}
+
+void Network::set_fault_plan(NodeId src, NodeId dst, FaultPlan plan) {
+  check_node(src);
+  check_node(dst);
+  SPLITMED_CHECK(src != dst, "cannot set a self-link fault plan");
+  plan.validate();
+  fault_plans_[{src, dst}] = plan;
+  faults_enabled_ = faults_enabled_ || plan.any();
+}
+
+const FaultPlan& Network::fault_plan(NodeId src, NodeId dst) const {
+  const auto it = fault_plans_.find({src, dst});
+  return it == fault_plans_.end() ? default_fault_plan_ : it->second;
+}
+
+std::uint64_t Network::bytes_on_wire(const Envelope& envelope) const {
+  return envelope.wire_bytes() +
+         (faults_enabled_ ? Envelope::kCrcTrailerBytes : 0);
+}
+
+bool Network::intact(const Envelope& envelope) {
+  return envelope.crc == crc32({envelope.payload.data(),
+                                envelope.payload.size()});
+}
+
+void Network::corrupt_in_flight(Envelope& envelope) {
+  if (envelope.payload.empty()) {
+    envelope.crc ^= 1U + static_cast<std::uint32_t>(fault_rng_.uniform_u64(
+                             0xFFFFFFFFULL));
+    return;
+  }
+  const int flips = 1 + static_cast<int>(fault_rng_.uniform_u64(4));
+  for (int f = 0; f < flips; ++f) {
+    const std::size_t at = static_cast<std::size_t>(
+        fault_rng_.uniform_u64(envelope.payload.size()));
+    envelope.payload[at] ^=
+        static_cast<std::uint8_t>(1 + fault_rng_.uniform_u64(255));
+  }
+}
+
 void Network::send(Envelope envelope) {
   check_node(envelope.src);
   check_node(envelope.dst);
   SPLITMED_CHECK(envelope.src != envelope.dst,
                  "node " << envelope.src << " sending to itself");
   const Link& l = link(envelope.src, envelope.dst);
-  const std::uint64_t bytes = envelope.wire_bytes();
+  const std::uint64_t bytes = bytes_on_wire(envelope);
 
   // The link serializes transmissions: start when it frees up.
   double& busy_until = link_busy_until_[{envelope.src, envelope.dst}];
@@ -48,9 +94,64 @@ void Network::send(Envelope envelope) {
   const double serialization =
       static_cast<double>(bytes) / l.bandwidth_bytes_per_sec;
   busy_until = start + serialization;
-  const double arrival = busy_until + l.latency_sec;
+  double arrival = busy_until + l.latency_sec;
 
-  stats_.record(envelope);
+  stats_.record(envelope, bytes);
+  if (envelope.retransmit) stats_.record_retransmit(bytes);
+
+  if (!faults_enabled_) {
+    inbox_[envelope.dst].push_back(
+        InFlight{arrival, sequence_++, std::move(envelope)});
+    return;
+  }
+
+  envelope.crc = crc32({envelope.payload.data(), envelope.payload.size()});
+  const FaultPlan& plan = fault_plan(envelope.src, envelope.dst);
+  bool drop = false;
+  bool duplicate = false;
+  if (plan.any()) {
+    // Fixed draw order keeps the fault stream a pure function of the seed
+    // and the send sequence.
+    if (plan.delay_spike_rate > 0.0 &&
+        fault_rng_.bernoulli(static_cast<float>(plan.delay_spike_rate))) {
+      arrival += plan.delay_spike_sec;
+    }
+    duplicate = plan.duplicate_rate > 0.0 &&
+                fault_rng_.bernoulli(static_cast<float>(plan.duplicate_rate));
+    drop = plan.drop_rate > 0.0 &&
+           fault_rng_.bernoulli(static_cast<float>(plan.drop_rate));
+    const bool corrupt =
+        plan.corrupt_rate > 0.0 &&
+        fault_rng_.bernoulli(static_cast<float>(plan.corrupt_rate));
+
+    if (duplicate) {
+      // The extra copy re-serializes on the link right behind the original
+      // (taken before any corruption — it is an independent transmission).
+      Envelope copy = envelope;
+      busy_until += serialization;
+      const double copy_arrival = busy_until + l.latency_sec;
+      stats_.record(copy, bytes);
+      stats_.record_duplicate(bytes);
+      if (drop) {
+        stats_.record_dropped(bytes);
+      } else {
+        if (corrupt) corrupt_in_flight(envelope);
+      }
+      const NodeId dst = envelope.dst;
+      if (!drop) {
+        inbox_[dst].push_back(
+            InFlight{arrival, sequence_++, std::move(envelope)});
+      }
+      inbox_[dst].push_back(
+          InFlight{copy_arrival, sequence_++, std::move(copy)});
+      return;
+    }
+    if (drop) {
+      stats_.record_dropped(bytes);
+      return;
+    }
+    if (corrupt) corrupt_in_flight(envelope);
+  }
   inbox_[envelope.dst].push_back(
       InFlight{arrival, sequence_++, std::move(envelope)});
 }
@@ -58,36 +159,73 @@ void Network::send(Envelope envelope) {
 Envelope Network::receive(NodeId node) {
   check_node(node);
   auto& box = inbox_[node];
-  if (box.empty()) {
-    throw ProtocolError("receive on node '" + nodes_[node] +
-                        "' with no message in flight");
+  while (true) {
+    if (box.empty()) {
+      throw ProtocolError("receive on node '" + nodes_[node] +
+                          "' with no message in flight");
+    }
+    const auto it = std::min_element(
+        box.begin(), box.end(), [](const InFlight& a, const InFlight& b) {
+          return a.arrival != b.arrival ? a.arrival < b.arrival
+                                        : a.sequence < b.sequence;
+        });
+    clock_.advance_to(it->arrival);
+    Envelope out = std::move(it->envelope);
+    box.erase(it);
+    if (!faults_enabled_ || intact(out)) return out;
+    stats_.record_corrupted(bytes_on_wire(out));
   }
-  const auto it = std::min_element(
-      box.begin(), box.end(), [](const InFlight& a, const InFlight& b) {
-        return a.arrival != b.arrival ? a.arrival < b.arrival
-                                      : a.sequence < b.sequence;
-      });
-  clock_.advance_to(it->arrival);
-  Envelope out = std::move(it->envelope);
-  box.erase(it);
-  return out;
 }
 
 std::optional<Envelope> Network::try_receive(NodeId node) {
   check_node(node);
   auto& box = inbox_[node];
-  auto best = box.end();
-  for (auto it = box.begin(); it != box.end(); ++it) {
-    if (it->arrival > clock_.now()) continue;
-    if (best == box.end() || it->arrival < best->arrival ||
-        (it->arrival == best->arrival && it->sequence < best->sequence)) {
-      best = it;
+  while (true) {
+    auto best = box.end();
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if (it->arrival > clock_.now()) continue;
+      if (best == box.end() || it->arrival < best->arrival ||
+          (it->arrival == best->arrival && it->sequence < best->sequence)) {
+        best = it;
+      }
     }
+    if (best == box.end()) return std::nullopt;
+    Envelope out = std::move(best->envelope);
+    box.erase(best);
+    if (!faults_enabled_ || intact(out)) return out;
+    stats_.record_corrupted(bytes_on_wire(out));
   }
-  if (best == box.end()) return std::nullopt;
-  Envelope out = std::move(best->envelope);
-  box.erase(best);
-  return out;
+}
+
+std::optional<Envelope> Network::receive_before(NodeId node, double deadline) {
+  check_node(node);
+  auto& box = inbox_[node];
+  while (true) {
+    auto best = box.end();
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if (it->arrival > deadline) continue;
+      if (best == box.end() || it->arrival < best->arrival ||
+          (it->arrival == best->arrival && it->sequence < best->sequence)) {
+        best = it;
+      }
+    }
+    if (best == box.end()) return std::nullopt;
+    clock_.advance_to(best->arrival);
+    Envelope out = std::move(best->envelope);
+    box.erase(best);
+    if (!faults_enabled_ || intact(out)) return out;
+    stats_.record_corrupted(bytes_on_wire(out));
+  }
+}
+
+std::optional<double> Network::next_arrival(NodeId node) const {
+  check_node(node);
+  const auto& box = inbox_[node];
+  std::optional<double> earliest;
+  for (const auto& m : box) {
+    if (!earliest || m.arrival < *earliest) earliest = m.arrival;
+  }
+  return earliest;
 }
 
 std::size_t Network::pending(NodeId node) const {

@@ -6,6 +6,15 @@
 // TrafficStats. Delivery order per receiving node is by arrival time, with
 // send order as the tie-breaker — deterministic for equal inputs.
 //
+// WAN fault injection (extension): a FaultPlan attached per directed link (or
+// as the network default) drops, duplicates, delay-spikes, and bit-corrupts
+// frames, all driven by a dedicated seeded Rng so faulted runs are exactly
+// reproducible. When any plan is active every frame additionally carries a
+// CRC-32 trailer (4 accounted bytes); frames whose trailer fails at delivery
+// are counted and discarded, never handed to protocol code. With no active
+// plan the fault path is never consulted and behaviour is bit-identical to a
+// fault-free network.
+//
 // The transport is in-process and synchronous by design (DESIGN.md decision
 // #2): protocol code sees only send()/receive(), so a socket transport could
 // replace this class without touching the trainers.
@@ -16,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.hpp"
+#include "src/net/fault.hpp"
 #include "src/net/link.hpp"
 #include "src/net/sim_clock.hpp"
 #include "src/net/traffic_stats.hpp"
@@ -37,19 +48,43 @@ class Network {
   void set_link(NodeId a, NodeId b, Link link);
   [[nodiscard]] const Link& link(NodeId src, NodeId dst) const;
 
+  /// Fault plan used for a directed pair without an explicit override.
+  void set_default_fault_plan(FaultPlan plan);
+  /// Overrides the fault plan for the directed link src -> dst only (WAN
+  /// impairments are frequently asymmetric).
+  void set_fault_plan(NodeId src, NodeId dst, FaultPlan plan);
+  [[nodiscard]] const FaultPlan& fault_plan(NodeId src, NodeId dst) const;
+  /// Seeds the dedicated fault Rng (independent of every training stream).
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = Rng(seed); }
+  /// True when any attached plan has a nonzero rate — the switch that turns
+  /// on the CRC trailer and its 4-byte-per-frame accounting.
+  [[nodiscard]] bool faults_enabled() const { return faults_enabled_; }
+
   /// Sends an envelope from envelope.src to envelope.dst. The transmission
   /// starts at the current simulated time (or when the link frees up) and is
-  /// accounted immediately.
+  /// accounted immediately; link faults are applied here.
   void send(Envelope envelope);
 
   /// Receives the earliest message addressed to `node`, advancing the clock
   /// to its arrival time. Throws ProtocolError if none is in flight —
-  /// in a synchronous protocol that is always a bug.
+  /// in a synchronous protocol that is always a bug. Corrupted frames are
+  /// counted, discarded, and skipped.
   Envelope receive(NodeId node);
 
   /// Receives only if a message for `node` has already arrived (clock not
   /// advanced). Used by tests.
   std::optional<Envelope> try_receive(NodeId node);
+
+  /// Receives the earliest intact message for `node` arriving at or before
+  /// `deadline`, advancing the clock to its arrival; returns nullopt when
+  /// none qualifies. Corrupted frames arriving in the window are counted and
+  /// discarded (the clock does advance past them — the receiver observed
+  /// the bad frame). The recovery protocol's timeout primitive.
+  std::optional<Envelope> receive_before(NodeId node, double deadline);
+
+  /// Arrival time of the earliest in-flight message for `node` (corrupt or
+  /// not), or nullopt when its inbox is empty.
+  [[nodiscard]] std::optional<double> next_arrival(NodeId node) const;
 
   /// Number of in-flight + queued messages for a node.
   [[nodiscard]] std::size_t pending(NodeId node) const;
@@ -67,10 +102,21 @@ class Network {
   };
 
   void check_node(NodeId id) const;
+  /// Bytes a frame occupies on the wire (adds the CRC trailer when faults
+  /// are enabled).
+  [[nodiscard]] std::uint64_t bytes_on_wire(const Envelope& envelope) const;
+  /// True when the frame's CRC trailer still matches its payload.
+  [[nodiscard]] static bool intact(const Envelope& envelope);
+  /// Flips 1-4 payload bytes (or the trailer itself for empty payloads).
+  void corrupt_in_flight(Envelope& envelope);
 
   std::vector<std::string> nodes_;
   Link default_link_{};
   std::map<std::pair<NodeId, NodeId>, Link> links_;
+  FaultPlan default_fault_plan_{};
+  std::map<std::pair<NodeId, NodeId>, FaultPlan> fault_plans_;
+  bool faults_enabled_ = false;
+  Rng fault_rng_{0x57A8F001DULL};
   std::map<std::pair<NodeId, NodeId>, double> link_busy_until_;
   std::vector<std::vector<InFlight>> inbox_;  // per destination node
   std::uint64_t sequence_ = 0;

@@ -2,13 +2,33 @@
 
 namespace splitmed::net {
 
-void TrafficStats::record(const Envelope& envelope) {
-  const std::uint64_t bytes = envelope.wire_bytes();
-  total_bytes_ += bytes;
+void TrafficStats::record(const Envelope& envelope,
+                          std::uint64_t bytes_on_wire) {
+  total_bytes_ += bytes_on_wire;
   ++total_messages_;
-  by_kind_bytes_[envelope.kind] += bytes;
+  by_kind_bytes_[envelope.kind] += bytes_on_wire;
   ++by_kind_messages_[envelope.kind];
-  by_pair_bytes_[{envelope.src, envelope.dst}] += bytes;
+  by_pair_bytes_[{envelope.src, envelope.dst}] += bytes_on_wire;
+}
+
+void TrafficStats::record_retransmit(std::uint64_t bytes) {
+  ++retransmits_;
+  retransmit_bytes_ += bytes;
+}
+
+void TrafficStats::record_duplicate(std::uint64_t bytes) {
+  ++duplicates_;
+  duplicate_bytes_ += bytes;
+}
+
+void TrafficStats::record_dropped(std::uint64_t bytes) {
+  ++dropped_;
+  dropped_bytes_ += bytes;
+}
+
+void TrafficStats::record_corrupted(std::uint64_t bytes) {
+  ++corrupted_;
+  corrupted_bytes_ += bytes;
 }
 
 std::uint64_t TrafficStats::bytes_for_kind(std::uint32_t kind) const {
@@ -29,6 +49,14 @@ std::uint64_t TrafficStats::bytes_between(NodeId src, NodeId dst) const {
 void TrafficStats::reset() {
   total_bytes_ = 0;
   total_messages_ = 0;
+  retransmits_ = 0;
+  retransmit_bytes_ = 0;
+  duplicates_ = 0;
+  duplicate_bytes_ = 0;
+  dropped_ = 0;
+  dropped_bytes_ = 0;
+  corrupted_ = 0;
+  corrupted_bytes_ = 0;
   by_kind_bytes_.clear();
   by_kind_messages_.clear();
   by_pair_bytes_.clear();

@@ -1,7 +1,10 @@
 // Traffic accounting — the ground truth behind every communication figure.
 //
 // Counts messages and wire bytes per (src, dst) pair and per message kind.
-// Fig. 4's x-axis is total_bytes() over a training run.
+// Fig. 4's x-axis is total_bytes() over a training run. Under WAN fault
+// injection the fault counters (retransmit / duplicate / dropped /
+// corrupted) separate goodput — bytes that carried novel, intact protocol
+// payload — from total wire bytes.
 #pragma once
 
 #include <cstdint>
@@ -14,10 +17,47 @@ namespace splitmed::net {
 
 class TrafficStats {
  public:
-  void record(const Envelope& envelope);
+  /// Accounts one transmission. `bytes_on_wire` is what the link carried
+  /// (envelope wire bytes plus the CRC trailer on fault-injecting networks).
+  void record(const Envelope& envelope, std::uint64_t bytes_on_wire);
+  void record(const Envelope& envelope) {
+    record(envelope, envelope.wire_bytes());
+  }
+
+  /// Fault-channel events (all byte counts are bytes_on_wire):
+  void record_retransmit(std::uint64_t bytes);  // protocol-level re-send
+  void record_duplicate(std::uint64_t bytes);   // link-injected extra copy
+  void record_dropped(std::uint64_t bytes);     // lost in flight
+  void record_corrupted(std::uint64_t bytes);   // CRC mismatch at delivery
 
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
+
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t retransmit_bytes() const {
+    return retransmit_bytes_;
+  }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t duplicate_bytes() const {
+    return duplicate_bytes_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t corrupted_bytes() const {
+    return corrupted_bytes_;
+  }
+
+  /// Wire bytes minus the copies known to have carried nothing useful:
+  /// dropped and corrupted frames never reached protocol code, and injected
+  /// duplicates repeat a frame already on the wire. Retransmissions are NOT
+  /// subtracted — a retransmission is often the copy that gets through (its
+  /// lost predecessor is already in dropped/corrupted). Fault-free runs:
+  /// goodput == total.
+  [[nodiscard]] std::uint64_t goodput_bytes() const {
+    return total_bytes_ - dropped_bytes_ - corrupted_bytes_ -
+           duplicate_bytes_;
+  }
 
   /// Bytes carried by messages of one protocol kind.
   [[nodiscard]] std::uint64_t bytes_for_kind(std::uint32_t kind) const;
@@ -37,6 +77,14 @@ class TrafficStats {
  private:
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_messages_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t retransmit_bytes_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t duplicate_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t corrupted_bytes_ = 0;
   std::map<std::uint32_t, std::uint64_t> by_kind_bytes_;
   std::map<std::uint32_t, std::uint64_t> by_kind_messages_;
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> by_pair_bytes_;

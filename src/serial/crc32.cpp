@@ -1,0 +1,39 @@
+#include "src/serial/crc32.hpp"
+
+#include <array>
+
+namespace splitmed {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320U;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? kPoly ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t seed) {
+  std::uint32_t c = ~seed;
+  for (const std::uint8_t b : bytes) {
+    c = kTable[(c ^ b) & 0xFFU] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  return crc32(bytes, 0);
+}
+
+}  // namespace splitmed

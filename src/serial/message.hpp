@@ -23,14 +23,26 @@ struct Envelope {
   /// Training round / step the message belongs to.
   std::uint64_t round = 0;
   std::vector<std::uint8_t> payload;
+  /// CRC-32 trailer over the payload. Stamped by net::Network::send and
+  /// verified at delivery only when fault injection is enabled on the
+  /// network; a mismatch means the frame was corrupted in flight and it is
+  /// discarded (counted in TrafficStats), never handed to protocol code.
+  std::uint32_t crc = 0;
+  /// Marks a protocol-level retransmission (recovery path) so TrafficStats
+  /// can separate goodput from total wire bytes. Not a wire field.
+  bool retransmit = false;
 
-  /// Bytes this envelope occupies on the wire.
+  /// Bytes this envelope occupies on the wire (excluding the CRC trailer,
+  /// which only exists — and is only accounted — on fault-injecting
+  /// networks; see Network::send).
   [[nodiscard]] std::uint64_t wire_bytes() const {
     return kEnvelopeHeaderBytes + payload.size();
   }
 
   /// src(4) + dst(4) + kind(4) + round(8) + payload length(8).
   static constexpr std::uint64_t kEnvelopeHeaderBytes = 28;
+  /// CRC-32 trailer appended to every frame when faults are enabled.
+  static constexpr std::uint64_t kCrcTrailerBytes = 4;
 };
 
 /// Convenience constructor.

@@ -1,0 +1,432 @@
+// Tests for the WAN fault-injection channel (net::FaultPlan on Network) and
+// the protocol recovery layer (platform retransmission, server idempotent
+// replay, trainer skip path). Everything here is seeded and deterministic —
+// a "random" fault sequence is asserted to be exactly reproducible.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/core/platform.hpp"
+#include "src/core/protocol.hpp"
+#include "src/core/server.hpp"
+#include "src/core/split_model.hpp"
+#include "src/core/trainer.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/models/factory.hpp"
+#include "src/models/mlp.hpp"
+#include "src/net/network.hpp"
+
+namespace splitmed {
+namespace {
+
+Envelope env(NodeId src, NodeId dst, std::uint32_t kind, std::size_t bytes) {
+  return make_envelope(src, dst, kind, 0,
+                       std::vector<std::uint8_t>(bytes, 0xA5));
+}
+
+TEST(FaultPlan, AnyAndValidate) {
+  net::FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  plan.drop_rate = 0.1;
+  EXPECT_TRUE(plan.any());
+  plan.drop_rate = 1.5;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  net::RetryPolicy policy;
+  policy.backoff = 0.5;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+}
+
+TEST(FaultChannel, ZeroRatePlanIsInert) {
+  // Attaching an all-zero plan changes nothing: no trailer bytes, no fault
+  // RNG consumption, identical arrivals — the bitwise-identity contract.
+  net::Network plain;
+  net::Network planned;
+  for (net::Network* n : {&plain, &planned}) {
+    n->add_node("a");
+    n->add_node("b");
+    n->set_link(0, 1, net::Link{100.0, 1.0});
+  }
+  planned.set_default_fault_plan(net::FaultPlan{});
+  planned.set_fault_plan(0, 1, net::FaultPlan{});
+  EXPECT_FALSE(planned.faults_enabled());
+
+  plain.send(env(0, 1, 1, 72));
+  planned.send(env(0, 1, 1, 72));
+  EXPECT_EQ(plain.stats().total_bytes(), planned.stats().total_bytes());
+  const Envelope a = plain.receive(1);
+  const Envelope b = planned.receive(1);
+  EXPECT_EQ(plain.clock().now(), planned.clock().now());
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(planned.stats().goodput_bytes(), planned.stats().total_bytes());
+}
+
+TEST(FaultChannel, CrcTrailerAccountedOnlyUnderFaults) {
+  net::Network network;
+  network.add_node("a");
+  network.add_node("b");
+  network.send(env(0, 1, 1, 10));
+  EXPECT_EQ(network.stats().total_bytes(), 38U);  // 28 header + 10
+
+  net::Network faulted;
+  faulted.add_node("a");
+  faulted.add_node("b");
+  net::FaultPlan plan;
+  plan.delay_spike_rate = 1e-9;  // arms the channel, never fires in one send
+  faulted.set_default_fault_plan(plan);
+  EXPECT_TRUE(faulted.faults_enabled());
+  faulted.send(env(0, 1, 1, 10));
+  EXPECT_EQ(faulted.stats().total_bytes(), 42U);  // + 4-byte CRC trailer
+  const Envelope out = faulted.receive(1);
+  EXPECT_EQ(out.payload.size(), 10U);  // trailer is accounting, not payload
+}
+
+TEST(FaultChannel, DropLosesTheFrameButPaysForIt) {
+  net::Network network;
+  network.add_node("a");
+  network.add_node("b");
+  net::FaultPlan plan;
+  plan.drop_rate = 1.0;
+  network.set_fault_plan(0, 1, plan);
+  network.send(env(0, 1, 1, 20));
+  EXPECT_EQ(network.pending(1), 0U);
+  EXPECT_EQ(network.stats().dropped(), 1U);
+  EXPECT_EQ(network.stats().dropped_bytes(), 52U);  // 28 + 20 + 4
+  // The sender still paid the wire bytes; goodput excludes them.
+  EXPECT_EQ(network.stats().total_bytes(), 52U);
+  EXPECT_EQ(network.stats().goodput_bytes(), 0U);
+  // The reverse direction has no plan: frames pass.
+  network.send(env(1, 0, 2, 0));
+  EXPECT_EQ(network.pending(0), 1U);
+}
+
+TEST(FaultChannel, DuplicateDeliversTwoIntactCopies) {
+  net::Network network;
+  network.add_node("a");
+  network.add_node("b");
+  network.set_link(0, 1, net::Link{100.0, 0.0});
+  net::FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  network.set_fault_plan(0, 1, plan);
+  network.send(env(0, 1, 7, 48));  // 48 + 28 + 4 = 80 bytes -> 0.8s each
+  EXPECT_EQ(network.pending(1), 2U);
+  EXPECT_EQ(network.stats().duplicates(), 1U);
+  EXPECT_EQ(network.stats().total_messages(), 2U);
+  const Envelope first = network.receive(1);
+  EXPECT_DOUBLE_EQ(network.clock().now(), 0.8);
+  const Envelope second = network.receive(1);
+  // The copy re-serialized on the link right behind the original.
+  EXPECT_DOUBLE_EQ(network.clock().now(), 1.6);
+  EXPECT_EQ(first.payload, second.payload);
+  EXPECT_EQ(first.kind, second.kind);
+}
+
+TEST(FaultChannel, CorruptionIsDetectedAndDiscarded) {
+  net::Network network;
+  network.add_node("a");
+  network.add_node("b");
+  net::FaultPlan plan;
+  plan.corrupt_rate = 1.0;
+  network.set_fault_plan(0, 1, plan);
+  network.send(env(0, 1, 1, 100));
+  EXPECT_EQ(network.pending(1), 1U);
+  // The only in-flight frame fails its CRC: receive() discards it and then
+  // finds an empty inbox — protocol code never sees the garbage.
+  EXPECT_THROW(network.receive(1), ProtocolError);
+  EXPECT_EQ(network.stats().corrupted(), 1U);
+  EXPECT_EQ(network.stats().corrupted_bytes(), 132U);
+  EXPECT_EQ(network.stats().goodput_bytes(), 0U);
+  // Same through the timeout primitive.
+  network.send(env(0, 1, 1, 100));
+  EXPECT_FALSE(network.receive_before(1, 1e9).has_value());
+  EXPECT_EQ(network.stats().corrupted(), 2U);
+}
+
+TEST(FaultChannel, DelaySpikeShiftsArrivalOnly) {
+  net::Network network;
+  network.add_node("a");
+  network.add_node("b");
+  network.set_link(0, 1, net::Link{1000.0, 1.0});
+  net::FaultPlan plan;
+  plan.delay_spike_rate = 1.0;
+  plan.delay_spike_sec = 5.0;
+  network.set_fault_plan(0, 1, plan);
+  network.send(env(0, 1, 1, 968));  // 1000 bytes on wire -> 1s + 1s latency
+  ASSERT_TRUE(network.next_arrival(1).has_value());
+  EXPECT_DOUBLE_EQ(*network.next_arrival(1), 7.0);  // + 5s spike
+  const Envelope out = network.receive(1);
+  EXPECT_EQ(out.payload.size(), 968U);  // intact, just late
+  EXPECT_EQ(network.stats().corrupted(), 0U);
+}
+
+TEST(FaultChannel, FaultSequenceReproducibleFromSeed) {
+  const auto run = [](std::uint64_t seed) {
+    net::Network network;
+    network.add_node("a");
+    network.add_node("b");
+    network.set_fault_seed(seed);
+    net::FaultPlan plan;
+    plan.drop_rate = 0.3;
+    plan.duplicate_rate = 0.2;
+    plan.corrupt_rate = 0.2;
+    network.set_default_fault_plan(plan);
+    std::vector<std::size_t> delivered;
+    for (int i = 0; i < 50; ++i) network.send(env(0, 1, 1, 64));
+    while (const auto e = network.receive_before(1, 1e12)) {
+      delivered.push_back(e->payload.size());
+    }
+    return std::tuple{delivered.size(), network.stats().dropped(),
+                      network.stats().duplicates(),
+                      network.stats().corrupted()};
+  };
+  const auto a = run(11);
+  const auto b = run(11);
+  const auto c = run(12);
+  EXPECT_EQ(a, b);       // same seed, same fault history
+  EXPECT_NE(a, c);       // different seed, different history
+  EXPECT_GT(std::get<1>(a), 0U);
+  EXPECT_GT(std::get<2>(a), 0U);
+  EXPECT_GT(std::get<3>(a), 0U);
+}
+
+// --- protocol recovery -----------------------------------------------------
+
+class RecoveryProtocol : public ::testing::Test {
+ protected:
+  RecoveryProtocol()
+      : dataset_(make_dataset()),
+        server_id_(network_.add_node("server")),
+        platform_id_(network_.add_node("platform")) {
+    models::MlpConfig cfg;
+    cfg.input_shape = Shape{3, 8, 8};
+    cfg.hidden = {8};
+    cfg.num_classes = 4;
+    auto model = models::make_mlp(cfg);
+    auto parts = core::split_at(std::move(model.net), model.default_cut);
+    core::ServerOptions server_opt;
+    server_opt.tolerate_faults = true;
+    server_ = std::make_unique<core::CentralServer>(
+        server_id_, std::move(parts.server), optim::SgdOptions{}, server_opt);
+    core::PlatformOptions platform_opt;
+    platform_opt.tolerate_faults = true;
+    std::vector<std::int64_t> shard = {0, 1, 2, 3};
+    platform_ = std::make_unique<core::PlatformNode>(
+        platform_id_, server_id_, std::move(parts.platform),
+        data::DataLoader(dataset_, shard, 2, Rng(1)), optim::SgdOptions{},
+        platform_opt);
+  }
+
+  static data::SyntheticCifar make_dataset() {
+    data::SyntheticCifarOptions opt;
+    opt.num_examples = 8;
+    opt.num_classes = 4;
+    opt.image_size = 8;
+    return data::SyntheticCifar(opt);
+  }
+
+  data::SyntheticCifar dataset_;
+  net::Network network_;
+  NodeId server_id_;
+  NodeId platform_id_;
+  std::unique_ptr<core::CentralServer> server_;
+  std::unique_ptr<core::PlatformNode> platform_;
+};
+
+TEST_F(RecoveryProtocol, ServerRepliesIdempotentlyToDuplicateActivation) {
+  platform_->send_activation(network_, 1);
+  const Envelope activation = network_.receive(server_id_);
+  server_->handle(network_, activation);
+  EXPECT_EQ(network_.pending(platform_id_), 1U);  // logits
+  // The same request again (a WAN duplicate): replayed, not re-trained.
+  server_->handle(network_, activation);
+  EXPECT_EQ(server_->replays(), 1);
+  EXPECT_EQ(network_.pending(platform_id_), 2U);  // identical logits again
+  const Envelope l1 = network_.receive(platform_id_);
+  const Envelope l2 = network_.receive(platform_id_);
+  EXPECT_EQ(l1.payload, l2.payload);
+  EXPECT_TRUE(l2.retransmit);
+  EXPECT_EQ(server_->steps_completed(), 0);  // no optimizer motion yet
+}
+
+TEST_F(RecoveryProtocol, ServerRepliesIdempotentlyToDuplicateGrad) {
+  platform_->send_activation(network_, 1);
+  server_->handle(network_, network_.receive(server_id_));
+  platform_->handle(network_, network_.receive(platform_id_));
+  const Envelope grad = network_.receive(server_id_);
+  server_->handle(network_, grad);
+  EXPECT_EQ(server_->steps_completed(), 1);
+  // Duplicate gradient: cut-grad replayed, optimizer NOT stepped twice.
+  server_->handle(network_, grad);
+  EXPECT_EQ(server_->steps_completed(), 1);
+  EXPECT_EQ(server_->replays(), 1);
+  EXPECT_EQ(network_.pending(platform_id_), 2U);
+}
+
+TEST_F(RecoveryProtocol, PlatformIgnoresStaleReplies) {
+  // A reply to a round the platform is no longer in: counted, not thrown.
+  const Envelope stale = core::make_tensor_envelope(
+      server_id_, platform_id_, core::MsgKind::kLogits, 99, Tensor(Shape{2, 4}));
+  EXPECT_NO_THROW(platform_->handle(network_, stale));
+  EXPECT_EQ(platform_->stale_ignored(), 1);
+  EXPECT_EQ(platform_->steps_completed(), 0);
+}
+
+TEST_F(RecoveryProtocol, PlatformRetransmitsItsLastMessage) {
+  platform_->send_activation(network_, 1);
+  platform_->resend_last(network_);
+  EXPECT_EQ(network_.pending(server_id_), 2U);
+  EXPECT_EQ(network_.stats().retransmits(), 1U);
+  const Envelope first = network_.receive(server_id_);
+  const Envelope again = network_.receive(server_id_);
+  EXPECT_EQ(first.payload, again.payload);
+  EXPECT_FALSE(first.retransmit);
+  EXPECT_TRUE(again.retransmit);
+}
+
+TEST_F(RecoveryProtocol, AbortStepReturnsPlatformToIdle) {
+  platform_->send_activation(network_, 1);
+  EXPECT_EQ(platform_->state(), core::PlatformState::kAwaitLogits);
+  platform_->abort_step();
+  EXPECT_EQ(platform_->state(), core::PlatformState::kIdle);
+  EXPECT_EQ(platform_->aborted_steps(), 1);
+  EXPECT_THROW(platform_->resend_last(network_), InvalidArgument);
+  // The platform can start the next round cleanly.
+  EXPECT_NO_THROW(platform_->send_activation(network_, 2));
+}
+
+TEST_F(RecoveryProtocol, ServerDropsRequestsBelowTheExpectedRound) {
+  platform_->send_activation(network_, 1);
+  const Envelope activation = network_.receive(server_id_);
+  // The trainer has moved on to round 2: round-1 debris must not train.
+  server_->expect_round(2);
+  server_->handle(network_, activation);
+  EXPECT_EQ(server_->stale_ignored(), 1);
+  EXPECT_EQ(network_.pending(platform_id_), 0U);
+}
+
+// --- end-to-end faulted training -------------------------------------------
+
+data::SyntheticCifar make_train(std::int64_t n) {
+  data::SyntheticCifarOptions opt;
+  opt.num_examples = n;
+  opt.num_classes = 4;
+  opt.image_size = 8;
+  opt.noise_stddev = 0.1F;
+  return data::SyntheticCifar(opt);
+}
+
+core::ModelBuilder mlp_builder() {
+  return [] {
+    models::FactoryConfig cfg;
+    cfg.name = "mlp";
+    cfg.image_size = 8;
+    cfg.num_classes = 4;
+    return models::build_model(cfg);
+  };
+}
+
+core::SplitConfig faulted_config() {
+  core::SplitConfig cfg;
+  cfg.total_batch = 16;
+  cfg.rounds = 40;
+  cfg.eval_every = 20;
+  cfg.sgd.learning_rate = 0.02F;
+  cfg.sgd.momentum = 0.5F;
+  cfg.faults.drop_rate = 0.05;
+  cfg.faults.duplicate_rate = 0.05;
+  cfg.faults.corrupt_rate = 0.05;
+  cfg.faults.delay_spike_rate = 0.02;
+  cfg.faults.delay_spike_sec = 2.0;
+  return cfg;
+}
+
+TEST(FaultedTraining, CompletesAndStaysAccurate) {
+  const auto train = make_train(128);
+  const auto test = make_train(32);
+  Rng prng(1);
+  const auto partition = data::partition_iid(train.size(), 4, prng);
+
+  // Fault-free reference under the same everything-else.
+  auto clean_cfg = faulted_config();
+  clean_cfg.faults = net::FaultPlan{};
+  core::SplitTrainer clean(mlp_builder(), train, partition, test, clean_cfg);
+  const auto clean_report = clean.run();
+  EXPECT_FALSE(clean.network().faults_enabled());
+  EXPECT_EQ(clean.network().stats().retransmits(), 0U);
+
+  core::SplitTrainer trainer(mlp_builder(), train, partition, test,
+                             faulted_config());
+  const auto report = trainer.run();
+  const auto& stats = trainer.network().stats();
+  EXPECT_TRUE(trainer.network().faults_enabled());
+  EXPECT_EQ(report.steps_completed, 40);
+  // The WAN misbehaved and the protocol recovered.
+  EXPECT_GT(stats.dropped() + stats.corrupted() + stats.duplicates(), 0U);
+  EXPECT_GT(stats.retransmits(), 0U);
+  EXPECT_LT(stats.goodput_bytes(), stats.total_bytes());
+  // Training outcome within noise of the fault-free run.
+  EXPECT_GT(report.final_accuracy, 0.5);
+  EXPECT_NEAR(report.final_accuracy, clean_report.final_accuracy, 0.15);
+}
+
+TEST(FaultedTraining, ReproducibleAcrossIdenticalRuns) {
+  const auto train = make_train(64);
+  const auto test = make_train(16);
+  Rng p1(3), p2(3);
+  const auto part1 = data::partition_iid(train.size(), 3, p1);
+  const auto part2 = data::partition_iid(train.size(), 3, p2);
+  auto cfg = faulted_config();
+  cfg.rounds = 12;
+  cfg.eval_every = 4;
+  core::SplitTrainer t1(mlp_builder(), train, part1, test, cfg);
+  core::SplitTrainer t2(mlp_builder(), train, part2, test, cfg);
+  const auto r1 = t1.run();
+  const auto r2 = t2.run();
+  ASSERT_EQ(r1.curve.size(), r2.curve.size());
+  for (std::size_t i = 0; i < r1.curve.size(); ++i) {
+    EXPECT_EQ(r1.curve[i].train_loss, r2.curve[i].train_loss);
+    EXPECT_EQ(r1.curve[i].test_accuracy, r2.curve[i].test_accuracy);
+    EXPECT_EQ(r1.curve[i].cumulative_bytes, r2.curve[i].cumulative_bytes);
+    EXPECT_EQ(r1.curve[i].sim_seconds, r2.curve[i].sim_seconds);
+  }
+  EXPECT_EQ(r1.total_bytes, r2.total_bytes);
+  EXPECT_EQ(r1.skipped_steps, r2.skipped_steps);
+  // The fault counters themselves are part of the reproducible surface.
+  EXPECT_EQ(t1.network().stats().dropped(), t2.network().stats().dropped());
+  EXPECT_EQ(t1.network().stats().corrupted(),
+            t2.network().stats().corrupted());
+  EXPECT_EQ(t1.network().stats().retransmits(),
+            t2.network().stats().retransmits());
+}
+
+TEST(FaultedTraining, UnreachablePlatformIsSkippedNotFatal) {
+  const auto train = make_train(64);
+  const auto test = make_train(16);
+  Rng prng(5);
+  const auto partition = data::partition_iid(train.size(), 3, prng);
+  auto cfg = faulted_config();
+  cfg.faults = net::FaultPlan{};
+  cfg.faults.drop_rate = 1e-9;  // arms recovery; effectively never fires
+  cfg.rounds = 4;
+  cfg.eval_every = 4;
+  cfg.recovery.timeout_sec = 5.0;
+  cfg.recovery.backoff = 1.0;
+  cfg.recovery.max_retries = 1;
+  core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+  // Platform 0's uplink black-holes every frame: it can never finish a step.
+  net::FaultPlan black_hole;
+  black_hole.drop_rate = 1.0;
+  trainer.network().set_fault_plan(trainer.platform(0).id(),
+                                   trainer.server().id(), black_hole);
+  const auto report = trainer.run();
+  EXPECT_EQ(report.steps_completed, 4);
+  EXPECT_EQ(report.skipped_steps, 4);  // platform 0, every round
+  EXPECT_EQ(trainer.platform(0).steps_completed(), 0);
+  EXPECT_EQ(trainer.platform(0).aborted_steps(), 4);
+  EXPECT_GT(trainer.platform(1).steps_completed(), 0);
+  EXPECT_GT(trainer.platform(2).steps_completed(), 0);
+  EXPECT_GT(report.final_accuracy, 0.25);  // the others still learned
+}
+
+}  // namespace
+}  // namespace splitmed

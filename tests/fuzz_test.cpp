@@ -19,6 +19,7 @@
 #include "src/nn/linear.hpp"
 #include "src/nn/pool.hpp"
 #include "src/nn/sequential.hpp"
+#include "src/serial/crc32.hpp"
 #include "src/serial/quantize.hpp"
 #include "src/serial/tensor_codec.hpp"
 #include "src/tensor/ops.hpp"
@@ -93,6 +94,134 @@ TEST(CodecFuzz, RandomByteSoupNeverCrashes) {
     }
   }
   SUCCEED();
+}
+
+TEST(CodecFuzz, EveryTruncatedPrefixThrows) {
+  // Exhaustive, not sampled: a transport that cuts the buffer at ANY byte
+  // boundary must yield SerializationError, never a crash or short read.
+  Rng rng(7);
+  const Tensor t = Tensor::normal(Shape{3, 5, 2}, rng);
+  for (const bool quantized : {false, true}) {
+    BufferWriter w;
+    if (quantized) {
+      encode_tensor_i8(t, w);
+    } else {
+      encode_tensor(t, w);
+    }
+    const auto full = w.bytes();
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      BufferReader r({full.data(), len});
+      if (quantized) {
+        EXPECT_THROW((void)decode_tensor_i8(r), SerializationError)
+            << "i8 prefix of " << len << " bytes";
+      } else {
+        EXPECT_THROW((void)decode_tensor(r), SerializationError)
+            << "f32 prefix of " << len << " bytes";
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, LyingLengthFieldsRejectedBeforeAllocation) {
+  // Headers whose rank/dims promise more data than the buffer holds (or
+  // absurd element counts) must be rejected up front — the decoder must not
+  // trust the length fields. Layout: u32 rank, then rank x i64 dims (LE).
+  Rng rng(8);
+  const Tensor t = Tensor::normal(Shape{4, 4}, rng);
+  for (const bool quantized : {false, true}) {
+    BufferWriter w;
+    if (quantized) {
+      encode_tensor_i8(t, w);
+    } else {
+      encode_tensor(t, w);
+    }
+    const auto original = w.bytes();
+    const auto decode = [&](const std::vector<std::uint8_t>& bytes) {
+      BufferReader r({bytes.data(), bytes.size()});
+      if (quantized) {
+        (void)decode_tensor_i8(r);
+      } else {
+        (void)decode_tensor(r);
+      }
+    };
+
+    // Rank field claims 200 dims (over the rank limit).
+    auto lie = original;
+    lie[0] = 200;
+    EXPECT_THROW(decode(lie), SerializationError);
+
+    // First dim inflated to claim far more elements than the payload holds.
+    lie = original;
+    lie[4] = 0xFF;
+    lie[5] = 0xFF;  // dim0 = 65535 instead of 4
+    EXPECT_THROW(decode(lie), SerializationError);
+
+    // Dims overflow the element limit (2^32) without any dim being negative.
+    lie = original;
+    lie[8] = 0;  // dim0 = 2^24
+    lie[9] = 0;
+    lie[10] = 0;
+    lie[11] = 1;
+    lie[12] = 0;  // dim1 = 2^24
+    lie[13] = 0;
+    lie[14] = 0;
+    lie[15] = 0;
+    lie[16] = 0;
+    lie[17] = 0;
+    lie[18] = 0;
+    lie[19] = 1;
+    EXPECT_THROW(decode(lie), SerializationError);
+
+    // Negative dim (sign bit of the i64).
+    lie = original;
+    lie[11] = 0x80;
+    EXPECT_THROW(decode(lie), SerializationError);
+  }
+}
+
+TEST(Crc32, KnownVectorAndIncremental) {
+  const std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5',
+                                           '6', '7', '8', '9'};
+  // The canonical CRC-32 check value for "123456789".
+  EXPECT_EQ(crc32({check.data(), check.size()}), 0xCBF43926U);
+  EXPECT_EQ(crc32({check.data(), 0}), 0U);
+  // Incremental form composes: crc(ab) == crc(b, crc(a)).
+  const std::uint32_t head = crc32({check.data(), 4});
+  EXPECT_EQ(crc32({check.data() + 4, 5}, head),
+            crc32({check.data(), check.size()}));
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip) {
+  Rng rng(9);
+  std::vector<std::uint8_t> msg(64);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  const std::uint32_t good = crc32({msg.data(), msg.size()});
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      msg[byte] ^= static_cast<std::uint8_t>(1U << bit);
+      EXPECT_NE(crc32({msg.data(), msg.size()}), good)
+          << "flip at byte " << byte << " bit " << bit;
+      msg[byte] ^= static_cast<std::uint8_t>(1U << bit);
+    }
+  }
+}
+
+TEST(Crc32, DetectsRandomBursts) {
+  // Error bursts up to 32 bits are guaranteed caught; wider random bursts
+  // slip through only with probability ~2^-32 (none in this seeded sample).
+  Rng rng(10);
+  std::vector<std::uint8_t> msg(256);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  const std::uint32_t good = crc32({msg.data(), msg.size()});
+  for (int trial = 0; trial < 500; ++trial) {
+    auto burst = msg;
+    const std::size_t start = rng.uniform_u64(msg.size() - 4);
+    const std::size_t len = 1 + rng.uniform_u64(4);
+    for (std::size_t i = 0; i < len; ++i) {
+      burst[start + i] ^= static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    EXPECT_NE(crc32({burst.data(), burst.size()}), good);
+  }
 }
 
 TEST(NetworkFuzz, RandomTrafficKeepsAccountingConsistent) {

@@ -1,0 +1,144 @@
+// Golden regression test: a fixed-seed split-training run must reproduce an
+// exact per-round wire-byte series and a quantized loss/accuracy
+// fingerprint. Catches any silent change to the wire format, the byte
+// accounting, message ordering, RNG consumption, or the math — the
+// determinism contract of docs/PROTOCOL.md, pinned to concrete numbers.
+//
+// The byte series is compared exactly (integers; platform-independent by
+// construction). Losses and accuracies go through coarse quantization
+// (1/32 resolution) so the fingerprint tolerates last-ulp libm differences
+// across platforms while still catching real numerical drift.
+//
+// If an INTENDED change shifts these numbers (e.g. a wire-format revision),
+// rerun the test: on mismatch it prints the full actual series in
+// copy-pasteable form. Update the goldens in the same commit as the change
+// and say why in the commit message.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "src/core/trainer.hpp"
+#include "src/data/synthetic_cifar.hpp"
+#include "src/models/factory.hpp"
+
+namespace splitmed {
+namespace {
+
+core::ModelBuilder builder() {
+  return [] {
+    models::FactoryConfig cfg;
+    cfg.name = "mlp";
+    cfg.image_size = 8;
+    cfg.num_classes = 4;
+    return models::build_model(cfg);
+  };
+}
+
+metrics::TrainReport golden_run() {
+  data::SyntheticCifarOptions opt;
+  opt.num_examples = 96;
+  opt.num_classes = 4;
+  opt.image_size = 8;
+  opt.noise_stddev = 0.1F;
+  opt.seed = 42;
+  const data::SyntheticCifar train(opt);
+  opt.num_examples = 32;
+  opt.index_offset = 96;
+  const data::SyntheticCifar test(opt);
+
+  Rng prng(1);
+  const auto partition = data::partition_iid(train.size(), 3, prng);
+  core::SplitConfig cfg;
+  cfg.total_batch = 12;
+  cfg.rounds = 10;
+  cfg.eval_every = 1;  // one curve point per round = per-round byte series
+  cfg.sgd.learning_rate = 0.02F;
+  cfg.sgd.momentum = 0.5F;
+  cfg.seed = 123;
+  core::SplitTrainer trainer(builder(), train, partition, test, cfg);
+  metrics::TrainReport report = trainer.run();
+  // A golden run is fault-free: no fault counter may move and every wire
+  // byte is goodput.
+  EXPECT_EQ(trainer.network().stats().retransmits(), 0U);
+  EXPECT_EQ(trainer.network().stats().dropped(), 0U);
+  EXPECT_EQ(trainer.network().stats().corrupted(), 0U);
+  EXPECT_EQ(trainer.network().stats().duplicates(), 0U);
+  EXPECT_EQ(trainer.network().stats().goodput_bytes(),
+            trainer.network().stats().total_bytes());
+  return report;
+}
+
+long quantize(double v) { return std::lround(v * 32.0); }
+
+// The pinned fingerprint. Regenerate from the failure printout below.
+const std::vector<std::uint64_t> kGoldenBytes = {
+    13248,  26496,  39744,  52992,  66240,
+    79488,  92736,  105984, 119232, 132480};
+const std::vector<long> kGoldenLoss = {64, 44, 35, 33, 19, 26, 14, 15, 8, 14};
+const std::vector<long> kGoldenAcc = {12, 19, 20, 22, 21, 28, 29, 31, 31, 32};
+
+TEST(GoldenCurve, FixedSeedRunMatchesFingerprint) {
+  const auto report = golden_run();
+  ASSERT_EQ(report.curve.size(), 10U);
+
+  std::vector<std::uint64_t> bytes;
+  std::vector<long> loss;
+  std::vector<long> acc;
+  for (const auto& p : report.curve) {
+    bytes.push_back(p.cumulative_bytes);
+    loss.push_back(quantize(p.train_loss));
+    acc.push_back(quantize(p.test_accuracy));
+  }
+
+  EXPECT_EQ(bytes, kGoldenBytes);
+  EXPECT_EQ(loss, kGoldenLoss);
+  EXPECT_EQ(acc, kGoldenAcc);
+  EXPECT_EQ(report.total_bytes, kGoldenBytes.back());
+  EXPECT_EQ(report.skipped_steps, 0);
+
+  if (::testing::Test::HasFailure()) {
+    const auto dump = [](const char* name, const auto& v) {
+      std::ostringstream os;
+      os << name << " = {";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        os << (i ? ", " : "") << v[i];
+      }
+      os << "};";
+      return os.str();
+    };
+    ADD_FAILURE() << "golden fingerprint mismatch — actual series:\n"
+                  << dump("kGoldenBytes", bytes) << "\n"
+                  << dump("kGoldenLoss", loss) << "\n"
+                  << dump("kGoldenAcc", acc);
+  }
+}
+
+TEST(GoldenCurve, ByteSeriesIsReproducible) {
+  // Two identical runs produce identical byte series and bit-identical
+  // curves — the fingerprint above is stable, not flaky.
+  const auto r1 = golden_run();
+  const auto r2 = golden_run();
+  ASSERT_EQ(r1.curve.size(), r2.curve.size());
+  for (std::size_t i = 0; i < r1.curve.size(); ++i) {
+    EXPECT_EQ(r1.curve[i].cumulative_bytes, r2.curve[i].cumulative_bytes);
+    EXPECT_EQ(r1.curve[i].train_loss, r2.curve[i].train_loss);
+    EXPECT_EQ(r1.curve[i].test_accuracy, r2.curve[i].test_accuracy);
+    EXPECT_EQ(r1.curve[i].sim_seconds, r2.curve[i].sim_seconds);
+  }
+}
+
+TEST(GoldenCurve, EnvelopeFramingOverheadIsPinned) {
+  // The wire format: 28 header bytes + payload (docs/PROTOCOL.md). Changing
+  // this breaks every recorded byte curve; change it consciously.
+  Envelope env;
+  EXPECT_EQ(env.wire_bytes(), 28U);
+  env.payload.resize(100);
+  EXPECT_EQ(env.wire_bytes(), 128U);
+  EXPECT_EQ(Envelope::kCrcTrailerBytes, 4U);
+}
+
+}  // namespace
+}  // namespace splitmed

@@ -101,6 +101,73 @@ TEST(Network, TryReceiveRespectsArrivalTime) {
   EXPECT_TRUE(network.try_receive(b).has_value());
 }
 
+TEST(Network, TryReceiveBeforeArrivalDoesNotConsume) {
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  network.set_link(a, b, net::Link{1.0, 0.0});  // 28B header = 28s
+  network.send(env(a, b, 1, 0));
+  // Early polls neither deliver nor drop the in-flight frame.
+  EXPECT_FALSE(network.try_receive(b).has_value());
+  EXPECT_FALSE(network.try_receive(b).has_value());
+  EXPECT_EQ(network.pending(b), 1U);
+  EXPECT_DOUBLE_EQ(network.clock().now(), 0.0);  // polling never advances time
+  network.clock().advance_to(30.0);
+  EXPECT_TRUE(network.try_receive(b).has_value());
+  EXPECT_EQ(network.pending(b), 0U);
+}
+
+TEST(Network, EqualArrivalsTieBreakBySendOrder) {
+  // Two frames from different senders arriving at the exact same instant
+  // must deliver in send order — the determinism guarantee delivery relies
+  // on when arrival times collide.
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  const NodeId c = network.add_node("c");
+  network.set_link(a, c, net::Link{100.0, 0.0});
+  network.set_link(b, c, net::Link{100.0, 0.0});
+  network.send(env(a, c, 1, 72));  // both: 100 bytes at 100 B/s -> t=1.0
+  network.send(env(b, c, 2, 72));
+  EXPECT_EQ(network.receive(c).kind, 1U);
+  EXPECT_EQ(network.receive(c).kind, 2U);
+  EXPECT_DOUBLE_EQ(network.clock().now(), 1.0);
+}
+
+TEST(Network, ReceiveBeforeHonorsDeadline) {
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  network.set_link(a, b, net::Link{100.0, 1.0});
+  network.send(env(a, b, 1, 72));  // arrives at 2.0
+  // Deadline before the arrival: nothing, and the clock stays put.
+  EXPECT_FALSE(network.receive_before(b, 1.5).has_value());
+  EXPECT_DOUBLE_EQ(network.clock().now(), 0.0);
+  EXPECT_EQ(network.pending(b), 1U);
+  // Deadline at the arrival instant: delivered, clock advanced.
+  const auto got = network.receive_before(b, 2.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, 1U);
+  EXPECT_DOUBLE_EQ(network.clock().now(), 2.0);
+  // Empty inbox: nullopt, not a throw.
+  EXPECT_FALSE(network.receive_before(b, 100.0).has_value());
+}
+
+TEST(Network, NextArrivalReportsEarliestWithoutConsuming) {
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  EXPECT_FALSE(network.next_arrival(b).has_value());
+  network.set_link(a, b, net::Link{100.0, 0.5});
+  network.send(env(a, b, 1, 72));  // arrives 1.5
+  network.send(env(a, b, 2, 72));  // serialized behind it: arrives 2.5
+  ASSERT_TRUE(network.next_arrival(b).has_value());
+  EXPECT_DOUBLE_EQ(*network.next_arrival(b), 1.5);
+  EXPECT_EQ(network.pending(b), 2U);  // peeking consumed nothing
+  network.receive(b);
+  EXPECT_DOUBLE_EQ(*network.next_arrival(b), 2.5);
+}
+
 TEST(Network, SelfSendAndUnknownNodesRejected) {
   net::Network network;
   const NodeId a = network.add_node("a");
