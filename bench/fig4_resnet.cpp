@@ -13,6 +13,9 @@ int main(int argc, char** argv) {
   cfg.split_rounds = flags.get_int("rounds", 100);
   cfg.zipf_alpha = flags.get_double("zipf", cfg.zipf_alpha);
   cfg.threads = flags.get_int("threads", cfg.threads);
+  cfg.checkpoint_every = flags.get_int("checkpoint-every", cfg.checkpoint_every);
+  cfg.checkpoint_dir = flags.get_string("checkpoint-dir", cfg.checkpoint_dir);
+  cfg.resume_from = flags.get_string("resume", cfg.resume_from);
   flags.validate_no_unknown();
   cfg.paper_line =
       "ResNet + CIFAR-10/100: proposed 0.5 GB @ 75% vs Large-Scale SGD "

@@ -32,6 +32,13 @@ struct Fig4Config {
   /// wall-clock only: bytes, message order, and curves are invariant.
   std::int64_t threads = 0;
   std::string csv_path;
+  /// Crash recovery (docs/CHECKPOINT.md): write a full-state checkpoint
+  /// every N rounds of the proposed framework's run (0 = off), and/or
+  /// resume it from an earlier checkpoint. Checkpointing is inert: curves
+  /// are bitwise identical with it on or off.
+  std::int64_t checkpoint_every = 0;
+  std::string checkpoint_dir = "fig4_checkpoints";
+  std::string resume_from;
 };
 
 inline int run_fig4(const Fig4Config& cfg) {
@@ -60,7 +67,14 @@ inline int run_fig4(const Fig4Config& cfg) {
   split_cfg.eval_every = cfg.eval_every;
   split_cfg.sgd = comparison_sgd();
   split_cfg.threads = static_cast<int>(cfg.threads);
+  split_cfg.checkpoint_every = cfg.checkpoint_every;
+  split_cfg.checkpoint_dir = cfg.checkpoint_dir;
+  split_cfg.resume_from = cfg.resume_from;
   core::SplitTrainer split(builder, train, partition, test, split_cfg);
+  if (!cfg.resume_from.empty()) {
+    std::cout << "resumed proposed-framework run at round "
+              << split.next_round() << "\n";
+  }
   auto split_report = split.run();
   const std::uint64_t budget = split_report.total_bytes;
   recorder.add(std::move(split_report));

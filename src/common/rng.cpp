@@ -81,6 +81,20 @@ float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
 
 bool Rng::bernoulli(float p) { return uniform() < p; }
 
+RngState Rng::state() const {
+  RngState st;
+  for (std::size_t i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 Rng Rng::split(std::uint64_t salt) {
   return Rng(next_u64() ^ (salt * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
 }

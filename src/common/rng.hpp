@@ -8,10 +8,20 @@
 // floating-point distributions).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace splitmed {
+
+/// Complete, copyable snapshot of an Rng — the unit a full-state checkpoint
+/// captures so a resumed run continues every stream (shuffle, dropout, noise,
+/// fault injection, participation) bit-exactly where it left off.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  float cached_normal = 0.0F;
+  bool has_cached_normal = false;
+};
 
 /// Deterministic pseudo-random generator. Copyable; copies diverge from the
 /// copy point (useful for giving each platform an independent stream via
@@ -57,6 +67,11 @@ class Rng {
 
   /// Derives an independent generator; deterministic in (this state, salt).
   Rng split(std::uint64_t salt);
+
+  /// Snapshot of the full generator state (xoshiro words + the Box–Muller
+  /// cache). state() -> set_state() round-trips bit-exactly.
+  [[nodiscard]] RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,61 @@
+// Full-state crash recovery for split training.
+//
+// A checkpoint is a DIRECTORY, `<checkpoint_dir>/round_<NNNNNN>/`, holding
+// one SMCKPT02 file per trust domain plus a manifest:
+//
+//   server.smckpt        the server's complete state   (written first)
+//   platform_<k>.smckpt  platform k's complete state
+//   manifest.smckpt      run-level state               (written LAST)
+//
+// Every file is published atomically (see serial/section_file.hpp), and the
+// manifest is written only after every node file landed — so a crash at ANY
+// point during a save leaves a directory without a valid manifest, which
+// find_resumable_checkpoint() skips in favour of the previous round. A save
+// can be torn; a *resumable* checkpoint cannot.
+//
+// Trust boundary: a platform's file contains its L1, optimizer, loader
+// cursor/permutation and RNGs — never raw examples or labels (those exist
+// only in the platform's in-memory shard, rebuilt from config). The server's
+// file contains only what the server legitimately holds (L2..Lk).
+//
+// Round-stamped manifest handshake: the manifest and every node file carry
+// the checkpoint's round. On load, a node file whose round differs from the
+// manifest's is refused with ProtocolError — a restarted node cannot be
+// paired with mismatched-round peers (e.g. files mixed from two checkpoint
+// directories).
+//
+// Resume is exact: the restored run produces bitwise-identical wire bytes
+// and identical loss/accuracy curves to the uninterrupted run (asserted by
+// tests/crash_resume_test.cpp). See docs/CHECKPOINT.md for the full format
+// and the list of deliberately-not-captured state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace splitmed::core {
+
+/// File names inside a round directory.
+inline constexpr const char* kManifestFile = "manifest.smckpt";
+inline constexpr const char* kServerFile = "server.smckpt";
+
+/// "round_000042" — fixed width so lexicographic order == numeric order.
+std::string checkpoint_round_dirname(std::uint64_t round);
+
+/// "platform_3.smckpt".
+std::string checkpoint_platform_filename(std::size_t index);
+
+/// Scans `dir` for round_* subdirectories and returns the path of the
+/// newest one that contains a decodable manifest (newest round first);
+/// nullopt when none qualifies. Directories without a valid manifest are
+/// exactly the torn saves the write protocol produces on crash — they are
+/// skipped, so the previous complete checkpoint is found instead.
+std::optional<std::string> find_resumable_checkpoint(const std::string& dir);
+
+/// Resolves a --resume argument: `path` itself when it already contains a
+/// manifest, else the newest complete round directory under it. Throws
+/// Error when neither exists.
+std::string resolve_resume_dir(const std::string& path);
+
+}  // namespace splitmed::core

@@ -1,6 +1,8 @@
 #include "src/core/platform.hpp"
 
 #include "src/common/error.hpp"
+#include "src/nn/checkpoint.hpp"
+#include "src/serial/state_codec.hpp"
 
 namespace splitmed::core {
 
@@ -118,6 +120,43 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
   ++steps_completed_;
   state_ = PlatformState::kIdle;
   last_sent_.reset();
+}
+
+void PlatformNode::save_state(BufferWriter& writer) {
+  SPLITMED_CHECK(state_ == PlatformState::kIdle,
+                 "platform " << id_
+                             << ": checkpoint requires an idle protocol "
+                                "state (round boundary)");
+  write_parameters(writer, l1_.parameters());
+  l1_.save_extra_state(writer);
+  opt_.save_state(writer);
+  loader_.save_state(writer);
+  encode_rng(noise_rng_, writer);
+  writer.write_f32(last_loss_);
+  writer.write_f64(last_batch_accuracy_);
+  writer.write_i64(steps_completed_);
+  writer.write_i64(stale_ignored_);
+  writer.write_i64(aborted_steps_);
+}
+
+void PlatformNode::load_state(BufferReader& reader) {
+  SPLITMED_CHECK(state_ == PlatformState::kIdle,
+                 "platform " << id_ << ": load_state while mid-step");
+  read_parameters(reader, l1_.parameters(),
+                  "platform " + std::to_string(id_) + " L1");
+  l1_.load_extra_state(reader);
+  opt_.load_state(reader);
+  loader_.load_state(reader);
+  decode_rng(reader, noise_rng_);
+  last_loss_ = reader.read_f32();
+  last_batch_accuracy_ = reader.read_f64();
+  steps_completed_ = reader.read_i64();
+  stale_ignored_ = reader.read_i64();
+  aborted_steps_ = reader.read_i64();
+  if (steps_completed_ < 0 || stale_ignored_ < 0 || aborted_steps_ < 0) {
+    throw SerializationError("platform " + std::to_string(id_) +
+                             ": negative counter in checkpoint");
+  }
 }
 
 }  // namespace splitmed::core

@@ -84,6 +84,21 @@ class PlatformNode {
   [[nodiscard]] std::int64_t aborted_steps() const { return aborted_steps_; }
   [[nodiscard]] nn::Sequential& l1() { return l1_; }
 
+  /// Serializes the platform's complete training state: L1 parameters and
+  /// extra state (BatchNorm statistics), optimizer accumulators, loader
+  /// iteration state, the noise Rng, and the per-step counters/caches.
+  /// Raw examples and labels are NEVER written — they live only on the
+  /// platform (the trust boundary), and the loader shard is rebuilt from
+  /// config. Requires kIdle (checkpoints happen at round boundaries), so
+  /// mid-step caches (pending labels, last-sent frame) are vacuously empty
+  /// and are not serialized.
+  void save_state(BufferWriter& writer);
+
+  /// Mirror of save_state; requires kIdle. Throws SerializationError on
+  /// malformed or mismatched input — the node must then be discarded (a
+  /// failed load may have applied a prefix of the fields).
+  void load_state(BufferReader& reader);
+
  private:
   NodeId id_;
   NodeId server_;

@@ -1,6 +1,8 @@
 #include "src/core/server.hpp"
 
 #include "src/common/error.hpp"
+#include "src/nn/checkpoint.hpp"
+#include "src/serial/state_codec.hpp"
 
 namespace splitmed::core {
 
@@ -124,6 +126,68 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
                           msg_kind_name(static_cast<MsgKind>(envelope.kind)) +
                           "'");
   }
+}
+
+void CentralServer::save_state(BufferWriter& writer) {
+  SPLITMED_CHECK(!awaiting_grad_ && queued_activations_.empty(),
+                 "server: checkpoint requires no forward in flight "
+                 "(round boundary)");
+  write_parameters(writer, body_.parameters());
+  body_.save_extra_state(writer);
+  opt_.save_state(writer);
+  writer.write_u64(min_round_);
+  writer.write_i64(steps_completed_);
+  writer.write_i64(replays_);
+  writer.write_i64(stale_ignored_);
+  writer.write_u32(static_cast<std::uint32_t>(last_request_round_.size()));
+  for (const auto& [platform, round] : last_request_round_) {
+    writer.write_u32(platform);
+    writer.write_u64(round);
+  }
+  // The reply cache answers duplicates of already-processed requests. Under
+  // fault injection such duplicates can still be in flight at a round
+  // boundary (they ride along in the Network checkpoint), so the cache must
+  // survive resume or the replayed duplicate would be treated as new work.
+  writer.write_u32(static_cast<std::uint32_t>(reply_cache_.size()));
+  for (const auto& [platform, cached] : reply_cache_) {
+    writer.write_u32(platform);
+    writer.write_u32(cached.request_kind);
+    writer.write_u64(cached.request_round);
+    encode_envelope(cached.reply, writer);
+  }
+}
+
+void CentralServer::load_state(BufferReader& reader) {
+  SPLITMED_CHECK(!awaiting_grad_ && queued_activations_.empty(),
+                 "server: load_state while a forward is in flight");
+  read_parameters(reader, body_.parameters(), "server body");
+  body_.load_extra_state(reader);
+  opt_.load_state(reader);
+  min_round_ = reader.read_u64();
+  steps_completed_ = reader.read_i64();
+  replays_ = reader.read_i64();
+  stale_ignored_ = reader.read_i64();
+  if (steps_completed_ < 0 || replays_ < 0 || stale_ignored_ < 0) {
+    throw SerializationError("server: negative counter in checkpoint");
+  }
+  const std::uint32_t n_rounds = reader.read_u32();
+  std::map<NodeId, std::uint64_t> last_rounds;
+  for (std::uint32_t i = 0; i < n_rounds; ++i) {
+    const NodeId platform = reader.read_u32();
+    last_rounds[platform] = reader.read_u64();
+  }
+  const std::uint32_t n_cached = reader.read_u32();
+  std::map<NodeId, CachedReply> cache;
+  for (std::uint32_t i = 0; i < n_cached; ++i) {
+    const NodeId platform = reader.read_u32();
+    CachedReply cached;
+    cached.request_kind = reader.read_u32();
+    cached.request_round = reader.read_u64();
+    cached.reply = decode_envelope(reader);
+    cache[platform] = std::move(cached);
+  }
+  last_request_round_ = std::move(last_rounds);
+  reply_cache_ = std::move(cache);
 }
 
 }  // namespace splitmed::core

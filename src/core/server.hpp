@@ -63,6 +63,20 @@ class CentralServer {
   /// Stale frames ignored under tolerate_faults.
   [[nodiscard]] std::int64_t stale_ignored() const { return stale_ignored_; }
 
+  /// Serializes the server's complete training state: body parameters and
+  /// extra state (BatchNorm statistics), optimizer accumulators, the round
+  /// horizon, per-platform request rounds, counters, and the reply cache
+  /// (under fault injection, duplicates of pre-crash requests can still be
+  /// in flight at the boundary — they travel in the Network checkpoint and
+  /// must find the cached reply waiting after resume). Requires no forward
+  /// in flight.
+  void save_state(BufferWriter& writer);
+
+  /// Mirror of save_state; requires no forward in flight. Throws
+  /// SerializationError on malformed or mismatched input — the node must
+  /// then be discarded (a failed load may have applied a prefix).
+  void load_state(BufferReader& reader);
+
  private:
   /// Runs forward on a (decoded) activation and replies with logits.
   void process_activation(net::Network& network, const Envelope& envelope);

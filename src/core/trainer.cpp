@@ -5,6 +5,7 @@
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/core/checkpoint.hpp"
 #include "src/core/split_model.hpp"
 #include "src/metrics/evaluate.hpp"
 #include "src/nn/param_util.hpp"
@@ -24,6 +25,11 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                  "participation must be in (0, 1]");
   config_.faults.validate();
   config_.recovery.validate();
+  SPLITMED_CHECK(config_.checkpoint_every >= 0,
+                 "checkpoint_every must be >= 0");
+  SPLITMED_CHECK(config_.checkpoint_every == 0 ||
+                     !config_.checkpoint_dir.empty(),
+                 "checkpoint_every > 0 requires a checkpoint_dir");
   const bool faulted = config_.faults.any();
   if (faulted) {
     SPLITMED_CHECK(config_.schedule == Schedule::kSequential,
@@ -97,6 +103,11 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                                   "proportional policy");
     platforms_[p]->set_minibatch_size(minibatches_[p]);
     examples_per_round_ += minibatches_[p];
+  }
+  report_.protocol = "split";
+  report_.model = model_name_;
+  if (!config_.resume_from.empty()) {
+    load_checkpoint(resolve_resume_dir(config_.resume_from));
   }
 }
 
@@ -292,12 +303,8 @@ double SplitTrainer::evaluate() {
 }
 
 metrics::TrainReport SplitTrainer::run() {
-  metrics::TrainReport report;
-  report.protocol = "split";
-  report.model = model_name_;
-
-  std::uint64_t step_id = 0;
-  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+  for (std::int64_t round = static_cast<std::int64_t>(next_round_);
+       round <= config_.rounds; ++round) {
     if (config_.lr_schedule) {
       const auto epoch = static_cast<std::int64_t>(
           static_cast<double>(examples_processed_) /
@@ -312,16 +319,16 @@ metrics::TrainReport SplitTrainer::run() {
     // examples processed and the reported loss.
     std::vector<std::size_t> stepped;
     if (config_.schedule == Schedule::kOverlapped) {
-      run_overlapped_round(participants, step_id);
+      run_overlapped_round(participants, step_id_);
       stepped = participants;
     } else if (!config_.faults.any()) {
       for (const std::size_t p : participants) {
-        run_platform_step(*platforms_[p], ++step_id);
+        run_platform_step(*platforms_[p], ++step_id_);
       }
       stepped = participants;
     } else {
       for (const std::size_t p : participants) {
-        if (run_platform_step_reliable(*platforms_[p], ++step_id)) {
+        if (run_platform_step_reliable(*platforms_[p], ++step_id_)) {
           stepped.push_back(p);
         } else {
           ++skipped_steps_;
@@ -332,7 +339,7 @@ metrics::TrainReport SplitTrainer::run() {
       examples_processed_ += minibatches_[p];
     }
     if (config_.sync_l1_every > 0 && round % config_.sync_l1_every == 0) {
-      sync_l1(step_id);
+      sync_l1(step_id_);
     }
 
     const bool budget_hit =
@@ -351,20 +358,30 @@ metrics::TrainReport SplitTrainer::run() {
       point.train_loss = round_train_loss(stepped.empty() ? participants
                                                           : stepped);
       point.test_accuracy = evaluate();
-      report.curve.push_back(point);
+      report_.curve.push_back(point);
       SPLITMED_LOG(kInfo) << "split round " << round << " loss "
                           << point.train_loss << " acc "
                           << point.test_accuracy << " bytes "
                           << point.cumulative_bytes;
-      report.steps_completed = round;
-      report.final_accuracy = point.test_accuracy;
+      report_.steps_completed = round;
+      report_.final_accuracy = point.test_accuracy;
+    }
+    next_round_ = static_cast<std::uint64_t>(round) + 1;
+    // Checkpoint at the round boundary (network quiescent, every node
+    // idle), after the curve point so a resumed report continues it.
+    // Saving reads but never mutates training state — the curve is bitwise
+    // identical with checkpointing on or off.
+    if (config_.checkpoint_every > 0 &&
+        round % config_.checkpoint_every == 0) {
+      save_checkpoint(config_.checkpoint_dir,
+                      static_cast<std::uint64_t>(round));
     }
     if (budget_hit) break;
   }
-  report.total_bytes = network_.stats().total_bytes();
-  report.total_sim_seconds = network_.clock().now();
-  report.skipped_steps = skipped_steps_;
-  return report;
+  report_.total_bytes = network_.stats().total_bytes();
+  report_.total_sim_seconds = network_.clock().now();
+  report_.skipped_steps = skipped_steps_;
+  return report_;
 }
 
 }  // namespace splitmed::core

@@ -88,6 +88,18 @@ struct SplitConfig {
   /// hardware_concurrency); 1 forces the serial path. Thread count never
   /// changes bytes, message order, or curves — see docs/PROTOCOL.md.
   int threads = 0;
+
+  /// Crash recovery (extension; see docs/CHECKPOINT.md). checkpoint_every
+  /// > 0 writes a full-state checkpoint to checkpoint_dir every N rounds
+  /// (at the round boundary, after eval). Saving never touches training
+  /// state — curves are bitwise identical with checkpointing on or off.
+  std::int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  /// Resume path: either one round directory (".../round_000040") or a
+  /// checkpoint_dir to scan for the newest complete round. Empty = fresh
+  /// run. The checkpoint must match this config (seed, model, platform
+  /// count) — resuming under a different config is refused.
+  std::string resume_from;
 };
 
 class SplitTrainer {
@@ -113,6 +125,24 @@ class SplitTrainer {
   [[nodiscard]] const std::vector<std::int64_t>& minibatches() const {
     return minibatches_;
   }
+
+  /// Writes a complete round-stamped checkpoint to
+  /// `<dir>/round_<round>/` (node files first, manifest last; every file
+  /// atomic). Must be called at a round boundary (every node idle; frames
+  /// still in flight — possible under fault injection — are captured in the
+  /// network state). Side-effect free on training state.
+  void save_checkpoint(const std::string& dir, std::uint64_t round);
+
+  /// Restores the trainer from the round directory `round_dir` (a path
+  /// containing manifest.smckpt). Throws SerializationError on malformed or
+  /// config-mismatched files, ProtocolError when a node file's round stamp
+  /// disagrees with the manifest. Called by the constructor when
+  /// config.resume_from is set.
+  void load_checkpoint(const std::string& round_dir);
+
+  /// First round the next run() call will execute (1 for a fresh trainer,
+  /// checkpoint round + 1 after a resume).
+  [[nodiscard]] std::uint64_t next_round() const { return next_round_; }
 
  private:
   /// One full 4-message protocol exchange for one platform.
@@ -152,6 +182,11 @@ class SplitTrainer {
   std::int64_t examples_processed_ = 0;
   std::int64_t skipped_steps_ = 0;
   Rng participation_rng_{0};
+  /// Run-progress state, members (not run() locals) so a checkpoint can
+  /// capture them and a resumed trainer continues mid-report.
+  std::uint64_t next_round_ = 1;
+  std::uint64_t step_id_ = 0;
+  metrics::TrainReport report_;
 };
 
 }  // namespace splitmed::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/serial/state_codec.hpp"
 
 namespace splitmed::data {
 
@@ -57,6 +58,47 @@ Batch DataLoader::next_batch() {
 
 void DataLoader::set_transform(std::shared_ptr<const Transform> transform) {
   transform_ = std::move(transform);
+}
+
+void DataLoader::save_state(BufferWriter& writer) const {
+  writer.write_u64(indices_.size());
+  for (const std::int64_t i : indices_) writer.write_i64(i);
+  writer.write_u64(cursor_);
+  encode_rng(rng_, writer);
+}
+
+void DataLoader::load_state(BufferReader& reader) {
+  const std::uint64_t count = reader.read_u64();
+  if (count != indices_.size()) {
+    throw SerializationError("DataLoader state: checkpoint shard has " +
+                             std::to_string(count) + " indices, loader has " +
+                             std::to_string(indices_.size()));
+  }
+  std::vector<std::int64_t> permutation;
+  permutation.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    permutation.push_back(reader.read_i64());
+  }
+  std::vector<std::int64_t> ours = indices_;
+  std::vector<std::int64_t> theirs = permutation;
+  std::sort(ours.begin(), ours.end());
+  std::sort(theirs.begin(), theirs.end());
+  if (ours != theirs) {
+    throw SerializationError(
+        "DataLoader state: stored permutation is not a permutation of this "
+        "loader's shard");
+  }
+  const std::uint64_t cursor = reader.read_u64();
+  if (cursor > count) {
+    throw SerializationError("DataLoader state: cursor " +
+                             std::to_string(cursor) + " past shard size " +
+                             std::to_string(count));
+  }
+  Rng rng = rng_;
+  decode_rng(reader, rng);
+  indices_ = std::move(permutation);
+  cursor_ = static_cast<std::size_t>(cursor);
+  rng_ = rng;
 }
 
 Batch DataLoader::full_shard() const {

@@ -13,6 +13,7 @@
 #include "src/common/rng.hpp"
 #include "src/data/dataset.hpp"
 #include "src/data/transforms.hpp"
+#include "src/serial/buffer.hpp"
 
 namespace splitmed::data {
 
@@ -47,6 +48,16 @@ class DataLoader {
 
   /// Batches per epoch under the current batch size.
   [[nodiscard]] std::int64_t batches_per_epoch() const;
+
+  /// Serializes iteration state: the current epoch's shuffled permutation,
+  /// the cursor into it, and the shuffle RNG. The shard *membership* is not
+  /// state — it is derived from config at construction — so load_state
+  /// verifies the stored permutation is a permutation of this loader's shard.
+  void save_state(BufferWriter& writer) const;
+
+  /// Mirror of save_state. Throws SerializationError on malformed input or a
+  /// permutation that does not match this loader's shard.
+  void load_state(BufferReader& reader);
 
  private:
   void start_epoch();

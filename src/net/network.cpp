@@ -4,6 +4,7 @@
 
 #include "src/common/error.hpp"
 #include "src/serial/crc32.hpp"
+#include "src/serial/state_codec.hpp"
 
 namespace splitmed::net {
 
@@ -231,6 +232,100 @@ std::optional<double> Network::next_arrival(NodeId node) const {
 std::size_t Network::pending(NodeId node) const {
   SPLITMED_CHECK(node < nodes_.size(), "unknown node id " << node);
   return inbox_[node].size();
+}
+
+bool Network::quiescent() const {
+  return std::all_of(inbox_.begin(), inbox_.end(),
+                     [](const auto& box) { return box.empty(); });
+}
+
+void Network::save_state(BufferWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(nodes_.size()));
+  writer.write_f64(clock_.now());
+  writer.write_u64(sequence_);
+  writer.write_u32(static_cast<std::uint32_t>(link_busy_until_.size()));
+  for (const auto& [pair, busy_until] : link_busy_until_) {
+    writer.write_u32(pair.first);
+    writer.write_u32(pair.second);
+    writer.write_f64(busy_until);
+  }
+  // In-flight frames, per destination inbox. Fault-free round boundaries are
+  // quiescent and write zero entries; under WAN fault injection, late
+  // duplicates and post-timeout replies legitimately straddle the boundary
+  // and MUST travel with the checkpoint — the resumed run has to deliver
+  // (and ignore) exactly the frames the uninterrupted run would have.
+  for (const auto& box : inbox_) {
+    writer.write_u32(static_cast<std::uint32_t>(box.size()));
+    for (const InFlight& f : box) {
+      writer.write_f64(f.arrival);
+      writer.write_u64(f.sequence);
+      encode_envelope(f.envelope, writer);
+    }
+  }
+  encode_rng(fault_rng_, writer);
+  stats_.save_state(writer);
+}
+
+void Network::load_state(BufferReader& reader) {
+  SPLITMED_CHECK(quiescent(),
+                 "Network::load_state requires an empty network");
+  const std::uint32_t node_count = reader.read_u32();
+  if (node_count != nodes_.size()) {
+    throw SerializationError("Network state: checkpoint has " +
+                             std::to_string(node_count) + " nodes, network " +
+                             "has " + std::to_string(nodes_.size()));
+  }
+  const double now = reader.read_f64();
+  if (!(now >= 0.0)) {  // also rejects NaN
+    throw SerializationError("Network state: invalid clock time");
+  }
+  const std::uint64_t sequence = reader.read_u64();
+  const std::uint32_t n_busy = reader.read_u32();
+  std::map<std::pair<NodeId, NodeId>, double> busy;
+  for (std::uint32_t i = 0; i < n_busy; ++i) {
+    const NodeId src = reader.read_u32();
+    const NodeId dst = reader.read_u32();
+    if (src >= nodes_.size() || dst >= nodes_.size()) {
+      throw SerializationError("Network state: busy-link node id out of "
+                               "range");
+    }
+    busy[{src, dst}] = reader.read_f64();
+  }
+  std::vector<std::vector<InFlight>> inbox(nodes_.size());
+  constexpr std::uint32_t kMaxInFlight = 1U << 20;
+  for (std::size_t node = 0; node < nodes_.size(); ++node) {
+    const std::uint32_t n_flight = reader.read_u32();
+    if (n_flight > kMaxInFlight) {
+      throw SerializationError("Network state: absurd in-flight count " +
+                               std::to_string(n_flight));
+    }
+    inbox[node].reserve(n_flight);
+    for (std::uint32_t i = 0; i < n_flight; ++i) {
+      InFlight f;
+      f.arrival = reader.read_f64();
+      if (!(f.arrival >= 0.0)) {  // also rejects NaN
+        throw SerializationError("Network state: invalid arrival time");
+      }
+      f.sequence = reader.read_u64();
+      f.envelope = decode_envelope(reader);
+      if (f.envelope.dst != node || f.envelope.src >= nodes_.size()) {
+        throw SerializationError(
+            "Network state: in-flight frame routed to the wrong inbox");
+      }
+      inbox[node].push_back(std::move(f));
+    }
+  }
+  Rng fault_rng = fault_rng_;
+  decode_rng(reader, fault_rng);
+  TrafficStats stats;
+  stats.load_state(reader);
+  clock_.reset();
+  clock_.advance_to(now);
+  sequence_ = sequence;
+  link_busy_until_ = std::move(busy);
+  inbox_ = std::move(inbox);
+  fault_rng_ = fault_rng;
+  stats_ = std::move(stats);
 }
 
 }  // namespace splitmed::net

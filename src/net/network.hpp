@@ -94,6 +94,26 @@ class Network {
   [[nodiscard]] TrafficStats& stats() { return stats_; }
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
 
+  /// True when no message is in flight to any node. Fault-free round
+  /// boundaries are always quiescent; under fault injection, late duplicates
+  /// may straddle a boundary (they are checkpointed, see save_state).
+  [[nodiscard]] bool quiescent() const;
+
+  /// Serializes the dynamic transport state: clock, send sequence, per-link
+  /// busy times, every in-flight frame (fault injection legitimately leaves
+  /// late duplicates straddling a round boundary — a resumed run must
+  /// deliver exactly what the uninterrupted run would have), the fault Rng,
+  /// and TrafficStats. Topology, links, and fault plans are NOT serialized —
+  /// they are reconstructed from config, so a checkpoint cannot smuggle in a
+  /// different network.
+  void save_state(BufferWriter& writer) const;
+
+  /// Mirror of save_state; requires the same node set and an empty inbox set
+  /// on THIS network (the restore target is always freshly built). Throws
+  /// SerializationError on malformed input, out-of-range node ids, or
+  /// misrouted in-flight frames.
+  void load_state(BufferReader& reader);
+
  private:
   struct InFlight {
     double arrival = 0.0;

@@ -1,6 +1,22 @@
 #include "src/net/traffic_stats.hpp"
 
+#include "src/common/error.hpp"
+
 namespace splitmed::net {
+namespace {
+
+template <typename Key, typename WriteKey>
+void write_map(BufferWriter& w,
+               const std::map<Key, std::uint64_t>& m,
+               WriteKey&& write_key) {
+  w.write_u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [key, value] : m) {
+    write_key(key);
+    w.write_u64(value);
+  }
+}
+
+}  // namespace
 
 void TrafficStats::record(const Envelope& envelope,
                           std::uint64_t bytes_on_wire) {
@@ -60,6 +76,58 @@ void TrafficStats::reset() {
   by_kind_bytes_.clear();
   by_kind_messages_.clear();
   by_pair_bytes_.clear();
+}
+
+void TrafficStats::save_state(BufferWriter& writer) const {
+  writer.write_u64(total_bytes_);
+  writer.write_u64(total_messages_);
+  writer.write_u64(retransmits_);
+  writer.write_u64(retransmit_bytes_);
+  writer.write_u64(duplicates_);
+  writer.write_u64(duplicate_bytes_);
+  writer.write_u64(dropped_);
+  writer.write_u64(dropped_bytes_);
+  writer.write_u64(corrupted_);
+  writer.write_u64(corrupted_bytes_);
+  write_map(writer, by_kind_bytes_,
+            [&](std::uint32_t kind) { writer.write_u32(kind); });
+  write_map(writer, by_kind_messages_,
+            [&](std::uint32_t kind) { writer.write_u32(kind); });
+  write_map(writer, by_pair_bytes_, [&](const std::pair<NodeId, NodeId>& p) {
+    writer.write_u32(p.first);
+    writer.write_u32(p.second);
+  });
+}
+
+void TrafficStats::load_state(BufferReader& reader) {
+  TrafficStats loaded;
+  loaded.total_bytes_ = reader.read_u64();
+  loaded.total_messages_ = reader.read_u64();
+  loaded.retransmits_ = reader.read_u64();
+  loaded.retransmit_bytes_ = reader.read_u64();
+  loaded.duplicates_ = reader.read_u64();
+  loaded.duplicate_bytes_ = reader.read_u64();
+  loaded.dropped_ = reader.read_u64();
+  loaded.dropped_bytes_ = reader.read_u64();
+  loaded.corrupted_ = reader.read_u64();
+  loaded.corrupted_bytes_ = reader.read_u64();
+  const std::uint32_t n_kind_bytes = reader.read_u32();
+  for (std::uint32_t i = 0; i < n_kind_bytes; ++i) {
+    const std::uint32_t kind = reader.read_u32();
+    loaded.by_kind_bytes_[kind] = reader.read_u64();
+  }
+  const std::uint32_t n_kind_messages = reader.read_u32();
+  for (std::uint32_t i = 0; i < n_kind_messages; ++i) {
+    const std::uint32_t kind = reader.read_u32();
+    loaded.by_kind_messages_[kind] = reader.read_u64();
+  }
+  const std::uint32_t n_pairs = reader.read_u32();
+  for (std::uint32_t i = 0; i < n_pairs; ++i) {
+    const NodeId src = reader.read_u32();
+    const NodeId dst = reader.read_u32();
+    loaded.by_pair_bytes_[{src, dst}] = reader.read_u64();
+  }
+  *this = std::move(loaded);
 }
 
 }  // namespace splitmed::net

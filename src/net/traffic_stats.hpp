@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "src/serial/buffer.hpp"
 #include "src/serial/message.hpp"
 
 namespace splitmed::net {
@@ -73,6 +74,14 @@ class TrafficStats {
   }
 
   void reset();
+
+  /// Serializes every counter and per-kind/per-pair map, so a resumed run's
+  /// communication report continues the original byte series exactly.
+  void save_state(BufferWriter& writer) const;
+
+  /// Mirror of save_state; replaces all counters. Throws SerializationError
+  /// on malformed input.
+  void load_state(BufferReader& reader);
 
  private:
   std::uint64_t total_bytes_ = 0;

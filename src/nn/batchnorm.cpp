@@ -6,6 +6,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/serial/tensor_codec.hpp"
 
 namespace splitmed::nn {
 namespace {
@@ -223,6 +224,24 @@ std::string BatchNorm2d::name() const {
   std::ostringstream os;
   os << "BatchNorm2d(" << channels_ << ')';
   return os.str();
+}
+
+void BatchNorm2d::save_extra_state(BufferWriter& writer) const {
+  encode_tensor(running_mean_, writer);
+  encode_tensor(running_var_, writer);
+}
+
+void BatchNorm2d::load_extra_state(BufferReader& reader) {
+  Tensor mean = decode_tensor(reader);
+  Tensor var = decode_tensor(reader);
+  const Shape expected({channels_});
+  if (mean.shape() != expected || var.shape() != expected) {
+    throw SerializationError(
+        "BatchNorm2d running stats: expected shape " + expected.str() +
+        ", got mean " + mean.shape().str() + ", var " + var.shape().str());
+  }
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
 }
 
 }  // namespace splitmed::nn

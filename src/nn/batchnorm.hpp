@@ -22,6 +22,11 @@ class BatchNorm2d final : public Layer {
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   [[nodiscard]] std::string name() const override;
 
+  /// Running mean/var are training state outside parameters(); a checkpoint
+  /// that skipped them would change every post-resume evaluation.
+  void save_extra_state(BufferWriter& writer) const override;
+  void load_extra_state(BufferReader& reader) override;
+
   [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
   [[nodiscard]] const Tensor& running_var() const { return running_var_; }
 

@@ -3,29 +3,47 @@
 // platforms and server checkpoint independently and can resume after faults.
 //
 // File format: magic "SMCKPT01", u32 parameter count, then per parameter a
-// length-prefixed name and the tensor payload.
+// length-prefixed name and the tensor payload. Files are published
+// atomically (temp file + fsync + rename), so a crash mid-save leaves the
+// previous checkpoint intact, never a torn file.
 //
 // Scope: trainable parameters only. Non-parameter state (BatchNorm running
-// statistics, optimizer momentum) is not captured; a restored model is exact
-// for parameter-only layers, while BatchNorm eval statistics re-estimate
-// from post-restore batches.
+// statistics, optimizer momentum) is not captured here — the full-state
+// SMCKPT02 checkpoint (core/checkpoint.hpp) exists for that.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "src/nn/parameter.hpp"
+#include "src/serial/buffer.hpp"
 
 namespace splitmed {
 
-/// Writes all parameter VALUES to `path` (overwrites). Throws Error on I/O
-/// failure.
+/// Appends the parameter block (u32 count, then per parameter a
+/// length-prefixed name and the tensor payload) to `w`. Reused by both the
+/// params-only file below and the full-state node checkpoints.
+void write_parameters(BufferWriter& w,
+                      const std::vector<nn::Parameter*>& params);
+
+/// Mirror of write_parameters. Decodes every tensor into temporaries and
+/// validates count, names (in order), and shapes BEFORE applying anything —
+/// `params` are untouched when this throws. Errors name the offending
+/// parameter and the expected vs actual shape; `context` names the source.
+void read_parameters(BufferReader& r,
+                     const std::vector<nn::Parameter*>& params,
+                     const std::string& context);
+
+/// Writes all parameter VALUES to `path`, atomically (overwrites). Throws
+/// Error on I/O failure.
 void save_parameters(const std::string& path,
                      const std::vector<nn::Parameter*>& params);
 
 /// Restores parameter values from `path`. The file must contain exactly the
-/// same parameters (count, names in order, shapes) — mismatches throw
-/// SerializationError rather than silently loading a different model.
+/// same parameters (count, names in order, shapes) and nothing else —
+/// mismatches, short reads, and trailing garbage throw SerializationError
+/// rather than silently loading a different model, and the in-memory
+/// parameters are untouched on any failure.
 void load_parameters(const std::string& path,
                      const std::vector<nn::Parameter*>& params);
 

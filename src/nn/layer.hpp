@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/nn/parameter.hpp"
+#include "src/serial/buffer.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace splitmed::nn {
@@ -45,6 +46,17 @@ class Layer {
 
   /// Human-readable layer description, e.g. "Conv2d(3->64, k3 s1 p1)".
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Serializes state a full checkpoint must capture BEYOND parameters():
+  /// BatchNorm running statistics today, anything similar tomorrow. Layers
+  /// without such state write nothing; containers recurse into children.
+  /// Forward/backward caches are deliberately excluded — checkpoints are
+  /// taken at step boundaries, where the next forward rebuilds them.
+  virtual void save_extra_state(BufferWriter& writer) const { (void)writer; }
+
+  /// Mirror of save_extra_state. Throws SerializationError on truncated or
+  /// shape-mismatched input; the layer is unchanged when it throws.
+  virtual void load_extra_state(BufferReader& reader) { (void)reader; }
 
   /// Zeroes all parameter gradients.
   void zero_grad() {

@@ -101,4 +101,24 @@ std::string ResidualBlock::name() const {
   return os.str();
 }
 
+void ResidualBlock::save_extra_state(BufferWriter& writer) const {
+  bn1_.save_extra_state(writer);
+  bn2_.save_extra_state(writer);
+  writer.write_u8(has_projection_ ? 1 : 0);
+  if (has_projection_) proj_bn_->save_extra_state(writer);
+}
+
+void ResidualBlock::load_extra_state(BufferReader& reader) {
+  bn1_.load_extra_state(reader);
+  bn2_.load_extra_state(reader);
+  const std::uint8_t flag = reader.read_u8();
+  if (flag != (has_projection_ ? 1 : 0)) {
+    throw SerializationError(
+        "ResidualBlock extra state: projection flag mismatch (checkpoint " +
+        std::to_string(flag) + ", model " +
+        std::to_string(has_projection_ ? 1 : 0) + ")");
+  }
+  if (has_projection_) proj_bn_->load_extra_state(reader);
+}
+
 }  // namespace splitmed::nn

@@ -21,6 +21,10 @@ class ResidualBlock final : public Layer {
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override;
 
+  /// Forwards to the embedded BatchNorm layers (running statistics).
+  void save_extra_state(BufferWriter& writer) const override;
+  void load_extra_state(BufferReader& reader) override;
+
  private:
   Conv2d conv1_;
   BatchNorm2d bn1_;

@@ -72,6 +72,21 @@ Sequential Sequential::extract(std::size_t begin, std::size_t end) {
   return out;
 }
 
+void Sequential::save_extra_state(BufferWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(layers_.size()));
+  for (const auto& layer : layers_) layer->save_extra_state(writer);
+}
+
+void Sequential::load_extra_state(BufferReader& reader) {
+  const std::uint32_t count = reader.read_u32();
+  if (count != layers_.size()) {
+    throw SerializationError("Sequential extra state: checkpoint has " +
+                             std::to_string(count) + " layers, model has " +
+                             std::to_string(layers_.size()));
+  }
+  for (auto& layer : layers_) layer->load_extra_state(reader);
+}
+
 std::vector<Shape> Sequential::activation_shapes(const Shape& input) const {
   std::vector<Shape> shapes;
   shapes.reserve(layers_.size() + 1);

@@ -26,6 +26,11 @@ class Sequential final : public Layer {
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override;
 
+  /// Recurses into children (prefixed with a layer-count self-check so a
+  /// checkpoint from a differently built model fails loudly, not silently).
+  void save_extra_state(BufferWriter& writer) const override;
+  void load_extra_state(BufferReader& reader) override;
+
   [[nodiscard]] std::size_t size() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i);
   [[nodiscard]] const Layer& layer(std::size_t i) const;

@@ -24,6 +24,9 @@ class Adam final : public Optimizer {
   }
   void set_learning_rate(float lr) override { options_.learning_rate = lr; }
 
+  void save_state(BufferWriter& writer) const override;
+  void load_state(BufferReader& reader) override;
+
  private:
   AdamOptions options_;
   std::vector<Tensor> m_;

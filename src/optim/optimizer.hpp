@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/nn/parameter.hpp"
+#include "src/serial/buffer.hpp"
 
 namespace splitmed::optim {
 
@@ -28,6 +29,15 @@ class Optimizer {
   /// Current learning rate (mutable so schedules can drive it).
   [[nodiscard]] virtual float learning_rate() const = 0;
   virtual void set_learning_rate(float lr) = 0;
+
+  /// Serializes accumulator state (momentum / moment estimates). Hyper-
+  /// parameters are NOT included: they come from config at reconstruction,
+  /// so a checkpoint cannot silently override the configured run.
+  virtual void save_state(BufferWriter& writer) const = 0;
+
+  /// Mirror of save_state. Throws SerializationError when the stored
+  /// accumulators do not match this optimizer's parameter shapes.
+  virtual void load_state(BufferReader& reader) = 0;
 
   [[nodiscard]] const std::vector<nn::Parameter*>& parameters() const {
     return params_;

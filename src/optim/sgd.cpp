@@ -1,6 +1,7 @@
 #include "src/optim/sgd.hpp"
 
 #include "src/common/error.hpp"
+#include "src/serial/tensor_codec.hpp"
 
 namespace splitmed::optim {
 
@@ -39,6 +40,33 @@ void Sgd::step() {
       v[j] -= lr * update;
     }
   }
+}
+
+void Sgd::save_state(BufferWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(velocity_.size()));
+  for (const Tensor& v : velocity_) encode_tensor(v, writer);
+}
+
+void Sgd::load_state(BufferReader& reader) {
+  const std::uint32_t count = reader.read_u32();
+  if (count != velocity_.size()) {
+    throw SerializationError("Sgd state: checkpoint has " +
+                             std::to_string(count) + " velocity buffers, " +
+                             "optimizer has " +
+                             std::to_string(velocity_.size()));
+  }
+  std::vector<Tensor> loaded;
+  loaded.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Tensor v = decode_tensor(reader);
+    if (v.shape() != params_[i]->value.shape()) {
+      throw SerializationError(
+          "Sgd state: velocity " + std::to_string(i) + " expected shape " +
+          params_[i]->value.shape().str() + ", got " + v.shape().str());
+    }
+    loaded.push_back(std::move(v));
+  }
+  velocity_ = std::move(loaded);
 }
 
 }  // namespace splitmed::optim

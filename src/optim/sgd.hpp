@@ -23,6 +23,9 @@ class Sgd final : public Optimizer {
   }
   void set_learning_rate(float lr) override { options_.learning_rate = lr; }
 
+  void save_state(BufferWriter& writer) const override;
+  void load_state(BufferReader& reader) override;
+
  private:
   SgdOptions options_;
   std::vector<Tensor> velocity_;  // parallel to params_, lazily sized

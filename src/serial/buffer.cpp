@@ -50,6 +50,7 @@ void BufferWriter::write_string(const std::string& s) {
 }
 
 void BufferWriter::write_f32_span(std::span<const float> vs) {
+  if (vs.empty()) return;  // empty span may carry a null data()
   const std::size_t at = buf_.size();
   buf_.resize(at + vs.size() * 4);
   std::memcpy(buf_.data() + at, vs.data(), vs.size() * 4);
@@ -60,6 +61,11 @@ void BufferReader::require(std::size_t n) const {
     throw SerializationError("truncated buffer: need " + std::to_string(n) +
                              " bytes, have " + std::to_string(remaining()));
   }
+}
+
+void BufferReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
 }
 
 std::uint8_t BufferReader::read_u8() {
@@ -112,6 +118,7 @@ std::string BufferReader::read_string() {
 }
 
 void BufferReader::read_f32_span(std::span<float> out) {
+  if (out.empty()) return;  // empty span may carry a null data()
   require(out.size() * 4);
   std::memcpy(out.data(), bytes_.data() + pos_, out.size() * 4);
   pos_ += out.size() * 4;

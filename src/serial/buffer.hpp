@@ -50,6 +50,12 @@ class BufferReader {
 
   [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
   [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+  /// Cursor position from the start of the span (for framing that checksums
+  /// a byte range, e.g. the SMCKPT02 section trailer).
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  /// Advances the cursor by n bytes; throws SerializationError when fewer
+  /// remain.
+  void skip(std::size_t n);
 
  private:
   void require(std::size_t n) const;

@@ -53,10 +53,12 @@ Tensor decode_tensor_i8(BufferReader& r) {
   for (auto& d : dims) {
     d = r.read_i64();
     if (d < 0) throw SerializationError("negative quantized tensor dim");
-    numel *= d;
-    if (numel > kMaxElements) {
+    // Overflow-safe: reject BEFORE multiplying (a corrupt header can carry
+    // dimensions whose product overflows int64).
+    if (d > kMaxElements || (d != 0 && numel > kMaxElements / d)) {
       throw SerializationError("quantized tensor exceeds element limit");
     }
+    numel *= d;
   }
   const float scale = r.read_f32();
   if (!(scale >= 0.0F) || !std::isfinite(scale)) {

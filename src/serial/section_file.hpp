@@ -1,0 +1,92 @@
+// SMCKPT02 — the sectioned, integrity-checked checkpoint container.
+//
+// A checkpoint is a flat list of named byte sections:
+//
+//   magic "SMCKPT02"                                  (8 B)
+//   u32 section_count
+//   per section:
+//     u32 name length + name bytes                    (BufferWriter::write_string)
+//     u64 payload length
+//     payload bytes
+//     u32 CRC-32 over everything from the name length through the payload
+//
+// Every section is covered end-to-end by its CRC trailer, lengths are
+// validated against the remaining buffer BEFORE any allocation, and the
+// decoder requires the buffer to be consumed exactly — so a truncated,
+// bit-flipped, length-lying, or wrong-version file always throws
+// SerializationError and can never decode into a partial checkpoint.
+//
+// Publication is atomic: write_file() writes `<path>.tmp`, fsyncs it,
+// renames it over `path`, and fsyncs the directory. A crash at any point
+// leaves either the previous file or the complete new one — never a torn
+// mixture (a torn file produced by a lying filesystem is still caught by
+// the CRC trailers at load time).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/serial/buffer.hpp"
+
+namespace splitmed {
+
+/// One named section of an SMCKPT02 container.
+struct Section {
+  std::string name;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the target, fsync the directory. Throws Error on any
+/// I/O failure (the temp file is removed on failure).
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+/// Builds and publishes an SMCKPT02 container.
+class SectionFileWriter {
+ public:
+  /// Adds a section. Names must be non-empty and unique per file.
+  void add(std::string name, std::vector<std::uint8_t> payload);
+  /// Convenience: drains `w` into a section.
+  void add(std::string name, BufferWriter&& w) { add(std::move(name), w.take()); }
+
+  /// The full container image (magic + sections + trailers).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Atomic publication of encode() to `path` (see atomic_write_file).
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<Section> sections_;
+};
+
+/// Decodes and fully validates an SMCKPT02 container. All validation (magic,
+/// version, counts, lengths, CRCs, exact consumption) happens before the
+/// first section is handed out — callers never observe a partial file.
+class SectionFileReader {
+ public:
+  /// Decodes from memory. `context` names the source in error messages.
+  static SectionFileReader decode(std::span<const std::uint8_t> bytes,
+                                  const std::string& context);
+  /// Reads and decodes `path`. Throws Error when the file cannot be read,
+  /// SerializationError when its contents are invalid.
+  static SectionFileReader read_file(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Payload of the named section; throws SerializationError when absent.
+  [[nodiscard]] const std::vector<std::uint8_t>& payload(
+      const std::string& name) const;
+  /// Cursor over the named section's payload.
+  [[nodiscard]] BufferReader reader(const std::string& name) const;
+  [[nodiscard]] const std::vector<Section>& sections() const {
+    return sections_;
+  }
+
+ private:
+  std::string context_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace splitmed

@@ -1,0 +1,61 @@
+#include "src/serial/state_codec.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+
+void encode_rng(const Rng& rng, BufferWriter& w) {
+  const RngState st = rng.state();
+  for (const std::uint64_t word : st.s) w.write_u64(word);
+  w.write_f32(st.cached_normal);
+  w.write_u8(st.has_cached_normal ? 1 : 0);
+}
+
+void decode_rng(BufferReader& r, Rng& rng) {
+  RngState st;
+  for (auto& word : st.s) word = r.read_u64();
+  st.cached_normal = r.read_f32();
+  const std::uint8_t flag = r.read_u8();
+  if (flag > 1) {
+    throw SerializationError("rng state: normal-cache flag must be 0/1, got " +
+                             std::to_string(flag));
+  }
+  st.has_cached_normal = flag == 1;
+  rng.set_state(st);
+}
+
+void encode_envelope(const Envelope& envelope, BufferWriter& w) {
+  w.write_u32(envelope.src);
+  w.write_u32(envelope.dst);
+  w.write_u32(envelope.kind);
+  w.write_u64(envelope.round);
+  w.write_u64(envelope.payload.size());
+  for (const std::uint8_t b : envelope.payload) w.write_u8(b);
+  w.write_u32(envelope.crc);
+  w.write_u8(envelope.retransmit ? 1 : 0);
+}
+
+Envelope decode_envelope(BufferReader& r) {
+  Envelope e;
+  e.src = r.read_u32();
+  e.dst = r.read_u32();
+  e.kind = r.read_u32();
+  e.round = r.read_u64();
+  const std::uint64_t payload_len = r.read_u64();
+  if (payload_len > r.remaining()) {
+    throw SerializationError("envelope state: payload claims " +
+                             std::to_string(payload_len) + " bytes, only " +
+                             std::to_string(r.remaining()) + " remain");
+  }
+  e.payload.resize(static_cast<std::size_t>(payload_len));
+  for (auto& b : e.payload) b = r.read_u8();
+  e.crc = r.read_u32();
+  const std::uint8_t retransmit = r.read_u8();
+  if (retransmit > 1) {
+    throw SerializationError("envelope state: retransmit flag must be 0/1");
+  }
+  e.retransmit = retransmit == 1;
+  return e;
+}
+
+}  // namespace splitmed

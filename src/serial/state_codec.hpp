@@ -1,0 +1,32 @@
+// Byte codecs for runtime-state objects that live below the serial layer
+// (so they cannot serialize themselves without a dependency cycle). Used by
+// the SMCKPT02 full-state checkpoint.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/serial/buffer.hpp"
+#include "src/serial/message.hpp"
+
+namespace splitmed {
+
+/// Appends the generator's complete state (4 xoshiro words + Box–Muller
+/// cache) to `w`. 37 bytes.
+void encode_rng(const Rng& rng, BufferWriter& w);
+
+/// Restores a generator state written by encode_rng. Throws
+/// SerializationError on truncated or malformed input.
+void decode_rng(BufferReader& r, Rng& rng);
+
+/// Appends a complete envelope (routing header, payload, CRC stamp,
+/// retransmit flag) to `w`. Used by the full-state checkpoint to capture
+/// in-flight frames and cached replies — under WAN fault injection a round
+/// boundary is NOT always quiescent (late duplicates linger), and dropping
+/// such frames would fork the resumed run from the uninterrupted one.
+void encode_envelope(const Envelope& envelope, BufferWriter& w);
+
+/// Mirror of encode_envelope. The declared payload length is validated
+/// against the remaining buffer BEFORE allocation. Throws SerializationError
+/// on truncated or malformed input.
+Envelope decode_envelope(BufferReader& r);
+
+}  // namespace splitmed

@@ -27,10 +27,12 @@ Tensor decode_tensor(BufferReader& r) {
   for (auto& d : dims) {
     d = r.read_i64();
     if (d < 0) throw SerializationError("negative tensor dimension");
-    numel *= d;
-    if (numel > kMaxElements) {
+    // Overflow-safe: reject BEFORE multiplying (a corrupt header can carry
+    // dimensions whose product overflows int64).
+    if (d > kMaxElements || (d != 0 && numel > kMaxElements / d)) {
       throw SerializationError("tensor payload exceeds element limit");
     }
+    numel *= d;
   }
   // Validate against the actual remaining bytes BEFORE allocating — a
   // corrupt header must not trigger a giant allocation.

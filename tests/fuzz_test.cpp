@@ -21,6 +21,7 @@
 #include "src/nn/sequential.hpp"
 #include "src/serial/crc32.hpp"
 #include "src/serial/quantize.hpp"
+#include "src/serial/section_file.hpp"
 #include "src/serial/tensor_codec.hpp"
 #include "src/tensor/ops.hpp"
 
@@ -323,6 +324,134 @@ TEST(LayerFuzz, RandomStacksKeepShapesAndGradientsCoherent) {
     for (nn::Parameter* p : seq.parameters()) {
       for (const float v : p->grad.data()) ASSERT_TRUE(std::isfinite(v));
     }
+  }
+}
+
+/// A small but representative SMCKPT02 container: two sections, one of them
+/// empty (the edge the encoder/decoder must both handle).
+std::vector<std::uint8_t> sample_container() {
+  SectionFileWriter w;
+  BufferWriter a;
+  a.write_u64(0xDEADBEEFULL);
+  a.write_string("state");
+  w.add("alpha", std::move(a));
+  w.add("beta", std::vector<std::uint8_t>{0, 1, 2, 3, 4, 5, 6, 7});
+  return w.encode();
+}
+
+TEST(CheckpointFuzz, EveryTruncatedPrefixThrows) {
+  // Exhaustive: a checkpoint cut at ANY byte boundary — torn write, partial
+  // download, dying disk — must throw, never crash or partially decode.
+  const auto full = sample_container();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_THROW((void)SectionFileReader::decode({full.data(), len}, "fuzz"),
+                 SerializationError)
+        << "prefix of " << len << " bytes";
+  }
+  // Sanity: the untruncated container decodes.
+  EXPECT_NO_THROW(
+      (void)SectionFileReader::decode({full.data(), full.size()}, "fuzz"));
+}
+
+TEST(CheckpointFuzz, EverySingleBitFlipThrows) {
+  // Exhaustive over every bit of the container. The CRC trailer covers each
+  // whole section record and the magic/count are structurally validated, so
+  // there is no bit anywhere whose flip goes unnoticed.
+  const auto full = sample_container();
+  auto bytes = full;
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= static_cast<std::uint8_t>(1U << bit);
+      EXPECT_THROW(
+          (void)SectionFileReader::decode({bytes.data(), bytes.size()}, "fuzz"),
+          SerializationError)
+          << "flip at byte " << byte << " bit " << bit;
+      bytes[byte] ^= static_cast<std::uint8_t>(1U << bit);
+    }
+  }
+  EXPECT_EQ(bytes, full);  // all flips undone
+}
+
+TEST(CheckpointFuzz, LyingLengthsRejectedBeforeAllocation) {
+  const auto full = sample_container();
+  // Section payload length field of the FIRST section lives right after the
+  // magic (8), section count (4), name length (4) and name "alpha" (5).
+  const std::size_t payload_len_at = 8 + 4 + 4 + 5;
+  auto lie = full;
+  for (std::size_t i = 0; i < 8; ++i) lie[payload_len_at + i] = 0xFF;
+  EXPECT_THROW((void)SectionFileReader::decode({lie.data(), lie.size()}, "f"),
+               SerializationError);
+
+  // Name length lying similarly (claims a 4 GiB name).
+  lie = full;
+  for (std::size_t i = 0; i < 4; ++i) lie[12 + i] = 0xFF;
+  EXPECT_THROW((void)SectionFileReader::decode({lie.data(), lie.size()}, "f"),
+               SerializationError);
+
+  // Section count lying: claims 65537 sections (over the cap) and 2.
+  lie = full;
+  lie[8] = 0x01;
+  lie[9] = 0x00;
+  lie[10] = 0x01;
+  lie[11] = 0x00;
+  EXPECT_THROW((void)SectionFileReader::decode({lie.data(), lie.size()}, "f"),
+               SerializationError);
+}
+
+TEST(CheckpointFuzz, WrongMagicAndWrongVersionAreDistinct) {
+  auto not_smckpt = sample_container();
+  not_smckpt[0] = 'X';
+  try {
+    (void)SectionFileReader::decode({not_smckpt.data(), not_smckpt.size()},
+                                    "f");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_EQ(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+
+  // Right family, future version "SMCKPT99": the error must say "version" so
+  // an operator knows to upgrade rather than suspect corruption.
+  auto future = sample_container();
+  future[6] = '9';
+  future[7] = '9';
+  try {
+    (void)SectionFileReader::decode({future.data(), future.size()}, "f");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointFuzz, TrailingGarbageAndRandomSoupRejected) {
+  auto padded = sample_container();
+  padded.push_back(0x00);
+  EXPECT_THROW(
+      (void)SectionFileReader::decode({padded.data(), padded.size()}, "f"),
+      SerializationError);
+
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> soup(rng.uniform_u64(256));
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    EXPECT_THROW((void)SectionFileReader::decode({soup.data(), soup.size()},
+                                                 "soup"),
+                 SerializationError);
+  }
+  // Soup that starts with valid magic but random innards: still rejected.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> soup(8 + rng.uniform_u64(128));
+    const char magic[] = "SMCKPT02";
+    for (std::size_t i = 0; i < 8; ++i) {
+      soup[i] = static_cast<std::uint8_t>(magic[i]);
+    }
+    for (std::size_t i = 8; i < soup.size(); ++i) {
+      soup[i] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    EXPECT_THROW((void)SectionFileReader::decode({soup.data(), soup.size()},
+                                                 "soup"),
+                 SerializationError);
   }
 }
 
