@@ -120,15 +120,25 @@ Scenario crash_and_resume(const std::string& name, const HarnessConfig& hc,
   Scenario s{name};
   const fs::path dir = fs::path(hc.dir) / name;
   fs::remove_all(dir);
+  fs::create_directories(dir);
   {
     auto cfg = train_config(crash_after, faulted);
     cfg.checkpoint_every = hc.every;
     cfg.checkpoint_dir = dir.string();
+    // The flight recorder rides along on every crash run: when the trainer
+    // dies (or a ProtocolError fires first), the last protocol events land
+    // next to the checkpoints as a post-mortem. Observability is bitwise
+    // inert, so the recovered curves still compare against an
+    // un-instrumented golden run.
+    cfg.obs.enabled = true;
+    cfg.obs.flight_dump_path = (dir / "postmortem_kill.log").string();
     (void)run(cfg);  // the trainer dies here — the "kill"
   }
   if (sabotage) sabotage(dir);
   auto cfg = train_config(hc.rounds, faulted);
   cfg.resume_from = dir.string();
+  cfg.obs.enabled = true;
+  cfg.obs.flight_dump_path = (dir / "postmortem_resume.log").string();
   const auto resumed = run(cfg);
   s.detail = compare(golden, resumed);
   s.passed = s.detail.empty();
@@ -199,6 +209,11 @@ int harness_main(const HarnessConfig& hc) {
                     : "RECOVERY BROKEN: a resumed run diverged from golden")
             << "\n(last checkpointed round in this config: " << last_save
             << ")\n";
+  if (hc.keep) {
+    std::cout << "post-mortem flight-recorder dumps kept next to each "
+                 "scenario's checkpoints (postmortem_kill.log / "
+                 "postmortem_resume.log under " << hc.dir << ")\n";
+  }
   if (!hc.keep) fs::remove_all(hc.dir);
   return all ? 0 : 1;
 }

@@ -4,8 +4,10 @@
 // replay) keeping training alive. Sweeps fault intensity and reports the
 // goodput cost: wire bytes vs bytes that actually advanced the protocol.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.hpp"
+#include "src/common/flags.hpp"
 #include "src/common/format.hpp"
 #include "src/common/table.hpp"
 
@@ -18,9 +20,26 @@ constexpr std::int64_t kClasses = 4;
 constexpr std::int64_t kPlatforms = 4;
 constexpr std::int64_t kRounds = 40;
 
+/// "trace.json" + rate 0.05 -> "trace_r5.json": one output file per sweep
+/// row, since each row is its own training run (and ObsSession).
+std::string rate_suffixed(const std::string& path, double rate) {
+  if (path.empty()) return path;
+  const std::string tag =
+      "_r" + std::to_string(static_cast<int>(rate * 100.0 + 0.5));
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  splitmed::Flags flags(argc, argv);
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string metrics_out = flags.get_string("metrics-out", "");
+  const std::int64_t trace_detail = flags.get_int("trace-detail", 1);
+  flags.validate_no_unknown();
+
   std::cout << "=== WAN fault injection sweep (mlp, " << kPlatforms
             << " platforms, " << kRounds << " rounds, heterogeneous WAN) ===\n\n";
 
@@ -43,6 +62,12 @@ int main() {
     cfg.faults.corrupt_rate = rate;
     cfg.faults.delay_spike_rate = rate;
     cfg.faults.delay_spike_sec = 2.0;
+    if (!trace_out.empty() || !metrics_out.empty()) {
+      cfg.obs.enabled = true;
+      cfg.obs.trace_path = rate_suffixed(trace_out, rate);
+      cfg.obs.metrics_path = rate_suffixed(metrics_out, rate);
+      cfg.obs.detail = static_cast<int>(trace_detail);
+    }
     core::SplitTrainer trainer(builder, train, partition, test, cfg);
     const auto report = trainer.run();
     const auto& stats = trainer.network().stats();
@@ -56,6 +81,15 @@ int main() {
                    format_percent(report.final_accuracy)});
   }
   table.print(std::cout);
+  if (!trace_out.empty()) {
+    std::cout << "\ntraces written per fault rate (e.g. "
+              << rate_suffixed(trace_out, 0.05) << ")\n";
+  }
+  if (!metrics_out.empty()) {
+    std::cout << (trace_out.empty() ? "\n" : "")
+              << "metrics snapshots written per fault rate (e.g. "
+              << rate_suffixed(metrics_out, 0.05) << ")\n";
+  }
   std::cout << "\nreading: every row is bit-reproducible from the seed. "
                "Recovery holds accuracy near the fault-free run while the "
                "wire-bytes-to-goodput gap widens with the fault rate — the "

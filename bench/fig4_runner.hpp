@@ -13,6 +13,8 @@
 #include "src/baselines/fedavg.hpp"
 #include "src/baselines/sync_sgd.hpp"
 #include "src/common/format.hpp"
+#include "src/common/table.hpp"
+#include "src/core/protocol.hpp"
 #include "src/metrics/recorder.hpp"
 
 namespace splitmed::bench {
@@ -39,6 +41,13 @@ struct Fig4Config {
   std::int64_t checkpoint_every = 0;
   std::string checkpoint_dir = "fig4_checkpoints";
   std::string resume_from;
+  /// Observability (docs/OBSERVABILITY.md): Chrome trace-event JSON and
+  /// Prometheus text snapshot for the proposed framework's run. Either path
+  /// non-empty turns the ObsSession on; tracing never changes bytes or
+  /// curves. trace_detail=2 adds per-layer nn spans.
+  std::string trace_out;
+  std::string metrics_out;
+  std::int64_t trace_detail = 1;
 };
 
 inline int run_fig4(const Fig4Config& cfg) {
@@ -70,6 +79,12 @@ inline int run_fig4(const Fig4Config& cfg) {
   split_cfg.checkpoint_every = cfg.checkpoint_every;
   split_cfg.checkpoint_dir = cfg.checkpoint_dir;
   split_cfg.resume_from = cfg.resume_from;
+  if (!cfg.trace_out.empty() || !cfg.metrics_out.empty()) {
+    split_cfg.obs.enabled = true;
+    split_cfg.obs.trace_path = cfg.trace_out;
+    split_cfg.obs.metrics_path = cfg.metrics_out;
+    split_cfg.obs.detail = static_cast<int>(cfg.trace_detail);
+  }
   core::SplitTrainer split(builder, train, partition, test, split_cfg);
   if (!cfg.resume_from.empty()) {
     std::cout << "resumed proposed-framework run at round "
@@ -78,6 +93,12 @@ inline int run_fig4(const Fig4Config& cfg) {
   auto split_report = split.run();
   const std::uint64_t budget = split_report.total_bytes;
   recorder.add(std::move(split_report));
+  if (obs::ObsSession* session = split.obs_session()) {
+    // Export and uninstall now: the baseline comparators below run their
+    // own networks, and their traffic does not belong in the proposed
+    // framework's trace or metrics.
+    session->close();
+  }
 
   // Large-Scale Sync SGD (the paper's comparator), same byte budget.
   baselines::BaselineConfig sgd_cfg;
@@ -107,6 +128,46 @@ inline int run_fig4(const Fig4Config& cfg) {
   std::cout << '\n';
   recorder.print_bytes_vs_accuracy(
       std::cout, {budget / 4, budget / 2, (3 * budget) / 4, budget});
+
+  // Where the proposed framework's bytes went: per protocol kind, and per
+  // platform<->server direction (uplink = activations + logit grads,
+  // downlink = logits + cut grads; the star topology has no other links).
+  const auto& split_stats = split.network().stats();
+  Table kind_table({"message kind", "messages", "bytes", "share"});
+  for (const auto& [kind, bytes] : split_stats.bytes_by_kind()) {
+    kind_table.add_row(
+        {core::msg_kind_name(static_cast<core::MsgKind>(kind)),
+         std::to_string(split_stats.messages_for_kind(kind)),
+         format_bytes(bytes),
+         format_percent(static_cast<double>(bytes) /
+                        static_cast<double>(budget))});
+  }
+  std::cout << "\nproposed framework, bytes by message kind:\n";
+  kind_table.print(std::cout);
+  Table dir_table({"link", "uplink", "downlink"});
+  const NodeId server_id = split.server().id();
+  for (std::size_t p = 0; p < split.num_platforms(); ++p) {
+    const NodeId pid = split.platform(p).id();
+    dir_table.add_row(
+        {split.network().node_name(pid) + " <-> " +
+             split.network().node_name(server_id),
+         format_bytes(split_stats.bytes_between(pid, server_id)),
+         format_bytes(split_stats.bytes_between(server_id, pid))});
+  }
+  std::cout << "\nproposed framework, bytes by direction:\n";
+  dir_table.print(std::cout);
+
+  if (split.obs_session() != nullptr) {
+    if (!cfg.trace_out.empty()) {
+      std::cout << "\ntrace written to " << cfg.trace_out
+                << " (load in Perfetto / chrome://tracing; pid 1 = wall "
+                   "clock, pid 2 = simulated WAN clock)";
+    }
+    if (!cfg.metrics_out.empty()) {
+      std::cout << "\nmetrics snapshot written to " << cfg.metrics_out;
+    }
+    std::cout << "\n";
+  }
 
   const auto& reports = recorder.reports();
   const double split_acc = reports[0].accuracy_at_bytes(budget);

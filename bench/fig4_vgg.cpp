@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
   cfg.checkpoint_every = flags.get_int("checkpoint-every", cfg.checkpoint_every);
   cfg.checkpoint_dir = flags.get_string("checkpoint-dir", cfg.checkpoint_dir);
   cfg.resume_from = flags.get_string("resume", cfg.resume_from);
+  cfg.trace_out = flags.get_string("trace-out", cfg.trace_out);
+  cfg.metrics_out = flags.get_string("metrics-out", cfg.metrics_out);
+  cfg.trace_detail = flags.get_int("trace-detail", cfg.trace_detail);
   flags.validate_no_unknown();
   cfg.paper_line =
       "VGG + CIFAR-10/100: proposed 0.8 GB @ 95% vs Large-Scale SGD "

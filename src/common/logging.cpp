@@ -1,6 +1,7 @@
 #include "src/common/logging.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace splitmed {
 
@@ -13,8 +14,21 @@ void Log::set_sink(std::ostream* sink) { sink_ = sink; }
 
 void Log::write(LogLevel level, const std::string& message) {
   static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  // Lines can originate on pool workers (instrumented kernels, parallel
+  // regions); build the whole line first and write it under a mutex so
+  // concurrent lines never interleave mid-line. set_level/set_sink remain
+  // startup-only.
+  static std::mutex mu;
+  std::string line;
+  line.reserve(message.size() + 9);
+  line += '[';
+  line += kNames[static_cast<int>(level)];
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(mu);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
-  out << '[' << kNames[static_cast<int>(level)] << "] " << message << '\n';
+  out << line;
 }
 
 }  // namespace splitmed

@@ -13,13 +13,15 @@ namespace splitmed {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global logging configuration. Not thread-safe by design: configure once at
-/// startup before spawning work.
+/// Global logging configuration. set_level/set_sink are startup-only:
+/// configure once before spawning work. write() itself is thread-safe and
+/// whole-line atomic — concurrent lines never interleave mid-line.
 class Log {
  public:
   static void set_level(LogLevel level);
   static LogLevel level();
   /// Redirects output (default: std::clog). Pass nullptr to restore default.
+  /// Startup-only, like set_level.
   static void set_sink(std::ostream* sink);
   static void write(LogLevel level, const std::string& message);
 

@@ -2,6 +2,7 @@
 
 #include "src/common/error.hpp"
 #include "src/nn/checkpoint.hpp"
+#include "src/obs/obs.hpp"
 #include "src/serial/state_codec.hpp"
 
 namespace splitmed::core {
@@ -30,6 +31,9 @@ void PlatformNode::send_activation(net::Network& network,
                                    std::uint64_t round) {
   SPLITMED_CHECK(state_ == PlatformState::kIdle,
                  "platform " << id_ << ": send_activation while mid-step");
+  obs::Span span(obs::trace(), "platform.l1_forward", "core");
+  span.arg("platform", static_cast<std::uint64_t>(id_));
+  span.arg("round", round);
   data::Batch batch = loader_.next_batch();
   pending_labels_ = std::move(batch.labels);
   pending_round_ = round;
@@ -69,9 +73,11 @@ void PlatformNode::abort_step() {
 
 void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
   if (envelope.dst != id_) {
-    throw ProtocolError("platform " + std::to_string(id_) +
-                        " got a message addressed to node " +
-                        std::to_string(envelope.dst));
+    const std::string reason = "platform " + std::to_string(id_) +
+                               " got a message addressed to node " +
+                               std::to_string(envelope.dst);
+    obs::postmortem(reason);
+    throw ProtocolError(reason);
   }
   const auto kind = static_cast<MsgKind>(envelope.kind);
   // Which message would advance the state machine right now?
@@ -86,21 +92,34 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
       // A duplicated delivery or a reply to a step already completed or
       // abandoned — drop it; the WAN produced it, not a peer bug.
       ++stale_ignored_;
+      if (obs::FlightRecorder* fr = obs::flight()) {
+        fr->note(-1.0, "platform " + std::to_string(id_) +
+                           " ignored stale " + msg_kind_name(kind) +
+                           " round=" + std::to_string(envelope.round));
+      }
       return;
     }
     if (envelope.round != pending_round_) {
-      throw ProtocolError("platform " + std::to_string(id_) +
-                          " expected round " + std::to_string(pending_round_) +
-                          ", got " + std::to_string(envelope.round));
+      const std::string reason =
+          "platform " + std::to_string(id_) + " expected round " +
+          std::to_string(pending_round_) + ", got " +
+          std::to_string(envelope.round);
+      obs::postmortem(reason);
+      throw ProtocolError(reason);
     }
-    if (kind == MsgKind::kLogits || kind == MsgKind::kCutGrad) {
-      throw ProtocolError(std::string("platform: unexpected ") +
-                          msg_kind_name(kind) + " message");
-    }
-    throw ProtocolError(std::string("platform: unexpected message kind '") +
-                        msg_kind_name(kind) + "'");
+    const std::string reason =
+        (kind == MsgKind::kLogits || kind == MsgKind::kCutGrad)
+            ? std::string("platform: unexpected ") + msg_kind_name(kind) +
+                  " message"
+            : std::string("platform: unexpected message kind '") +
+                  msg_kind_name(kind) + "'";
+    obs::postmortem(reason);
+    throw ProtocolError(reason);
   }
   if (kind == MsgKind::kLogits) {
+    obs::Span span(obs::trace(), "platform.loss_backward", "core");
+    span.arg("platform", static_cast<std::uint64_t>(id_));
+    span.arg("round", envelope.round);
     const Tensor logits = decode_tensor_payload(envelope.payload);
     last_loss_ = loss_.forward(logits, pending_labels_);
     last_batch_accuracy_ = nn::accuracy(logits, pending_labels_);
@@ -112,6 +131,9 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
     return;
   }
   // kCutGrad
+  obs::Span span(obs::trace(), "platform.l1_backward", "core");
+  span.arg("platform", static_cast<std::uint64_t>(id_));
+  span.arg("round", envelope.round);
   const Tensor cut_grad =
       decode_tensor_payload(envelope.payload, options_.wire_dtype);
   l1_.zero_grad();

@@ -1,6 +1,7 @@
 #include "src/core/protocol.hpp"
 
 #include "src/common/error.hpp"
+#include "src/obs/obs.hpp"
 #include "src/serial/buffer.hpp"
 #include "src/serial/quantize.hpp"
 #include "src/serial/tensor_codec.hpp"
@@ -40,12 +41,21 @@ std::vector<std::uint8_t> encode_tensor_payload(const Tensor& t,
 
 Tensor decode_tensor_payload(std::span<const std::uint8_t> payload,
                              WireDtype dtype) {
-  BufferReader r(payload);
-  Tensor t = dtype == WireDtype::kI8 ? decode_tensor_i8(r) : decode_tensor(r);
-  if (!r.exhausted()) {
-    throw SerializationError("tensor payload has trailing bytes");
+  // postmortem() at this boundary covers every decode failure — truncated
+  // buffers, bad dtype tags, trailing bytes — so a malformed frame dumps the
+  // flight recorder before the error unwinds past protocol code.
+  try {
+    BufferReader r(payload);
+    Tensor t =
+        dtype == WireDtype::kI8 ? decode_tensor_i8(r) : decode_tensor(r);
+    if (!r.exhausted()) {
+      throw SerializationError("tensor payload has trailing bytes");
+    }
+    return t;
+  } catch (const SerializationError& e) {
+    obs::postmortem(e.what());
+    throw;
   }
-  return t;
 }
 
 Envelope make_tensor_envelope(NodeId src, NodeId dst, std::uint32_t kind,

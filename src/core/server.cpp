@@ -2,6 +2,7 @@
 
 #include "src/common/error.hpp"
 #include "src/nn/checkpoint.hpp"
+#include "src/obs/obs.hpp"
 #include "src/serial/state_codec.hpp"
 
 namespace splitmed::core {
@@ -24,6 +25,9 @@ void CentralServer::abort_pending(NodeId platform) {
 
 void CentralServer::process_activation(net::Network& network,
                                        const Envelope& envelope) {
+  obs::Span span(obs::trace(), "server.forward", "core");
+  span.arg("platform", static_cast<std::uint64_t>(envelope.src));
+  span.arg("round", envelope.round);
   const Tensor activation =
       decode_tensor_payload(envelope.payload, options_.wire_dtype);
   const Tensor logits = body_.forward(activation, /*training=*/true);
@@ -48,6 +52,17 @@ bool CentralServer::absorb_faulty(net::Network& network,
   if (cached != reply_cache_.end() &&
       cached->second.request_kind == envelope.kind &&
       cached->second.request_round == envelope.round) {
+    if (obs::TraceRecorder* tr = obs::trace()) {
+      tr->instant("server.replay", "fault",
+                  {obs::arg("platform",
+                            static_cast<std::uint64_t>(envelope.src)),
+                   obs::arg("round", envelope.round)});
+    }
+    if (obs::FlightRecorder* fr = obs::flight()) {
+      fr->note(-1.0, "server replayed cached reply to platform " +
+                         std::to_string(envelope.src) +
+                         " round=" + std::to_string(envelope.round));
+    }
     Envelope again = cached->second.reply;
     again.retransmit = true;
     network.send(std::move(again));
@@ -76,16 +91,20 @@ bool CentralServer::absorb_faulty(net::Network& network,
 
 void CentralServer::handle(net::Network& network, const Envelope& envelope) {
   if (envelope.dst != id_) {
-    throw ProtocolError("server got a message addressed to node " +
-                        std::to_string(envelope.dst));
+    const std::string reason = "server got a message addressed to node " +
+                               std::to_string(envelope.dst);
+    obs::postmortem(reason);
+    throw ProtocolError(reason);
   }
   if (options_.tolerate_faults && absorb_faulty(network, envelope)) return;
   switch (static_cast<MsgKind>(envelope.kind)) {
     case MsgKind::kActivation: {
       if (awaiting_grad_) {
         if (!options_.allow_queueing) {
-          throw ProtocolError(
-              "server: new activation before the previous backward finished");
+          const std::string reason =
+              "server: new activation before the previous backward finished";
+          obs::postmortem(reason);
+          throw ProtocolError(reason);
         }
         queued_activations_.push_back(envelope);
         return;
@@ -96,9 +115,15 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
     case MsgKind::kLogitGrad: {
       if (!awaiting_grad_ || envelope.src != pending_platform_ ||
           envelope.round != pending_round_) {
-        throw ProtocolError("server: logit grad does not match the pending "
-                            "forward (platform/round mismatch)");
+        const std::string reason =
+            "server: logit grad does not match the pending forward "
+            "(platform/round mismatch)";
+        obs::postmortem(reason);
+        throw ProtocolError(reason);
       }
+      obs::Span span(obs::trace(), "server.backward", "core");
+      span.arg("platform", static_cast<std::uint64_t>(envelope.src));
+      span.arg("round", envelope.round);
       const Tensor logit_grad = decode_tensor_payload(envelope.payload);
       body_.zero_grad();
       const Tensor cut_grad = body_.backward(logit_grad);
@@ -121,10 +146,13 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
       }
       return;
     }
-    default:
-      throw ProtocolError(std::string("server: unexpected message kind '") +
-                          msg_kind_name(static_cast<MsgKind>(envelope.kind)) +
-                          "'");
+    default: {
+      const std::string reason =
+          std::string("server: unexpected message kind '") +
+          msg_kind_name(static_cast<MsgKind>(envelope.kind)) + "'";
+      obs::postmortem(reason);
+      throw ProtocolError(reason);
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 #include "src/core/trainer.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "src/common/error.hpp"
@@ -36,6 +37,21 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                    "WAN fault injection requires the sequential schedule");
     SPLITMED_CHECK(config_.sync_l1_every == 0,
                    "WAN fault injection does not cover the L1-sync extension");
+  }
+  if (config_.obs.enabled) {
+    obs_session_ = std::make_unique<obs::ObsSession>(config_.obs);
+    obs_session_->set_sim_source([this] { return network_.clock().now(); });
+    obs::set_kind_namer([](std::uint32_t kind) {
+      return std::string(msg_kind_name(static_cast<MsgKind>(kind)));
+    });
+    obs::metrics()
+        ->gauge("splitmed_threads",
+                "Compute threads in the tensor-substrate pool")
+        .set(static_cast<double>(global_threads()));
+    obs::metrics()
+        ->gauge("splitmed_platforms",
+                "Participating platform (hospital) count")
+        .set(static_cast<double>(partition.size()));
   }
   participation_rng_ = Rng(config_.seed ^ 0xC2B2AE3D27D4EB4FULL);
   const std::int64_t k = static_cast<std::int64_t>(partition.size());
@@ -118,6 +134,9 @@ PlatformNode& SplitTrainer::platform(std::size_t k) {
 
 void SplitTrainer::run_platform_step(PlatformNode& platform,
                                      std::uint64_t step_id) {
+  obs::Span span(obs::trace(), "trainer.step", "trainer");
+  span.arg("platform", static_cast<std::uint64_t>(platform.id()));
+  span.arg("step", step_id);
   platform.send_activation(network_, step_id);
   server_->handle(network_, network_.receive(server_->id()));   // activation
   platform.handle(network_, network_.receive(platform.id()));   // logits
@@ -160,6 +179,19 @@ bool SplitTrainer::await_platform_progress(PlatformNode& platform) {
     if (platform.state() != entry) return true;
     network_.clock().advance_to(deadline);
     if (attempt == config_.recovery.max_retries) break;
+    if (obs::TraceRecorder* tr = obs::trace()) {
+      tr->instant("trainer.timeout", "fault",
+                  {obs::arg("platform",
+                            static_cast<std::uint64_t>(platform.id())),
+                   obs::arg("attempt",
+                            static_cast<std::uint64_t>(attempt + 1))});
+    }
+    if (obs::FlightRecorder* fr = obs::flight()) {
+      fr->note(network_.clock().now(),
+               "TIMEOUT platform " + std::to_string(platform.id()) +
+                   " attempt " + std::to_string(attempt + 1) +
+                   " — retransmitting");
+    }
     platform.resend_last(network_);
     timeout *= config_.recovery.backoff;
   }
@@ -168,6 +200,9 @@ bool SplitTrainer::await_platform_progress(PlatformNode& platform) {
 
 bool SplitTrainer::run_platform_step_reliable(PlatformNode& platform,
                                               std::uint64_t step_id) {
+  obs::Span span(obs::trace(), "trainer.step", "trainer");
+  span.arg("platform", static_cast<std::uint64_t>(platform.id()));
+  span.arg("step", step_id);
   server_->expect_round(step_id);
   platform.send_activation(network_, step_id);
   // Stage 1: reach kAwaitCutGrad (activation delivered, logits back).
@@ -177,6 +212,13 @@ bool SplitTrainer::run_platform_step_reliable(PlatformNode& platform,
       SPLITMED_LOG(kWarn) << "platform " << platform.id()
                           << " unreachable in round " << step_id
                           << " — skipping its step";
+      span.arg("abandoned", true);
+      if (obs::FlightRecorder* fr = obs::flight()) {
+        fr->note(network_.clock().now(),
+                 "ABANDON step " + std::to_string(step_id) + ": platform " +
+                     std::to_string(platform.id()) +
+                     " unreachable, retries exhausted");
+      }
       platform.abort_step();
       server_->abort_pending(platform.id());
       return false;
@@ -239,6 +281,8 @@ std::vector<std::size_t> SplitTrainer::sample_participants(
 }
 
 void SplitTrainer::sync_l1(std::uint64_t round) {
+  obs::Span span(obs::trace(), "trainer.sync_l1", "trainer");
+  span.arg("round", round);
   // Weighted average of all platform L1 parameter vectors, by shard size.
   Tensor mean;
   double total_weight = 0.0;
@@ -303,8 +347,17 @@ double SplitTrainer::evaluate() {
 }
 
 metrics::TrainReport SplitTrainer::run() {
+  // Buckets for the per-round wall-time histogram: synthetic smoke runs sit
+  // in the 10ms decade, the full Fig. 4 workloads in the seconds decade.
+  static const std::vector<double> kRoundWallBounds{
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0};
   for (std::int64_t round = static_cast<std::int64_t>(next_round_);
        round <= config_.rounds; ++round) {
+    obs::Span round_span(obs::trace(), "trainer.round", "trainer");
+    round_span.arg("round", static_cast<std::uint64_t>(round));
+    const bool timed = obs::metrics() != nullptr;
+    const auto round_begin = timed ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
     if (config_.lr_schedule) {
       const auto epoch = static_cast<std::int64_t>(
           static_cast<double>(examples_processed_) /
@@ -357,7 +410,26 @@ metrics::TrainReport SplitTrainer::run() {
       // sampled participants' (stale) losses rather than averaging nothing.
       point.train_loss = round_train_loss(stepped.empty() ? participants
                                                           : stepped);
-      point.test_accuracy = evaluate();
+      {
+        obs::Span eval_span(obs::trace(), "trainer.eval", "trainer");
+        eval_span.arg("round", static_cast<std::uint64_t>(round));
+        point.test_accuracy = evaluate();
+      }
+      if (obs::TraceRecorder* tr = obs::trace()) {
+        tr->counter("train_loss", point.train_loss);
+        tr->counter("test_accuracy", point.test_accuracy);
+        tr->counter("cumulative_bytes",
+                    static_cast<double>(point.cumulative_bytes));
+      }
+      if (obs::MetricsRegistry* m = obs::metrics()) {
+        m->gauge("splitmed_train_loss", "Round-mean training loss")
+            .set(point.train_loss);
+        m->gauge("splitmed_test_accuracy",
+                 "Mean composite-model test accuracy")
+            .set(point.test_accuracy);
+        m->gauge("splitmed_sim_seconds", "Simulated WAN clock")
+            .set(point.sim_seconds);
+      }
       report_.curve.push_back(point);
       SPLITMED_LOG(kInfo) << "split round " << round << " loss "
                           << point.train_loss << " acc "
@@ -373,8 +445,21 @@ metrics::TrainReport SplitTrainer::run() {
     // identical with checkpointing on or off.
     if (config_.checkpoint_every > 0 &&
         round % config_.checkpoint_every == 0) {
+      obs::Span ckpt_span(obs::trace(), "trainer.checkpoint", "trainer");
+      ckpt_span.arg("round", static_cast<std::uint64_t>(round));
+      obs::flight_note(network_.clock().now(),
+                       "checkpoint round " + std::to_string(round));
       save_checkpoint(config_.checkpoint_dir,
                       static_cast<std::uint64_t>(round));
+    }
+    if (timed) {
+      obs::metrics()
+          ->histogram("splitmed_round_wall_seconds",
+                      "Host wall-clock time per training round",
+                      kRoundWallBounds)
+          .observe(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - round_begin)
+                       .count());
     }
     if (budget_hit) break;
   }

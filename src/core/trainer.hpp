@@ -19,6 +19,7 @@
 #include "src/metrics/curve.hpp"
 #include "src/models/model.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/obs.hpp"
 #include "src/optim/lr_schedule.hpp"
 
 namespace splitmed::core {
@@ -100,6 +101,14 @@ struct SplitConfig {
   /// run. The checkpoint must match this config (seed, model, platform
   /// count) — resuming under a different config is refused.
   std::string resume_from;
+
+  /// Observability (extension; see docs/OBSERVABILITY.md): dual-clock
+  /// tracing, a metrics registry, and the protocol flight recorder. The
+  /// trainer owns the ObsSession; files are exported when the trainer is
+  /// destroyed (or on ObsSession::flush). Disabled (the default) is bitwise
+  /// inert, and enabling it never changes bytes, RNG streams, or curves —
+  /// asserted by golden_curve_test.
+  obs::ObsConfig obs{};
 };
 
 class SplitTrainer {
@@ -125,6 +134,9 @@ class SplitTrainer {
   [[nodiscard]] const std::vector<std::int64_t>& minibatches() const {
     return minibatches_;
   }
+  /// The trainer-owned observability session; null when config.obs is
+  /// disabled. Benches use it to flush trace/metrics files mid-run.
+  [[nodiscard]] obs::ObsSession* obs_session() { return obs_session_.get(); }
 
   /// Writes a complete round-stamped checkpoint to
   /// `<dir>/round_<round>/` (node files first, manifest last; every file
@@ -187,6 +199,10 @@ class SplitTrainer {
   std::uint64_t next_round_ = 1;
   std::uint64_t step_id_ = 0;
   metrics::TrainReport report_;
+  /// Declared LAST so it is destroyed FIRST: the destructor exports trace /
+  /// metrics / flight-recorder files while the rest of the trainer (network
+  /// clock, stats) is still alive.
+  std::unique_ptr<obs::ObsSession> obs_session_;
 };
 
 }  // namespace splitmed::core

@@ -1,12 +1,125 @@
 #include "src/net/network.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/error.hpp"
+#include "src/obs/obs.hpp"
 #include "src/serial/crc32.hpp"
 #include "src/serial/state_codec.hpp"
 
 namespace splitmed::net {
+
+namespace {
+
+// Sim-time latency buckets: WAN round trips live in the 1ms..5s decade
+// range (delay spikes push the tail out to seconds).
+const std::vector<double> kSimLatencyBounds{
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0};
+
+/// Per-envelope send span + per-kind counters/latency + flight note.
+/// `now` is the sim clock at the send call, `start`/`arrival` the frame's
+/// final transmission window (arrival includes any injected delay spike).
+void obs_send(const std::vector<std::string>& nodes, const Envelope& e,
+              std::uint64_t bytes, double now, double start, double arrival) {
+  if (obs::TraceRecorder* tr = obs::trace()) {
+    obs::TraceEvent ev;
+    ev.ph = 'X';
+    ev.name = "net.send";
+    ev.cat = "net";
+    ev.sim_s = start;
+    ev.sim_dur_s = arrival - start;
+    ev.args = {obs::arg("kind", obs::kind_name(e.kind)),
+               obs::arg("src", std::string_view(nodes[e.src])),
+               obs::arg("dst", std::string_view(nodes[e.dst])),
+               obs::arg("round", e.round),
+               obs::arg("bytes", bytes),
+               obs::arg("retransmit", e.retransmit)};
+    tr->record(std::move(ev));
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    const obs::Labels by_kind{{"kind", obs::kind_name(e.kind)}};
+    m->counter("splitmed_net_messages_total",
+               "Messages handed to the simulated WAN", by_kind)
+        .inc();
+    m->counter("splitmed_net_bytes_total",
+               "Wire bytes handed to the simulated WAN", by_kind)
+        .inc(static_cast<double>(bytes));
+    m->histogram("splitmed_net_sim_latency_seconds",
+                 "Simulated send-to-arrival latency (link queueing + "
+                 "serialization + propagation + injected delay spikes)",
+                 kSimLatencyBounds, by_kind)
+        .observe(arrival - now);
+  }
+  if (obs::FlightRecorder* fr = obs::flight()) {
+    fr->note(start, "send " + obs::kind_name(e.kind) + " " + nodes[e.src] +
+                        "->" + nodes[e.dst] + " round=" +
+                        std::to_string(e.round) + " bytes=" +
+                        std::to_string(bytes) +
+                        (e.retransmit ? " retransmit" : ""));
+  }
+}
+
+/// Injected-fault instant event ("drop", "duplicate", "corrupt",
+/// "delay_spike") plus the per-type fault counter and a flight note.
+void obs_fault(const std::vector<std::string>& nodes, const Envelope& e,
+               const char* type, double sim_s) {
+  if (obs::TraceRecorder* tr = obs::trace()) {
+    obs::TraceEvent ev;
+    ev.name = std::string("net.") + type;
+    ev.cat = "fault";
+    ev.sim_s = sim_s;
+    ev.args = {obs::arg("kind", obs::kind_name(e.kind)),
+               obs::arg("src", std::string_view(nodes[e.src])),
+               obs::arg("dst", std::string_view(nodes[e.dst])),
+               obs::arg("round", e.round)};
+    tr->record(std::move(ev));
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("splitmed_net_faults_total", "Injected WAN faults by type",
+               {{"type", type}})
+        .inc();
+  }
+  if (obs::FlightRecorder* fr = obs::flight()) {
+    fr->note(sim_s, std::string("FAULT ") + type + " " +
+                        obs::kind_name(e.kind) + " " + nodes[e.src] + "->" +
+                        nodes[e.dst] + " round=" + std::to_string(e.round));
+  }
+}
+
+/// Delivery instant event + flight note (the moment protocol code gets the
+/// frame, or discards it as corrupted).
+void obs_deliver(const std::vector<std::string>& nodes, const Envelope& e,
+                 double sim_s, bool corrupt_discarded) {
+  const char* name = corrupt_discarded ? "net.corrupt_discarded"
+                                       : "net.deliver";
+  if (obs::TraceRecorder* tr = obs::trace()) {
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.cat = corrupt_discarded ? "fault" : "net";
+    ev.sim_s = sim_s;
+    ev.args = {obs::arg("kind", obs::kind_name(e.kind)),
+               obs::arg("src", std::string_view(nodes[e.src])),
+               obs::arg("dst", std::string_view(nodes[e.dst])),
+               obs::arg("round", e.round)};
+    tr->record(std::move(ev));
+  }
+  if (obs::FlightRecorder* fr = obs::flight()) {
+    fr->note(sim_s, std::string(corrupt_discarded ? "DISCARD corrupt "
+                                                  : "deliver ") +
+                        obs::kind_name(e.kind) + " " + nodes[e.src] + "->" +
+                        nodes[e.dst] + " round=" + std::to_string(e.round));
+  }
+  if (corrupt_discarded) {
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->counter("splitmed_net_corrupt_discarded_total",
+                 "Frames discarded at delivery after CRC mismatch")
+          .inc();
+    }
+  }
+}
+
+}  // namespace
 
 NodeId Network::add_node(std::string name) {
   nodes_.push_back(std::move(name));
@@ -91,7 +204,8 @@ void Network::send(Envelope envelope) {
 
   // The link serializes transmissions: start when it frees up.
   double& busy_until = link_busy_until_[{envelope.src, envelope.dst}];
-  const double start = std::max(clock_.now(), busy_until);
+  const double now = clock_.now();
+  const double start = std::max(now, busy_until);
   const double serialization =
       static_cast<double>(bytes) / l.bandwidth_bytes_per_sec;
   busy_until = start + serialization;
@@ -101,6 +215,7 @@ void Network::send(Envelope envelope) {
   if (envelope.retransmit) stats_.record_retransmit(bytes);
 
   if (!faults_enabled_) {
+    obs_send(nodes_, envelope, bytes, now, start, arrival);
     inbox_[envelope.dst].push_back(
         InFlight{arrival, sequence_++, std::move(envelope)});
     return;
@@ -113,9 +228,11 @@ void Network::send(Envelope envelope) {
   if (plan.any()) {
     // Fixed draw order keeps the fault stream a pure function of the seed
     // and the send sequence.
+    bool spiked = false;
     if (plan.delay_spike_rate > 0.0 &&
         fault_rng_.bernoulli(static_cast<float>(plan.delay_spike_rate))) {
       arrival += plan.delay_spike_sec;
+      spiked = true;
     }
     duplicate = plan.duplicate_rate > 0.0 &&
                 fault_rng_.bernoulli(static_cast<float>(plan.duplicate_rate));
@@ -125,18 +242,28 @@ void Network::send(Envelope envelope) {
         plan.corrupt_rate > 0.0 &&
         fault_rng_.bernoulli(static_cast<float>(plan.corrupt_rate));
 
+    obs_send(nodes_, envelope, bytes, now, start, arrival);
+    if (spiked) obs_fault(nodes_, envelope, "delay_spike", start);
+
     if (duplicate) {
       // The extra copy re-serializes on the link right behind the original
       // (taken before any corruption — it is an independent transmission).
       Envelope copy = envelope;
+      const double copy_start = busy_until;
       busy_until += serialization;
       const double copy_arrival = busy_until + l.latency_sec;
       stats_.record(copy, bytes);
       stats_.record_duplicate(bytes);
+      obs_fault(nodes_, envelope, "duplicate", start);
+      obs_send(nodes_, copy, bytes, now, copy_start, copy_arrival);
       if (drop) {
         stats_.record_dropped(bytes);
+        obs_fault(nodes_, envelope, "drop", start);
       } else {
-        if (corrupt) corrupt_in_flight(envelope);
+        if (corrupt) {
+          corrupt_in_flight(envelope);
+          obs_fault(nodes_, envelope, "corrupt", start);
+        }
       }
       const NodeId dst = envelope.dst;
       if (!drop) {
@@ -149,9 +276,15 @@ void Network::send(Envelope envelope) {
     }
     if (drop) {
       stats_.record_dropped(bytes);
+      obs_fault(nodes_, envelope, "drop", start);
       return;
     }
-    if (corrupt) corrupt_in_flight(envelope);
+    if (corrupt) {
+      corrupt_in_flight(envelope);
+      obs_fault(nodes_, envelope, "corrupt", start);
+    }
+  } else {
+    obs_send(nodes_, envelope, bytes, now, start, arrival);
   }
   inbox_[envelope.dst].push_back(
       InFlight{arrival, sequence_++, std::move(envelope)});
@@ -162,8 +295,10 @@ Envelope Network::receive(NodeId node) {
   auto& box = inbox_[node];
   while (true) {
     if (box.empty()) {
-      throw ProtocolError("receive on node '" + nodes_[node] +
-                          "' with no message in flight");
+      const std::string reason = "receive on node '" + nodes_[node] +
+                                 "' with no message in flight";
+      obs::postmortem(reason);
+      throw ProtocolError(reason);
     }
     const auto it = std::min_element(
         box.begin(), box.end(), [](const InFlight& a, const InFlight& b) {
@@ -173,8 +308,12 @@ Envelope Network::receive(NodeId node) {
     clock_.advance_to(it->arrival);
     Envelope out = std::move(it->envelope);
     box.erase(it);
-    if (!faults_enabled_ || intact(out)) return out;
+    if (!faults_enabled_ || intact(out)) {
+      obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/false);
+      return out;
+    }
     stats_.record_corrupted(bytes_on_wire(out));
+    obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/true);
   }
 }
 
@@ -191,10 +330,15 @@ std::optional<Envelope> Network::try_receive(NodeId node) {
       }
     }
     if (best == box.end()) return std::nullopt;
+    const double arrived = best->arrival;
     Envelope out = std::move(best->envelope);
     box.erase(best);
-    if (!faults_enabled_ || intact(out)) return out;
+    if (!faults_enabled_ || intact(out)) {
+      obs_deliver(nodes_, out, arrived, /*corrupt_discarded=*/false);
+      return out;
+    }
     stats_.record_corrupted(bytes_on_wire(out));
+    obs_deliver(nodes_, out, arrived, /*corrupt_discarded=*/true);
   }
 }
 
@@ -214,8 +358,12 @@ std::optional<Envelope> Network::receive_before(NodeId node, double deadline) {
     clock_.advance_to(best->arrival);
     Envelope out = std::move(best->envelope);
     box.erase(best);
-    if (!faults_enabled_ || intact(out)) return out;
+    if (!faults_enabled_ || intact(out)) {
+      obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/false);
+      return out;
+    }
     stats_.record_corrupted(bytes_on_wire(out));
+    obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/true);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/obs/obs.hpp"
 
 namespace splitmed::nn {
 
@@ -14,12 +15,32 @@ Sequential& Sequential::add(LayerPtr layer) {
 
 Tensor Sequential::forward(const Tensor& input, bool training) {
   Tensor x = input;
+  if (obs::detail_at_least(2)) {
+    // Per-layer spans (--trace-detail=2): where the compute time goes.
+    std::uint64_t index = 0;
+    for (const auto& layer : layers_) {
+      obs::Span span(obs::trace(), "nn." + layer->name(), "nn");
+      span.arg("dir", "forward");
+      span.arg("index", index++);
+      x = layer->forward(x, training);
+    }
+    return x;
+  }
   for (const auto& layer : layers_) x = layer->forward(x, training);
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
+  if (obs::detail_at_least(2)) {
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      obs::Span span(obs::trace(), "nn." + layers_[i]->name(), "nn");
+      span.arg("dir", "backward");
+      span.arg("index", static_cast<std::uint64_t>(i));
+      g = layers_[i]->backward(g);
+    }
+    return g;
+  }
   for (std::size_t i = layers_.size(); i-- > 0;) {
     g = layers_[i]->backward(g);
   }

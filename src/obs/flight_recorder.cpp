@@ -1,0 +1,82 @@
+#include "src/obs/flight_recorder.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+
+#include "src/common/error.hpp"
+#include "src/common/logging.hpp"
+
+namespace splitmed::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  SPLITMED_CHECK(capacity_ > 0, "FlightRecorder: capacity must be positive");
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::note(double sim_s, std::string what) {
+  FlightEvent ev;
+  ev.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  ev.sim_s = sim_s;
+  ev.what = std::move(what);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, next_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void FlightRecorder::dump(std::ostream& os, const std::string& reason) const {
+  const auto events = snapshot();
+  const std::uint64_t total = total_recorded();
+  os << "=== protocol flight recorder dump ===\n"
+     << "reason: " << reason << "\n"
+     << "events: " << events.size() << " retained of " << total
+     << " recorded (capacity " << capacity_ << ")\n";
+  for (const auto& ev : events) {
+    os << '#' << ev.seq << " wall+" << ev.wall_us << "us";
+    if (ev.sim_s >= 0.0) {
+      os << " sim=" << std::fixed << std::setprecision(6) << ev.sim_s << 's'
+         << std::defaultfloat;
+    }
+    os << "  " << ev.what << '\n';
+  }
+  os << "=== end of dump ===\n";
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  const std::string& reason) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SPLITMED_LOG(kError) << "flight recorder: cannot open '" << path
+                         << "' for writing";
+    return false;
+  }
+  dump(out, reason);
+  return static_cast<bool>(out);
+}
+
+}  // namespace splitmed::obs

@@ -1,0 +1,62 @@
+// Protocol flight recorder — the black box.
+//
+// A bounded ring buffer of the last N protocol events (sends, deliveries,
+// injected faults, retransmissions, state transitions). It records
+// continuously and costs one short formatted string per event; when a
+// ProtocolError / SerializationError fires, or the crash-injection harness
+// kills a trainer, the ring is dumped so the failed run explains itself —
+// the same idea as an aircraft FDR: cheap always-on recording, read only
+// after something went wrong.
+//
+// Events carry both clocks (host wall-clock microseconds since recorder
+// start, simulated WAN seconds) and a global sequence number, so a dump can
+// be correlated against the full trace when one was taken.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace splitmed::obs {
+
+struct FlightEvent {
+  std::uint64_t seq = 0;      // global, monotonic — gaps reveal overwrites
+  std::uint64_t wall_us = 0;  // host microseconds since recorder start
+  double sim_s = -1.0;        // simulated seconds; < 0 = unknown
+  std::string what;           // "send activation p0->server round=3 bytes=.."
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  /// Appends one event (thread-safe). `sim_s < 0` means "no sim timestamp".
+  void note(double sim_s, std::string what);
+
+  /// Events currently held, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Total events ever recorded (>= snapshot().size() once wrapped).
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Human-readable dump: a header line with `reason` and totals, then one
+  /// line per retained event.
+  void dump(std::ostream& os, const std::string& reason) const;
+
+  /// Dumps to `path` (truncating); returns false (and logs) on I/O failure.
+  bool dump_to_file(const std::string& path, const std::string& reason) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;
+  std::size_t next_ = 0;      // ring write position once full
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace splitmed::obs

@@ -1,0 +1,280 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/logging.hpp"
+
+namespace splitmed::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  const auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+/// Prometheus sample value: integers render without a fractional part so
+/// counters read naturally; +Inf/-Inf/NaN use the format's spellings.
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  // Shortest round-trip representation ("0.005", not
+  // "0.0050000000000000001") — what Prometheus itself emits.
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  return std::string(buf.data(), res.ptr);
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+/// `{kind="activation",dir="up"}`, possibly extended with `le`.
+std::string render_labels(const Labels& labels, const std::string& extra_key,
+                          const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void Counter::inc(double delta) {
+  SPLITMED_CHECK(delta >= 0.0,
+                 "Counter::inc: counters are monotonic, got delta " << delta);
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SPLITMED_CHECK(!bounds_.empty(), "Histogram: needs at least one bucket "
+                                   "bound (+Inf is implicit)");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    SPLITMED_CHECK(std::isfinite(bounds_[i]),
+                   "Histogram: bucket bound " << i << " is not finite");
+    SPLITMED_CHECK(i == 0 || bounds_[i - 1] < bounds_[i],
+                   "Histogram: bucket bounds must be strictly increasing");
+  }
+  bucket_counts_.assign(bounds_.size(), 0);
+}
+
+void Histogram::observe(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  if (it != bounds_.end()) {
+    ++bucket_counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::uint64_t Histogram::cumulative_count(std::size_t i) const {
+  SPLITMED_CHECK(i < bounds_.size(), "Histogram: bucket index out of range");
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i; ++b) total += bucket_counts_[b];
+  return total;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                const std::string& help,
+                                                Kind kind) {
+  SPLITMED_CHECK(valid_metric_name(name),
+                 "metric name '" << name << "' violates the Prometheus "
+                 "grammar [a-zA-Z_:][a-zA-Z0-9_:]*");
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw InvalidArgument("metric '" + name +
+                          "' re-registered with a different type");
+  }
+  return it->second;
+}
+
+MetricsRegistry::Instance* MetricsRegistry::find_instance(
+    Family& fam, const Labels& labels) {
+  for (auto& inst : fam.instances) {
+    if (inst.labels == labels) return &inst;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  for (const auto& [k, v] : labels) {
+    SPLITMED_CHECK(valid_label_name(k), "invalid label name '" << k << "'");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, help, Kind::kCounter);
+  if (Instance* found = find_instance(fam, labels)) return *found->counter;
+  Instance inst;
+  inst.labels = labels;
+  inst.counter = std::make_unique<Counter>();
+  fam.instances.push_back(std::move(inst));
+  return *fam.instances.back().counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  for (const auto& [k, v] : labels) {
+    SPLITMED_CHECK(valid_label_name(k), "invalid label name '" << k << "'");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, help, Kind::kGauge);
+  if (Instance* found = find_instance(fam, labels)) return *found->gauge;
+  Instance inst;
+  inst.labels = labels;
+  inst.gauge = std::make_unique<Gauge>();
+  fam.instances.push_back(std::move(inst));
+  return *fam.instances.back().gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const std::vector<double>& bounds,
+                                      const Labels& labels) {
+  for (const auto& [k, v] : labels) {
+    SPLITMED_CHECK(valid_label_name(k), "invalid label name '" << k << "'");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, help, Kind::kHistogram);
+  if (fam.instances.empty()) {
+    fam.bounds = bounds;
+  } else if (fam.bounds != bounds) {
+    throw InvalidArgument("histogram '" + name +
+                          "' re-registered with different bucket bounds");
+  }
+  if (Instance* found = find_instance(fam, labels)) return *found->histogram;
+  Instance inst;
+  inst.labels = labels;
+  inst.histogram = std::make_unique<Histogram>(bounds);
+  fam.instances.push_back(std::move(inst));
+  return *fam.instances.back().histogram;
+}
+
+std::size_t MetricsRegistry::families() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) os << "# HELP " << name << ' ' << fam.help << '\n';
+    os << "# TYPE " << name << ' '
+       << (fam.kind == Kind::kCounter
+               ? "counter"
+               : fam.kind == Kind::kGauge ? "gauge" : "histogram")
+       << '\n';
+    for (const auto& inst : fam.instances) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          os << name << render_labels(inst.labels, "", "") << ' '
+             << prom_number(inst.counter->value()) << '\n';
+          break;
+        case Kind::kGauge:
+          os << name << render_labels(inst.labels, "", "") << ' '
+             << prom_number(inst.gauge->value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          const std::uint64_t total = h.count();
+          for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+            os << name << "_bucket"
+               << render_labels(inst.labels, "le", prom_number(h.bounds()[b]))
+               << ' ' << h.cumulative_count(b) << '\n';
+          }
+          os << name << "_bucket"
+             << render_labels(inst.labels, "le", "+Inf") << ' ' << total
+             << '\n';
+          os << name << "_sum" << render_labels(inst.labels, "", "") << ' '
+             << prom_number(h.sum()) << '\n';
+          os << name << "_count" << render_labels(inst.labels, "", "") << ' '
+             << total << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SPLITMED_LOG(kError) << "metrics: cannot open '" << path
+                         << "' for writing";
+    return false;
+  }
+  write_prometheus(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace splitmed::obs

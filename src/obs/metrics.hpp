@@ -1,0 +1,129 @@
+// Metrics registry — counters, gauges, fixed-bucket histograms, exported in
+// the Prometheus text exposition format.
+//
+// The registry hands out stable references: a Counter/Gauge/Histogram
+// pointer obtained once stays valid for the registry's lifetime, so hot
+// paths (gemm, the thread pool) update atomics without ever re-entering the
+// registry mutex. Counters and gauges are lock-free (CAS loop on a double);
+// histograms take a short per-instance mutex — they sit on orchestration
+// paths (round timing, message latency), never inside worker loops.
+//
+// Exposition (write_prometheus) follows the Prometheus text format v0.0.4:
+// one `# HELP` / `# TYPE` pair per family, `_bucket{le="..."}` with a
+// cumulative `+Inf` bucket plus `_sum` / `_count` for histograms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace splitmed::obs {
+
+/// Label set rendered into the sample line: {{"kind","activation"}} becomes
+/// `{kind="activation"}`. Empty = unlabelled sample.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value. inc() with a negative delta throws —
+/// counters only go up (use a Gauge for anything that can fall).
+class Counter {
+ public:
+  void inc(double delta = 1.0);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Arbitrary settable value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bounds are upper-inclusive (Prometheus `le`
+/// semantics): a value v lands in the first bucket with v <= bound, and
+/// every observation also lands in the implicit +Inf bucket.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty, finite, and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  /// Cumulative count of observations <= bounds()[i].
+  [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> bucket_counts_;  // per-bucket, NOT cumulative
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Named metric store. Thread-safe; lookups are mutex-guarded, so cache the
+/// returned reference outside any hot loop.
+class MetricsRegistry {
+ public:
+  /// Registers (or finds) a metric. The same (name, labels) must always be
+  /// requested with the same type and, for histograms, the same bounds —
+  /// anything else throws InvalidArgument. Names must match the Prometheus
+  /// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::vector<double>& bounds,
+                       const Labels& labels = {});
+
+  [[nodiscard]] std::size_t families() const;
+
+  void write_prometheus(std::ostream& os) const;
+  /// Writes to `path`; returns false (and logs) on I/O failure.
+  bool write_prometheus(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instance {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<double> bounds;  // histograms only
+    std::vector<Instance> instances;
+  };
+
+  Family& family(const std::string& name, const std::string& help, Kind kind);
+  Instance* find_instance(Family& fam, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace splitmed::obs

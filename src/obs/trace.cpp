@@ -1,0 +1,267 @@
+#include "src/obs/trace.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/logging.hpp"
+
+namespace splitmed::obs {
+
+std::string json_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest round-trip representation, the same convention JSON emitters
+  // use ("0.005", not "0.0050000000000000001").
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  return std::string(buf.data(), res.ptr);
+}
+
+TraceArg arg(std::string key, std::string_view value) {
+  return TraceArg{std::move(key), json_string(value)};
+}
+TraceArg arg(std::string key, const char* value) {
+  return arg(std::move(key), std::string_view(value));
+}
+TraceArg arg(std::string key, double value) {
+  return TraceArg{std::move(key), json_number(value)};
+}
+TraceArg arg(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), std::to_string(value)};
+}
+TraceArg arg(std::string key, std::int64_t value) {
+  return TraceArg{std::move(key), std::to_string(value)};
+}
+TraceArg arg(std::string key, bool value) {
+  return TraceArg{std::move(key), value ? "true" : "false"};
+}
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::set_sim_source(std::function<double()> source) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sim_source_ = std::move(source);
+}
+
+double TraceRecorder::sim_now() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sim_source_ ? sim_source_() : -1.0;
+}
+
+std::uint64_t TraceRecorder::wall_now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t TraceRecorder::thread_id() {
+  // Dense per-recorder thread ids keep the exported tid values small and
+  // stable across runs with identical thread arrival order. Caller holds mu_.
+  const auto [it, inserted] =
+      tids_.try_emplace(std::this_thread::get_id(), next_tid_);
+  if (inserted) ++next_tid_;
+  return it->second;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  // Stamp-if-unset: spans carry their own BEGIN timestamps; instants and
+  // counters arrive unstamped (wall_us == 0, sim_s < 0) and get "now".
+  if (event.wall_us == 0) event.wall_us = wall_now_us();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (event.sim_s < 0.0 && sim_source_) event.sim_s = sim_source_();
+  event.tid = thread_id();
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::instant(std::string name, std::string cat,
+                            std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.ph = 'i';
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void TraceRecorder::counter(std::string name, double value) {
+  TraceEvent ev;
+  ev.ph = 'C';
+  ev.name = std::move(name);
+  ev.cat = "counter";
+  ev.args.push_back(arg("value", value));
+  record(std::move(ev));
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+
+void write_args_object(std::ostream& os, const TraceEvent& ev,
+                       bool include_sim) {
+  os << "\"args\":{";
+  bool first = true;
+  for (const auto& a : ev.args) {
+    if (!first) os << ',';
+    first = false;
+    os << json_string(a.key) << ':' << a.value;
+  }
+  if (include_sim && ev.sim_s >= 0.0) {
+    if (!first) os << ',';
+    first = false;
+    os << "\"sim_s\":" << json_number(ev.sim_s);
+    if (ev.ph == 'X') {
+      os << ",\"sim_dur_s\":" << json_number(ev.sim_dur_s);
+    }
+  }
+  os << '}';
+}
+
+void write_chrome_event(std::ostream& os, const TraceEvent& ev, int pid) {
+  // On the sim timeline (pid 2) ts/dur are simulated microseconds; on the
+  // wall timeline (pid 1) they are host microseconds since recorder start.
+  const bool sim = pid == kSimPid;
+  const double ts = sim ? ev.sim_s * 1e6 : static_cast<double>(ev.wall_us);
+  const double dur =
+      sim ? ev.sim_dur_s * 1e6 : static_cast<double>(ev.wall_dur_us);
+  os << "{\"ph\":\"" << ev.ph << "\",\"name\":" << json_string(ev.name)
+     << ",\"cat\":" << json_string(ev.cat.empty() ? "default" : ev.cat)
+     << ",\"ts\":" << json_number(ts);
+  if (ev.ph == 'X') os << ",\"dur\":" << json_number(dur);
+  if (ev.ph == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+  os << ",\"pid\":" << pid << ",\"tid\":" << ev.tid << ',';
+  write_args_object(os, ev, /*include_sim=*/!sim);
+  os << '}';
+}
+
+void write_process_name(std::ostream& os, int pid, const char* name) {
+  os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+     << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[\n";
+  write_process_name(os, kWallPid, "wall clock");
+  os << ",\n";
+  write_process_name(os, kSimPid, "simulated WAN clock");
+  for (const auto& ev : events_) {
+    os << ",\n";
+    write_chrome_event(os, ev, kWallPid);
+    if (ev.sim_s >= 0.0 && ev.ph != 'C') {
+      os << ",\n";
+      write_chrome_event(os, ev, kSimPid);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"dropped_events\":" << dropped_ << "}}\n";
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SPLITMED_LOG(kError) << "trace: cannot open '" << path << "' for writing";
+    return false;
+  }
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ev : events_) {
+    os << "{\"ph\":\"" << ev.ph << "\",\"name\":" << json_string(ev.name)
+       << ",\"cat\":" << json_string(ev.cat)
+       << ",\"wall_us\":" << ev.wall_us;
+    if (ev.ph == 'X') os << ",\"wall_dur_us\":" << ev.wall_dur_us;
+    if (ev.sim_s >= 0.0) {
+      os << ",\"sim_s\":" << json_number(ev.sim_s);
+      if (ev.ph == 'X') os << ",\"sim_dur_s\":" << json_number(ev.sim_dur_s);
+    }
+    os << ",\"tid\":" << ev.tid << ',';
+    write_args_object(os, ev, /*include_sim=*/false);
+    os << "}\n";
+  }
+}
+
+bool TraceRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SPLITMED_LOG(kError) << "trace: cannot open '" << path << "' for writing";
+    return false;
+  }
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+Span::Span(TraceRecorder* recorder, std::string name, std::string cat)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) return;
+  event_.ph = 'X';
+  event_.name = std::move(name);
+  event_.cat = std::move(cat);
+  event_.wall_us = recorder_->wall_now_us();
+  event_.sim_s = recorder_->sim_now();
+}
+
+Span::~Span() {
+  if (recorder_ == nullptr) return;
+  const std::uint64_t end_us = recorder_->wall_now_us();
+  event_.wall_dur_us = end_us - event_.wall_us;
+  if (event_.sim_s >= 0.0) {
+    const double sim_end = recorder_->sim_now();
+    event_.sim_dur_s = sim_end >= event_.sim_s ? sim_end - event_.sim_s : 0.0;
+  }
+  recorder_->record(std::move(event_));
+}
+
+}  // namespace splitmed::obs

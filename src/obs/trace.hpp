@@ -1,0 +1,149 @@
+// TraceRecorder — deterministic span/instant tracing on dual clocks.
+//
+// Every event carries two timestamps: host wall-clock microseconds (steady,
+// relative to recorder construction) and the simulated WAN clock in seconds
+// (net::SimClock, injected as a callback so this library stays below net/).
+// Events export two ways:
+//
+//   * Chrome trace-event JSON (chrome://tracing, Perfetto): the wall-clock
+//     timeline lives under pid 1; events that carry simulated time are
+//     mirrored under pid 2 with ts/dur in simulated microseconds, so link
+//     occupancy, retransmission storms, and delay spikes are visible on the
+//     clock the protocol actually runs on.
+//   * JSONL: one self-describing object per line, both clocks explicit —
+//     the grep/jq-friendly form.
+//
+// Determinism contract: recording only READS clocks; it never draws
+// randomness, never touches protocol bytes, and is disabled by a null
+// recorder pointer (see obs.hpp), so an un-instrumented run is bitwise
+// identical to an instrumented one in everything but its output files.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace splitmed::obs {
+
+/// Renders a string as a quoted, escaped JSON string literal.
+std::string json_string(std::string_view s);
+
+/// Renders a double as a JSON number ("null" for non-finite values, which
+/// JSON cannot represent).
+std::string json_number(double v);
+
+/// One key plus a pre-rendered JSON value ("42", "\"activation\"", ...).
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+/// Convenience TraceArg constructors.
+TraceArg arg(std::string key, std::string_view value);
+TraceArg arg(std::string key, const char* value);
+TraceArg arg(std::string key, double value);
+TraceArg arg(std::string key, std::uint64_t value);
+TraceArg arg(std::string key, std::int64_t value);
+TraceArg arg(std::string key, bool value);
+
+/// One trace event. `ph` follows the Chrome trace-event phases actually
+/// emitted here: 'X' (complete span), 'i' (instant), 'C' (counter).
+struct TraceEvent {
+  char ph = 'i';
+  std::string name;
+  std::string cat;
+  std::uint64_t wall_us = 0;   // wall-clock ts, us since recorder start
+  std::uint64_t wall_dur_us = 0;  // 'X' only
+  double sim_s = -1.0;         // simulated seconds; < 0 = no sim timestamp
+  double sim_dur_s = 0.0;      // 'X' only
+  std::uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Thread-safe, bounded event store. Events past `max_events` are counted
+/// and dropped (newest-dropped policy keeps the run's beginning intact —
+/// the part that explains how it got into trouble).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t max_events = 1U << 20);
+
+  /// Injects the simulated-time source (e.g. the trainer's network clock).
+  /// Events recorded with sim_s < 0 are stamped from this source; without
+  /// one they simply carry no simulated timestamp.
+  void set_sim_source(std::function<double()> source);
+
+  /// Current simulated time from the injected source (-1.0 without one).
+  [[nodiscard]] double sim_now() const;
+
+  /// Microseconds of host wall-clock since recorder construction.
+  [[nodiscard]] std::uint64_t wall_now_us() const;
+
+  /// Stores one event, stamping wall_us/tid (and sim_s when unset). The
+  /// canonical entry point for Span and the instrumentation sites.
+  void record(TraceEvent event);
+
+  /// Convenience: instant event stamped with both clocks now.
+  void instant(std::string name, std::string cat,
+               std::vector<TraceArg> args = {});
+
+  /// Convenience: counter sample ('C' event) stamped with both clocks now.
+  void counter(std::string name, double value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON (the "JSON Object Format": traceEvents array
+  /// plus process-name metadata for the two clock timelines).
+  void write_chrome_trace(std::ostream& os) const;
+  /// Writes to `path`; returns false (and logs) on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// One JSON object per line; both clocks explicit on every line.
+  void write_jsonl(std::ostream& os) const;
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  /// Small dense id for the calling thread (1 = first thread seen).
+  std::uint32_t thread_id();
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+  std::function<double()> sim_source_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: records a complete ('X') event covering its own lifetime.
+/// Constructed against a possibly-null recorder; with null every member is
+/// a no-op and no clock is read (the disabled path costs one branch).
+class Span {
+ public:
+  Span(TraceRecorder* recorder, std::string name, std::string cat);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an argument (no-op when disabled).
+  template <typename V>
+  void arg(std::string key, V value) {
+    if (recorder_ != nullptr) {
+      event_.args.push_back(obs::arg(std::move(key), value));
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  TraceEvent event_;
+};
+
+}  // namespace splitmed::obs

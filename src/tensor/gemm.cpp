@@ -1,13 +1,44 @@
 #include "src/tensor/gemm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/obs/obs.hpp"
 
 namespace splitmed {
 namespace {
+
+/// Accounts one gemm call against the pre-registered observability counters.
+/// gemm runs inside parallel_for bodies (conv2d parallelizes over the
+/// batch), so this must never touch the registry mutex: the counters are
+/// fetched as single atomic pointer loads, null when observability is off —
+/// the disabled path is two relaxed loads and two branches, no clock read.
+class GemmTimer {
+ public:
+  GemmTimer()
+      : seconds_(obs::gemm_seconds_counter()),
+        calls_(obs::gemm_calls_counter()) {
+    if (seconds_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+  ~GemmTimer() {
+    if (calls_ != nullptr) calls_->inc();
+    if (seconds_ != nullptr) {
+      seconds_->inc(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - begin_)
+                        .count());
+    }
+  }
+  GemmTimer(const GemmTimer&) = delete;
+  GemmTimer& operator=(const GemmTimer&) = delete;
+
+ private:
+  obs::Counter* seconds_;
+  obs::Counter* calls_;
+  std::chrono::steady_clock::time_point begin_;
+};
 
 // Cache-blocking tile sizes; modest because the simulator's matrices are
 // small-to-medium. The i-k-j loop order keeps the innermost loop contiguous
@@ -49,6 +80,7 @@ std::int64_t row_grain(std::int64_t n, std::int64_t k) {
 void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c) {
+  const GemmTimer timer;
   check_sizes(m, n, k, a.size(), b.size(), c.size());
   std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
   // Rows of C are independent; each chunk runs the serial tiled kernel over
@@ -75,6 +107,7 @@ void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c) {
+  const GemmTimer timer;
   check_sizes(m, n, k, a.size(), b.size(), c.size());
   std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
   // A is [k, m]; walk k outermost so both A-row and B-row are contiguous.
@@ -96,6 +129,7 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c) {
+  const GemmTimer timer;
   check_sizes(m, n, k, a.size(), b.size(), c.size());
   // B is [n, k]; dot products over contiguous rows of A and B.
   parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {

@@ -17,6 +17,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <functional>
 #include <sstream>
 #include <vector>
 
@@ -37,7 +39,11 @@ core::ModelBuilder builder() {
   };
 }
 
-metrics::TrainReport golden_run() {
+/// The fixed-seed reference run. `tweak` mutates the config after the golden
+/// settings are applied — used to assert that a feature (e.g. observability)
+/// is bitwise inert: the tweaked run must still match the pinned fingerprint.
+metrics::TrainReport golden_run(
+    const std::function<void(core::SplitConfig&)>& tweak = nullptr) {
   data::SyntheticCifarOptions opt;
   opt.num_examples = 96;
   opt.num_classes = 4;
@@ -58,6 +64,7 @@ metrics::TrainReport golden_run() {
   cfg.sgd.learning_rate = 0.02F;
   cfg.sgd.momentum = 0.5F;
   cfg.seed = 123;
+  if (tweak) tweak(cfg);
   core::SplitTrainer trainer(builder(), train, partition, test, cfg);
   metrics::TrainReport report = trainer.run();
   // A golden run is fault-free: no fault counter may move and every wire
@@ -128,6 +135,39 @@ TEST(GoldenCurve, ByteSeriesIsReproducible) {
     EXPECT_EQ(r1.curve[i].test_accuracy, r2.curve[i].test_accuracy);
     EXPECT_EQ(r1.curve[i].sim_seconds, r2.curve[i].sim_seconds);
   }
+}
+
+TEST(GoldenCurve, TracingIsBitwiseInert) {
+  // The observability contract (docs/OBSERVABILITY.md): tracing at full
+  // detail, with metrics and the flight recorder active, changes NOTHING
+  // about the run — same bytes, same quantized loss/accuracy, against the
+  // same pinned fingerprint the un-instrumented run above matches.
+  namespace fs = std::filesystem;
+  const fs::path trace = fs::path(::testing::TempDir()) / "golden_trace.json";
+  const fs::path prom = fs::path(::testing::TempDir()) / "golden_metrics.prom";
+  const auto report = golden_run([&](core::SplitConfig& cfg) {
+    cfg.obs.enabled = true;
+    cfg.obs.detail = 2;  // per-layer nn spans — the heaviest setting
+    cfg.obs.trace_path = trace.string();
+    cfg.obs.metrics_path = prom.string();
+  });
+  ASSERT_EQ(report.curve.size(), 10U);
+  std::vector<std::uint64_t> bytes;
+  std::vector<long> loss;
+  std::vector<long> acc;
+  for (const auto& p : report.curve) {
+    bytes.push_back(p.cumulative_bytes);
+    loss.push_back(quantize(p.train_loss));
+    acc.push_back(quantize(p.test_accuracy));
+  }
+  EXPECT_EQ(bytes, kGoldenBytes);
+  EXPECT_EQ(loss, kGoldenLoss);
+  EXPECT_EQ(acc, kGoldenAcc);
+  // The instrumented run also actually produced its outputs.
+  EXPECT_TRUE(fs::exists(trace));
+  EXPECT_TRUE(fs::exists(prom));
+  fs::remove(trace);
+  fs::remove(prom);
 }
 
 TEST(GoldenCurve, EnvelopeFramingOverheadIsPinned) {
