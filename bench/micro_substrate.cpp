@@ -1,8 +1,15 @@
 // Micro-benchmarks of the substrates (google-benchmark): GEMM, conv layers,
 // im2col, tensor codec, simulated network send/receive.
+//
+// Every benchmark pins the global thread pool explicitly (kernel families
+// to 1 thread, layer families to a fixed 4) so the recorded numbers measure
+// the code, not the machine's core count. scripts/bench_substrate.py runs
+// this binary with --benchmark_format=json and distills the trajectory into
+// BENCH_substrate.json (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/protocol.hpp"
 #include "src/net/network.hpp"
 #include "src/nn/conv2d.hpp"
@@ -16,7 +23,14 @@ namespace {
 
 using namespace splitmed;
 
+// Fixed thread pins per benchmark family. Kernel benches run serial so
+// GFLOP/s is per-core kernel speed; layer benches use a fixed small pool so
+// fork-join costs show up without depending on hardware_concurrency.
+constexpr int kKernelThreads = 1;
+constexpr int kLayerThreads = 4;
+
 void BM_GemmNN(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
   const std::int64_t n = state.range(0);
   Rng rng(1);
   const Tensor a = Tensor::normal(Shape{n, n}, rng);
@@ -30,7 +44,89 @@ void BM_GemmNN(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+// The naive reference kernel on the same shapes: the floor the packed
+// kernels are measured against (they must match it bitwise — gemm_test —
+// while beating it on time).
+void BM_GemmNN_Ref(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm_nn_ref(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN_Ref)->Arg(64)->Arg(256);
+
+// Non-square shapes from the split-model layers the simulator actually
+// runs: {m, n, k} = {out_c, oh*ow, in_c*kernel²} for conv forward
+// (VGG-style 3×3 blocks and a stem conv), plus a ResNet-ish deep block.
+void BM_GemmNN_Shapes(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  for (auto _ : state) {
+    gemm_nn(m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_GemmNN_Shapes)
+    ->Args({64, 1024, 576})   // 3x3 conv, 64ch, 32x32 output
+    ->Args({64, 1024, 27})    // stem conv from 3 input channels
+    ->Args({128, 256, 1152}); // deeper 3x3 block, 16x16 output
+
+// Conv backward's dcol: C[crk, ohw] = Wᵀ[out_c, crk] · g[out_c, ohw].
+void BM_GemmTN(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{k, m}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  for (auto _ : state) {
+    gemm_tn(m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_GemmTN)
+    ->Args({576, 1024, 64})   // conv dcol for the 3x3/64ch layer
+    ->Args({512, 512, 32});   // linear dW at batch 32
+
+// Linear forward / conv dW: C[m, n] = A[m, k] · B[n, k]ᵀ.
+void BM_GemmNT(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{n, k}, rng);
+  Tensor c(Shape{m, n});
+  for (auto _ : state) {
+    gemm_nt(m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_GemmNT)
+    ->Args({32, 512, 512})    // linear forward, batch 32
+    ->Args({64, 576, 1024});  // conv dW for the 3x3/64ch layer
+
 void BM_Im2col(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
   ConvGeometry g{16, 32, 32, 3, 3, 1, 1};
   Rng rng(2);
   const Tensor img = Tensor::normal(Shape{16, 32, 32}, rng);
@@ -43,6 +139,7 @@ void BM_Im2col(benchmark::State& state) {
 BENCHMARK(BM_Im2col);
 
 void BM_ConvForward(benchmark::State& state) {
+  set_global_threads(kLayerThreads);
   const std::int64_t batch = state.range(0);
   Rng rng(3);
   nn::Conv2d conv(3, 16, 3, 1, 1, rng);
@@ -56,6 +153,7 @@ void BM_ConvForward(benchmark::State& state) {
 BENCHMARK(BM_ConvForward)->Arg(1)->Arg(16);
 
 void BM_ConvBackward(benchmark::State& state) {
+  set_global_threads(kLayerThreads);
   const std::int64_t batch = state.range(0);
   Rng rng(4);
   nn::Conv2d conv(3, 16, 3, 1, 1, rng);
@@ -69,9 +167,10 @@ void BM_ConvBackward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
-BENCHMARK(BM_ConvBackward)->Arg(16);
+BENCHMARK(BM_ConvBackward)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
 
 void BM_LinearForward(benchmark::State& state) {
+  set_global_threads(kLayerThreads);
   Rng rng(5);
   nn::Linear lin(512, 512, rng);
   const Tensor x = Tensor::normal(Shape{32, 512}, rng);
@@ -83,6 +182,7 @@ void BM_LinearForward(benchmark::State& state) {
 BENCHMARK(BM_LinearForward);
 
 void BM_TensorCodecRoundTrip(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
   const std::int64_t n = state.range(0);
   Rng rng(6);
   const Tensor t = Tensor::normal(Shape{n}, rng);
@@ -98,6 +198,7 @@ void BM_TensorCodecRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_TensorCodecRoundTrip)->Arg(1024)->Arg(65536);
 
 void BM_NetworkSendReceive(benchmark::State& state) {
+  set_global_threads(kKernelThreads);
   net::Network network;
   const NodeId a = network.add_node("a");
   const NodeId b = network.add_node("b");

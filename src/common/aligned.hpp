@@ -1,0 +1,58 @@
+// 64-byte-aligned allocation helpers for the tensor substrate.
+//
+// Vectorized kernels load tensor and workspace memory in 16/32/64-byte
+// chunks; cacheline-aligning every float buffer keeps those loads within a
+// single line and lets the compiler use aligned move instructions where it
+// can prove alignment. Alignment changes WHERE bytes live, never what they
+// hold — it is invisible to the determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace splitmed {
+
+/// Cacheline alignment used for Tensor storage and workspace-arena blocks.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Minimal std allocator handing out `Alignment`-aligned memory via the
+/// C++17 aligned operator new. Stateless: all instances compare equal.
+template <class T, std::size_t Alignment = kTensorAlignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment weaker than the type requires");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Cacheline-aligned float buffer — the storage type of Tensor and the
+/// workspace arena's block type.
+using AlignedFloatVec = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace splitmed

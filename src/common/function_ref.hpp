@@ -1,0 +1,52 @@
+// Non-owning callable reference.
+//
+// std::function type-erases by COPYING the callable, which heap-allocates
+// whenever the captures exceed the small-buffer size — the parallel_for
+// bodies in the tensor substrate capture ~10 references and allocated on
+// every call, putting malloc on the hottest loop in the system. The pool
+// always finishes a job before the call returns, so it never needs to own
+// the callable: FunctionRef erases through two words (object pointer +
+// invoke thunk) with zero allocation.
+//
+// Lifetime contract: a FunctionRef must not outlive the callable it was
+// built from. Use only for synchronous calls (ThreadPool::run blocks until
+// every chunk finished, so the caller's lambda outlives the reference).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace splitmed {
+
+template <class Signature>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable lvalue or temporary (the temporary must survive the
+  /// full expression containing the call, which a blocking call guarantees).
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace splitmed

@@ -47,7 +47,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-int ThreadPool::drain_job(const std::function<void(int)>& fn, int num_chunks) {
+int ThreadPool::drain_job(FunctionRef<void(int)> fn, int num_chunks) {
   int done = 0;
   for (;;) {
     int chunk;
@@ -69,7 +69,7 @@ int ThreadPool::drain_job(const std::function<void(int)>& fn, int num_chunks) {
 void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(int)>* fn = nullptr;
+    const FunctionRef<void(int)>* fn = nullptr;
     int num_chunks = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -90,7 +90,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run(int num_chunks, const std::function<void(int)>& chunk_fn) {
+void ThreadPool::run(int num_chunks, FunctionRef<void(int)> chunk_fn) {
   SPLITMED_CHECK(num_chunks >= 0, "ThreadPool::run: negative chunk count");
   if (num_chunks == 0) return;
   if (workers_.empty() || num_chunks == 1) {
@@ -146,7 +146,7 @@ int global_threads() { return global_thread_pool().size(); }
 bool in_parallel_region() { return tls_in_parallel_region; }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+                  FunctionRef<void(std::int64_t, std::int64_t)> body) {
   const std::int64_t range = end - begin;
   if (range <= 0) return;
   grain = std::max<std::int64_t>(grain, 1);

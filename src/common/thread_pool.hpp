@@ -11,10 +11,11 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/function_ref.hpp"
 
 namespace splitmed {
 
@@ -40,7 +41,12 @@ class ThreadPool {
   /// is rethrown on the calling thread (remaining chunks still run).
   /// Not reentrant: must not be called from inside a chunk (parallel_for
   /// handles nesting by running nested loops serially).
-  void run(int num_chunks, const std::function<void(int)>& chunk_fn);
+  ///
+  /// Takes a FunctionRef, not std::function: run() always outlives the
+  /// callable's use (it blocks until every chunk finished), and the
+  /// non-owning reference keeps heap allocation off this hot path —
+  /// parallel_for sits under every kernel in the tensor substrate.
+  void run(int num_chunks, FunctionRef<void(int)> chunk_fn);
 
   /// The pool's default size given the environment (never < 1).
   static int default_threads();
@@ -49,13 +55,15 @@ class ThreadPool {
   void worker_loop();
   /// Claims and executes chunks until the current job is exhausted; returns
   /// the number of chunks this thread completed.
-  int drain_job(const std::function<void(int)>& fn, int num_chunks);
+  int drain_job(FunctionRef<void(int)> fn, int num_chunks);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: new job / shutdown
   std::condition_variable done_cv_;   // signals caller: all chunks finished
-  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  const FunctionRef<void(int)>* job_ = nullptr;  // guarded by mu_; points at
+                                                 // run()'s parameter, which
+                                                 // outlives the job
   int job_chunks_ = 0;                             // guarded by mu_
   int next_chunk_ = 0;                             // guarded by mu_
   int chunks_done_ = 0;                            // guarded by mu_
@@ -87,8 +95,9 @@ bool in_parallel_region();
 /// results — small range, single-thread pool, or nested call — the body runs
 /// inline on the calling thread. Safe only for bodies whose iterations are
 /// independent and write disjoint outputs; under that contract the result is
-/// bitwise identical for every thread count.
+/// bitwise identical for every thread count. The body is borrowed, never
+/// copied (see FunctionRef) — parallel_for itself performs no allocation.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body);
+                  FunctionRef<void(std::int64_t, std::int64_t)> body);
 
 }  // namespace splitmed

@@ -1,12 +1,12 @@
 #include "src/nn/conv2d.hpp"
 
 #include <sstream>
-#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/nn/init.hpp"
 #include "src/tensor/gemm.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace splitmed::nn {
 
@@ -55,12 +55,14 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   auto od = out.data();
   auto bd = bias_.value.data();
   // Samples write disjoint output planes, so the batch loop partitions
-  // cleanly across threads; each chunk owns a private col scratch buffer.
-  // (Nested kernel calls run serially inside a chunk; with a single-sample
-  // batch the chunk runs inline and the kernels parallelize instead.)
+  // cleanly across threads; each chunk checks its col scratch out of its
+  // own thread's workspace arena — zero heap allocations once the arenas
+  // are warm. (Nested kernel calls run serially inside a chunk; with a
+  // single-sample batch the chunk runs inline and the kernels parallelize
+  // instead.)
   parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
-    std::vector<float> col(
-        static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+    ws::WorkspaceScope scratch;
+    std::span<float> col = scratch.floats(g.col_rows() * g.col_cols());
     for (std::int64_t b = b0; b < b1; ++b) {
       im2col(g, id.subspan(static_cast<std::size_t>(b * image_elems),
                            static_cast<std::size_t>(image_elems)),
@@ -91,55 +93,66 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                    "Conv2d backward");
 
   Tensor grad_input(cached_input_.shape());
-  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  std::vector<float> dw_local(static_cast<std::size_t>(weight_.value.numel()));
 
   const std::int64_t image_elems = in_c_ * g.in_h * g.in_w;
   const std::int64_t out_elems = out_c_ * oh * ow;
+  const std::int64_t wn = weight_.value.numel();
   auto id = cached_input_.data();
   auto gd = grad_output.data();
   auto gi = grad_input.data();
   auto wg = weight_.grad.data();
   auto bg = bias_.grad.data();
 
-  // Input grad touches disjoint image planes per sample, so the batch loop
-  // partitions across threads (private dcol scratch per chunk):
-  // dcol = Wᵀ[crk, out_c] · g_out[out_c, ohw] (gemm_tn), then scatter-add
-  // back to image space.
+  // Per-sample weight/bias gradient slabs, checked out of the CALLING
+  // thread's arena so they survive the parallel region below; workers fill
+  // disjoint slabs, then one serial pass reduces them in ascending sample
+  // order — the identical float grouping to a serial batch loop, so the
+  // result is bitwise thread-invariant.
+  ws::WorkspaceScope slabs;
+  std::span<float> dw_slabs = slabs.floats(batch * wn);
+  std::span<float> db_slabs = slabs.floats(batch * out_c_);
+
+  // One fused pass over the batch; samples are independent:
+  //  - dcol = Wᵀ[crk, out_c] · g_out[out_c, ohw] (gemm_tn), scatter-added
+  //    back to this sample's disjoint grad_input planes (col2im);
+  //  - bias slab: spatial sums per channel;
+  //  - weight slab: dW_b = g_out[out_c, ohw] · colᵀ[ohw, crk]  (gemm_nt).
+  // col/dcol scratch comes from each worker's own arena.
   parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
-    std::vector<float> dcol(
-        static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+    ws::WorkspaceScope scratch;
+    std::span<float> col = scratch.floats(g.col_rows() * g.col_cols());
+    std::span<float> dcol = scratch.floats(g.col_rows() * g.col_cols());
     for (std::int64_t b = b0; b < b1; ++b) {
       auto g_out = gd.subspan(static_cast<std::size_t>(b * out_elems),
                               static_cast<std::size_t>(out_elems));
       gemm_tn(g.col_rows(), g.col_cols(), out_c_, weight_.value.data(), g_out,
-              std::span<float>(dcol));
+              dcol);
       col2im(g, dcol,
              gi.subspan(static_cast<std::size_t>(b * image_elems),
                         static_cast<std::size_t>(image_elems)));
+      float* db = db_slabs.data() + b * out_c_;
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        const float* plane = g_out.data() + c * oh * ow;
+        float acc = plane[0];
+        for (std::int64_t i = 1; i < oh * ow; ++i) acc += plane[i];
+        db[c] = acc;
+      }
+      im2col(g, id.subspan(static_cast<std::size_t>(b * image_elems),
+                           static_cast<std::size_t>(image_elems)),
+             col);
+      gemm_nt(out_c_, g.col_rows(), g.col_cols(), g_out, col,
+              dw_slabs.subspan(static_cast<std::size_t>(b * wn),
+                               static_cast<std::size_t>(wn)));
     }
   });
 
-  // Weight/bias grads accumulate across samples; the batch loop stays
-  // serial so the reduction order (and therefore the float result) never
-  // depends on the thread count — the im2col/gemm_nt inside still fan out.
+  // Serial, sample-ascending reduction: wg/bg see the same addends in the
+  // same order for every thread count.
   for (std::int64_t b = 0; b < batch; ++b) {
-    auto g_out = gd.subspan(static_cast<std::size_t>(b * out_elems),
-                            static_cast<std::size_t>(out_elems));
-    // Bias grad: spatial sums per channel.
-    for (std::int64_t c = 0; c < out_c_; ++c) {
-      const float* plane = g_out.data() + c * oh * ow;
-      float acc = 0.0F;
-      for (std::int64_t i = 0; i < oh * ow; ++i) acc += plane[i];
-      bg[c] += acc;
-    }
-    // Weight grad: dW += g_out[out_c, ohw] · colᵀ[ohw, crk]  (gemm_nt).
-    im2col(g, id.subspan(static_cast<std::size_t>(b * image_elems),
-                         static_cast<std::size_t>(image_elems)),
-           col);
-    gemm_nt(out_c_, g.col_rows(), g.col_cols(), g_out, col,
-            std::span<float>(dw_local));
-    for (std::size_t i = 0; i < dw_local.size(); ++i) wg[i] += dw_local[i];
+    const float* db = db_slabs.data() + b * out_c_;
+    for (std::int64_t c = 0; c < out_c_; ++c) bg[c] += db[c];
+    const float* dw = dw_slabs.data() + b * wn;
+    for (std::int64_t i = 0; i < wn; ++i) wg[i] += dw[i];
   }
   return grad_input;
 }

@@ -4,7 +4,9 @@
 
 #include "src/common/error.hpp"
 #include "src/nn/init.hpp"
+#include "src/tensor/gemm.hpp"
 #include "src/tensor/ops.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace splitmed::nn {
 
@@ -41,7 +43,17 @@ Tensor Linear::backward(const Tensor& grad_output) {
   SPLITMED_CHECK(cached_input_.shape().rank() == 2,
                  "Linear backward before forward");
   // dW += gᵀ·x : [out,b]·[b,in]; db += column sums of g; dx = g·W.
-  ops::axpy(1.0F, ops::matmul_tn(grad_output, cached_input_), weight_.grad);
+  // The dW product lands in workspace scratch instead of a fresh Tensor —
+  // no heap allocation in steady state. Adding it elementwise matches the
+  // old axpy(1.0F, ...) bitwise (1.0f * x == x exactly).
+  {
+    const std::int64_t batch = grad_output.shape().dim(0);
+    ws::WorkspaceScope scratch;
+    std::span<float> dw = scratch.floats(out_ * in_);
+    gemm_tn(out_, in_, batch, grad_output.data(), cached_input_.data(), dw);
+    auto wg = weight_.grad.data();
+    for (std::int64_t i = 0; i < out_ * in_; ++i) wg[i] += dw[i];
+  }
   auto gd = grad_output.data();
   auto bg = bias_.grad.data();
   const std::int64_t batch = grad_output.shape().dim(0);

@@ -42,7 +42,9 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
   const Shape out_shape = output_shape(input.shape());
   cached_input_shape_ = input.shape();
   Tensor out(out_shape);
-  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  // resize, not assign: every slot is overwritten below, so the zero-fill
+  // pass would be a wasted sweep over the whole index buffer.
+  argmax_.resize(static_cast<std::size_t>(out.numel()));
 
   const std::int64_t batch = input.shape().dim(0), ch = input.shape().dim(1);
   const std::int64_t ih = input.shape().dim(2), iw = input.shape().dim(3);

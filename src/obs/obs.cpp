@@ -21,6 +21,8 @@ std::atomic<FlightRecorder*> g_flight{nullptr};
 std::atomic<int> g_detail{0};
 std::atomic<Counter*> g_gemm_seconds{nullptr};
 std::atomic<Counter*> g_gemm_calls{nullptr};
+std::atomic<Gauge*> g_ws_reserved{nullptr};
+std::atomic<Gauge*> g_ws_in_use{nullptr};
 std::atomic<bool> g_session_active{false};
 
 // Flight-dump destination for postmortem(); guarded by g_mu (error paths
@@ -47,6 +49,13 @@ Counter* gemm_seconds_counter() {
 }
 Counter* gemm_calls_counter() {
   return g_gemm_calls.load(std::memory_order_acquire);
+}
+
+Gauge* workspace_reserved_gauge() {
+  return g_ws_reserved.load(std::memory_order_acquire);
+}
+Gauge* workspace_in_use_gauge() {
+  return g_ws_in_use.load(std::memory_order_acquire);
 }
 
 void set_kind_namer(std::function<std::string(std::uint32_t)> namer) {
@@ -125,6 +134,14 @@ ObsSession::ObsSession(const ObsConfig& config) : config_(config) {
   g_gemm_calls.store(&metrics_->counter("splitmed_gemm_calls_total",
                                         "Number of gemm kernel invocations"),
                      std::memory_order_release);
+  g_ws_reserved.store(
+      &metrics_->gauge("splitmed_workspace_reserved_bytes",
+                       "Workspace-arena bytes reserved across all threads"),
+      std::memory_order_release);
+  g_ws_in_use.store(
+      &metrics_->gauge("splitmed_workspace_in_use_bytes",
+                       "Workspace-arena bytes currently checked out"),
+      std::memory_order_release);
   g_detail.store(config_.detail, std::memory_order_release);
   g_flight.store(flight_.get(), std::memory_order_release);
   g_metrics.store(metrics_.get(), std::memory_order_release);
@@ -161,6 +178,8 @@ void ObsSession::close() {
   g_flight.store(nullptr, std::memory_order_release);
   g_gemm_seconds.store(nullptr, std::memory_order_release);
   g_gemm_calls.store(nullptr, std::memory_order_release);
+  g_ws_reserved.store(nullptr, std::memory_order_release);
+  g_ws_in_use.store(nullptr, std::memory_order_release);
   g_detail.store(0, std::memory_order_release);
   flush();
   // The black box lands on EVERY exit when a dump path is configured: a

@@ -65,6 +65,14 @@ struct ObsConfig {
 [[nodiscard]] Counter* gemm_seconds_counter();
 [[nodiscard]] Counter* gemm_calls_counter();
 
+/// Pre-registered workspace-arena gauges (src/tensor/workspace.hpp):
+/// process-wide scratch bytes reserved across all thread arenas, and bytes
+/// currently checked out. Same single-atomic-load discipline as the gemm
+/// counters — arena checkout runs inside parallel_for bodies. Null while no
+/// session is active.
+[[nodiscard]] Gauge* workspace_reserved_gauge();
+[[nodiscard]] Gauge* workspace_in_use_gauge();
+
 /// Installs a protocol-kind pretty-namer (core::msg_kind_name, injected by
 /// the trainer so this library stays below core/). Used for trace args and
 /// metric labels; without one kinds render as "kind<N>".

@@ -1,12 +1,33 @@
+// Packed, register-blocked GEMM.
+//
+// Each kernel has three stages:
+//   1. Pack B once (calling thread) into NR-column panels, k-major with the
+//      NR columns interleaved, tail columns zero-padded.
+//   2. parallel_for over rows of C; each chunk packs its own A rows into
+//      MR-row blocks in its thread's workspace arena.
+//   3. An MR×NR micro-kernel (src/tensor/gemm_kernels.hpp) computes each C
+//      tile with one register accumulator per element, write-first.
+//
+// Determinism: every C element is the strict left fold
+//   c = a[i,0]*b[0,j]; c += a[i,1]*b[1,j]; ... (k ascending)
+// exactly as in the *_ref kernels — packing is pure data movement, row
+// partitioning never splits a row, and the micro-kernel keeps one
+// accumulator per element. Results are bitwise identical for any thread
+// count and any dispatched ISA variant; gemm_test asserts this against the
+// reference.
 #include "src/tensor/gemm.hpp"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/obs/obs.hpp"
+#include "src/tensor/gemm_kernels.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace splitmed {
 namespace {
@@ -40,12 +61,6 @@ class GemmTimer {
   std::chrono::steady_clock::time_point begin_;
 };
 
-// Cache-blocking tile sizes; modest because the simulator's matrices are
-// small-to-medium. The i-k-j loop order keeps the innermost loop contiguous
-// in both B and C, which the compiler auto-vectorizes.
-constexpr std::int64_t kTileI = 32;
-constexpr std::int64_t kTileK = 64;
-
 // Matrices below this many multiply-adds are not worth a fork-join; also
 // sets the minimum per-chunk work when partitioning rows across threads.
 constexpr std::int64_t kParallelFlops = 32 * 1024;
@@ -75,33 +90,155 @@ std::int64_t row_grain(std::int64_t n, std::int64_t k) {
   return std::max<std::int64_t>(1, kParallelFlops / per_row);
 }
 
+/// Handles the degenerate shapes every kernel shares: nothing to write when
+/// m or n is zero; an empty reduction writes zeros (the write-first kernels
+/// need k >= 1). Returns true when the call is fully handled.
+bool handle_empty(std::int64_t m, std::int64_t n, std::int64_t k, float* c) {
+  if (m <= 0 || n <= 0) return true;
+  if (k <= 0) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+    return true;
+  }
+  return false;
+}
+
+// A's element (i, kk) lives at a[i*k + kk] (kNormal, A is [m,k]) or at
+// a[kk*m + i] (kTransposed, A is [k,m]). Likewise B's (kk, j) is
+// b[kk*n + j] (kNormal, B is [k,n]) or b[j*k + kk] (kTransposed, B [n,k]).
+enum class AKind { kNormal, kTransposed };
+enum class BKind { kNormal, kTransposed };
+
+/// Packs all of B into ceil(n/NR) panels; panel jp holds columns
+/// [jp*NR, jp*NR+NR) as k-major rows of NR interleaved floats, tail columns
+/// zero-padded so the micro-kernel never branches on column bounds.
+void pack_b(BKind kind, std::int64_t n, std::int64_t k, const float* b,
+            std::int64_t nr_max, float* bp) {
+  const std::int64_t panels = (n + nr_max - 1) / nr_max;
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    const std::int64_t j0 = jp * nr_max;
+    const std::int64_t nr = std::min(nr_max, n - j0);
+    float* dst = bp + jp * k * nr_max;
+    if (kind == BKind::kNormal) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* src = b + kk * n + j0;
+        float* d = dst + kk * nr_max;
+        for (std::int64_t j = 0; j < nr; ++j) d[j] = src[j];
+        for (std::int64_t j = nr; j < nr_max; ++j) d[j] = 0.0F;
+      }
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const float* src = b + (j0 + j) * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) dst[kk * nr_max + j] = src[kk];
+      }
+      for (std::int64_t j = nr; j < nr_max; ++j) {
+        for (std::int64_t kk = 0; kk < k; ++kk) dst[kk * nr_max + j] = 0.0F;
+      }
+    }
+  }
+}
+
+/// Packs A rows [r0, r1) into ceil((r1-r0)/MR) blocks; block ib holds rows
+/// [r0+ib*MR, +MR) as k-major groups of MR interleaved floats, tail rows
+/// zero-padded.
+void pack_a(AKind kind, std::int64_t m, std::int64_t k, const float* a,
+            std::int64_t r0, std::int64_t r1, std::int64_t mr_max,
+            float* ap) {
+  const std::int64_t blocks = (r1 - r0 + mr_max - 1) / mr_max;
+  for (std::int64_t ib = 0; ib < blocks; ++ib) {
+    const std::int64_t i0 = r0 + ib * mr_max;
+    const std::int64_t mr = std::min(mr_max, r1 - i0);
+    float* dst = ap + ib * k * mr_max;
+    if (kind == AKind::kNormal) {
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const float* src = a + (i0 + r) * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) dst[kk * mr_max + r] = src[kk];
+      }
+      for (std::int64_t r = mr; r < mr_max; ++r) {
+        for (std::int64_t kk = 0; kk < k; ++kk) dst[kk * mr_max + r] = 0.0F;
+      }
+    } else {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* src = a + kk * m + i0;
+        float* d = dst + kk * mr_max;
+        for (std::int64_t r = 0; r < mr; ++r) d[r] = src[r];
+        for (std::int64_t r = mr; r < mr_max; ++r) d[r] = 0.0F;
+      }
+    }
+  }
+}
+
+/// The shared driver behind gemm_nn/tn/nt. Preconditions: m, n, k >= 1 and
+/// spans validated. C rows are partitioned across threads; chunks never
+/// split a row, so any partition is bitwise identical to serial execution.
+void gemm_packed(AKind ak, BKind bk, std::int64_t m, std::int64_t n,
+                 std::int64_t k, const float* a, const float* b, float* c) {
+  const gemmk::MicroKernel& mk = gemmk::active_kernel();
+  const std::int64_t mr_max = mk.block_rows;
+  const std::int64_t nr_max = mk.panel_cols;
+  const std::int64_t panels = (n + nr_max - 1) / nr_max;
+  // B is packed once by the calling thread and read by every worker; the
+  // pool's fork ordering publishes it before any chunk runs.
+  ws::WorkspaceScope bscope;
+  float* bp = bscope.floats(checked_mul(panels * nr_max, k)).data();
+  pack_b(bk, n, k, b, nr_max, bp);
+  parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {
+    // Each chunk packs its rows of A into its own thread's arena.
+    ws::WorkspaceScope ascope;
+    const std::int64_t blocks = (r1 - r0 + mr_max - 1) / mr_max;
+    float* ap = ascope.floats(checked_mul(blocks * mr_max, k)).data();
+    pack_a(ak, m, k, a, r0, r1, mr_max, ap);
+    // A block (k*MR floats) stays hot in L1 while the B panels stream by.
+    for (std::int64_t ib = 0; ib < blocks; ++ib) {
+      const std::int64_t i0 = r0 + ib * mr_max;
+      const std::int64_t mr = std::min(mr_max, r1 - i0);
+      const float* ablock = ap + ib * k * mr_max;
+      for (std::int64_t jp = 0; jp < panels; ++jp) {
+        const std::int64_t j0 = jp * nr_max;
+        const std::int64_t nr = std::min(nr_max, n - j0);
+        mk.fn(k, ablock, bp + jp * k * nr_max, c + i0 * n + j0, n, mr, nr);
+      }
+    }
+  });
+}
+
+/// Picks the widest micro-kernel this CPU supports; SPLITMED_GEMM_ISA
+/// narrows it (values: base, avx2, avx512 — unsupported requests fall back
+/// to the best available, never up).
+gemmk::MicroKernel pick_kernel() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  const char* env = std::getenv("SPLITMED_GEMM_ISA");
+  const std::string want = (env != nullptr) ? env : "";
+  const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  const bool has_avx512 = __builtin_cpu_supports("avx512f") != 0;
+  if (want == "base") return gemmk::base_kernel();
+  if (want == "avx2" && has_avx2) return gemmk::avx2_kernel();
+  if (want != "avx2" && has_avx512) return gemmk::avx512_kernel();
+  if (has_avx2) return gemmk::avx2_kernel();
+#endif
+  return gemmk::base_kernel();
+}
+
 }  // namespace
+
+namespace gemmk {
+
+const MicroKernel& active_kernel() {
+  static const MicroKernel kernel = pick_kernel();
+  return kernel;
+}
+
+}  // namespace gemmk
+
+const char* gemm_kernel_isa() { return gemmk::active_kernel().isa; }
 
 void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c) {
   const GemmTimer timer;
   check_sizes(m, n, k, a.size(), b.size(), c.size());
-  std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  // Rows of C are independent; each chunk runs the serial tiled kernel over
-  // its own disjoint row span, so any partition is bitwise identical to the
-  // single-threaded result (per row, the k-loop order never changes).
-  parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i0 = r0; i0 < r1; i0 += kTileI) {
-      const std::int64_t i1 = std::min(i0 + kTileI, r1);
-      for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
-        const std::int64_t k1 = std::min(k0 + kTileK, k);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* ci = c.data() + i * n;
-          for (std::int64_t kk = k0; kk < k1; ++kk) {
-            const float aik = a[static_cast<std::size_t>(i * k + kk)];
-            const float* bk = b.data() + kk * n;
-            for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-          }
-        }
-      }
-    }
-  });
+  if (handle_empty(m, n, k, c.data())) return;
+  gemm_packed(AKind::kNormal, BKind::kNormal, m, n, k, a.data(), b.data(),
+              c.data());
 }
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -109,21 +246,9 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<float> c) {
   const GemmTimer timer;
   check_sizes(m, n, k, a.size(), b.size(), c.size());
-  std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  // A is [k, m]; walk k outermost so both A-row and B-row are contiguous.
-  // Partitioning over rows of C keeps each row's k-ascending accumulation
-  // order intact, so results match the serial path bitwise.
-  parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float* ak = a.data() + kk * m;
-      const float* bk = b.data() + kk * n;
-      for (std::int64_t i = r0; i < r1; ++i) {
-        const float aki = ak[i];
-        float* ci = c.data() + i * n;
-        for (std::int64_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
-      }
-    }
-  });
+  if (handle_empty(m, n, k, c.data())) return;
+  gemm_packed(AKind::kTransposed, BKind::kNormal, m, n, k, a.data(), b.data(),
+              c.data());
 }
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -131,19 +256,75 @@ void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<float> c) {
   const GemmTimer timer;
   check_sizes(m, n, k, a.size(), b.size(), c.size());
-  // B is [n, k]; dot products over contiguous rows of A and B.
-  parallel_for(0, m, row_grain(n, k), [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i = r0; i < r1; ++i) {
-      const float* ai = a.data() + i * k;
-      float* ci = c.data() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* bj = b.data() + j * k;
-        float acc = 0.0F;
-        for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-        ci[j] = acc;
-      }
+  if (handle_empty(m, n, k, c.data())) return;
+  gemm_packed(AKind::kNormal, BKind::kTransposed, m, n, k, a.data(), b.data(),
+              c.data());
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the ground-truth fold, serial and pack-free. The first
+// k term is WRITTEN (never read-modify-write of stale C), later terms are
+// added in ascending k — exactly what the packed path reproduces.
+
+void gemm_nn_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  if (handle_empty(m, n, k, c.data())) return;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    const float ai0 = ai[0];
+    const float* b0 = b.data();
+    for (std::int64_t j = 0; j < n; ++j) ci[j] = ai0 * b0[j];
+    for (std::int64_t kk = 1; kk < k; ++kk) {
+      const float aik = ai[kk];
+      const float* bk = b.data() + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
     }
-  });
+  }
+}
+
+void gemm_tn_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  if (handle_empty(m, n, k, c.data())) return;
+  // A is [k, m]; k outermost keeps both A and B rows contiguous.
+  const float* a0 = a.data();
+  const float* b0 = b.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float a0i = a0[i];
+    float* ci = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) ci[j] = a0i * b0[j];
+  }
+  for (std::int64_t kk = 1; kk < k; ++kk) {
+    const float* ak = a.data() + kk * m;
+    const float* bk = b.data() + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aki = ak[i];
+      float* ci = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+    }
+  }
+}
+
+void gemm_nt_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  if (handle_empty(m, n, k, c.data())) return;
+  // B is [n, k]; dot products over contiguous rows of A and B.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float acc = ai[0] * bj[0];
+      for (std::int64_t kk = 1; kk < k; ++kk) acc += ai[kk] * bj[kk];
+      ci[j] = acc;
+    }
+  }
 }
 
 }  // namespace splitmed

@@ -1,5 +1,8 @@
-// Blocked single-precision GEMM kernels on raw spans. ops::matmul* wrap these
-// with shape checking; nn::Conv2d uses them via im2col.
+// Packed, register-blocked single-precision GEMM kernels on raw spans.
+// ops::matmul* wrap these with shape checking; nn::Conv2d uses them via
+// im2col. See docs/PERFORMANCE.md for the kernel design and the bitwise-
+// determinism contract (identical results for any thread count and any
+// micro-kernel ISA variant, bitwise equal to the *_ref kernels below).
 #pragma once
 
 #include <cstdint>
@@ -21,5 +24,25 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c);
+
+/// Serial naive reference kernels: the strict k-ascending, write-first left
+/// fold that the packed kernels above must reproduce BITWISE (asserted
+/// across shapes and thread counts by gemm_test). Single-threaded, no
+/// packing, no scratch — the semantic ground truth and the benchmark
+/// baseline.
+void gemm_nn_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c);
+void gemm_tn_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c);
+void gemm_nt_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c);
+
+/// Name of the micro-kernel variant the packed kernels dispatched to for
+/// this process: "base", "avx2", or "avx512f" (see
+/// src/tensor/gemm_kernels.hpp).
+[[nodiscard]] const char* gemm_kernel_isa();
 
 }  // namespace splitmed

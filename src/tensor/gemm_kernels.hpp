@@ -1,0 +1,56 @@
+// Register-blocked GEMM micro-kernel variants.
+//
+// The packed GEMM path (src/tensor/gemm.cpp) splits C into MR×NR tiles and
+// computes each tile from a packed A panel (MR-column-interleaved) and a
+// packed B panel (NR-row-interleaved) with one register accumulator per C
+// element. The micro-kernel is the only ISA-sensitive code: each variant
+// below is compiled in its own translation unit with wider vector flags
+// (see src/tensor/CMakeLists.txt) and contains NOTHING but raw-pointer
+// arithmetic — no headers whose inline functions could leak wider-ISA code
+// into translation units that run unconditionally.
+//
+// Determinism: every variant computes each C element as the identical
+// strict left fold over k (first product written, later products added,
+// k ascending, mul and add separately rounded — the variant TUs compile
+// with -ffp-contract=off so no FMA contraction can change a rounding).
+// Vector width only changes how many independent accumulators advance per
+// instruction, never the per-element operation sequence, so all variants
+// are bitwise identical to each other and to the naive reference kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace splitmed::gemmk {
+
+/// Computes the mr×nr tile C[r][j] (r < mr, j < nr) from packed panels:
+///   ap[kk*MR + r] — A panel, MR floats per k step (rows ≥ mr zero-padded)
+///   bp[kk*NR + j] — B panel, NR floats per k step (cols ≥ nr zero-padded)
+/// with k ≥ 1; C is written (write-first), ldc is C's row stride.
+using MicroKernelFn = void (*)(std::int64_t k, const float* ap,
+                               const float* bp, float* c, std::int64_t ldc,
+                               std::int64_t mr, std::int64_t nr);
+
+/// One compiled variant plus the panel geometry its packing must use.
+struct MicroKernel {
+  MicroKernelFn fn = nullptr;
+  std::int64_t block_rows = 0;  ///< MR: A-panel interleave width.
+  std::int64_t panel_cols = 0;  ///< NR: B-panel interleave width.
+  const char* isa = "";
+};
+
+/// Baseline variant, compiled with the project's default flags.
+MicroKernel base_kernel();
+
+#if defined(__x86_64__) && defined(__GNUC__)
+/// Wider-vector variants; call only when the CPU supports the ISA.
+MicroKernel avx2_kernel();
+MicroKernel avx512_kernel();
+#endif
+
+/// The variant gemm_nn/tn/nt dispatch to: the widest ISA this CPU supports,
+/// overridable with SPLITMED_GEMM_ISA=base|avx2|avx512 (unsupported or
+/// unknown values fall back to the best supported variant). Resolved once
+/// per process.
+const MicroKernel& active_kernel();
+
+}  // namespace splitmed::gemmk

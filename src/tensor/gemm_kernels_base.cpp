@@ -1,0 +1,11 @@
+// Baseline micro-kernel variant: project default flags (x86-64 SSE2, or
+// whatever the target's baseline is). The included impl picks its vector
+// width from the ISA macros in effect for THIS translation unit.
+#include "src/tensor/gemm_kernels.hpp"
+#include "src/tensor/gemm_kernels_impl.hpp"
+
+namespace splitmed::gemmk {
+
+MicroKernel base_kernel() { return {&micro_kernel, kMR, kNR, "base"}; }
+
+}  // namespace splitmed::gemmk

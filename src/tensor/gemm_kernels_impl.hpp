@@ -1,0 +1,128 @@
+// Micro-kernel definition shared by the per-ISA translation units.
+//
+// Everything here lives in an ANONYMOUS namespace on purpose: each variant
+// TU that includes this header gets its own internal-linkage copy, compiled
+// with that TU's vector flags. Nothing may have external or vague (inline/
+// template COMDAT) linkage — a linker merging identically-named symbols
+// across variant TUs would silently route every variant through one ISA's
+// code, crashing CPUs that lack it. For the same reason this header may
+// include nothing beyond <cstdint>.
+//
+// The kernel is hand-vectorized with GCC/Clang vector extensions rather
+// than left to the auto-vectorizer (which produces shuffle-heavy code for
+// this accumulator shape). The vector width tracks the ISA macros the TU
+// was compiled with; MR×NR accumulators fill 8 vector registers at every
+// width.
+//
+// Determinism: each C element is one accumulator advanced by exactly one
+// separately-rounded multiply and one add per k step, k ascending, seeded
+// by the k=0 product (write-first). Vector lanes are independent element
+// accumulators — width never changes any element's operation sequence, so
+// every variant is bitwise identical (TUs compile with -ffp-contract=off,
+// which keeps FMA-capable ISAs from fusing the mul and add). The splat
+// helper broadcasts by copy, never via `0 + x`, which would flip the sign
+// of a negative zero.
+#pragma once
+
+#include <cstdint>
+
+namespace splitmed::gemmk {
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+
+// vsplat uses an explicit initializer list (not a lane-assignment loop,
+// which GCC lowers through the stack at 512 bits) so it compiles to one
+// vbroadcastss. It must stay a pure copy — a `0 + s` style broadcast would
+// flip the sign of a negative zero.
+#if defined(__AVX512F__)
+typedef float VecF __attribute__((vector_size(64), may_alias, aligned(4)));
+constexpr const char* kIsaName = "avx512f";
+inline VecF vsplat(float s) {
+  return (VecF){s, s, s, s, s, s, s, s, s, s, s, s, s, s, s, s};
+}
+#elif defined(__AVX2__)
+typedef float VecF __attribute__((vector_size(32), may_alias, aligned(4)));
+constexpr const char* kIsaName = "avx2";
+inline VecF vsplat(float s) { return (VecF){s, s, s, s, s, s, s, s}; }
+#else
+typedef float VecF __attribute__((vector_size(16), may_alias, aligned(4)));
+constexpr const char* kIsaName = "base";
+inline VecF vsplat(float s) { return (VecF){s, s, s, s}; }
+#endif
+
+constexpr int kW = static_cast<int>(sizeof(VecF) / sizeof(float));
+constexpr int kMR = 4;        // A-block rows
+constexpr int kNV = 2;        // vectors per row
+constexpr int kNR = kW * kNV; // B-panel columns
+
+inline VecF vload(const float* p) {
+  return *reinterpret_cast<const VecF*>(p);
+}
+inline void vstore(float* p, VecF v) { *reinterpret_cast<VecF*>(p) = v; }
+
+void micro_kernel(std::int64_t k, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  VecF acc[kMR][kNV];
+  for (int r = 0; r < kMR; ++r) {
+    const VecF ar = vsplat(ap[r]);
+    for (int v = 0; v < kNV; ++v) acc[r][v] = ar * vload(bp + v * kW);
+  }
+  for (std::int64_t kk = 1; kk < k; ++kk) {
+    const float* a = ap + kk * kMR;
+    const float* b = bp + kk * kNR;
+    VecF bv[kNV];
+    for (int v = 0; v < kNV; ++v) bv[v] = vload(b + v * kW);
+    for (int r = 0; r < kMR; ++r) {
+      const VecF ar = vsplat(a[r]);
+      for (int v = 0; v < kNV; ++v) acc[r][v] += ar * bv[v];
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (int r = 0; r < kMR; ++r) {
+      for (int v = 0; v < kNV; ++v) vstore(c + r * ldc + v * kW, acc[r][v]);
+    }
+  } else {
+    // Edge tile: spill the full block, then copy only the live mr×nr
+    // corner (the packed panels are zero-padded past mr/nr, so the spilled
+    // values are well-defined; identical floats to the full-tile path).
+    float tmp[kMR][kNR];
+    for (int r = 0; r < kMR; ++r) {
+      for (int v = 0; v < kNV; ++v) vstore(&tmp[r][v * kW], acc[r][v]);
+    }
+    for (std::int64_t r = 0; r < mr; ++r) {
+      for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] = tmp[r][j];
+    }
+  }
+}
+
+#else  // portable scalar fallback, same fold
+
+constexpr const char* kIsaName = "scalar";
+constexpr int kMR = 4;
+constexpr int kNR = 8;
+
+void micro_kernel(std::int64_t k, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  float acc[kMR][kNR];
+  for (int r = 0; r < kMR; ++r) {
+    const float ar = ap[r];
+    for (int j = 0; j < kNR; ++j) acc[r][j] = ar * bp[j];
+  }
+  for (std::int64_t kk = 1; kk < k; ++kk) {
+    const float* a = ap + kk * kMR;
+    const float* b = bp + kk * kNR;
+    for (int r = 0; r < kMR; ++r) {
+      const float ar = a[r];
+      for (int j = 0; j < kNR; ++j) acc[r][j] += ar * b[j];
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+#endif
+
+}  // namespace
+}  // namespace splitmed::gemmk

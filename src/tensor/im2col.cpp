@@ -11,6 +11,25 @@ namespace {
 // Minimum per-chunk element traffic before a fork-join pays off.
 constexpr std::int64_t kParallelElems = 16 * 1024;
 
+/// The x range [x0, x1) for which ix = x*stride + shift stays inside
+/// [0, in_w), clamped to [0, ow) — the branch-free interior of the output
+/// row; everything outside is padding. x0 <= x1 always.
+struct XRange {
+  std::int64_t x0 = 0;
+  std::int64_t x1 = 0;
+};
+
+XRange interior_range(std::int64_t shift, std::int64_t stride,
+                      std::int64_t in_w, std::int64_t ow) {
+  XRange r;
+  r.x0 = shift < 0 ? (-shift + stride - 1) / stride : 0;
+  r.x0 = std::min(r.x0, ow);
+  const std::int64_t hi = in_w - 1 - shift;  // largest valid x*stride
+  r.x1 = hi < 0 ? 0 : std::min(ow, hi / stride + 1);
+  r.x1 = std::max(r.x1, r.x0);
+  return r;
+}
+
 /// Channels per parallel chunk; each channel moves kernel_h*kernel_w*oh*ow
 /// elements and touches only its own slice of both buffers.
 std::int64_t channel_grain(const ConvGeometry& g) {
@@ -52,6 +71,11 @@ void im2col(const ConvGeometry& g, std::span<const float> image,
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
         float* out_row = col.data() + r * oh * ow;
         ++r;
+        // Split each output row into zero prefix / branch-free interior /
+        // zero suffix instead of testing bounds per element — identical
+        // values, and the interior copy vectorizes.
+        const std::int64_t shift = kw - g.pad;
+        const auto [x0, x1] = interior_range(shift, g.stride, g.in_w, ow);
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride + kh - g.pad;
           float* out = out_row + y * ow;
@@ -60,10 +84,16 @@ void im2col(const ConvGeometry& g, std::span<const float> image,
             continue;
           }
           const float* in_row = chan + iy * g.in_w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride + kw - g.pad;
-            out[x] = (ix >= 0 && ix < g.in_w) ? in_row[ix] : 0.0F;
+          for (std::int64_t x = 0; x < x0; ++x) out[x] = 0.0F;
+          if (g.stride == 1) {
+            const float* src = in_row + shift;
+            for (std::int64_t x = x0; x < x1; ++x) out[x] = src[x];
+          } else {
+            for (std::int64_t x = x0; x < x1; ++x) {
+              out[x] = in_row[x * g.stride + shift];
+            }
           }
+          for (std::int64_t x = x1; x < ow; ++x) out[x] = 0.0F;
         }
       }
     }
@@ -92,14 +122,22 @@ void col2im(const ConvGeometry& g, std::span<const float> col,
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
         const float* in_row_base = col.data() + r * oh * ow;
         ++r;
+        // Only the in-bounds interior contributes; x still ascends, so the
+        // accumulation order per image element is unchanged.
+        const std::int64_t shift = kw - g.pad;
+        const auto [x0, x1] = interior_range(shift, g.stride, g.in_w, ow);
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride + kh - g.pad;
           if (iy < 0 || iy >= g.in_h) continue;
           const float* in = in_row_base + y * ow;
           float* out_row = chan + iy * g.in_w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride + kw - g.pad;
-            if (ix >= 0 && ix < g.in_w) out_row[ix] += in[x];
+          if (g.stride == 1) {
+            float* dst = out_row + shift;
+            for (std::int64_t x = x0; x < x1; ++x) dst[x] += in[x];
+          } else {
+            for (std::int64_t x = x0; x < x1; ++x) {
+              out_row[x * g.stride + shift] += in[x];
+            }
           }
         }
       }

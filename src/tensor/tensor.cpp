@@ -14,7 +14,14 @@ Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
+Tensor::Tensor(Shape shape, const std::vector<float>& data)
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
+  SPLITMED_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                 "data size " << data_.size() << " != numel of shape "
+                              << shape_.str());
+}
+
+Tensor::Tensor(Shape shape, AlignedFloatVec data, AlignedTag /*tag*/)
     : shape_(std::move(shape)), data_(std::move(data)) {
   SPLITMED_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
                  "data size " << data_.size() << " != numel of shape "
@@ -55,7 +62,7 @@ Tensor Tensor::reshape(Shape new_shape) const {
   SPLITMED_CHECK(new_shape.numel() == numel(),
                  "reshape " << shape_.str() << " -> " << new_shape.str()
                             << " changes element count");
-  return Tensor(std::move(new_shape), data_);
+  return Tensor(std::move(new_shape), data_, AlignedTag{});
 }
 
 Tensor Tensor::slice_rows(std::int64_t row_begin, std::int64_t row_end) const {
@@ -67,10 +74,10 @@ Tensor Tensor::slice_rows(std::int64_t row_begin, std::int64_t row_end) const {
   const std::int64_t row_elems = rows == 0 ? 0 : numel() / rows;
   std::vector<std::int64_t> dims = shape_.dims();
   dims[0] = row_end - row_begin;
-  std::vector<float> out(static_cast<std::size_t>((row_end - row_begin) *
-                                                  row_elems));
+  AlignedFloatVec out(static_cast<std::size_t>((row_end - row_begin) *
+                                               row_elems));
   std::copy_n(data_.begin() + row_begin * row_elems, out.size(), out.begin());
-  return Tensor(Shape(std::move(dims)), std::move(out));
+  return Tensor(Shape(std::move(dims)), std::move(out), AlignedTag{});
 }
 
 float& Tensor::at(std::initializer_list<std::int64_t> index) {

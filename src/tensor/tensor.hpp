@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/aligned.hpp"
 #include "src/tensor/shape.hpp"
 
 namespace splitmed {
@@ -27,8 +28,9 @@ class Tensor {
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape);
 
-  /// Takes ownership of `data`; data.size() must equal shape.numel().
-  Tensor(Shape shape, std::vector<float> data);
+  /// Copies `data` into the tensor's (64-byte aligned) storage;
+  /// data.size() must equal shape.numel().
+  Tensor(Shape shape, const std::vector<float>& data);
 
   /// --- factories -----------------------------------------------------------
   static Tensor zeros(Shape shape);
@@ -77,8 +79,16 @@ class Tensor {
   [[nodiscard]] std::string str() const;
 
  private:
+  // Tag keeps this overload invisible to brace-initialized public calls
+  // (overload resolution runs before access control).
+  struct AlignedTag {};
+  /// Internal move path for reshape/slice_rows (already-aligned storage).
+  Tensor(Shape shape, AlignedFloatVec data, AlignedTag);
+
   Shape shape_;
-  std::vector<float> data_;
+  // 64-byte aligned so every tensor's rows can feed the vector kernels and
+  // the serializer at full cacheline granularity (see src/common/aligned.hpp).
+  AlignedFloatVec data_;
 };
 
 }  // namespace splitmed

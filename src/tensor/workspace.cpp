@@ -1,0 +1,195 @@
+#include "src/tensor/workspace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <new>
+
+#include "src/common/aligned.hpp"
+#include "src/common/error.hpp"
+#include "src/obs/obs.hpp"
+
+namespace splitmed::ws {
+namespace {
+
+// Checkout granularity: every span starts on a 64-byte boundary, so sizes
+// are rounded up to whole cachelines of floats.
+constexpr std::size_t kAlignFloats = kTensorAlignment / sizeof(float);
+
+// First block size (floats). Small enough that incidental users stay cheap,
+// large enough that conv-scale scratch usually fits after one doubling.
+constexpr std::size_t kMinBlockFloats = 16 * 1024;
+
+constexpr std::size_t round_up(std::size_t n, std::size_t unit) {
+  return (n + unit - 1) / unit * unit;
+}
+
+// Process-wide totals, mirrored into the obs gauges when a session is
+// active. Relaxed: these are monitoring values, never synchronization.
+std::atomic<std::size_t> g_reserved_bytes{0};
+std::atomic<std::size_t> g_in_use_bytes{0};
+std::atomic<std::uint64_t> g_block_allocs{0};
+
+void publish_reserved(std::size_t delta_add, std::size_t delta_sub) {
+  const std::size_t now =
+      g_reserved_bytes.fetch_add(delta_add - delta_sub,
+                                 std::memory_order_relaxed) +
+      delta_add - delta_sub;
+  if (obs::Gauge* g = obs::workspace_reserved_gauge()) {
+    g->set(static_cast<double>(now));
+  }
+}
+
+void publish_in_use(std::size_t old_bytes, std::size_t new_bytes) {
+  const std::size_t now =
+      g_in_use_bytes.fetch_add(new_bytes - old_bytes,
+                               std::memory_order_relaxed) +
+      new_bytes - old_bytes;
+  if (obs::Gauge* g = obs::workspace_in_use_gauge()) {
+    g->set(static_cast<double>(now));
+  }
+}
+
+float* alloc_floats(std::size_t n) {
+  return static_cast<float*>(::operator new(
+      n * sizeof(float), std::align_val_t{kTensorAlignment}));
+}
+
+void free_floats(float* p) {
+  ::operator delete(p, std::align_val_t{kTensorAlignment});
+}
+
+}  // namespace
+
+Workspace& Workspace::local() {
+  static thread_local Workspace arena;
+  return arena;
+}
+
+Workspace::~Workspace() { free_blocks(); }
+
+void Workspace::free_blocks() {
+  std::size_t freed = 0;
+  for (Block& b : blocks_) {
+    freed += b.capacity * sizeof(float);
+    free_floats(b.data);
+  }
+  blocks_.clear();
+  current_ = 0;
+  if (freed > 0) publish_reserved(0, freed);
+}
+
+void Workspace::add_block(std::size_t min_floats) {
+  // Geometric growth over the total already reserved keeps the block count
+  // logarithmic in the final high-water mark.
+  std::size_t reserved = 0;
+  for (const Block& b : blocks_) reserved += b.capacity;
+  const std::size_t want = std::max(
+      {round_up(min_floats, kAlignFloats), kMinBlockFloats, reserved});
+  Block b;
+  b.data = alloc_floats(want);
+  b.capacity = want;
+  blocks_.push_back(b);
+  current_ = blocks_.size() - 1;
+  ++block_allocs_;
+  g_block_allocs.fetch_add(1, std::memory_order_relaxed);
+  publish_reserved(want * sizeof(float), 0);
+}
+
+std::span<float> Workspace::checkout(std::int64_t n) {
+  SPLITMED_CHECK(n >= 0, "workspace: negative checkout size " << n);
+  SPLITMED_CHECK(scope_depth_ > 0,
+                 "workspace: checkout without an open WorkspaceScope");
+  ++checkouts_;
+  if (n == 0) return {};
+  const std::size_t need = round_up(static_cast<std::size_t>(n), kAlignFloats);
+  // Find room: bump the current block, else move to the next existing
+  // block, else grow. Spans already handed out never move.
+  while (current_ < blocks_.size() &&
+         blocks_[current_].capacity - blocks_[current_].used < need) {
+    ++current_;
+    if (current_ < blocks_.size()) blocks_[current_].used = 0;
+  }
+  if (current_ >= blocks_.size()) add_block(need);
+  Block& b = blocks_[current_];
+  float* p = b.data + b.used;
+  b.used += need;
+  const std::size_t old_in_use = in_use_floats_;
+  in_use_floats_ += need;
+  high_water_floats_ = std::max(high_water_floats_, in_use_floats_);
+  publish_in_use(old_in_use * sizeof(float), in_use_floats_ * sizeof(float));
+  return {p, static_cast<std::size_t>(n)};
+}
+
+void Workspace::release_to(std::size_t block_index, std::size_t block_used) {
+  std::size_t freed = 0;
+  for (std::size_t i = block_index + 1; i <= current_ && i < blocks_.size();
+       ++i) {
+    freed += blocks_[i].used;
+    blocks_[i].used = 0;
+  }
+  if (block_index < blocks_.size()) {
+    freed += blocks_[block_index].used - block_used;
+    blocks_[block_index].used = block_used;
+  }
+  current_ = block_index;
+  const std::size_t old_in_use = in_use_floats_;
+  in_use_floats_ -= freed;
+  publish_in_use(old_in_use * sizeof(float), in_use_floats_ * sizeof(float));
+
+  // Outermost release with a fragmented block list: replace it with one
+  // block sized to the high-water mark, so the next step's checkouts all
+  // land in a single block and never allocate again.
+  if (scope_depth_ == 0 && blocks_.size() > 1) {
+    SPLITMED_ASSERT(in_use_floats_ == 0,
+                    "workspace: outermost scope released with "
+                        << in_use_floats_ << " floats still checked out");
+    const std::size_t target = high_water_floats_;
+    free_blocks();
+    add_block(target);
+  }
+}
+
+WorkspaceStats Workspace::stats() const {
+  WorkspaceStats s;
+  for (const Block& b : blocks_) s.bytes_reserved += b.capacity * sizeof(float);
+  s.bytes_in_use = in_use_floats_ * sizeof(float);
+  s.high_water = high_water_floats_ * sizeof(float);
+  s.blocks = blocks_.size();
+  s.block_allocs = block_allocs_;
+  s.checkouts = checkouts_;
+  return s;
+}
+
+void Workspace::trim() {
+  SPLITMED_CHECK(scope_depth_ == 0 && in_use_floats_ == 0,
+                 "workspace: trim with an open scope");
+  free_blocks();
+  high_water_floats_ = 0;
+}
+
+WorkspaceScope::WorkspaceScope() : arena_(Workspace::local()) {
+  mark_block_ = arena_.current_;
+  mark_used_ = arena_.blocks_.empty() ? 0 : arena_.blocks_[arena_.current_].used;
+  ++arena_.scope_depth_;
+}
+
+WorkspaceScope::~WorkspaceScope() {
+  --arena_.scope_depth_;
+  arena_.release_to(mark_block_, mark_used_);
+}
+
+std::span<float> WorkspaceScope::floats(std::int64_t n) {
+  return arena_.checkout(n);
+}
+
+std::size_t global_bytes_reserved() {
+  return g_reserved_bytes.load(std::memory_order_relaxed);
+}
+std::size_t global_bytes_in_use() {
+  return g_in_use_bytes.load(std::memory_order_relaxed);
+}
+std::uint64_t global_block_allocs() {
+  return g_block_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace splitmed::ws

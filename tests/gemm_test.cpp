@@ -2,11 +2,14 @@
 // parameterized across a sweep of (m, n, k) shapes including degenerate ones.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/tensor/gemm.hpp"
 
 namespace splitmed {
@@ -99,6 +102,95 @@ INSTANTIATE_TEST_SUITE_P(
                       Dims{4, 4, 4}, Dims{3, 5, 7}, Dims{17, 19, 23},
                       Dims{32, 32, 32}, Dims{33, 65, 70}, Dims{64, 2, 128},
                       Dims{2, 64, 128}));
+
+// Restores the environment-default pool size on scope exit so thread-count
+// sweeps don't leak into later tests.
+class PoolGuard {
+ public:
+  PoolGuard() = default;
+  ~PoolGuard() { set_global_threads(0); }
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+};
+
+bool bitwise_equal(const std::vector<float>& x, const std::vector<float>& y) {
+  return x.size() == y.size() &&
+         (x.empty() ||
+          std::memcmp(x.data(), y.data(), x.size() * sizeof(float)) == 0);
+}
+
+// The determinism contract (docs/PERFORMANCE.md): the packed, parallel,
+// possibly-SIMD kernels must reproduce the serial naive reference BITWISE —
+// same strict k-ascending write-first fold per element — for every shape
+// (padded tails, partial blocks) and every thread count (row partitioning
+// never regroups a fold). EXPECT_NEAR would hide regressions here; only
+// memcmp proves the fold was preserved.
+TEST(GemmBitwise, PackedMatchesReferenceAcrossShapesAndThreads) {
+  const std::int64_t dims[] = {1, 3, 7, 17, 33, 64, 130};
+  PoolGuard guard;
+  for (const int threads : {1, 2, 8}) {
+    set_global_threads(threads);
+    for (const std::int64_t m : dims) {
+      for (const std::int64_t n : dims) {
+        for (const std::int64_t k : dims) {
+          Rng rng(static_cast<std::uint64_t>((m * 131 + n) * 131 + k));
+          std::vector<float> amk(static_cast<std::size_t>(m * k));
+          std::vector<float> akm(static_cast<std::size_t>(k * m));
+          std::vector<float> bkn(static_cast<std::size_t>(k * n));
+          std::vector<float> bnk(static_cast<std::size_t>(n * k));
+          for (auto& v : amk) v = rng.normal();
+          for (auto& v : akm) v = rng.normal();
+          for (auto& v : bkn) v = rng.normal();
+          for (auto& v : bnk) v = rng.normal();
+          std::vector<float> c(static_cast<std::size_t>(m * n), -2.0F);
+          std::vector<float> ref(static_cast<std::size_t>(m * n), -3.0F);
+
+          gemm_nn(m, n, k, amk, bkn, c);
+          gemm_nn_ref(m, n, k, amk, bkn, ref);
+          EXPECT_TRUE(bitwise_equal(c, ref))
+              << "nn " << m << 'x' << n << 'x' << k << " threads=" << threads
+              << " isa=" << gemm_kernel_isa();
+
+          gemm_tn(m, n, k, akm, bkn, c);
+          gemm_tn_ref(m, n, k, akm, bkn, ref);
+          EXPECT_TRUE(bitwise_equal(c, ref))
+              << "tn " << m << 'x' << n << 'x' << k << " threads=" << threads
+              << " isa=" << gemm_kernel_isa();
+
+          gemm_nt(m, n, k, amk, bnk, c);
+          gemm_nt_ref(m, n, k, amk, bnk, ref);
+          EXPECT_TRUE(bitwise_equal(c, ref))
+              << "nt " << m << 'x' << n << 'x' << k << " threads=" << threads
+              << " isa=" << gemm_kernel_isa();
+        }
+      }
+    }
+  }
+}
+
+// Degenerate dimensions: packed and reference paths must agree that
+// m==0 / n==0 write nothing and k==0 writes zeros.
+TEST(GemmBitwise, ZeroDimsMatchReference) {
+  const std::int64_t shapes[][3] = {
+      {0, 5, 4}, {5, 0, 4}, {5, 4, 0}, {0, 0, 0}, {1, 1, 0}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    std::vector<float> a(static_cast<std::size_t>(m * k), 1.0F);
+    std::vector<float> b(static_cast<std::size_t>(k * n), 1.0F);
+    std::vector<float> c(static_cast<std::size_t>(m * n), -1.0F);
+    std::vector<float> ref(static_cast<std::size_t>(m * n), -1.0F);
+    gemm_nn(m, n, k, a, b, c);
+    gemm_nn_ref(m, n, k, a, b, ref);
+    EXPECT_TRUE(bitwise_equal(c, ref)) << m << 'x' << n << 'x' << k;
+  }
+}
+
+TEST(Gemm, KernelIsaIsReported) {
+  const std::string isa = gemm_kernel_isa();
+  EXPECT_TRUE(isa == "base" || isa == "avx2" || isa == "avx512f" ||
+              isa == "scalar")
+      << isa;
+}
 
 TEST(Gemm, ZeroKProducesZeroMatrix) {
   std::vector<float> a, b;
