@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   const auto partition = data::partition_iid(train.size(), kPlatforms, prng);
 
   Table table({"fault rate", "bytes", "goodput", "retrans", "dropped",
-               "corrupt", "skipped", "WAN time", "final acc"});
+               "corrupt", "skipped", "ex lost", "WAN time", "final acc"});
   for (const double rate : {0.0, 0.01, 0.05, 0.10, 0.20}) {
     core::SplitConfig cfg;
     cfg.total_batch = 4 * kPlatforms;
@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
                    std::to_string(stats.dropped()),
                    std::to_string(stats.corrupted()),
                    std::to_string(report.skipped_steps),
+                   std::to_string(report.examples_lost),
                    format_duration(report.total_sim_seconds),
                    format_percent(report.final_accuracy)});
   }

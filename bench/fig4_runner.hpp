@@ -170,6 +170,12 @@ inline int run_fig4(const Fig4Config& cfg) {
   }
 
   const auto& reports = recorder.reports();
+  if (reports[0].skipped_steps > 0 || reports[0].examples_lost > 0) {
+    std::cout << "\nproposed framework, fault accounting: "
+              << reports[0].skipped_steps << " skipped steps, "
+              << reports[0].examples_lost
+              << " examples consumed but never applied\n";
+  }
   const double split_acc = reports[0].accuracy_at_bytes(budget);
   const double sgd_acc = reports[1].accuracy_at_bytes(budget);
   std::cout << "\nat the full byte budget (" << format_bytes(budget)

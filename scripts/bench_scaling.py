@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Record a platform-scaling trajectory point into BENCH_scaling.json.
+
+Runs bench/platform_scaling with --json-out (or distills an already-captured
+JSON file via --from-json) and merges the per-(K, schedule) rows under a
+label into the committed BENCH_scaling.json.
+
+This file is a trajectory, not a gate: CI runs the --smoke point (K=1000)
+under a wall-time bound and uploads the raw JSON as an artifact, but
+nothing fails on a slow machine. Refresh the committed numbers from an idle
+machine with:
+
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+    python3 scripts/bench_scaling.py --bin build/bench/platform_scaling \
+        --label my-change
+
+See EXPERIMENTS.md ("Reading the platform-count sweep") for what each
+column means.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_scaling.json"
+
+
+def run_bench(binary: str, max_k: int, rounds: int, smoke: bool) -> dict:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    cmd = [binary, "--json-out", json_path]
+    if smoke:
+        cmd.append("--smoke")
+    else:
+        cmd += ["--max-k", str(max_k), "--rounds", str(rounds)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed ({proc.returncode})")
+    return json.loads(Path(json_path).read_text())
+
+
+def distill(raw: dict) -> dict:
+    """Reduce the bench rows to {"K<k>/<schedule>": {columns...}}."""
+    out = {}
+    for row in raw.get("rows", []):
+        key = f"K{row['k']}/{row['schedule']}"
+        out[key] = {
+            "steps_per_round": round(float(row["steps_per_round"]), 1),
+            "bytes_per_round": round(float(row["bytes_per_round"])),
+            "sim_s_per_round": round(float(row["sim_s_per_round"]), 3),
+            "wall_ms_per_round": round(float(row["wall_ms_per_round"]), 2),
+        }
+    return out
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bin", default=str(REPO_ROOT / "build/bench/platform_scaling"),
+                    help="platform_scaling binary to run")
+    ap.add_argument("--from-json", default=None,
+                    help="distill this pre-captured --json-out file instead "
+                         "of running the binary")
+    ap.add_argument("--label", required=True,
+                    help="trajectory label to file results under "
+                         "(e.g. 'seed', 'event-scheduler')")
+    ap.add_argument("--max-k", type=int, default=4096,
+                    help="largest K in the sweep")
+    ap.add_argument("--rounds", type=int, default=5,
+                    help="rounds per run")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI mode: single K=1000 point, 3 rounds")
+    ap.add_argument("--out", default=str(DEFAULT_OUT),
+                    help="trajectory file to merge into")
+    args = ap.parse_args()
+
+    if args.from_json:
+        raw = json.loads(Path(args.from_json).read_text())
+    else:
+        raw = run_bench(args.bin, args.max_k, args.rounds, args.smoke)
+
+    out_path = Path(args.out)
+    if out_path.exists():
+        trajectory = json.loads(out_path.read_text())
+    else:
+        trajectory = {
+            "_comment": "Platform-count scaling trajectory for the "
+                        "event-driven round scheduler; refresh via "
+                        "scripts/bench_scaling.py (EXPERIMENTS.md). "
+                        "wall_ms_per_round excludes the final evaluation.",
+            "entries": {},
+        }
+
+    trajectory.setdefault("entries", {})[args.label] = {
+        "rounds": raw.get("rounds"),
+        "rows": distill(raw),
+    }
+    out_path.write_text(json.dumps(trajectory, indent=1, sort_keys=False) + "\n")
+
+    rows = trajectory["entries"][args.label]["rows"]
+    print(f"recorded {len(rows)} sweep rows under '{args.label}' -> {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -81,6 +81,11 @@ float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
 
 bool Rng::bernoulli(float p) { return uniform() < p; }
 
+bool Rng::bernoulli(double p) {
+  // 53 top bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53 < p;
+}
+
 RngState Rng::state() const {
   RngState st;
   for (std::size_t i = 0; i < 4; ++i) st.s[i] = s_[i];

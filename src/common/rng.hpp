@@ -55,6 +55,12 @@ class Rng {
   /// Bernoulli(p) — true with probability p.
   bool bernoulli(float p);
 
+  /// Bernoulli(p) at double precision — compares a 53-bit uniform against p
+  /// without narrowing it to float first (a float cast shifts p by up to
+  /// ~6e-8, a real bias at the extreme participation rates the trainer
+  /// sweeps). Consumes exactly one next_u64, like the float overload.
+  bool bernoulli(double p);
+
   /// In-place Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -66,6 +66,11 @@ void PlatformNode::abort_step() {
   SPLITMED_CHECK(state_ != PlatformState::kIdle,
                  "platform " << id_ << ": abort_step while idle");
   state_ = PlatformState::kIdle;
+  // The loader already consumed this minibatch; abandoning the step means
+  // those examples never reach an optimizer step anywhere. Count them —
+  // epoch accounting and the fault benches must show the lost work, not
+  // silently absorb it.
+  examples_lost_ += static_cast<std::int64_t>(pending_labels_.size());
   pending_labels_.clear();
   last_sent_.reset();
   ++aborted_steps_;
@@ -159,6 +164,7 @@ void PlatformNode::save_state(BufferWriter& writer) {
   writer.write_i64(steps_completed_);
   writer.write_i64(stale_ignored_);
   writer.write_i64(aborted_steps_);
+  writer.write_i64(examples_lost_);
 }
 
 void PlatformNode::load_state(BufferReader& reader) {
@@ -175,7 +181,9 @@ void PlatformNode::load_state(BufferReader& reader) {
   steps_completed_ = reader.read_i64();
   stale_ignored_ = reader.read_i64();
   aborted_steps_ = reader.read_i64();
-  if (steps_completed_ < 0 || stale_ignored_ < 0 || aborted_steps_ < 0) {
+  examples_lost_ = reader.read_i64();
+  if (steps_completed_ < 0 || stale_ignored_ < 0 || aborted_steps_ < 0 ||
+      examples_lost_ < 0) {
     throw SerializationError("platform " + std::to_string(id_) +
                              ": negative counter in checkpoint");
   }

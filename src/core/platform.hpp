@@ -82,6 +82,9 @@ class PlatformNode {
   [[nodiscard]] std::int64_t stale_ignored() const { return stale_ignored_; }
   /// Steps abandoned by abort_step().
   [[nodiscard]] std::int64_t aborted_steps() const { return aborted_steps_; }
+  /// Examples drawn from the loader but discarded by abort_step() — work the
+  /// epoch accounting would otherwise silently lose.
+  [[nodiscard]] std::int64_t examples_lost() const { return examples_lost_; }
   [[nodiscard]] nn::Sequential& l1() { return l1_; }
 
   /// Serializes the platform's complete training state: L1 parameters and
@@ -118,6 +121,7 @@ class PlatformNode {
   std::int64_t steps_completed_ = 0;
   std::int64_t stale_ignored_ = 0;
   std::int64_t aborted_steps_ = 0;
+  std::int64_t examples_lost_ = 0;
 };
 
 }  // namespace splitmed::core

@@ -1,0 +1,89 @@
+#include "src/core/scheduler.hpp"
+
+#include <limits>
+
+#include "src/common/error.hpp"
+#include "src/obs/obs.hpp"
+
+namespace splitmed::core {
+
+namespace {
+constexpr std::size_t kNoPlatform = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+EventScheduler::EventScheduler(
+    net::Network& network, CentralServer& server,
+    const std::vector<std::unique_ptr<PlatformNode>>& platforms)
+    : network_(network), server_(server), platforms_(platforms) {
+  node_to_platform_.assign(network.node_count(), kNoPlatform);
+  for (std::size_t p = 0; p < platforms_.size(); ++p) {
+    const NodeId node = platforms_[p]->id();
+    SPLITMED_CHECK(node < node_to_platform_.size(),
+                   "platform node id " << node << " outside the network");
+    node_to_platform_[node] = p;
+  }
+  in_flight_.assign(platforms_.size(), std::nullopt);
+}
+
+void EventScheduler::begin_step(std::size_t platform, std::uint64_t step_id,
+                                std::int64_t round) {
+  SPLITMED_CHECK(platform < platforms_.size(), "platform index out of range");
+  SPLITMED_ASSERT(!in_flight_[platform],
+                  "platform " << platform << " already has a step in flight");
+  platforms_[platform]->send_activation(network_, step_id);
+  in_flight_[platform] = InFlightStep{step_id, round};
+  ++inflight_by_round_[round];
+  ++steps_in_flight_;
+}
+
+void EventScheduler::dispatch(const Envelope& envelope) {
+  if (envelope.dst == server_.id()) {
+    server_.handle(network_, envelope);
+    return;
+  }
+  const std::size_t p = node_to_platform_[envelope.dst];
+  SPLITMED_ASSERT(p != kNoPlatform,
+                  "frame addressed to unknown node " << envelope.dst);
+  platforms_[p]->handle(network_, envelope);
+}
+
+std::optional<std::size_t> EventScheduler::pump_one() {
+  const auto event = network_.next_event();
+  SPLITMED_ASSERT(event.has_value(), "pump_one with nothing in flight");
+  if (event->node == server_.id()) {
+    server_.handle(network_, network_.receive(server_.id()));
+    return std::nullopt;
+  }
+  const std::size_t p = node_to_platform_[event->node];
+  SPLITMED_ASSERT(p != kNoPlatform,
+                  "frame addressed to unknown node " << event->node);
+  const Envelope envelope = network_.receive(event->node);
+  const bool is_cut_grad =
+      static_cast<MsgKind>(envelope.kind) == MsgKind::kCutGrad;
+  platforms_[p]->handle(network_, envelope);
+  if (!is_cut_grad || platforms_[p]->state() != PlatformState::kIdle) {
+    return std::nullopt;
+  }
+  // The cut gradient was applied — platform p's step is complete.
+  SPLITMED_ASSERT(in_flight_[p], "completion for an untracked step");
+  const auto round_it = inflight_by_round_.find(in_flight_[p]->start_round);
+  SPLITMED_ASSERT(round_it != inflight_by_round_.end(),
+                  "in-flight round accounting out of sync");
+  if (--round_it->second == 0) inflight_by_round_.erase(round_it);
+  in_flight_[p].reset();
+  --steps_in_flight_;
+  return p;
+}
+
+void EventScheduler::drain(std::int64_t horizon,
+                           std::vector<std::size_t>& completed) {
+  const std::size_t entry_count = completed.size();
+  while (steps_in_flight_ > 0 &&
+         (has_step_at_or_before(horizon) ||
+          completed.size() == entry_count)) {
+    const auto done = pump_one();
+    if (done) completed.push_back(*done);
+  }
+}
+
+}  // namespace splitmed::core

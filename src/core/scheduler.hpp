@@ -1,0 +1,97 @@
+// EventScheduler — the event-driven round engine.
+//
+// The paper's workflow serves platforms strictly one after another; the
+// overlapped and bounded-staleness schedules instead keep many platform
+// protocol steps in flight at once. This class drives those steps as
+// per-platform state machines off the network's global arrival index
+// (Network::next_event()): each pump delivers exactly the globally earliest
+// in-flight frame to its destination node, so every delivery is O(log n) and
+// a round costs O(active events), not O(platforms) per tick.
+//
+// Determinism: the only ordering source is the network's (arrival time, send
+// sequence) total order, which is itself a pure function of the
+// configuration. Two runs of the same config execute the identical event
+// sequence; thread count, observability, and ISA never enter the ordering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/platform.hpp"
+#include "src/core/server.hpp"
+#include "src/net/network.hpp"
+
+namespace splitmed::core {
+
+class EventScheduler {
+ public:
+  /// Holds references only — the trainer owns the nodes. `platforms` must be
+  /// fully populated before construction.
+  EventScheduler(net::Network& network, CentralServer& server,
+                 const std::vector<std::unique_ptr<PlatformNode>>& platforms);
+
+  /// Starts a protocol step for an idle platform: ships its activation and
+  /// tracks the step as in flight, tagged with the round it started in.
+  void begin_step(std::size_t platform, std::uint64_t step_id,
+                  std::int64_t round);
+
+  /// True while the platform's step is in flight (a straggler at a round
+  /// boundary under bounded staleness).
+  [[nodiscard]] bool busy(std::size_t platform) const {
+    return in_flight_[platform].has_value();
+  }
+  [[nodiscard]] std::size_t steps_in_flight() const {
+    return steps_in_flight_;
+  }
+  /// True when some in-flight step started at or before `round` — the
+  /// staleness-horizon predicate.
+  [[nodiscard]] bool has_step_at_or_before(std::int64_t round) const {
+    return !inflight_by_round_.empty() &&
+           inflight_by_round_.begin()->first <= round;
+  }
+
+  /// Delivers the globally earliest in-flight frame and dispatches it to its
+  /// node's state machine. Returns the platform index when that delivery
+  /// completed the platform's step, nullopt otherwise. Requires a frame in
+  /// flight (an in-flight step always has exactly one frame moving or a
+  /// queued activation behind a moving frame, so a pump can never starve
+  /// while steps_in_flight() > 0).
+  std::optional<std::size_t> pump_one();
+
+  /// Pumps until every step with start_round <= `horizon` has completed AND
+  /// at least one step completed during this call (liveness: every round
+  /// folds in work, however stale) — or nothing is left in flight.
+  /// Completed platform indices are appended to `completed` in completion
+  /// order. With horizon >= the newest start round this is a full drain
+  /// barrier (the overlapped schedule, checkpoint boundaries, the final
+  /// round).
+  void drain(std::int64_t horizon, std::vector<std::size_t>& completed);
+
+  /// Routes an already-received envelope to its destination state machine
+  /// (server or platform). Used by the reliable sequential path, which
+  /// shares the global event ordering but manages its own timeout windows
+  /// and does not track steps here.
+  void dispatch(const Envelope& envelope);
+
+ private:
+  struct InFlightStep {
+    std::uint64_t step_id = 0;
+    std::int64_t start_round = 0;
+  };
+
+  net::Network& network_;
+  CentralServer& server_;
+  const std::vector<std::unique_ptr<PlatformNode>>& platforms_;
+  /// Dense node id -> platform index (kNoPlatform for the server).
+  std::vector<std::size_t> node_to_platform_;
+  std::vector<std::optional<InFlightStep>> in_flight_;
+  /// start_round -> number of in-flight steps begun that round; the head is
+  /// the oldest outstanding round, so the staleness predicate is O(1).
+  std::map<std::int64_t, std::size_t> inflight_by_round_;
+  std::size_t steps_in_flight_ = 0;
+};
+
+}  // namespace splitmed::core

@@ -1,7 +1,9 @@
 #include "src/core/trainer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
@@ -37,6 +39,13 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                    "WAN fault injection requires the sequential schedule");
     SPLITMED_CHECK(config_.sync_l1_every == 0,
                    "WAN fault injection does not cover the L1-sync extension");
+  }
+  if (config_.schedule == Schedule::kBoundedStaleness) {
+    SPLITMED_CHECK(config_.staleness_bound >= 0,
+                   "staleness_bound must be >= 0");
+    SPLITMED_CHECK(config_.sync_l1_every == 0,
+                   "bounded staleness does not cover the L1-sync extension "
+                   "(its sync barrier assumes drained round boundaries)");
   }
   if (config_.obs.enabled) {
     obs_session_ = std::make_unique<obs::ObsSession>(config_.obs);
@@ -80,7 +89,7 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
     if (p == 0) {
       ServerOptions server_opt;
       server_opt.wire_dtype = config_.wire_dtype;
-      server_opt.allow_queueing = config_.schedule == Schedule::kOverlapped;
+      server_opt.allow_queueing = config_.schedule != Schedule::kSequential;
       server_opt.tolerate_faults = config_.faults.any();
       server_ = std::make_unique<CentralServer>(topology_.server,
                                                 std::move(parts.server),
@@ -120,6 +129,8 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
     platforms_[p]->set_minibatch_size(minibatches_[p]);
     examples_per_round_ += minibatches_[p];
   }
+  scheduler_ = std::make_unique<EventScheduler>(network_, *server_,
+                                                platforms_);
   report_.protocol = "split";
   report_.model = model_name_;
   if (!config_.resume_from.empty()) {
@@ -150,31 +161,20 @@ bool SplitTrainer::await_platform_progress(PlatformNode& platform) {
   for (int attempt = 0; attempt <= config_.recovery.max_retries; ++attempt) {
     const double deadline = network_.clock().now() + timeout;
     while (platform.state() == entry) {
-      // Deliver the earliest frame across the two protocol inboxes (the
-      // server wins exact ties — request before stale reply).
-      const auto server_at = network_.next_arrival(server_->id());
-      const auto platform_at = network_.next_arrival(platform.id());
-      NodeId target;
-      double earliest;
-      if (server_at && (!platform_at || *server_at <= *platform_at)) {
-        target = server_->id();
-        earliest = *server_at;
-      } else if (platform_at) {
-        target = platform.id();
-        earliest = *platform_at;
-      } else {
-        break;  // nothing in flight at all — only a retransmit can help
-      }
-      if (earliest > deadline) break;  // next event is beyond this window
-      const auto env = network_.receive_before(target, deadline);
+      // Deliver the globally earliest frame (the network's arrival index).
+      // Frames for other platforms are late replies to already-completed or
+      // abandoned steps — their state machines count and ignore them; the
+      // clock passes through their arrivals exactly as it would when that
+      // platform eventually pumped them itself.
+      const auto event = network_.next_event();
+      if (!event) break;  // nothing in flight at all — only a retransmit
+                          // can help
+      if (event->arrival > deadline) break;  // beyond this timeout window
+      const auto env = network_.receive_before(event->node, deadline);
       // nullopt: the window held only corrupted frames (now discarded and
-      // counted) — re-evaluate the inboxes.
+      // counted) — re-evaluate the queue.
       if (!env) continue;
-      if (env->dst == server_->id()) {
-        server_->handle(network_, *env);
-      } else {
-        platform.handle(network_, *env);
-      }
+      scheduler_->dispatch(*env);
     }
     if (platform.state() != entry) return true;
     network_.clock().advance_to(deadline);
@@ -227,36 +227,29 @@ bool SplitTrainer::run_platform_step_reliable(PlatformNode& platform,
   return true;
 }
 
-void SplitTrainer::run_overlapped_round(
-    const std::vector<std::size_t>& participants, std::uint64_t& step_id) {
-  // Phase 1: everyone uploads concurrently (separate star links).
+void SplitTrainer::run_event_round(
+    const std::vector<std::size_t>& participants, std::int64_t round,
+    bool drain_fully, std::vector<std::size_t>& stepped) {
+  // Idle participants begin a step; a participant still mid-step (a
+  // straggler under bounded staleness) keeps its in-flight step — it will
+  // fold in when its frames arrive, never twice in one round.
   for (const std::size_t p : participants) {
-    platforms_[p]->send_activation(network_, ++step_id);
-  }
-  // Phase 2: event loop. The server drains its inbox with priority (it
-  // queues activations internally while a backward is outstanding);
-  // platforms are polled in index order for determinism. A platform's step
-  // completes when its cut gradient has been applied.
-  std::size_t completed = 0;
-  while (completed < participants.size()) {
-    if (network_.pending(server_->id()) > 0) {
-      server_->handle(network_, network_.receive(server_->id()));
-      continue;
+    if (!scheduler_->busy(p)) {
+      scheduler_->begin_step(p, ++step_id_, round);
     }
-    bool progressed = false;
-    for (const std::size_t p : participants) {
-      if (network_.pending(platforms_[p]->id()) == 0) continue;
-      const Envelope env = network_.receive(platforms_[p]->id());
-      const bool is_cut_grad =
-          static_cast<MsgKind>(env.kind) == MsgKind::kCutGrad;
-      platforms_[p]->handle(network_, env);
-      if (is_cut_grad) ++completed;
-      progressed = true;
-      break;
-    }
-    SPLITMED_ASSERT(progressed || completed == participants.size(),
-                    "overlapped round deadlocked");
   }
+  // The round boundary waits for every step older than the staleness bound
+  // (all of them when draining fully: overlapped rounds, checkpoint
+  // boundaries, the final round) and for at least one completion.
+  const std::int64_t horizon =
+      drain_fully ? round : round - config_.staleness_bound;
+  std::vector<std::size_t> completed;
+  scheduler_->drain(horizon, completed);
+  // Completion order is arrival order; report in ascending platform index
+  // so downstream accounting (loss averaging, example sums) is independent
+  // of WAN timing.
+  std::sort(completed.begin(), completed.end());
+  stepped = std::move(completed);
 }
 
 std::vector<std::size_t> SplitTrainer::sample_participants(
@@ -268,7 +261,10 @@ std::vector<std::size_t> SplitTrainer::sample_participants(
     return out;
   }
   for (std::size_t p = 0; p < platforms_.size(); ++p) {
-    if (participation_rng_.bernoulli(static_cast<float>(config_.participation))) {
+    // Double-precision draw: narrowing the configured rate to float shifted
+    // it by up to ~6e-8, so extreme rates (participation = 1e-6 sweeps)
+    // sampled a measurably different distribution than configured.
+    if (participation_rng_.bernoulli(config_.participation)) {
       out.push_back(p);
     }
   }
@@ -333,8 +329,23 @@ double SplitTrainer::round_train_loss(
     return loss / static_cast<double>(platforms_.size());
   }
   SPLITMED_ASSERT(!participants.empty(), "round without participants");
-  for (const std::size_t p : participants) loss += platforms_[p]->last_loss();
-  return loss / static_cast<double>(participants.size());
+  // Only platforms that have completed at least one step carry a real
+  // last_loss(); a never-stepped platform's 0.0 is a placeholder, not an
+  // observation. Averaging placeholders in (the pre-fix behaviour) reported
+  // a fake 0.0 loss whenever every participant of a round was abandoned
+  // under faults.
+  std::int64_t counted = 0;
+  for (const std::size_t p : participants) {
+    if (platforms_[p]->steps_completed() == 0) continue;
+    loss += platforms_[p]->last_loss();
+    ++counted;
+  }
+  if (counted > 0) return loss / static_cast<double>(counted);
+  // Nobody in the fallback set has ever stepped (e.g. a 100% drop plan in
+  // the first round): carry the previous curve point forward, or report NaN
+  // when there is no observation at all — never a fabricated 0.0.
+  if (!report_.curve.empty()) return report_.curve.back().train_loss;
+  return std::numeric_limits<double>::quiet_NaN();
 }
 
 double SplitTrainer::evaluate() {
@@ -371,9 +382,17 @@ metrics::TrainReport SplitTrainer::run() {
     // unreachable); only platforms that actually stepped count toward the
     // examples processed and the reported loss.
     std::vector<std::size_t> stepped;
-    if (config_.schedule == Schedule::kOverlapped) {
-      run_overlapped_round(participants, step_id_);
-      stepped = participants;
+    if (config_.schedule != Schedule::kSequential) {
+      // Event-driven schedules: checkpoint boundaries and the final round
+      // force a full drain barrier (quiescence — every straggler folds in
+      // before state is captured or the report closes).
+      const bool drain_fully =
+          config_.schedule == Schedule::kOverlapped ||
+          round == config_.rounds ||
+          (config_.checkpoint_every > 0 &&
+           round % config_.checkpoint_every == 0) ||
+          (config_.sync_l1_every > 0 && round % config_.sync_l1_every == 0);
+      run_event_round(participants, round, drain_fully, stepped);
     } else if (!config_.faults.any()) {
       for (const std::size_t p : participants) {
         run_platform_step(*platforms_[p], ++step_id_);
@@ -390,6 +409,15 @@ metrics::TrainReport SplitTrainer::run() {
     }
     for (const std::size_t p : stepped) {
       examples_processed_ += minibatches_[p];
+    }
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->gauge("splitmed_active_platforms",
+               "Platforms whose protocol step completed this round")
+          .set(static_cast<double>(stepped.size()));
+      m->gauge("splitmed_event_queue_depth",
+               "Frames in flight across every inbox at the round boundary "
+               "(straggler steps under bounded staleness)")
+          .set(static_cast<double>(network_.total_in_flight()));
     }
     if (config_.sync_l1_every > 0 && round % config_.sync_l1_every == 0) {
       sync_l1(step_id_);
@@ -466,6 +494,8 @@ metrics::TrainReport SplitTrainer::run() {
   report_.total_bytes = network_.stats().total_bytes();
   report_.total_sim_seconds = network_.clock().now();
   report_.skipped_steps = skipped_steps_;
+  report_.examples_lost = 0;
+  for (const auto& p : platforms_) report_.examples_lost += p->examples_lost();
   return report_;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/core/minibatch_policy.hpp"
 #include "src/core/platform.hpp"
+#include "src/core/scheduler.hpp"
 #include "src/core/server.hpp"
 #include "src/data/partition.hpp"
 #include "src/metrics/curve.hpp"
@@ -37,8 +38,14 @@ enum class Schedule {
   /// All participating platforms upload concurrently (separate WAN links);
   /// the server processes arrivals FIFO. Same mathematics, same bytes, less
   /// wall-clock — the latency optimization the sequential workflow leaves
-  /// on the table.
+  /// on the table. Round boundaries are full drain barriers.
   kOverlapped,
+  /// Overlapped uploads WITHOUT the per-round drain barrier: a round only
+  /// waits for steps that started more than `staleness_bound` rounds ago,
+  /// so a straggler hospital folds its step in late instead of stalling
+  /// everyone. Deterministic — completion order is the network's
+  /// (arrival time, send sequence) order. Requires sync_l1_every == 0.
+  kBoundedStaleness,
 };
 
 struct SplitConfig {
@@ -70,6 +77,11 @@ struct SplitConfig {
   /// Gaussian noise stddev added to outgoing activations (privacy defense).
   float smash_noise_std = 0.0F;
   Schedule schedule = Schedule::kSequential;
+  /// kBoundedStaleness only: how many rounds late a straggler's step may
+  /// fold in. Round r's boundary waits for every step begun at or before
+  /// round r - staleness_bound (and for at least one completion, so every
+  /// round makes progress). 0 = the overlapped barrier.
+  std::int64_t staleness_bound = 1;
   /// Per-round probability that a platform participates (fault injection /
   /// intermittent hospitals). At least one platform always participates.
   double participation = 1.0;
@@ -168,9 +180,15 @@ class SplitTrainer {
   /// retransmitting its last message on timeout (exponential backoff over
   /// simulated time). False = retries exhausted without progress.
   bool await_platform_progress(PlatformNode& platform);
-  /// All participants upload concurrently; arrivals served FIFO.
-  void run_overlapped_round(const std::vector<std::size_t>& participants,
-                            std::uint64_t& step_id);
+  /// One event-driven round (overlapped / bounded staleness): idle
+  /// participants begin steps, then the scheduler pumps the global arrival
+  /// queue to the round's staleness horizon (`drain_fully` forces a full
+  /// barrier — overlapped rounds, checkpoint boundaries, the final round).
+  /// `stepped` receives the platforms whose steps completed this round, in
+  /// ascending index order.
+  void run_event_round(const std::vector<std::size_t>& participants,
+                       std::int64_t round, bool drain_fully,
+                       std::vector<std::size_t>& stepped);
   /// Samples this round's participants (>= 1, deterministic in the seed).
   std::vector<std::size_t> sample_participants(std::int64_t round);
   /// Mean last_loss over this round's participants; once every platform has
@@ -186,6 +204,10 @@ class SplitTrainer {
   net::StarTopology topology_;
   std::unique_ptr<CentralServer> server_;
   std::vector<std::unique_ptr<PlatformNode>> platforms_;
+  /// Event-driven round engine (overlapped / bounded-staleness schedules;
+  /// also routes frames for the reliable sequential path). Built after the
+  /// node set is final.
+  std::unique_ptr<EventScheduler> scheduler_;
   /// Keeps each replica's Rng alive (Dropout layers hold pointers into it).
   std::vector<std::unique_ptr<Rng>> replica_rngs_;
   std::vector<std::int64_t> minibatches_;

@@ -29,6 +29,10 @@ struct TrainReport {
   /// Platform steps abandoned after retransmissions were exhausted (WAN
   /// fault recovery; always 0 in a fault-free run).
   std::int64_t skipped_steps = 0;
+  /// Examples consumed from platform loaders but never applied to any
+  /// optimizer step because the step was abandoned (sum of the platforms'
+  /// examples_lost counters; always 0 in a fault-free run).
+  std::int64_t examples_lost = 0;
 
   /// Accuracy of the last point at or under the byte budget (0.0 when the
   /// first point already exceeds it).

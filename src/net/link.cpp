@@ -7,8 +7,7 @@ namespace splitmed::net {
 double Link::transfer_time(std::uint64_t bytes) const {
   SPLITMED_CHECK(bandwidth_bytes_per_sec > 0.0, "link bandwidth must be > 0");
   SPLITMED_CHECK(latency_sec >= 0.0, "link latency must be >= 0");
-  return latency_sec +
-         static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  return latency_sec + serialization_time(bytes);
 }
 
 Link Link::mbps(double megabits_per_sec, double latency_ms) {

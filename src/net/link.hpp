@@ -13,6 +13,11 @@ struct Link {
   /// One-way propagation latency in seconds.
   double latency_sec = 0.0;
 
+  /// Time to clock `bytes` onto the wire at this bandwidth (no latency).
+  [[nodiscard]] double serialization_time(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+
   /// Time between send start and full arrival of `bytes`.
   [[nodiscard]] double transfer_time(std::uint64_t bytes) const;
 

@@ -1,6 +1,7 @@
 #include "src/net/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 
 #include "src/common/error.hpp"
@@ -11,6 +12,8 @@
 namespace splitmed::net {
 
 namespace {
+
+constexpr std::size_t kNotIndexed = std::numeric_limits<std::size_t>::max();
 
 // Sim-time latency buckets: WAN round trips live in the 1ms..5s decade
 // range (delay spikes push the tail out to seconds).
@@ -119,11 +122,19 @@ void obs_deliver(const std::vector<std::string>& nodes, const Envelope& e,
   }
 }
 
+/// (arrival, sequence) total order — sequences are unique, so no two frames
+/// ever compare equal and every heap has a single well-defined head.
+bool frame_before(double arrival_a, std::uint64_t seq_a, double arrival_b,
+                  std::uint64_t seq_b) {
+  return arrival_a != arrival_b ? arrival_a < arrival_b : seq_a < seq_b;
+}
+
 }  // namespace
 
 NodeId Network::add_node(std::string name) {
   nodes_.push_back(std::move(name));
   inbox_.emplace_back();
+  index_pos_.push_back(kNotIndexed);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -194,6 +205,142 @@ void Network::corrupt_in_flight(Envelope& envelope) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Arrival index maintenance. Inboxes are binary min-heaps; the global index
+// is a second min-heap of node ids keyed by each inbox head, with a position
+// table so a node's key change is a single O(log nodes) sift rather than a
+// rebuild.
+
+bool Network::head_before(NodeId a, NodeId b) const {
+  const InFlight& fa = inbox_[a].front();
+  const InFlight& fb = inbox_[b].front();
+  return frame_before(fa.arrival, fa.sequence, fb.arrival, fb.sequence);
+}
+
+void Network::index_sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!head_before(index_heap_[i], index_heap_[parent])) break;
+    std::swap(index_heap_[i], index_heap_[parent]);
+    index_pos_[index_heap_[i]] = i;
+    index_pos_[index_heap_[parent]] = parent;
+    i = parent;
+  }
+}
+
+void Network::index_sift_down(std::size_t i) {
+  const std::size_t n = index_heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < n && head_before(index_heap_[right], index_heap_[left])) {
+      best = right;
+    }
+    if (!head_before(index_heap_[best], index_heap_[i])) break;
+    std::swap(index_heap_[i], index_heap_[best]);
+    index_pos_[index_heap_[i]] = i;
+    index_pos_[index_heap_[best]] = best;
+    i = best;
+  }
+}
+
+void Network::inbox_push(InFlight frame) {
+  const NodeId node = frame.envelope.dst;
+  auto& box = inbox_[node];
+  // Standard binary-heap insertion: append, then sift the new frame up.
+  box.push_back(std::move(frame));
+  std::size_t i = box.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!frame_before(box[i].arrival, box[i].sequence, box[parent].arrival,
+                      box[parent].sequence)) {
+      break;
+    }
+    std::swap(box[i], box[parent]);
+    i = parent;
+  }
+  ++in_flight_count_;
+  if (index_pos_[node] == kNotIndexed) {
+    index_heap_.push_back(node);
+    index_pos_[node] = index_heap_.size() - 1;
+    index_sift_up(index_pos_[node]);
+  } else if (i == 0) {
+    // The new frame became this inbox's head — the node's key decreased.
+    index_sift_up(index_pos_[node]);
+  }
+}
+
+Network::InFlight Network::inbox_pop(NodeId node) {
+  auto& box = inbox_[node];
+  SPLITMED_ASSERT(!box.empty(), "inbox_pop on an empty inbox");
+  InFlight out = std::move(box.front());
+  box.front() = std::move(box.back());
+  box.pop_back();
+  // Sift the relocated tail element down to restore the heap.
+  std::size_t i = 0;
+  const std::size_t n = box.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < n && frame_before(box[right].arrival, box[right].sequence,
+                                  box[left].arrival, box[left].sequence)) {
+      best = right;
+    }
+    if (!frame_before(box[best].arrival, box[best].sequence, box[i].arrival,
+                      box[i].sequence)) {
+      break;
+    }
+    std::swap(box[i], box[best]);
+    i = best;
+  }
+  --in_flight_count_;
+  const std::size_t pos = index_pos_[node];
+  if (box.empty()) {
+    // Remove the node from the index: swap with the last slot and re-sift
+    // the displaced node (its key is unchanged but its position moved).
+    const NodeId moved = index_heap_.back();
+    index_heap_.pop_back();
+    index_pos_[node] = kNotIndexed;
+    if (moved != node) {
+      index_heap_[pos] = moved;
+      index_pos_[moved] = pos;
+      index_sift_up(pos);
+      index_sift_down(index_pos_[moved]);
+    }
+  } else {
+    // The inbox head changed to a later frame — the node's key increased.
+    index_sift_down(pos);
+  }
+  return out;
+}
+
+void Network::index_rebuild() {
+  index_heap_.clear();
+  std::fill(index_pos_.begin(), index_pos_.end(), kNotIndexed);
+  in_flight_count_ = 0;
+  for (NodeId node = 0; node < inbox_.size(); ++node) {
+    auto& box = inbox_[node];
+    if (box.empty()) continue;
+    in_flight_count_ += box.size();
+    std::make_heap(box.begin(), box.end(),
+                   [](const InFlight& a, const InFlight& b) {
+                     // std::make_heap builds a max-heap under its comparator,
+                     // so invert to get the (arrival, sequence) min at front.
+                     return frame_before(b.arrival, b.sequence, a.arrival,
+                                         a.sequence);
+                   });
+    index_heap_.push_back(node);
+    index_pos_[node] = index_heap_.size() - 1;
+    index_sift_up(index_pos_[node]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
 void Network::send(Envelope envelope) {
   check_node(envelope.src);
   check_node(envelope.dst);
@@ -206,8 +353,7 @@ void Network::send(Envelope envelope) {
   double& busy_until = link_busy_until_[{envelope.src, envelope.dst}];
   const double now = clock_.now();
   const double start = std::max(now, busy_until);
-  const double serialization =
-      static_cast<double>(bytes) / l.bandwidth_bytes_per_sec;
+  const double serialization = l.serialization_time(bytes);
   busy_until = start + serialization;
   double arrival = busy_until + l.latency_sec;
 
@@ -216,8 +362,7 @@ void Network::send(Envelope envelope) {
 
   if (!faults_enabled_) {
     obs_send(nodes_, envelope, bytes, now, start, arrival);
-    inbox_[envelope.dst].push_back(
-        InFlight{arrival, sequence_++, std::move(envelope)});
+    inbox_push(InFlight{arrival, sequence_++, std::move(envelope)});
     return;
   }
 
@@ -265,13 +410,10 @@ void Network::send(Envelope envelope) {
           obs_fault(nodes_, envelope, "corrupt", start);
         }
       }
-      const NodeId dst = envelope.dst;
       if (!drop) {
-        inbox_[dst].push_back(
-            InFlight{arrival, sequence_++, std::move(envelope)});
+        inbox_push(InFlight{arrival, sequence_++, std::move(envelope)});
       }
-      inbox_[dst].push_back(
-          InFlight{copy_arrival, sequence_++, std::move(copy)});
+      inbox_push(InFlight{copy_arrival, sequence_++, std::move(copy)});
       return;
     }
     if (drop) {
@@ -286,28 +428,21 @@ void Network::send(Envelope envelope) {
   } else {
     obs_send(nodes_, envelope, bytes, now, start, arrival);
   }
-  inbox_[envelope.dst].push_back(
-      InFlight{arrival, sequence_++, std::move(envelope)});
+  inbox_push(InFlight{arrival, sequence_++, std::move(envelope)});
 }
 
 Envelope Network::receive(NodeId node) {
   check_node(node);
-  auto& box = inbox_[node];
   while (true) {
-    if (box.empty()) {
+    if (inbox_[node].empty()) {
       const std::string reason = "receive on node '" + nodes_[node] +
                                  "' with no message in flight";
       obs::postmortem(reason);
       throw ProtocolError(reason);
     }
-    const auto it = std::min_element(
-        box.begin(), box.end(), [](const InFlight& a, const InFlight& b) {
-          return a.arrival != b.arrival ? a.arrival < b.arrival
-                                        : a.sequence < b.sequence;
-        });
-    clock_.advance_to(it->arrival);
-    Envelope out = std::move(it->envelope);
-    box.erase(it);
+    InFlight f = inbox_pop(node);
+    clock_.advance_to(f.arrival);
+    Envelope out = std::move(f.envelope);
     if (!faults_enabled_ || intact(out)) {
       obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/false);
       return out;
@@ -319,20 +454,14 @@ Envelope Network::receive(NodeId node) {
 
 std::optional<Envelope> Network::try_receive(NodeId node) {
   check_node(node);
-  auto& box = inbox_[node];
   while (true) {
-    auto best = box.end();
-    for (auto it = box.begin(); it != box.end(); ++it) {
-      if (it->arrival > clock_.now()) continue;
-      if (best == box.end() || it->arrival < best->arrival ||
-          (it->arrival == best->arrival && it->sequence < best->sequence)) {
-        best = it;
-      }
+    const auto& box = inbox_[node];
+    if (box.empty() || box.front().arrival > clock_.now()) {
+      return std::nullopt;
     }
-    if (best == box.end()) return std::nullopt;
-    const double arrived = best->arrival;
-    Envelope out = std::move(best->envelope);
-    box.erase(best);
+    InFlight f = inbox_pop(node);
+    const double arrived = f.arrival;
+    Envelope out = std::move(f.envelope);
     if (!faults_enabled_ || intact(out)) {
       obs_deliver(nodes_, out, arrived, /*corrupt_discarded=*/false);
       return out;
@@ -344,20 +473,14 @@ std::optional<Envelope> Network::try_receive(NodeId node) {
 
 std::optional<Envelope> Network::receive_before(NodeId node, double deadline) {
   check_node(node);
-  auto& box = inbox_[node];
   while (true) {
-    auto best = box.end();
-    for (auto it = box.begin(); it != box.end(); ++it) {
-      if (it->arrival > deadline) continue;
-      if (best == box.end() || it->arrival < best->arrival ||
-          (it->arrival == best->arrival && it->sequence < best->sequence)) {
-        best = it;
-      }
+    const auto& box = inbox_[node];
+    if (box.empty() || box.front().arrival > deadline) {
+      return std::nullopt;
     }
-    if (best == box.end()) return std::nullopt;
-    clock_.advance_to(best->arrival);
-    Envelope out = std::move(best->envelope);
-    box.erase(best);
+    InFlight f = inbox_pop(node);
+    clock_.advance_to(f.arrival);
+    Envelope out = std::move(f.envelope);
     if (!faults_enabled_ || intact(out)) {
       obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/false);
       return out;
@@ -370,21 +493,19 @@ std::optional<Envelope> Network::receive_before(NodeId node, double deadline) {
 std::optional<double> Network::next_arrival(NodeId node) const {
   check_node(node);
   const auto& box = inbox_[node];
-  std::optional<double> earliest;
-  for (const auto& m : box) {
-    if (!earliest || m.arrival < *earliest) earliest = m.arrival;
-  }
-  return earliest;
+  if (box.empty()) return std::nullopt;
+  return box.front().arrival;
+}
+
+std::optional<NextEvent> Network::next_event() const {
+  if (index_heap_.empty()) return std::nullopt;
+  const NodeId node = index_heap_.front();
+  return NextEvent{inbox_[node].front().arrival, node};
 }
 
 std::size_t Network::pending(NodeId node) const {
   SPLITMED_CHECK(node < nodes_.size(), "unknown node id " << node);
   return inbox_[node].size();
-}
-
-bool Network::quiescent() const {
-  return std::all_of(inbox_.begin(), inbox_.end(),
-                     [](const auto& box) { return box.empty(); });
 }
 
 void Network::save_state(BufferWriter& writer) const {
@@ -397,17 +518,27 @@ void Network::save_state(BufferWriter& writer) const {
     writer.write_u32(pair.second);
     writer.write_f64(busy_until);
   }
-  // In-flight frames, per destination inbox. Fault-free round boundaries are
-  // quiescent and write zero entries; under WAN fault injection, late
-  // duplicates and post-timeout replies legitimately straddle the boundary
-  // and MUST travel with the checkpoint — the resumed run has to deliver
-  // (and ignore) exactly the frames the uninterrupted run would have.
+  // In-flight frames, per destination inbox, in (arrival, sequence) order —
+  // deterministic regardless of the heap's internal array layout. Fault-free
+  // round boundaries are quiescent and write zero entries; under WAN fault
+  // injection, late duplicates and post-timeout replies legitimately
+  // straddle the boundary and MUST travel with the checkpoint — the resumed
+  // run has to deliver (and ignore) exactly the frames the uninterrupted run
+  // would have.
   for (const auto& box : inbox_) {
     writer.write_u32(static_cast<std::uint32_t>(box.size()));
-    for (const InFlight& f : box) {
-      writer.write_f64(f.arrival);
-      writer.write_u64(f.sequence);
-      encode_envelope(f.envelope, writer);
+    std::vector<const InFlight*> ordered;
+    ordered.reserve(box.size());
+    for (const InFlight& f : box) ordered.push_back(&f);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const InFlight* a, const InFlight* b) {
+                return frame_before(a->arrival, a->sequence, b->arrival,
+                                    b->sequence);
+              });
+    for (const InFlight* f : ordered) {
+      writer.write_f64(f->arrival);
+      writer.write_u64(f->sequence);
+      encode_envelope(f->envelope, writer);
     }
   }
   encode_rng(fault_rng_, writer);
@@ -472,6 +603,7 @@ void Network::load_state(BufferReader& reader) {
   sequence_ = sequence;
   link_busy_until_ = std::move(busy);
   inbox_ = std::move(inbox);
+  index_rebuild();
   fault_rng_ = fault_rng;
   stats_ = std::move(stats);
 }

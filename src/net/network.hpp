@@ -6,6 +6,14 @@
 // TrafficStats. Delivery order per receiving node is by arrival time, with
 // send order as the tie-breaker — deterministic for equal inputs.
 //
+// Arrival indexing: each node's inbox is a binary min-heap ordered by
+// (arrival, sequence), and a global indexed min-heap over the inbox heads
+// answers "which node receives next" in O(1) (next_event). receive/send are
+// O(log n) in the inbox size; the global index holds each non-empty node
+// exactly once, so its size is bounded by the node count — no lazy-deletion
+// growth. This is what lets an event-driven trainer scale to thousands of
+// platforms (the old linear-scanned inboxes made every delivery O(inbox)).
+//
 // WAN fault injection (extension): a FaultPlan attached per directed link (or
 // as the network default) drops, duplicates, delay-spikes, and bit-corrupts
 // frames, all driven by a dedicated seeded Rng so faulted runs are exactly
@@ -33,6 +41,13 @@
 #include "src/serial/message.hpp"
 
 namespace splitmed::net {
+
+/// The head of the global arrival index: the earliest in-flight frame across
+/// every inbox, identified by its destination node and arrival time.
+struct NextEvent {
+  double arrival = 0.0;
+  NodeId node = 0;
+};
 
 class Network {
  public:
@@ -83,11 +98,21 @@ class Network {
   std::optional<Envelope> receive_before(NodeId node, double deadline);
 
   /// Arrival time of the earliest in-flight message for `node` (corrupt or
-  /// not), or nullopt when its inbox is empty.
+  /// not), or nullopt when its inbox is empty. O(1) — the inbox head.
   [[nodiscard]] std::optional<double> next_arrival(NodeId node) const;
+
+  /// The globally earliest in-flight frame across every node, or nullopt
+  /// when nothing is in flight. O(1) — the head of the arrival index. The
+  /// event-driven scheduler's only polling primitive: "who receives next".
+  [[nodiscard]] std::optional<NextEvent> next_event() const;
 
   /// Number of in-flight + queued messages for a node.
   [[nodiscard]] std::size_t pending(NodeId node) const;
+
+  /// Total frames in flight across every inbox (the event-queue depth).
+  [[nodiscard]] std::size_t total_in_flight() const {
+    return in_flight_count_;
+  }
 
   [[nodiscard]] SimClock& clock() { return clock_; }
   [[nodiscard]] const SimClock& clock() const { return clock_; }
@@ -97,14 +122,16 @@ class Network {
   /// True when no message is in flight to any node. Fault-free round
   /// boundaries are always quiescent; under fault injection, late duplicates
   /// may straddle a boundary (they are checkpointed, see save_state).
-  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] bool quiescent() const { return in_flight_count_ == 0; }
 
   /// Serializes the dynamic transport state: clock, send sequence, per-link
   /// busy times, every in-flight frame (fault injection legitimately leaves
   /// late duplicates straddling a round boundary — a resumed run must
   /// deliver exactly what the uninterrupted run would have), the fault Rng,
-  /// and TrafficStats. Topology, links, and fault plans are NOT serialized —
-  /// they are reconstructed from config, so a checkpoint cannot smuggle in a
+  /// and TrafficStats. In-flight frames are written in (arrival, sequence)
+  /// order, so the byte stream is independent of inbox heap layout.
+  /// Topology, links, and fault plans are NOT serialized — they are
+  /// reconstructed from config, so a checkpoint cannot smuggle in a
   /// different network.
   void save_state(BufferWriter& writer) const;
 
@@ -130,6 +157,19 @@ class Network {
   /// Flips 1-4 payload bytes (or the trailer itself for empty payloads).
   void corrupt_in_flight(Envelope& envelope);
 
+  /// Inserts a frame into its destination inbox heap and updates the global
+  /// arrival index. O(log inbox + log nodes).
+  void inbox_push(InFlight frame);
+  /// Pops the earliest frame of `node`'s inbox heap (which must be
+  /// non-empty) and updates the global arrival index.
+  InFlight inbox_pop(NodeId node);
+  /// True when node a's inbox head sorts before node b's (both non-empty).
+  [[nodiscard]] bool head_before(NodeId a, NodeId b) const;
+  void index_sift_up(std::size_t i);
+  void index_sift_down(std::size_t i);
+  /// Rebuilds the global arrival index from scratch (after load_state).
+  void index_rebuild();
+
   std::vector<std::string> nodes_;
   Link default_link_{};
   std::map<std::pair<NodeId, NodeId>, Link> links_;
@@ -138,7 +178,15 @@ class Network {
   bool faults_enabled_ = false;
   Rng fault_rng_{0x57A8F001DULL};
   std::map<std::pair<NodeId, NodeId>, double> link_busy_until_;
-  std::vector<std::vector<InFlight>> inbox_;  // per destination node
+  /// Per-destination inbox, maintained as a binary min-heap ordered by
+  /// (arrival, sequence) — element 0 is the next delivery for that node.
+  std::vector<std::vector<InFlight>> inbox_;
+  /// Global arrival index: node ids arranged as a binary min-heap keyed by
+  /// each node's inbox head; `index_pos_[n]` is n's slot (kNotIndexed when
+  /// the inbox is empty). Every non-empty node appears exactly once.
+  std::vector<NodeId> index_heap_;
+  std::vector<std::size_t> index_pos_;
+  std::size_t in_flight_count_ = 0;
   std::uint64_t sequence_ = 0;
   SimClock clock_;
   TrafficStats stats_;

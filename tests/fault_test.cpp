@@ -4,6 +4,7 @@
 // a "random" fault sequence is asserted to be exactly reproducible.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "src/common/error.hpp"
@@ -423,9 +424,49 @@ TEST(FaultedTraining, UnreachablePlatformIsSkippedNotFatal) {
   EXPECT_EQ(report.skipped_steps, 4);  // platform 0, every round
   EXPECT_EQ(trainer.platform(0).steps_completed(), 0);
   EXPECT_EQ(trainer.platform(0).aborted_steps(), 4);
+  // Every abandoned step consumed platform 0's minibatch from its loader
+  // without ever applying it to an optimizer — the examples_lost ledger.
+  EXPECT_EQ(trainer.platform(0).examples_lost(),
+            4 * trainer.minibatches()[0]);
+  EXPECT_EQ(trainer.platform(1).examples_lost(), 0);
+  EXPECT_EQ(report.examples_lost, trainer.platform(0).examples_lost());
   EXPECT_GT(trainer.platform(1).steps_completed(), 0);
   EXPECT_GT(trainer.platform(2).steps_completed(), 0);
   EXPECT_GT(report.final_accuracy, 0.25);  // the others still learned
+}
+
+TEST(FaultedTraining, AllAbandonedRoundDoesNotFabricateZeroLoss) {
+  // Regression: a round where EVERY participant's step is abandoned used to
+  // average the platforms' last_loss fields — all still 0.0 — and report a
+  // training loss of exactly 0.0. With no observation at all the curve must
+  // say NaN (and never a fabricated zero).
+  const auto train = make_train(64);
+  const auto test = make_train(16);
+  Rng prng(5);
+  const auto partition = data::partition_iid(train.size(), 3, prng);
+  auto cfg = faulted_config();
+  cfg.faults = net::FaultPlan{};
+  cfg.faults.drop_rate = 1e-9;  // arms recovery; effectively never fires
+  cfg.rounds = 1;
+  cfg.eval_every = 1;
+  cfg.recovery.timeout_sec = 5.0;
+  cfg.recovery.backoff = 1.0;
+  cfg.recovery.max_retries = 1;
+  core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+  // Every uplink black-holes: no platform can ever finish a step.
+  net::FaultPlan black_hole;
+  black_hole.drop_rate = 1.0;
+  for (std::size_t p = 0; p < trainer.num_platforms(); ++p) {
+    trainer.network().set_fault_plan(trainer.platform(p).id(),
+                                     trainer.server().id(), black_hole);
+  }
+  const auto report = trainer.run();
+  EXPECT_EQ(report.skipped_steps, 3);
+  EXPECT_EQ(report.examples_lost, cfg.total_batch);
+  ASSERT_EQ(report.curve.size(), 1U);
+  EXPECT_TRUE(std::isnan(report.curve[0].train_loss))
+      << "an all-abandoned round reported loss "
+      << report.curve[0].train_loss << " instead of NaN";
 }
 
 }  // namespace

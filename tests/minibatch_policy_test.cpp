@@ -1,0 +1,115 @@
+// Property tests for minibatch_sizes: under every policy and any legal
+// shard profile, the per-platform sizes sum exactly to total_batch with a
+// floor of one example — the invariant the protocol's byte accounting and
+// the paper's imbalance mitigation (§II) both lean on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/minibatch_policy.hpp"
+
+namespace splitmed {
+namespace {
+
+using core::MinibatchPolicy;
+using core::minibatch_sizes;
+
+std::int64_t sum(const std::vector<std::int64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::int64_t{0});
+}
+
+TEST(MinibatchPolicy, ProportionalTracksShardSizes) {
+  const auto sizes =
+      minibatch_sizes(MinibatchPolicy::kProportional, 32, {10, 30, 60});
+  EXPECT_EQ(sum(sizes), 32);
+  // 10/100, 30/100, 60/100 of 32 — rounded, monotone in the shard size.
+  EXPECT_LE(sizes[0], sizes[1]);
+  EXPECT_LE(sizes[1], sizes[2]);
+  EXPECT_GE(*std::min_element(sizes.begin(), sizes.end()), 1);
+}
+
+TEST(MinibatchPolicy, FloorOfOneSurvivesExtremeImbalance) {
+  // A near-empty shard still gets one example (it must be able to send a
+  // non-empty activation), and the sum still lands exactly on total_batch.
+  const auto sizes =
+      minibatch_sizes(MinibatchPolicy::kProportional, 8, {1, 1, 10000});
+  EXPECT_EQ(sum(sizes), 8);
+  EXPECT_GE(sizes[0], 1);
+  EXPECT_GE(sizes[1], 1);
+  EXPECT_EQ(sizes[2], 6);
+}
+
+TEST(MinibatchPolicy, EqualShardsAreBalancedUnderBothPolicies) {
+  for (const auto policy :
+       {MinibatchPolicy::kUniform, MinibatchPolicy::kProportional}) {
+    // total_batch not divisible by K: sizes may differ by at most one.
+    const auto sizes = minibatch_sizes(policy, 22, {50, 50, 50, 50});
+    EXPECT_EQ(sum(sizes), 22);
+    const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_LE(*hi - *lo, 1);
+  }
+}
+
+TEST(MinibatchPolicy, DeterministicAcrossRepeatedCalls) {
+  const std::vector<std::int64_t> shards = {7, 19, 3, 42, 11};
+  for (const auto policy :
+       {MinibatchPolicy::kUniform, MinibatchPolicy::kProportional}) {
+    const auto first = minibatch_sizes(policy, 24, shards);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(minibatch_sizes(policy, 24, shards), first);
+    }
+  }
+}
+
+TEST(MinibatchPolicy, PermutedEqualShardsGetPermutedEqualSizes) {
+  // With all shards equal the assignment must not depend on platform order
+  // beyond the deterministic remainder tie-break: the multiset of sizes is
+  // identical however the (equal) shards are listed.
+  const auto a = minibatch_sizes(MinibatchPolicy::kProportional, 10, {8, 8, 8});
+  auto b = minibatch_sizes(MinibatchPolicy::kProportional, 10, {8, 8, 8});
+  EXPECT_EQ(a, b);
+  auto sorted_a = a;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  EXPECT_EQ(sum(a), 10);
+  const auto [lo, hi] = std::minmax_element(a.begin(), a.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(MinibatchPolicy, RandomProfilesAlwaysSumWithFloor) {
+  // Property sweep: 200 random (K, total_batch, shards) profiles under both
+  // policies — the sum and floor invariants must hold for every one.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t k = rng.uniform_int(1, 12);
+    const std::int64_t total =
+        k + rng.uniform_int(0, 96);
+    std::vector<std::int64_t> shards;
+    for (std::int64_t i = 0; i < k; ++i) {
+      shards.push_back(rng.uniform_int(1, 500));
+    }
+    for (const auto policy :
+         {MinibatchPolicy::kUniform, MinibatchPolicy::kProportional}) {
+      const auto sizes = minibatch_sizes(policy, total, shards);
+      ASSERT_EQ(sizes.size(), shards.size());
+      EXPECT_EQ(sum(sizes), total);
+      EXPECT_GE(*std::min_element(sizes.begin(), sizes.end()), 1);
+    }
+  }
+}
+
+TEST(MinibatchPolicy, RejectsIllegalProfiles) {
+  EXPECT_THROW(minibatch_sizes(MinibatchPolicy::kProportional, 5, {}),
+               InvalidArgument);
+  EXPECT_THROW(minibatch_sizes(MinibatchPolicy::kProportional, 2, {4, 4, 4}),
+               InvalidArgument);
+  EXPECT_THROW(minibatch_sizes(MinibatchPolicy::kProportional, 8, {4, 0, 4}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace splitmed

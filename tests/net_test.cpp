@@ -2,6 +2,9 @@
 // topology presets.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/common/error.hpp"
 #include "src/net/network.hpp"
 #include "src/net/topology.hpp"
@@ -210,6 +213,92 @@ TEST(Network, LinkIsSymmetricButDirectionsIndependentlyBusy) {
   network.send(env(b, a, 3, 72));
   EXPECT_EQ(network.receive(a).kind, 3U);
   EXPECT_DOUBLE_EQ(network.clock().now(), 1.0);
+}
+
+TEST(Network, NextEventIsTheGlobalMinimumAcrossNodes) {
+  // next_event() is the arrival index the event scheduler pumps: it must
+  // always name the globally earliest (arrival, sequence) frame, across ALL
+  // destination nodes, without consuming it or advancing the clock.
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  const NodeId c = network.add_node("c");
+  EXPECT_FALSE(network.next_event().has_value());
+  EXPECT_EQ(network.total_in_flight(), 0U);
+  EXPECT_TRUE(network.quiescent());
+
+  network.set_link(a, b, net::Link{100.0, 5.0});  // slow: arrives at 6.0
+  network.set_link(a, c, net::Link{100.0, 1.0});  // fast: arrives at 2.0
+  network.send(env(a, b, 1, 72));
+  network.send(env(a, c, 2, 72));
+  EXPECT_EQ(network.total_in_flight(), 2U);
+  EXPECT_FALSE(network.quiescent());
+
+  auto event = network.next_event();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->node, c);
+  EXPECT_DOUBLE_EQ(event->arrival, 2.0);
+  EXPECT_DOUBLE_EQ(network.clock().now(), 0.0);  // peeking never advances
+
+  // Consuming the head re-indexes: the slow frame becomes the global min.
+  EXPECT_EQ(network.receive(c).kind, 2U);
+  event = network.next_event();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->node, b);
+  EXPECT_DOUBLE_EQ(event->arrival, 6.0);
+  EXPECT_EQ(network.total_in_flight(), 1U);
+
+  network.receive(b);
+  EXPECT_FALSE(network.next_event().has_value());
+  EXPECT_TRUE(network.quiescent());
+}
+
+TEST(Network, NextEventTieBreaksBySendSequence) {
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  const NodeId c = network.add_node("c");
+  // Identical links: both frames arrive at the same instant; the earlier
+  // send must win the index — the scheduler's stable event ordering.
+  network.set_link(a, b, net::Link{100.0, 1.0});
+  network.set_link(a, c, net::Link{100.0, 1.0});
+  network.send(env(a, b, 1, 72));
+  network.send(env(a, c, 2, 72));
+  const auto event = network.next_event();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->node, b);
+  const auto first = network.receive(b);
+  EXPECT_EQ(first.kind, 1U);
+  EXPECT_EQ(network.next_event()->node, c);
+}
+
+TEST(Network, NextEventTracksManyNodesInArrivalOrder) {
+  // A fan-out across many nodes with staggered latencies: repeatedly pumping
+  // next_event()/receive() must deliver in strict global arrival order.
+  net::Network network;
+  const NodeId hub = network.add_node("hub");
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(network.add_node("leaf" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    // Descending latency: later sends arrive earlier.
+    network.set_link(hub, leaves[i],
+                     net::Link{1e6, static_cast<double>(8 - i)});
+    network.send(env(hub, leaves[i], static_cast<std::uint32_t>(i + 1), 16));
+  }
+  EXPECT_EQ(network.total_in_flight(), leaves.size());
+  double last_arrival = 0.0;
+  std::size_t delivered = 0;
+  while (const auto event = network.next_event()) {
+    EXPECT_GE(event->arrival, last_arrival);
+    last_arrival = event->arrival;
+    const Envelope e = network.receive(event->node);
+    EXPECT_EQ(e.dst, event->node);
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, leaves.size());
+  EXPECT_TRUE(network.quiescent());
 }
 
 TEST(Topology, ProfilesAreReusedRoundRobin) {

@@ -198,6 +198,115 @@ TEST(SplitEquivalence, ScheduleAndThreadsInvariantBytesAndAccuracy) {
   }
 }
 
+TEST(BoundedStaleness, SinglePlatformMatchesSequential) {
+  // With one platform the liveness rule (every round folds in at least one
+  // completion) forces each step to finish inside its own round — the
+  // bounded-staleness engine degenerates to the sequential schedule and must
+  // reproduce its curve bitwise.
+  const auto train = make_dataset(32, 4, 8);
+  const auto test = make_dataset(8, 4, 8);
+  std::vector<metrics::TrainReport> reports;
+  for (const core::Schedule schedule :
+       {core::Schedule::kSequential, core::Schedule::kBoundedStaleness}) {
+    core::SplitConfig cfg;
+    cfg.total_batch = 8;
+    cfg.rounds = 6;
+    cfg.eval_every = 3;
+    cfg.schedule = schedule;
+    Rng prng(11);
+    const auto partition = data::partition_iid(train.size(), 1, prng);
+    core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+    reports.push_back(trainer.run());
+  }
+  ASSERT_EQ(reports[0].curve.size(), reports[1].curve.size());
+  EXPECT_EQ(reports[0].total_bytes, reports[1].total_bytes);
+  EXPECT_EQ(reports[0].final_accuracy, reports[1].final_accuracy);
+  for (std::size_t j = 0; j < reports[0].curve.size(); ++j) {
+    EXPECT_EQ(reports[0].curve[j].train_loss, reports[1].curve[j].train_loss);
+    EXPECT_EQ(reports[0].curve[j].cumulative_bytes,
+              reports[1].curve[j].cumulative_bytes);
+  }
+}
+
+TEST(BoundedStaleness, DeterministicAcrossIdenticalRuns) {
+  // The async schedule's only ordering source is the network's (arrival,
+  // sequence) order — a pure function of the config. Two identical runs
+  // must agree bitwise on every reported number, stragglers and all.
+  const auto train = make_dataset(48, 4, 8);
+  const auto test = make_dataset(16, 4, 8);
+  std::vector<metrics::TrainReport> reports;
+  std::vector<std::vector<std::int64_t>> per_platform_steps;
+  for (int run = 0; run < 2; ++run) {
+    core::SplitConfig cfg;
+    cfg.total_batch = 12;
+    cfg.rounds = 8;
+    cfg.eval_every = 4;
+    cfg.schedule = core::Schedule::kBoundedStaleness;
+    cfg.staleness_bound = 2;
+    cfg.participation = 0.7;  // exercises the double-draw bernoulli path
+    cfg.seed = 1234;
+    Rng prng(21);
+    const auto partition = data::partition_iid(train.size(), 4, prng);
+    core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+    reports.push_back(trainer.run());
+    std::vector<std::int64_t> steps;
+    for (std::size_t p = 0; p < trainer.num_platforms(); ++p) {
+      steps.push_back(trainer.platform(p).steps_completed());
+    }
+    per_platform_steps.push_back(std::move(steps));
+  }
+  EXPECT_EQ(per_platform_steps[0], per_platform_steps[1]);
+  EXPECT_EQ(reports[0].total_bytes, reports[1].total_bytes);
+  EXPECT_EQ(reports[0].total_sim_seconds, reports[1].total_sim_seconds);
+  ASSERT_EQ(reports[0].curve.size(), reports[1].curve.size());
+  for (std::size_t j = 0; j < reports[0].curve.size(); ++j) {
+    EXPECT_EQ(reports[0].curve[j].train_loss, reports[1].curve[j].train_loss);
+    EXPECT_EQ(reports[0].curve[j].test_accuracy,
+              reports[1].curve[j].test_accuracy);
+    EXPECT_EQ(reports[0].curve[j].sim_seconds,
+              reports[1].curve[j].sim_seconds);
+  }
+}
+
+TEST(BoundedStaleness, StragglersFoldInWithoutStallingTheRound) {
+  // Heterogeneous hospital WAN: the slowest link straggles. Bounded
+  // staleness must (a) finish every begun step by the final full drain,
+  // (b) never let a platform run two overlapping steps, and (c) spend no
+  // more simulated time than the overlapped schedule's full per-round
+  // barrier on the same WAN.
+  const auto train = make_dataset(48, 4, 8);
+  const auto test = make_dataset(16, 4, 8);
+
+  const auto run_with = [&](core::Schedule schedule) {
+    core::SplitConfig cfg;
+    cfg.total_batch = 12;
+    cfg.rounds = 6;
+    cfg.eval_every = 6;
+    cfg.schedule = schedule;
+    Rng prng(13);
+    const auto partition = data::partition_iid(train.size(), 4, prng);
+    core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+    auto report = trainer.run();
+    std::int64_t total_steps = 0;
+    for (std::size_t p = 0; p < trainer.num_platforms(); ++p) {
+      EXPECT_GE(trainer.platform(p).steps_completed(), 1);
+      EXPECT_LE(trainer.platform(p).steps_completed(), cfg.rounds);
+      total_steps += trainer.platform(p).steps_completed();
+    }
+    // Final round is a full drain: 4 messages per completed step, nothing
+    // left in flight.
+    EXPECT_TRUE(trainer.network().quiescent());
+    EXPECT_EQ(trainer.network().stats().total_messages(),
+              static_cast<std::uint64_t>(4 * total_steps));
+    return report;
+  };
+
+  const auto overlapped = run_with(core::Schedule::kOverlapped);
+  const auto bounded = run_with(core::Schedule::kBoundedStaleness);
+  EXPECT_LE(bounded.total_sim_seconds, overlapped.total_sim_seconds);
+  EXPECT_GT(bounded.final_accuracy, 0.0);
+}
+
 TEST(SplitEquivalence, PerKindTrafficIsSymmetric) {
   const auto train = make_dataset(32, 4, 8);
   const auto test = make_dataset(8, 4, 8);
