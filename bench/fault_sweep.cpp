@@ -38,10 +38,13 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.get_string("trace-out", "");
   const std::string metrics_out = flags.get_string("metrics-out", "");
   const std::int64_t trace_detail = flags.get_int("trace-detail", 1);
+  const splitmed::WireCodec codec =
+      splitmed::parse_wire_codec(flags.get_string("codec", "f32"));
   flags.validate_no_unknown();
 
   std::cout << "=== WAN fault injection sweep (mlp, " << kPlatforms
-            << " platforms, " << kRounds << " rounds, heterogeneous WAN) ===\n\n";
+            << " platforms, " << kRounds << " rounds, heterogeneous WAN, "
+            << splitmed::wire_codec_name(codec) << " wire) ===\n\n";
 
   const auto train = make_cifar(384, kClasses, 42, 8, 0, 0.4F);
   const auto test = make_cifar(96, kClasses, 42, 8, 384, 0.4F);
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
                "corrupt", "skipped", "ex lost", "WAN time", "final acc"});
   for (const double rate : {0.0, 0.01, 0.05, 0.10, 0.20}) {
     core::SplitConfig cfg;
+    cfg.codec = codec;
     cfg.total_batch = 4 * kPlatforms;
     cfg.rounds = kRounds;
     cfg.eval_every = kRounds;

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cfg.trace_out = flags.get_string("trace-out", cfg.trace_out);
   cfg.metrics_out = flags.get_string("metrics-out", cfg.metrics_out);
   cfg.trace_detail = flags.get_int("trace-detail", cfg.trace_detail);
+  cfg.codec = flags.get_string("codec", cfg.codec);
   flags.validate_no_unknown();
   cfg.paper_line =
       "ResNet + CIFAR-10/100: proposed 0.5 GB @ 75% vs Large-Scale SGD "

@@ -48,6 +48,11 @@ struct Fig4Config {
   std::string trace_out;
   std::string metrics_out;
   std::int64_t trace_detail = 1;
+  /// Negotiated wire codec for activation / cut-grad payloads ("f32",
+  /// "f16", "i8"). Applies to the proposed framework only — the baselines
+  /// always move f32 parameters, which is exactly why the codec widens the
+  /// equal-byte-budget gap.
+  std::string codec = "f32";
 };
 
 inline int run_fig4(const Fig4Config& cfg) {
@@ -70,6 +75,7 @@ inline int run_fig4(const Fig4Config& cfg) {
 
   // Proposed framework.
   core::SplitConfig split_cfg;
+  split_cfg.codec = parse_wire_codec(cfg.codec);
   split_cfg.total_batch = cfg.total_batch;
   split_cfg.policy = core::MinibatchPolicy::kProportional;
   split_cfg.rounds = cfg.split_rounds;
@@ -156,6 +162,16 @@ inline int run_fig4(const Fig4Config& cfg) {
   }
   std::cout << "\nproposed framework, bytes by direction:\n";
   dir_table.print(std::cout);
+
+  // Machine-parseable byte accounting (the CI codec smoke diffs these
+  // across --codec runs). Payload bytes exclude the fixed 28-byte envelope
+  // headers — that is the quantity the codec actually compresses.
+  const std::uint64_t header_bytes =
+      split_stats.total_messages() * Envelope::kEnvelopeHeaderBytes;
+  std::cout << "\nsplit-wire-accounting: codec=" << cfg.codec
+            << " total_bytes=" << split_stats.total_bytes()
+            << " payload_bytes=" << (split_stats.total_bytes() - header_bytes)
+            << " messages=" << split_stats.total_messages() << "\n";
 
   if (split.obs_session() != nullptr) {
     if (!cfg.trace_out.empty()) {

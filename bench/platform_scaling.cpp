@@ -18,6 +18,7 @@
 //   --rounds N     rounds per run (default 5)
 //   --smoke        CI mode: single K=1000 sweep point, 3 rounds
 //   --json-out F   machine-readable rows for scripts/bench_scaling.py
+//   --codec NAME   wire codec for activation/cut-grad payloads (f32/f16/i8)
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -52,11 +53,12 @@ struct Row {
 
 Row run_one(const data::Dataset& train, const data::Dataset& test,
             std::int64_t k, std::int64_t rounds, core::Schedule schedule,
-            double participation, const char* label) {
+            double participation, const char* label, WireCodec codec) {
   Rng prng(3);
   const auto partition = data::partition_iid(train.size(), k, prng);
 
   core::SplitConfig cfg;
+  cfg.codec = codec;
   // One example per platform per round: per-platform payload stays fixed, so
   // bytes/round isolates the K-dependence of the protocol itself.
   cfg.total_batch = k;
@@ -125,6 +127,7 @@ int main(int argc, char** argv) {
   std::int64_t rounds = 5;
   bool smoke = false;
   std::string json_out;
+  WireCodec codec = WireCodec::kF32;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-k" && i + 1 < argc) {
@@ -135,9 +138,11 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--json-out" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--codec" && i + 1 < argc) {
+      codec = parse_wire_codec(argv[++i]);
     } else {
       std::cerr << "usage: platform_scaling [--max-k N] [--rounds N] "
-                   "[--smoke] [--json-out FILE]\n";
+                   "[--smoke] [--json-out FILE] [--codec f32|f16|i8]\n";
       return 2;
     }
   }
@@ -168,7 +173,7 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (const std::int64_t k : ks) {
     rows.push_back(run_one(train, test, k, rounds, core::Schedule::kOverlapped,
-                           1.0, "overlapped"));
+                           1.0, "overlapped", codec));
     // Fixed active set: ~kActiveTarget platforms sampled per round, late
     // completions fold in within one round of staleness.
     const double part =
@@ -177,7 +182,7 @@ int main(int argc, char** argv) {
             : static_cast<double>(kActiveTarget) / static_cast<double>(k);
     rows.push_back(run_one(train, test, k, rounds,
                            core::Schedule::kBoundedStaleness, part,
-                           "bounded(S=1)"));
+                           "bounded(S=1)", codec));
     for (std::size_t i = rows.size() - 2; i < rows.size(); ++i) {
       const Row& r = rows[i];
       table.add_row({std::to_string(r.k), r.schedule,

@@ -17,7 +17,9 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::uint32_t kManifestFormat = 1;
+// Format 2 added the wire codec byte to the "run" section (resume must be
+// bitwise-faithful per codec, so the codec is part of the saved config).
+constexpr std::uint32_t kManifestFormat = 2;
 
 void require_exhausted(const BufferReader& r, const std::string& what) {
   if (!r.exhausted()) {
@@ -207,6 +209,7 @@ void SplitTrainer::save_checkpoint(const std::string& dir,
     run.write_u64(config_.seed);
     run.write_u32(static_cast<std::uint32_t>(platforms_.size()));
     run.write_string(model_name_);
+    run.write_u8(static_cast<std::uint8_t>(config_.codec));
     run.write_i64(examples_processed_);
     run.write_i64(skipped_steps_);
     encode_rng(participation_rng_, run);
@@ -252,6 +255,17 @@ void SplitTrainer::load_checkpoint(const std::string& round_dir) {
     throw SerializationError("checkpoint manifest: model '" + model +
                              "' does not match this run's model '" +
                              model_name_ + "'");
+  }
+  const std::uint8_t codec = run.read_u8();
+  if (codec >= kWireCodecCount) {
+    throw SerializationError("checkpoint manifest: unknown wire codec tag " +
+                             std::to_string(codec));
+  }
+  if (static_cast<WireCodec>(codec) != config_.codec) {
+    throw SerializationError(
+        std::string("checkpoint manifest: saved under wire codec ") +
+        wire_codec_name(static_cast<WireCodec>(codec)) +
+        ", this run is configured for " + wire_codec_name(config_.codec));
   }
   const std::int64_t examples_processed = run.read_i64();
   const std::int64_t skipped_steps = run.read_i64();

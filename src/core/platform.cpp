@@ -46,7 +46,7 @@ void PlatformNode::send_activation(net::Network& network,
     for (auto& v : d) v += options_.smash_noise_std * noise_rng_.normal();
   }
   Envelope out = make_tensor_envelope(id_, server_, MsgKind::kActivation,
-                                      round, activation, options_.wire_dtype);
+                                      round, activation, options_.codec);
   if (options_.tolerate_faults) last_sent_ = out;
   network.send(std::move(out));
   state_ = PlatformState::kAwaitLogits;
@@ -140,7 +140,7 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
   span.arg("platform", static_cast<std::uint64_t>(id_));
   span.arg("round", envelope.round);
   const Tensor cut_grad =
-      decode_tensor_payload(envelope.payload, options_.wire_dtype);
+      decode_tensor_payload(envelope.payload, options_.codec);
   l1_.zero_grad();
   l1_.backward(cut_grad);
   opt_.step();

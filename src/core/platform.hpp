@@ -20,8 +20,9 @@ namespace splitmed::core {
 
 /// Per-platform protocol extensions (all default to the paper's behaviour).
 struct PlatformOptions {
-  /// Wire encoding for activation / cut-grad messages (kI8 = compression).
-  WireDtype wire_dtype = WireDtype::kF32;
+  /// Negotiated wire codec for activation / cut-grad messages (logits and
+  /// logit-grads stay f32). Must match the server's ServerOptions::codec.
+  WireCodec codec = WireCodec::kF32;
   /// Gaussian noise added to outgoing activations (privacy defense; 0 = off).
   float smash_noise_std = 0.0F;
   std::uint64_t noise_seed = 17;

@@ -1,10 +1,11 @@
 #include "src/core/protocol.hpp"
 
+#include <string>
+
 #include "src/common/error.hpp"
 #include "src/obs/obs.hpp"
 #include "src/serial/buffer.hpp"
-#include "src/serial/quantize.hpp"
-#include "src/serial/tensor_codec.hpp"
+#include "src/serial/codec.hpp"
 
 namespace splitmed::core {
 
@@ -20,39 +21,36 @@ const char* msg_kind_name(MsgKind kind) {
   return "unknown";
 }
 
-const char* wire_dtype_name(WireDtype dtype) {
-  switch (dtype) {
-    case WireDtype::kF32: return "f32";
-    case WireDtype::kI8: return "i8";
-  }
-  return "unknown";
-}
-
 std::vector<std::uint8_t> encode_tensor_payload(const Tensor& t,
-                                                WireDtype dtype) {
+                                                WireCodec codec) {
   BufferWriter w;
-  if (dtype == WireDtype::kI8) {
-    encode_tensor_i8(t, w);
-  } else {
-    encode_tensor(t, w);
-  }
+  encode_tensor_tagged(t, codec, w);
   return w.take();
 }
 
 Tensor decode_tensor_payload(std::span<const std::uint8_t> payload,
-                             WireDtype dtype) {
+                             WireCodec expected) {
   // postmortem() at this boundary covers every decode failure — truncated
-  // buffers, bad dtype tags, trailing bytes — so a malformed frame dumps the
-  // flight recorder before the error unwinds past protocol code.
+  // buffers, unknown or mismatched codec tags, trailing bytes — so a
+  // malformed frame dumps the flight recorder before the error unwinds past
+  // protocol code.
   try {
     BufferReader r(payload);
-    Tensor t =
-        dtype == WireDtype::kI8 ? decode_tensor_i8(r) : decode_tensor(r);
+    TaggedTensor tagged = decode_tensor_tagged(r);
+    if (tagged.codec != expected) {
+      throw ProtocolError(std::string("tensor frame tagged ") +
+                          wire_codec_name(tagged.codec) +
+                          " on a channel negotiated for " +
+                          wire_codec_name(expected));
+    }
     if (!r.exhausted()) {
       throw SerializationError("tensor payload has trailing bytes");
     }
-    return t;
+    return std::move(tagged.tensor);
   } catch (const SerializationError& e) {
+    obs::postmortem(e.what());
+    throw;
+  } catch (const ProtocolError& e) {
     obs::postmortem(e.what());
     throw;
   }
@@ -60,9 +58,11 @@ Tensor decode_tensor_payload(std::span<const std::uint8_t> payload,
 
 Envelope make_tensor_envelope(NodeId src, NodeId dst, std::uint32_t kind,
                               std::uint64_t round, const Tensor& t,
-                              WireDtype dtype) {
-  return make_envelope(src, dst, kind, round,
-                       encode_tensor_payload(t, dtype));
+                              WireCodec codec) {
+  Envelope e =
+      make_envelope(src, dst, kind, round, encode_tensor_payload(t, codec));
+  e.codec = codec;
+  return e;
 }
 
 }  // namespace splitmed::core

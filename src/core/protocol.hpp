@@ -8,6 +8,12 @@
 //   4. kCutGrad     server -> platform : dLoss/d(L1 output)
 // kL1SyncUp/Down implement the optional L1 weight-averaging extension
 // (ablation; the paper never re-syncs L1 after initialization).
+//
+// Tensor payloads are codec-tagged (serial/codec.hpp): the negotiated
+// WireCodec (SplitConfig::codec) applies to the bulky activation/cut-grad
+// messages; logits and logit-grads are always kF32. A frame whose tag does
+// not match what the channel negotiated raises ProtocolError — never UB,
+// never a silently mis-decoded tensor.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "src/serial/message.hpp"
+#include "src/serial/wire_codec.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace splitmed::core {
@@ -28,34 +35,31 @@ enum class MsgKind : std::uint32_t {
   kL1SyncDown = 6,
 };
 
-/// Element encoding of the bulky tensors (activations / cut grads) on the
-/// wire. kI8 is the bandwidth-compression extension (symmetric int8, ~4x
-/// smaller); both ends of a deployment must be configured identically.
-enum class WireDtype : std::uint8_t { kF32 = 0, kI8 = 1 };
-
 /// Readable name for reports ("activation", "logits", ...).
 const char* msg_kind_name(MsgKind kind);
-const char* wire_dtype_name(WireDtype dtype);
 
-/// Serializes one tensor as a payload.
+/// Serializes one tensor as a codec-tagged payload.
 std::vector<std::uint8_t> encode_tensor_payload(const Tensor& t,
-                                                WireDtype dtype =
-                                                    WireDtype::kF32);
+                                                WireCodec codec =
+                                                    WireCodec::kF32);
 
-/// Parses a payload that must contain exactly one tensor.
+/// Parses a payload that must contain exactly one tensor tagged `expected`.
+/// Unknown tags and malformed frames raise SerializationError; a valid tag
+/// that is not the negotiated one raises ProtocolError.
 Tensor decode_tensor_payload(std::span<const std::uint8_t> payload,
-                             WireDtype dtype = WireDtype::kF32);
+                             WireCodec expected = WireCodec::kF32);
 
-/// Builds a protocol envelope around one tensor. The uint32 overload exists
+/// Builds a protocol envelope around one tensor (Envelope::codec mirrors the
+/// payload tag for per-codec byte accounting). The uint32 overload exists
 /// for baseline protocols with their own kind namespaces.
 Envelope make_tensor_envelope(NodeId src, NodeId dst, std::uint32_t kind,
                               std::uint64_t round, const Tensor& t,
-                              WireDtype dtype = WireDtype::kF32);
+                              WireCodec codec = WireCodec::kF32);
 inline Envelope make_tensor_envelope(NodeId src, NodeId dst, MsgKind kind,
                                      std::uint64_t round, const Tensor& t,
-                                     WireDtype dtype = WireDtype::kF32) {
+                                     WireCodec codec = WireCodec::kF32) {
   return make_tensor_envelope(src, dst, static_cast<std::uint32_t>(kind),
-                              round, t, dtype);
+                              round, t, codec);
 }
 
 }  // namespace splitmed::core

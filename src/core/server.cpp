@@ -29,7 +29,7 @@ void CentralServer::process_activation(net::Network& network,
   span.arg("platform", static_cast<std::uint64_t>(envelope.src));
   span.arg("round", envelope.round);
   const Tensor activation =
-      decode_tensor_payload(envelope.payload, options_.wire_dtype);
+      decode_tensor_payload(envelope.payload, options_.codec);
   const Tensor logits = body_.forward(activation, /*training=*/true);
   pending_platform_ = envelope.src;
   pending_round_ = envelope.round;
@@ -132,7 +132,7 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
       awaiting_grad_ = false;
       Envelope reply =
           make_tensor_envelope(id_, envelope.src, MsgKind::kCutGrad,
-                               envelope.round, cut_grad, options_.wire_dtype);
+                               envelope.round, cut_grad, options_.codec);
       if (options_.tolerate_faults) {
         reply_cache_[envelope.src] =
             CachedReply{envelope.kind, envelope.round, reply};

@@ -17,8 +17,10 @@ namespace splitmed::core {
 
 /// Server-side protocol extensions (defaults = the paper's behaviour).
 struct ServerOptions {
-  /// Must match the platforms' PlatformOptions::wire_dtype.
-  WireDtype wire_dtype = WireDtype::kF32;
+  /// Negotiated wire codec for activation / cut-grad messages. Must match
+  /// the platforms' PlatformOptions::codec; a frame tagged otherwise is a
+  /// ProtocolError.
+  WireCodec codec = WireCodec::kF32;
   /// When true, activations arriving while a backward is outstanding are
   /// queued and served FIFO (the overlapped schedule); when false they are
   /// a protocol violation (the paper's strictly sequential workflow).

@@ -88,7 +88,7 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
     SplitParts parts = split_at(std::move(replica.net), cut);
     if (p == 0) {
       ServerOptions server_opt;
-      server_opt.wire_dtype = config_.wire_dtype;
+      server_opt.codec = config_.codec;
       server_opt.allow_queueing = config_.schedule != Schedule::kSequential;
       server_opt.tolerate_faults = config_.faults.any();
       server_ = std::make_unique<CentralServer>(topology_.server,
@@ -107,7 +107,7 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                             loader_rng.split(static_cast<std::uint64_t>(p)),
                             /*drop_last=*/true);
     PlatformOptions platform_opt;
-    platform_opt.wire_dtype = config_.wire_dtype;
+    platform_opt.codec = config_.codec;
     platform_opt.smash_noise_std = config_.smash_noise_std;
     platform_opt.noise_seed = config_.seed;
     platform_opt.tolerate_faults = config_.faults.any();

@@ -72,8 +72,10 @@ struct SplitConfig {
   std::uint64_t seed = 123;
 
   /// --- extensions (defaults reproduce the paper exactly) -------------------
-  /// Wire encoding of activations / cut grads (kI8 = 4x compression).
-  WireDtype wire_dtype = WireDtype::kF32;
+  /// Negotiated wire codec for activations / cut grads (kF16 = 2x, kI8 = 4x
+  /// payload compression; logits stay f32). Saved in checkpoints — resume
+  /// refuses a mismatched codec so recovery is bitwise-faithful per codec.
+  WireCodec codec = WireCodec::kF32;
   /// Gaussian noise stddev added to outgoing activations (privacy defense).
   float smash_noise_std = 0.0F;
   Schedule schedule = Schedule::kSequential;

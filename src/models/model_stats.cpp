@@ -1,8 +1,8 @@
 #include "src/models/model_stats.hpp"
 
 #include "src/common/error.hpp"
+#include "src/serial/codec.hpp"
 #include "src/serial/message.hpp"
-#include "src/serial/tensor_codec.hpp"
 
 namespace splitmed::models {
 namespace {
@@ -14,8 +14,10 @@ Shape with_batch(const Shape& per_example, std::int64_t batch) {
   return Shape(std::move(dims));
 }
 
-std::uint64_t message_bytes(const Shape& tensor_shape) {
-  return Envelope::kEnvelopeHeaderBytes + encoded_tensor_bytes(tensor_shape);
+std::uint64_t message_bytes(const Shape& tensor_shape,
+                            WireCodec codec = WireCodec::kF32) {
+  return Envelope::kEnvelopeHeaderBytes +
+         encoded_tensor_bytes(tensor_shape, codec);
 }
 
 }  // namespace
@@ -52,9 +54,10 @@ ModelStats ModelStats::analyze(BuiltModel& model) {
   return analyze(model, model.default_cut);
 }
 
-std::uint64_t ModelStats::activation_message_bytes(std::int64_t batch) const {
+std::uint64_t ModelStats::activation_message_bytes(std::int64_t batch,
+                                                   WireCodec codec) const {
   SPLITMED_CHECK(batch > 0, "batch must be positive");
-  return message_bytes(with_batch(cut_activation_chw, batch));
+  return message_bytes(with_batch(cut_activation_chw, batch), codec);
 }
 
 std::uint64_t ModelStats::logits_message_bytes(std::int64_t batch) const {
@@ -68,16 +71,18 @@ std::uint64_t ModelStats::parameter_message_bytes() const {
 }
 
 std::uint64_t ModelStats::split_step_bytes(
-    std::span<const std::int64_t> platform_batches) const {
+    std::span<const std::int64_t> platform_batches, WireCodec codec) const {
   std::uint64_t total = 0;
   for (const auto s_k : platform_batches) {
-    total += 2 * activation_message_bytes(s_k) + 2 * logits_message_bytes(s_k);
+    total += 2 * activation_message_bytes(s_k, codec) +
+             2 * logits_message_bytes(s_k);
   }
   return total;
 }
 
-std::uint64_t ModelStats::split_step_bytes_uniform(
-    std::int64_t total_batch, std::int64_t num_platforms) const {
+std::uint64_t ModelStats::split_step_bytes_uniform(std::int64_t total_batch,
+                                                   std::int64_t num_platforms,
+                                                   WireCodec codec) const {
   SPLITMED_CHECK(num_platforms > 0 && total_batch >= num_platforms,
                  "cannot split batch " << total_batch << " across "
                                        << num_platforms << " platforms");
@@ -86,25 +91,35 @@ std::uint64_t ModelStats::split_step_bytes_uniform(
   for (std::int64_t r = 0; r < total_batch % num_platforms; ++r) {
     ++batches[static_cast<std::size_t>(r)];
   }
-  return split_step_bytes(batches);
+  return split_step_bytes(batches, codec);
 }
 
 std::uint64_t ModelStats::split_epoch_bytes(std::int64_t dataset_size,
                                             std::int64_t num_platforms,
-                                            std::int64_t steps_per_epoch) const {
+                                            std::int64_t steps_per_epoch,
+                                            WireCodec codec) const {
   SPLITMED_CHECK(dataset_size > 0 && num_platforms > 0 && steps_per_epoch > 0,
                  "bad epoch parameters");
-  // Payload: every example's activation crosses twice, its logit row twice.
+  // Payload: every example's activation crosses twice (under the negotiated
+  // codec), its logit row twice (always f32).
+  const std::uint64_t act_elem_bytes =
+      codec == WireCodec::kF16 ? 2 : codec == WireCodec::kI8 ? 1 : 4;
   const std::uint64_t per_example =
-      2 * 4 * static_cast<std::uint64_t>(cut_activation_chw.numel()) +
+      2 * act_elem_bytes * static_cast<std::uint64_t>(cut_activation_chw.numel()) +
       2 * 4 * static_cast<std::uint64_t>(num_classes);
-  // Framing: 4 messages per platform per step.
+  // Framing: 4 messages per platform per step; under kI8 the two
+  // activation-class messages each carry a 4-byte scale.
   const std::uint64_t framing_per_message =
-      Envelope::kEnvelopeHeaderBytes + 4 /*rank*/ +
+      Envelope::kEnvelopeHeaderBytes + 4 /*tag+rank*/ +
       8 * (1 + static_cast<std::uint64_t>(cut_activation_chw.rank()));
+  const std::uint64_t scale_bytes =
+      codec == WireCodec::kI8
+          ? 2 * 4 * static_cast<std::uint64_t>(num_platforms * steps_per_epoch)
+          : 0;
   return static_cast<std::uint64_t>(dataset_size) * per_example +
          4 * static_cast<std::uint64_t>(num_platforms * steps_per_epoch) *
-             framing_per_message;
+             framing_per_message +
+         scale_bytes;
 }
 
 std::uint64_t ModelStats::syncsgd_step_bytes(std::int64_t num_workers) const {

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "src/models/model.hpp"
+#include "src/serial/wire_codec.hpp"
 
 namespace splitmed::models {
 
@@ -41,23 +42,27 @@ struct ModelStats {
   static ModelStats analyze(BuiltModel& model);
 
   /// --- per-message building blocks ----------------------------------------
+  /// Activation / cut-grad message under the negotiated codec (the bulky
+  /// tensors the codec applies to). Logits / logit-grads are always kF32.
   [[nodiscard]] std::uint64_t activation_message_bytes(
-      std::int64_t batch) const;
+      std::int64_t batch, WireCodec codec = WireCodec::kF32) const;
   [[nodiscard]] std::uint64_t logits_message_bytes(std::int64_t batch) const;
   [[nodiscard]] std::uint64_t parameter_message_bytes() const;
 
   /// --- split protocol -------------------------------------------------------
   /// One step with the given per-platform minibatch sizes (4 messages each).
   [[nodiscard]] std::uint64_t split_step_bytes(
-      std::span<const std::int64_t> platform_batches) const;
+      std::span<const std::int64_t> platform_batches,
+      WireCodec codec = WireCodec::kF32) const;
   /// One step, `total_batch` split evenly across `num_platforms`.
   [[nodiscard]] std::uint64_t split_step_bytes_uniform(
-      std::int64_t total_batch, std::int64_t num_platforms) const;
+      std::int64_t total_batch, std::int64_t num_platforms,
+      WireCodec codec = WireCodec::kF32) const;
   /// One epoch: every one of `dataset_size` examples crosses the cut once in
   /// each direction (plus the logits round-trip).
   [[nodiscard]] std::uint64_t split_epoch_bytes(
       std::int64_t dataset_size, std::int64_t num_platforms,
-      std::int64_t steps_per_epoch) const;
+      std::int64_t steps_per_epoch, WireCodec codec = WireCodec::kF32) const;
 
   /// --- baselines ------------------------------------------------------------
   [[nodiscard]] std::uint64_t syncsgd_step_bytes(

@@ -8,6 +8,7 @@
 #include "src/obs/obs.hpp"
 #include "src/serial/crc32.hpp"
 #include "src/serial/state_codec.hpp"
+#include "src/serial/wire_codec.hpp"
 
 namespace splitmed::net {
 
@@ -47,6 +48,10 @@ void obs_send(const std::vector<std::string>& nodes, const Envelope& e,
         .inc();
     m->counter("splitmed_net_bytes_total",
                "Wire bytes handed to the simulated WAN", by_kind)
+        .inc(static_cast<double>(bytes));
+    m->counter("splitmed_net_codec_bytes_total",
+               "Wire bytes by negotiated payload codec",
+               obs::Labels{{"codec", wire_codec_name(e.codec)}})
         .inc(static_cast<double>(bytes));
     m->histogram("splitmed_net_sim_latency_seconds",
                  "Simulated send-to-arrival latency (link queueing + "

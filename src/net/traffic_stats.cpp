@@ -25,6 +25,9 @@ void TrafficStats::record(const Envelope& envelope,
   by_kind_bytes_[envelope.kind] += bytes_on_wire;
   ++by_kind_messages_[envelope.kind];
   by_pair_bytes_[{envelope.src, envelope.dst}] += bytes_on_wire;
+  const auto codec = static_cast<std::uint8_t>(envelope.codec);
+  by_codec_bytes_[codec] += bytes_on_wire;
+  ++by_codec_messages_[codec];
 }
 
 void TrafficStats::record_retransmit(std::uint64_t bytes) {
@@ -62,6 +65,16 @@ std::uint64_t TrafficStats::bytes_between(NodeId src, NodeId dst) const {
   return it == by_pair_bytes_.end() ? 0 : it->second;
 }
 
+std::uint64_t TrafficStats::bytes_for_codec(WireCodec codec) const {
+  const auto it = by_codec_bytes_.find(static_cast<std::uint8_t>(codec));
+  return it == by_codec_bytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t TrafficStats::messages_for_codec(WireCodec codec) const {
+  const auto it = by_codec_messages_.find(static_cast<std::uint8_t>(codec));
+  return it == by_codec_messages_.end() ? 0 : it->second;
+}
+
 void TrafficStats::reset() {
   total_bytes_ = 0;
   total_messages_ = 0;
@@ -76,6 +89,8 @@ void TrafficStats::reset() {
   by_kind_bytes_.clear();
   by_kind_messages_.clear();
   by_pair_bytes_.clear();
+  by_codec_bytes_.clear();
+  by_codec_messages_.clear();
 }
 
 void TrafficStats::save_state(BufferWriter& writer) const {
@@ -97,6 +112,10 @@ void TrafficStats::save_state(BufferWriter& writer) const {
     writer.write_u32(p.first);
     writer.write_u32(p.second);
   });
+  write_map(writer, by_codec_bytes_,
+            [&](std::uint8_t codec) { writer.write_u8(codec); });
+  write_map(writer, by_codec_messages_,
+            [&](std::uint8_t codec) { writer.write_u8(codec); });
 }
 
 void TrafficStats::load_state(BufferReader& reader) {
@@ -126,6 +145,24 @@ void TrafficStats::load_state(BufferReader& reader) {
     const NodeId src = reader.read_u32();
     const NodeId dst = reader.read_u32();
     loaded.by_pair_bytes_[{src, dst}] = reader.read_u64();
+  }
+  const std::uint32_t n_codec_bytes = reader.read_u32();
+  for (std::uint32_t i = 0; i < n_codec_bytes; ++i) {
+    const std::uint8_t codec = reader.read_u8();
+    if (codec >= kWireCodecCount) {
+      throw SerializationError("traffic stats: unknown codec tag " +
+                               std::to_string(codec));
+    }
+    loaded.by_codec_bytes_[codec] = reader.read_u64();
+  }
+  const std::uint32_t n_codec_messages = reader.read_u32();
+  for (std::uint32_t i = 0; i < n_codec_messages; ++i) {
+    const std::uint8_t codec = reader.read_u8();
+    if (codec >= kWireCodecCount) {
+      throw SerializationError("traffic stats: unknown codec tag " +
+                               std::to_string(codec));
+    }
+    loaded.by_codec_messages_[codec] = reader.read_u64();
   }
   *this = std::move(loaded);
 }

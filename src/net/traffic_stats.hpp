@@ -73,6 +73,17 @@ class TrafficStats {
     return by_kind_bytes_;
   }
 
+  /// Bytes / messages carried under one payload codec (Envelope::codec —
+  /// the negotiated tensor encoding; non-tensor messages count as kF32).
+  [[nodiscard]] std::uint64_t bytes_for_codec(WireCodec codec) const;
+  [[nodiscard]] std::uint64_t messages_for_codec(WireCodec codec) const;
+
+  /// Per-codec byte map (codec tag -> bytes), for reports.
+  [[nodiscard]] const std::map<std::uint8_t, std::uint64_t>& bytes_by_codec()
+      const {
+    return by_codec_bytes_;
+  }
+
   void reset();
 
   /// Serializes every counter and per-kind/per-pair map, so a resumed run's
@@ -97,6 +108,8 @@ class TrafficStats {
   std::map<std::uint32_t, std::uint64_t> by_kind_bytes_;
   std::map<std::uint32_t, std::uint64_t> by_kind_messages_;
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> by_pair_bytes_;
+  std::map<std::uint8_t, std::uint64_t> by_codec_bytes_;
+  std::map<std::uint8_t, std::uint64_t> by_codec_messages_;
 };
 
 }  // namespace splitmed::net

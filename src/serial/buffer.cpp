@@ -56,6 +56,13 @@ void BufferWriter::write_f32_span(std::span<const float> vs) {
   std::memcpy(buf_.data() + at, vs.data(), vs.size() * 4);
 }
 
+void BufferWriter::write_bytes(std::span<const std::uint8_t> vs) {
+  if (vs.empty()) return;  // empty span may carry a null data()
+  const std::size_t at = buf_.size();
+  buf_.resize(at + vs.size());
+  std::memcpy(buf_.data() + at, vs.data(), vs.size());
+}
+
 void BufferReader::require(std::size_t n) const {
   if (remaining() < n) {
     throw SerializationError("truncated buffer: need " + std::to_string(n) +
@@ -122,6 +129,13 @@ void BufferReader::read_f32_span(std::span<float> out) {
   require(out.size() * 4);
   std::memcpy(out.data(), bytes_.data() + pos_, out.size() * 4);
   pos_ += out.size() * 4;
+}
+
+std::span<const std::uint8_t> BufferReader::read_bytes(std::size_t n) {
+  require(n);
+  const auto view = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return view;
 }
 
 }  // namespace splitmed

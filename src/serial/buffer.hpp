@@ -24,6 +24,9 @@ class BufferWriter {
   void write_f64(double v);
   void write_string(const std::string& s);
   void write_f32_span(std::span<const float> vs);
+  /// Appends raw bytes (one resize + memcpy — the bulk path the tensor
+  /// codecs use instead of per-byte write_u8 loops).
+  void write_bytes(std::span<const std::uint8_t> vs);
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -47,6 +50,9 @@ class BufferReader {
   double read_f64();
   std::string read_string();
   void read_f32_span(std::span<float> out);
+  /// Returns a view of the next `n` bytes and advances past them. The view
+  /// aliases the underlying buffer — consume it before that buffer moves.
+  std::span<const std::uint8_t> read_bytes(std::size_t n);
 
   [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
   [[nodiscard]] bool exhausted() const { return remaining() == 0; }

@@ -1,0 +1,25 @@
+#include "src/serial/f16.hpp"
+
+#include "src/common/error.hpp"
+
+namespace splitmed {
+
+void f16_pack(std::span<const float> src, std::span<std::uint16_t> dst) {
+  SPLITMED_CHECK(src.size() == dst.size(),
+                 "f16_pack: " << src.size() << " floats into " << dst.size()
+                              << " halves");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = f32_to_f16_bits(src[i]);
+  }
+}
+
+void f16_unpack(std::span<const std::uint16_t> src, std::span<float> dst) {
+  SPLITMED_CHECK(src.size() == dst.size(),
+                 "f16_unpack: " << src.size() << " halves into " << dst.size()
+                                << " floats");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = f16_bits_to_f32(src[i]);
+  }
+}
+
+}  // namespace splitmed

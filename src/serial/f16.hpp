@@ -1,0 +1,80 @@
+// IEEE 754 binary16 (half precision) conversion, software bit-twiddling.
+//
+// The f16 wire codec needs f32<->f16 conversion that is a pure function of
+// the value — no dependence on FP environment, rounding mode, or hardware
+// F16C availability — so the kF16 golden curves are bitwise reproducible on
+// every host. Rounding is round-to-nearest-even (the IEEE default):
+// overflow beyond 65504 becomes +/-Inf, values under the f16 subnormal
+// range flush to signed zero, and NaN stays NaN (quiet bit forced, payload
+// truncated). Integer-only: both directions auto-vectorize.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace splitmed {
+
+/// f32 -> binary16 bits, round-to-nearest-even.
+inline std::uint16_t f32_to_f16_bits(float value) {
+  std::uint32_t f;
+  std::memcpy(&f, &value, 4);
+  const auto sign = static_cast<std::uint16_t>((f >> 16) & 0x8000U);
+  f &= 0x7FFFFFFFU;
+  if (f >= 0x7F800000U) {  // Inf / NaN (NaN keeps a quiet-bit mantissa)
+    return static_cast<std::uint16_t>(
+        sign | 0x7C00U | (f > 0x7F800000U ? 0x0200U : 0U));
+  }
+  if (f >= 0x477FF000U) {  // rounds past 65504 (max f16) -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00U);
+  }
+  if (f < 0x38800000U) {  // |x| < 2^-14: f16 subnormal (or zero)
+    const std::uint32_t shift = 126U - (f >> 23);
+    if (shift > 24U) return sign;  // below half the smallest subnormal
+    const std::uint32_t mant = (f & 0x7FFFFFU) | 0x800000U;
+    const std::uint32_t q = mant >> shift;
+    const std::uint32_t rem = mant & ((1U << shift) - 1U);
+    const std::uint32_t halfway = 1U << (shift - 1U);
+    const std::uint32_t up =
+        (rem > halfway || (rem == halfway && (q & 1U))) ? 1U : 0U;
+    return static_cast<std::uint16_t>(sign | (q + up));
+  }
+  // Normal range: rebias exponent 127 -> 15, round the 13 dropped bits.
+  const std::uint32_t base = ((f >> 23) - 112U) << 10 | ((f >> 13) & 0x3FFU);
+  const std::uint32_t rem = f & 0x1FFFU;
+  const std::uint32_t up =
+      (rem > 0x1000U || (rem == 0x1000U && (base & 1U))) ? 1U : 0U;
+  // A mantissa carry propagates into the exponent correctly (and into Inf
+  // only when the overflow guard above already fired).
+  return static_cast<std::uint16_t>(sign | (base + up));
+}
+
+/// binary16 bits -> f32 (exact — every f16 value is representable).
+inline float f16_bits_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000U) << 16;
+  const std::uint32_t em = h & 0x7FFFU;
+  std::uint32_t f;
+  if (em >= 0x7C00U) {  // Inf / NaN
+    f = sign | 0x7F800000U | ((em & 0x3FFU) << 13);
+  } else if (em >= 0x0400U) {  // normal: rebias 15 -> 127
+    f = sign | ((em + (112U << 10)) << 13);
+  } else if (em != 0) {  // subnormal: value = em * 2^-24, normalize
+    const int p = 31 - std::countl_zero(em);  // MSB position, 0..9
+    f = sign | (static_cast<std::uint32_t>(p + 103) << 23) |
+        ((em ^ (1U << p)) << (23 - p));
+  } else {  // signed zero
+    f = sign;
+  }
+  float out;
+  std::memcpy(&out, &f, 4);
+  return out;
+}
+
+/// Packs `src` into `dst` (must be the same length).
+void f16_pack(std::span<const float> src, std::span<std::uint16_t> dst);
+
+/// Unpacks `src` into `dst` (must be the same length).
+void f16_unpack(std::span<const std::uint16_t> src, std::span<float> dst);
+
+}  // namespace splitmed

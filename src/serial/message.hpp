@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/serial/wire_codec.hpp"
+
 namespace splitmed {
 
 /// Identifies a node in the simulated network (platforms, server).
@@ -31,6 +33,11 @@ struct Envelope {
   /// Marks a protocol-level retransmission (recovery path) so TrafficStats
   /// can separate goodput from total wire bytes. Not a wire field.
   bool retransmit = false;
+  /// Codec of the tensor payload, mirrored from the payload's own tag byte
+  /// so TrafficStats / obs can account bytes per codec without re-decoding.
+  /// Not a wire field (the authoritative tag lives inside the payload);
+  /// kF32 for non-tensor and full-precision messages.
+  WireCodec codec = WireCodec::kF32;
 
   /// Bytes this envelope occupies on the wire (excluding the CRC trailer,
   /// which only exists — and is only accounted — on fault-injecting

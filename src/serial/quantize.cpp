@@ -1,85 +1,24 @@
 #include "src/serial/quantize.hpp"
 
-#include <cmath>
-
 #include "src/common/error.hpp"
 
 namespace splitmed {
 
-namespace {
-constexpr std::uint32_t kMaxRank = 16;
-constexpr std::int64_t kMaxElements = std::int64_t{1} << 32;
-
-/// Round half away from zero (2.5 -> 3, -2.5 -> -3). std::nearbyint honors
-/// the process FP rounding mode (round-half-to-even by default, and mutable
-/// at runtime), which would make the wire bytes platform-dependent; this is
-/// a fixed function of the value only.
-float round_half_away(float v) {
-  return std::copysign(std::floor(std::abs(v) + 0.5F), v);
-}
-
-}  // namespace
-
 void encode_tensor_i8(const Tensor& t, BufferWriter& w) {
-  w.write_u32(static_cast<std::uint32_t>(t.shape().rank()));
-  for (const auto d : t.shape().dims()) w.write_i64(d);
-  float max_abs = 0.0F;
-  for (const float v : t.data()) {
-    // A NaN/Inf element would poison max_abs and therefore scale, silently
-    // producing garbage wire bytes the decoder cannot detect.
-    if (!std::isfinite(v)) {
-      throw SerializationError(
-          "encode_tensor_i8: non-finite tensor element cannot be quantized");
-    }
-    max_abs = std::max(max_abs, std::abs(v));
-  }
-  const float scale = max_abs / 127.0F;
-  w.write_f32(scale);
-  const float inv = scale > 0.0F ? 1.0F / scale : 0.0F;
-  for (const float v : t.data()) {
-    const float q = round_half_away(v * inv);
-    w.write_u8(static_cast<std::uint8_t>(
-        static_cast<std::int8_t>(std::max(-127.0F, std::min(127.0F, q)))));
-  }
+  encode_tensor_tagged(t, WireCodec::kI8, w);
 }
 
 Tensor decode_tensor_i8(BufferReader& r) {
-  const std::uint32_t rank = r.read_u32();
-  if (rank > kMaxRank) {
-    throw SerializationError("quantized tensor rank exceeds limit");
+  TaggedTensor tagged = decode_tensor_tagged(r);
+  if (tagged.codec != WireCodec::kI8) {
+    throw SerializationError(std::string("expected i8 tensor frame, got ") +
+                             wire_codec_name(tagged.codec));
   }
-  std::vector<std::int64_t> dims(rank);
-  std::int64_t numel = 1;
-  for (auto& d : dims) {
-    d = r.read_i64();
-    if (d < 0) throw SerializationError("negative quantized tensor dim");
-    // Overflow-safe: reject BEFORE multiplying (a corrupt header can carry
-    // dimensions whose product overflows int64).
-    if (d > kMaxElements || (d != 0 && numel > kMaxElements / d)) {
-      throw SerializationError("quantized tensor exceeds element limit");
-    }
-    numel *= d;
-  }
-  const float scale = r.read_f32();
-  if (!(scale >= 0.0F) || !std::isfinite(scale)) {
-    throw SerializationError("invalid quantization scale");
-  }
-  // Validate the payload size before allocating (corrupt-header safety).
-  if (static_cast<std::uint64_t>(numel) > r.remaining()) {
-    throw SerializationError(
-        "quantized tensor header larger than remaining payload");
-  }
-  Tensor t{Shape(std::move(dims))};
-  auto d = t.data();
-  for (auto& v : d) {
-    v = scale * static_cast<float>(static_cast<std::int8_t>(r.read_u8()));
-  }
-  return t;
+  return std::move(tagged.tensor);
 }
 
 std::uint64_t encoded_tensor_i8_bytes(const Shape& s) {
-  return 4 + 8 * static_cast<std::uint64_t>(s.rank()) + 4 +
-         static_cast<std::uint64_t>(s.numel());
+  return encoded_tensor_bytes(s, WireCodec::kI8);
 }
 
 }  // namespace splitmed

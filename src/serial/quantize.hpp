@@ -1,24 +1,29 @@
-// Int8 tensor quantization for the wire.
+// Int8 tensor quantization for the wire — the kI8 case of the tagged
+// format (codec.hpp).
 //
 // Extension to the paper: the split protocol's traffic is dominated by the
 // smashed activations and their gradients; symmetric per-tensor int8
-// quantization cuts those messages ~4x at a small accuracy cost (ablated in
-// bench/quantization). Format: rank, dims, scale (f32), then int8 payload.
+// quantization cuts those messages ~4x at a small accuracy cost (the
+// accuracy-vs-bytes frontier lives in bench/quantization). Frame layout:
+// tagged header word ((kI8 << 24) | rank), dims, scale (f32), then int8
+// payload — encoded_tensor_bytes(s, WireCodec::kI8) is the size authority.
 #pragma once
 
-#include "src/serial/buffer.hpp"
-#include "src/tensor/tensor.hpp"
+#include "src/serial/codec.hpp"
 
 namespace splitmed {
 
 /// Symmetric linear quantization: q = round(x / scale), scale = max|x| / 127.
-/// An all-zero tensor encodes with scale 0 and decodes to zeros.
+/// An all-zero tensor encodes with scale 0 and decodes to zeros. Non-finite
+/// elements are rejected with SerializationError (they would poison scale).
 void encode_tensor_i8(const Tensor& t, BufferWriter& w);
 
-/// Decodes and dequantizes.
+/// Decodes and dequantizes; throws SerializationError on malformed input or
+/// on a frame tagged with any codec other than kI8.
 Tensor decode_tensor_i8(BufferReader& r);
 
-/// Exact encoded size: 4 (rank) + 8*rank (dims) + 4 (scale) + numel bytes.
+/// Exact encoded size: 4 (tag+rank word) + 8*rank (dims) + 4 (scale) +
+/// numel (int8 payload). Equals encoded_tensor_bytes(s, WireCodec::kI8).
 std::uint64_t encoded_tensor_i8_bytes(const Shape& s);
 
 /// Worst-case elementwise quantization error for data of amplitude max_abs:

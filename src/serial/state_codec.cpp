@@ -30,9 +30,10 @@ void encode_envelope(const Envelope& envelope, BufferWriter& w) {
   w.write_u32(envelope.kind);
   w.write_u64(envelope.round);
   w.write_u64(envelope.payload.size());
-  for (const std::uint8_t b : envelope.payload) w.write_u8(b);
+  w.write_bytes(envelope.payload);
   w.write_u32(envelope.crc);
   w.write_u8(envelope.retransmit ? 1 : 0);
+  w.write_u8(static_cast<std::uint8_t>(envelope.codec));
 }
 
 Envelope decode_envelope(BufferReader& r) {
@@ -47,14 +48,20 @@ Envelope decode_envelope(BufferReader& r) {
                              std::to_string(payload_len) + " bytes, only " +
                              std::to_string(r.remaining()) + " remain");
   }
-  e.payload.resize(static_cast<std::size_t>(payload_len));
-  for (auto& b : e.payload) b = r.read_u8();
+  const auto payload = r.read_bytes(static_cast<std::size_t>(payload_len));
+  e.payload.assign(payload.begin(), payload.end());
   e.crc = r.read_u32();
   const std::uint8_t retransmit = r.read_u8();
   if (retransmit > 1) {
     throw SerializationError("envelope state: retransmit flag must be 0/1");
   }
   e.retransmit = retransmit == 1;
+  const std::uint8_t codec = r.read_u8();
+  if (codec >= kWireCodecCount) {
+    throw SerializationError("envelope state: unknown codec tag " +
+                             std::to_string(codec));
+  }
+  e.codec = static_cast<WireCodec>(codec);
   return e;
 }
 

@@ -4,49 +4,21 @@
 
 namespace splitmed {
 
-namespace {
-// Guards against hostile/corrupt headers allocating unbounded memory.
-constexpr std::uint32_t kMaxRank = 16;
-constexpr std::int64_t kMaxElements = std::int64_t{1} << 32;
-}  // namespace
-
 void encode_tensor(const Tensor& t, BufferWriter& w) {
-  w.write_u32(static_cast<std::uint32_t>(t.shape().rank()));
-  for (const auto d : t.shape().dims()) w.write_i64(d);
-  w.write_f32_span(t.data());
+  encode_tensor_tagged(t, WireCodec::kF32, w);
 }
 
 Tensor decode_tensor(BufferReader& r) {
-  const std::uint32_t rank = r.read_u32();
-  if (rank > kMaxRank) {
-    throw SerializationError("tensor rank " + std::to_string(rank) +
-                             " exceeds limit");
+  TaggedTensor tagged = decode_tensor_tagged(r);
+  if (tagged.codec != WireCodec::kF32) {
+    throw SerializationError(std::string("expected f32 tensor frame, got ") +
+                             wire_codec_name(tagged.codec));
   }
-  std::vector<std::int64_t> dims(rank);
-  std::int64_t numel = 1;
-  for (auto& d : dims) {
-    d = r.read_i64();
-    if (d < 0) throw SerializationError("negative tensor dimension");
-    // Overflow-safe: reject BEFORE multiplying (a corrupt header can carry
-    // dimensions whose product overflows int64).
-    if (d > kMaxElements || (d != 0 && numel > kMaxElements / d)) {
-      throw SerializationError("tensor payload exceeds element limit");
-    }
-    numel *= d;
-  }
-  // Validate against the actual remaining bytes BEFORE allocating — a
-  // corrupt header must not trigger a giant allocation.
-  if (static_cast<std::uint64_t>(numel) * 4 > r.remaining()) {
-    throw SerializationError("tensor header larger than remaining payload");
-  }
-  Tensor t{Shape(std::move(dims))};
-  r.read_f32_span(t.data());
-  return t;
+  return std::move(tagged.tensor);
 }
 
 std::uint64_t encoded_tensor_bytes(const Shape& s) {
-  return 4 + 8 * static_cast<std::uint64_t>(s.rank()) +
-         4 * static_cast<std::uint64_t>(s.numel());
+  return encoded_tensor_bytes(s, WireCodec::kF32);
 }
 
 }  // namespace splitmed

@@ -1,24 +1,30 @@
-// Tensor wire codec: rank, dims, then raw fp32 payload.
+// f32 tensor wire codec — the kF32 case of the tagged format (codec.hpp).
 //
-// encoded_tensor_bytes() is the single source of truth for "how many bytes
-// does sending this tensor cost" — used both by the real encoder and by the
-// analytic communication model in models::ModelStats, so the measured and
-// analytic Fig. 4 numbers can never drift apart.
+// These wrappers serve the state streams (optimizer buffers, BatchNorm
+// running stats, checkpoints) that are always full-precision: encode_tensor
+// emits a kF32-tagged frame — bitwise identical to the untagged legacy
+// format, since the kF32 tag is the always-zero high byte of the rank word —
+// and decode_tensor refuses any other tag.
+//
+// encoded_tensor_bytes() stays the single source of truth for "how many
+// bytes does sending this tensor cost" — used both by the real encoder and
+// by the analytic communication model in models::ModelStats, so the measured
+// and analytic Fig. 4 numbers can never drift apart.
 #pragma once
 
-#include "src/serial/buffer.hpp"
-#include "src/tensor/tensor.hpp"
+#include "src/serial/codec.hpp"
 
 namespace splitmed {
 
-/// Appends `t` to `w`.
+/// Appends `t` to `w` as a kF32-tagged frame.
 void encode_tensor(const Tensor& t, BufferWriter& w);
 
-/// Reads one tensor; throws SerializationError on malformed input.
+/// Reads one f32 tensor; throws SerializationError on malformed input or on
+/// a frame tagged with any codec other than kF32.
 Tensor decode_tensor(BufferReader& r);
 
 /// Exact encoded size of a tensor of shape `s`:
-/// 4 (rank) + 8*rank (dims) + 4*numel (payload).
+/// 4 (tag+rank word) + 8*rank (dims) + 4*numel (payload).
 std::uint64_t encoded_tensor_bytes(const Shape& s);
 
 }  // namespace splitmed

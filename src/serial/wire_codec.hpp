@@ -1,0 +1,33 @@
+// WireCodec — the negotiated element encoding of tensor payloads.
+//
+// Minimal header (no tensor/buffer dependencies) so Envelope and config
+// structs can carry a codec without pulling in the codec implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace splitmed {
+
+/// Element encoding of a tensor payload on the wire. Every tensor-bearing
+/// payload carries its codec in the high byte of the leading header word
+/// (see docs/PROTOCOL.md "Tensor payloads"); kF32's tag is 0, which keeps
+/// the f32 wire byte-identical to the untagged legacy format.
+///
+/// kF16 (IEEE 754 binary16, round-to-nearest-even) halves the dominant
+/// messages; kI8 (symmetric per-tensor int8) cuts them ~4x. Both ends of a
+/// deployment must be configured identically — a frame whose tag does not
+/// match the negotiated codec is a ProtocolError.
+enum class WireCodec : std::uint8_t { kF32 = 0, kF16 = 1, kI8 = 2 };
+
+/// Number of valid codec tags (tags >= this are unknown and rejected).
+inline constexpr std::uint8_t kWireCodecCount = 3;
+
+/// "f32" / "f16" / "i8" — stable names used in reports, metrics labels and
+/// --codec flags.
+const char* wire_codec_name(WireCodec codec);
+
+/// Inverse of wire_codec_name; throws InvalidArgument on unknown names.
+WireCodec parse_wire_codec(const std::string& name);
+
+}  // namespace splitmed

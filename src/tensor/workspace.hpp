@@ -110,6 +110,22 @@ class WorkspaceScope {
   /// never move earlier ones).
   std::span<float> floats(std::int64_t n);
 
+  /// `n` bytes of scratch carved from the float arena (64-byte aligned,
+  /// UNINITIALIZED). The wire codecs pack i8 bodies here before one bulk
+  /// append. Write-only until copied out — never read back as floats.
+  std::span<std::uint8_t> bytes(std::int64_t n) {
+    const auto f = floats((n + 3) / 4);
+    return {reinterpret_cast<std::uint8_t*>(f.data()),
+            static_cast<std::size_t>(n)};
+  }
+
+  /// `n` uint16 scratch slots, same contract as bytes() (f16 pack buffer).
+  std::span<std::uint16_t> u16s(std::int64_t n) {
+    const auto f = floats((n + 1) / 2);
+    return {reinterpret_cast<std::uint16_t*>(f.data()),
+            static_cast<std::size_t>(n)};
+  }
+
  private:
   Workspace& arena_;
   std::size_t mark_block_;

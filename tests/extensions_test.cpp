@@ -216,7 +216,7 @@ TEST(QuantizedProtocol, ShrinksTrafficAndStillLearns) {
   core::SplitTrainer f32(builder(), train, partition, test, cfg);
   const auto f32_report = f32.run();
 
-  cfg.wire_dtype = core::WireDtype::kI8;
+  cfg.codec = WireCodec::kI8;
   core::SplitTrainer i8(builder(), train, partition, test, cfg);
   const auto i8_report = i8.run();
 
@@ -369,7 +369,7 @@ TEST(CombinedExtensions, QuantizedOverlappedNoisyPartialStillLearns) {
   auto cfg = base_config();
   cfg.rounds = 40;
   cfg.eval_every = 40;
-  cfg.wire_dtype = core::WireDtype::kI8;
+  cfg.codec = WireCodec::kI8;
   cfg.schedule = core::Schedule::kOverlapped;
   cfg.smash_noise_std = 0.05F;
   cfg.participation = 0.8;

@@ -19,6 +19,8 @@
 #include "src/nn/linear.hpp"
 #include "src/nn/pool.hpp"
 #include "src/nn/sequential.hpp"
+#include "src/core/protocol.hpp"
+#include "src/serial/codec.hpp"
 #include "src/serial/crc32.hpp"
 #include "src/serial/quantize.hpp"
 #include "src/serial/section_file.hpp"
@@ -178,6 +180,177 @@ TEST(CodecFuzz, LyingLengthFieldsRejectedBeforeAllocation) {
     lie[11] = 0x80;
     EXPECT_THROW(decode(lie), SerializationError);
   }
+}
+
+TEST(CodecFuzz, UnknownCodecTagsAlwaysRejected) {
+  // The codec tag is the high byte of the leading header word (offset 3,
+  // little-endian). Every value outside the registered set {0, 1, 2} must be
+  // a SerializationError — exhaustively over all 253 unknown tags.
+  Rng rng(12);
+  const Tensor t = Tensor::normal(Shape{3, 5, 2}, rng);
+  BufferWriter w;
+  encode_tensor_tagged(t, WireCodec::kF32, w);
+  auto bytes = w.bytes();
+  for (int tag = 3; tag <= 255; ++tag) {
+    bytes[3] = static_cast<std::uint8_t>(tag);
+    BufferReader r({bytes.data(), bytes.size()});
+    EXPECT_THROW((void)decode_tensor_tagged(r), SerializationError)
+        << "tag " << tag;
+  }
+}
+
+TEST(CodecFuzz, EveryTruncatedTaggedPrefixThrows) {
+  // The f32/i8 truncation sweep above goes through the typed wrappers; this
+  // one covers the tagged decoder itself for all three codecs, at every
+  // byte boundary.
+  Rng rng(13);
+  const Tensor t = Tensor::normal(Shape{3, 5, 2}, rng);
+  for (const WireCodec codec :
+       {WireCodec::kF32, WireCodec::kF16, WireCodec::kI8}) {
+    BufferWriter w;
+    encode_tensor_tagged(t, codec, w);
+    const auto full = w.bytes();
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      BufferReader r({full.data(), len});
+      EXPECT_THROW((void)decode_tensor_tagged(r), SerializationError)
+          << wire_codec_name(codec) << " prefix of " << len << " bytes";
+    }
+  }
+}
+
+TEST(CodecFuzz, EveryHeaderBitFlipThrowsThroughProtocolDecode) {
+  // Exhaustive single-bit flips over the header region (tag+rank word and
+  // dims) of each codec's frame, decoded the way the protocol layer does —
+  // with a negotiated codec to enforce. All dims are positive, so any dim
+  // flip changes numel and therefore the body size; rank flips misalign the
+  // frame; tag flips either leave the registered set (SerializationError) or
+  // land on a codec the channel did not negotiate (ProtocolError). No flip
+  // may decode cleanly.
+  Rng rng(14);
+  const Tensor t = Tensor::normal(Shape{3, 5, 2}, rng);
+  constexpr std::size_t kHeaderBytes = 4 + 8 * 3;  // tag+rank word, 3 dims
+  for (const WireCodec codec :
+       {WireCodec::kF32, WireCodec::kF16, WireCodec::kI8}) {
+    auto bytes = core::encode_tensor_payload(t, codec);
+    ASSERT_GT(bytes.size(), kHeaderBytes);
+    for (std::size_t byte = 0; byte < kHeaderBytes; ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        bytes[byte] ^= static_cast<std::uint8_t>(1U << bit);
+        try {
+          (void)core::decode_tensor_payload({bytes.data(), bytes.size()},
+                                            codec);
+          ADD_FAILURE() << wire_codec_name(codec) << " flip at byte " << byte
+                        << " bit " << bit << " decoded cleanly";
+        } catch (const SerializationError&) {
+        } catch (const ProtocolError&) {
+        } catch (const InvalidArgument&) {
+          // absurd-but-positive dims rejected by Shape
+        }
+        bytes[byte] ^= static_cast<std::uint8_t>(1U << bit);
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, MismatchedNegotiatedCodecIsProtocolError) {
+  // A well-formed frame whose (valid) tag differs from the negotiated codec
+  // is a protocol violation, not a serialization error — the frame is fine,
+  // the channel agreement is broken.
+  Rng rng(15);
+  const Tensor t = Tensor::normal(Shape{4, 4}, rng);
+  const WireCodec codecs[] = {WireCodec::kF32, WireCodec::kF16,
+                              WireCodec::kI8};
+  for (const WireCodec actual : codecs) {
+    const auto payload = core::encode_tensor_payload(t, actual);
+    for (const WireCodec expected : codecs) {
+      if (expected == actual) {
+        EXPECT_NO_THROW((void)core::decode_tensor_payload(
+            {payload.data(), payload.size()}, expected));
+      } else {
+        EXPECT_THROW((void)core::decode_tensor_payload(
+                         {payload.data(), payload.size()}, expected),
+                     ProtocolError)
+            << wire_codec_name(actual) << " frame on a "
+            << wire_codec_name(expected) << " channel";
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, PoisonedI8ScaleRejected) {
+  // The i8 scale is attacker-controlled f32 right after the dims. NaN, Inf,
+  // and negative scales must be rejected before any element math — a NaN
+  // scale would silently dequantize every element to NaN.
+  Rng rng(16);
+  const Tensor t = Tensor::normal(Shape{3, 5, 2}, rng);
+  BufferWriter w;
+  encode_tensor_tagged(t, WireCodec::kI8, w);
+  const auto original = w.bytes();
+  const std::size_t scale_at = 4 + 8 * 3;  // after tag+rank word and 3 dims
+  const std::uint32_t poisons[] = {
+      0x7FC00000U,  // quiet NaN
+      0x7F800000U,  // +Inf
+      0xFF800000U,  // -Inf
+      0xBF800000U,  // -1.0
+      0xFFC00000U,  // -NaN
+  };
+  for (const std::uint32_t poison : poisons) {
+    auto bytes = original;
+    for (std::size_t i = 0; i < 4; ++i) {
+      bytes[scale_at + i] = static_cast<std::uint8_t>(poison >> (8 * i));
+    }
+    BufferReader r({bytes.data(), bytes.size()});
+    EXPECT_THROW((void)decode_tensor_tagged(r), SerializationError)
+        << "scale bits " << poison;
+  }
+}
+
+TEST(CodecFuzz, TrailingBytesAfterTensorRejectedByProtocol) {
+  // decode_tensor_payload requires the payload to be EXACTLY one frame;
+  // trailing garbage (e.g. a lying dim that shrank the body) must throw.
+  Rng rng(17);
+  const Tensor t = Tensor::normal(Shape{2, 3}, rng);
+  for (const WireCodec codec :
+       {WireCodec::kF32, WireCodec::kF16, WireCodec::kI8}) {
+    auto payload = core::encode_tensor_payload(t, codec);
+    payload.push_back(0x00);
+    EXPECT_THROW(
+        (void)core::decode_tensor_payload({payload.data(), payload.size()},
+                                          codec),
+        SerializationError)
+        << wire_codec_name(codec);
+  }
+}
+
+TEST(CodecFuzz, CorruptedF16PayloadsNeverCrash) {
+  // Random multi-byte corruption of f16 frames: every trial either decodes
+  // to some tensor or throws a typed error — never UB. (Body corruption is
+  // undetectable at this layer by design; the envelope CRC owns that.)
+  Rng rng(18);
+  const Tensor t = Tensor::normal(Shape{4, 7}, rng);
+  BufferWriter w;
+  encode_tensor_tagged(t, WireCodec::kF16, w);
+  const auto original = w.bytes();
+  int threw = 0, decoded = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = original;
+    const int mutations = 1 + static_cast<int>(rng.uniform_u64(4));
+    for (int m = 0; m < mutations; ++m) {
+      bytes[rng.uniform_u64(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    try {
+      BufferReader r({bytes.data(), bytes.size()});
+      (void)decode_tensor_tagged(r);
+      ++decoded;
+    } catch (const SerializationError&) {
+      ++threw;
+    } catch (const InvalidArgument&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw + decoded, 500);
+  EXPECT_GT(threw, 0);
 }
 
 TEST(Crc32, KnownVectorAndIncremental) {

@@ -22,6 +22,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/core/trainer.hpp"
 #include "src/data/synthetic_cifar.hpp"
 #include "src/models/factory.hpp"
@@ -81,11 +82,65 @@ metrics::TrainReport golden_run(
 long quantize(double v) { return std::lround(v * 32.0); }
 
 // The pinned fingerprint. Regenerate from the failure printout below.
+// These are the seed repo's kF32 numbers — the codec tag rides in the
+// always-zero high byte of the rank word, so introducing the tagged wire
+// format must NOT move them.
 const std::vector<std::uint64_t> kGoldenBytes = {
     13248,  26496,  39744,  52992,  66240,
     79488,  92736,  105984, 119232, 132480};
 const std::vector<long> kGoldenLoss = {64, 44, 35, 33, 19, 26, 14, 15, 8, 14};
 const std::vector<long> kGoldenAcc = {12, 19, 20, 22, 21, 28, 29, 31, 31, 32};
+
+/// Extracts the (bytes, quantized loss, quantized accuracy) series and, on
+/// mismatch against the pins, prints the actual series copy-pasteable.
+void expect_fingerprint(const metrics::TrainReport& report,
+                        const std::vector<std::uint64_t>& golden_bytes,
+                        const std::vector<long>& golden_loss,
+                        const std::vector<long>& golden_acc,
+                        const char* tag) {
+  std::vector<std::uint64_t> bytes;
+  std::vector<long> loss;
+  std::vector<long> acc;
+  for (const auto& p : report.curve) {
+    bytes.push_back(p.cumulative_bytes);
+    loss.push_back(quantize(p.train_loss));
+    acc.push_back(quantize(p.test_accuracy));
+  }
+  EXPECT_EQ(bytes, golden_bytes) << tag;
+  EXPECT_EQ(loss, golden_loss) << tag;
+  EXPECT_EQ(acc, golden_acc) << tag;
+  if (::testing::Test::HasFailure()) {
+    const auto dump = [](const char* name, const auto& v) {
+      std::ostringstream os;
+      os << name << " = {";
+      for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
+      os << "};";
+      return os.str();
+    };
+    ADD_FAILURE() << tag << " fingerprint mismatch — actual series:\n"
+                  << dump("Bytes", bytes) << "\n"
+                  << dump("Loss", loss) << "\n"
+                  << dump("Acc", acc);
+  }
+}
+
+// Pinned per-codec golden curves for the lossy wire codecs. Same fixed-seed
+// run as kGoldenBytes, only SplitConfig::codec differs — the lossy paths are
+// deterministic and regression-locked exactly like the f32 wire.
+const std::vector<std::uint64_t> kGoldenF16Bytes = {
+    7104,  14208, 21312, 28416, 35520,
+    42624, 49728, 56832, 63936, 71040};
+const std::vector<long> kGoldenF16Loss = {64, 44, 35, 33, 19,
+                                          26, 14, 15, 8,  14};
+const std::vector<long> kGoldenF16Acc = {12, 19, 20, 22, 21,
+                                         28, 29, 31, 31, 32};
+const std::vector<std::uint64_t> kGoldenI8Bytes = {
+    4056,  8112,  12168, 16224, 20280,
+    24336, 28392, 32448, 36504, 40560};
+const std::vector<long> kGoldenI8Loss = {64, 45, 35, 33, 20,
+                                         26, 14, 16, 8,  15};
+const std::vector<long> kGoldenI8Acc = {12, 20, 19, 20, 21,
+                                        28, 29, 31, 30, 32};
 
 TEST(GoldenCurve, FixedSeedRunMatchesFingerprint) {
   const auto report = golden_run();
@@ -168,6 +223,107 @@ TEST(GoldenCurve, TracingIsBitwiseInert) {
   EXPECT_TRUE(fs::exists(prom));
   fs::remove(trace);
   fs::remove(prom);
+}
+
+TEST(GoldenCurve, KF16FixedSeedRunMatchesFingerprint) {
+  const auto report =
+      golden_run([](core::SplitConfig& cfg) { cfg.codec = WireCodec::kF16; });
+  expect_fingerprint(report, kGoldenF16Bytes, kGoldenF16Loss, kGoldenF16Acc,
+                     "kGoldenF16");
+}
+
+TEST(GoldenCurve, KI8FixedSeedRunMatchesFingerprint) {
+  const auto report =
+      golden_run([](core::SplitConfig& cfg) { cfg.codec = WireCodec::kI8; });
+  expect_fingerprint(report, kGoldenI8Bytes, kGoldenI8Loss, kGoldenI8Acc,
+                     "kGoldenI8");
+}
+
+TEST(GoldenCurve, LossyCodecsAreThreadInvariant) {
+  // The f16/i8 pack/unpack paths are integer-exact per element and carry no
+  // cross-element state, so the substrate thread count must not move the
+  // lossy fingerprints either (same contract the f32 wire already has).
+  const auto f16 = golden_run([](core::SplitConfig& cfg) {
+    cfg.codec = WireCodec::kF16;
+    cfg.threads = 3;
+  });
+  expect_fingerprint(f16, kGoldenF16Bytes, kGoldenF16Loss, kGoldenF16Acc,
+                     "kGoldenF16 (threads=3)");
+  const auto i8 = golden_run([](core::SplitConfig& cfg) {
+    cfg.codec = WireCodec::kI8;
+    cfg.threads = 3;
+  });
+  expect_fingerprint(i8, kGoldenI8Bytes, kGoldenI8Loss, kGoldenI8Acc,
+                     "kGoldenI8 (threads=3)");
+}
+
+TEST(GoldenCurve, CodecByteTotalsAreStrictlyOrdered) {
+  // The point of the codecs: every round moves strictly fewer wire bytes
+  // under f16 than f32, and fewer still under i8.
+  ASSERT_EQ(kGoldenF16Bytes.size(), kGoldenBytes.size());
+  ASSERT_EQ(kGoldenI8Bytes.size(), kGoldenBytes.size());
+  for (std::size_t i = 0; i < kGoldenBytes.size(); ++i) {
+    EXPECT_LT(kGoldenI8Bytes[i], kGoldenF16Bytes[i]) << "round " << i;
+    EXPECT_LT(kGoldenF16Bytes[i], kGoldenBytes[i]) << "round " << i;
+  }
+}
+
+TEST(GoldenCurve, CrossCodecCheckpointResumeIsBitwise) {
+  // Checkpoint/resume under a lossy codec: a kI8 run interrupted at round 5
+  // and resumed from disk reproduces the uninterrupted kI8 run bit for bit.
+  // The manifest records the codec, so the resumed trainer re-negotiates the
+  // same wire format without being told.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "golden_i8_ckpt";
+  fs::remove_all(dir);
+
+  const auto uninterrupted =
+      golden_run([](core::SplitConfig& cfg) { cfg.codec = WireCodec::kI8; });
+
+  (void)golden_run([&](core::SplitConfig& cfg) {
+    cfg.codec = WireCodec::kI8;
+    cfg.rounds = 5;
+    cfg.checkpoint_every = 5;
+    cfg.checkpoint_dir = dir.string();
+  });
+  const auto resumed = golden_run([&](core::SplitConfig& cfg) {
+    cfg.codec = WireCodec::kI8;
+    cfg.resume_from = dir.string();
+  });
+
+  ASSERT_EQ(resumed.curve.size(), uninterrupted.curve.size());
+  for (std::size_t i = 0; i < resumed.curve.size(); ++i) {
+    EXPECT_EQ(resumed.curve[i].cumulative_bytes,
+              uninterrupted.curve[i].cumulative_bytes);
+    EXPECT_EQ(resumed.curve[i].train_loss, uninterrupted.curve[i].train_loss);
+    EXPECT_EQ(resumed.curve[i].test_accuracy,
+              uninterrupted.curve[i].test_accuracy);
+    EXPECT_EQ(resumed.curve[i].sim_seconds,
+              uninterrupted.curve[i].sim_seconds);
+  }
+  EXPECT_EQ(resumed.total_bytes, uninterrupted.total_bytes);
+  fs::remove_all(dir);
+}
+
+TEST(GoldenCurve, ResumeRefusesMismatchedCodec) {
+  // A checkpoint saved under kI8 must not silently resume onto an f32 wire:
+  // the byte curves would diverge from both codecs' goldens. The manifest
+  // load rejects the mismatch outright.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "golden_mismatch_ckpt";
+  fs::remove_all(dir);
+  (void)golden_run([&](core::SplitConfig& cfg) {
+    cfg.codec = WireCodec::kI8;
+    cfg.rounds = 5;
+    cfg.checkpoint_every = 5;
+    cfg.checkpoint_dir = dir.string();
+  });
+  EXPECT_THROW(golden_run([&](core::SplitConfig& cfg) {
+                 // codec left at the kF32 default — mismatch.
+                 cfg.resume_from = dir.string();
+               }),
+               SerializationError);
+  fs::remove_all(dir);
 }
 
 TEST(GoldenCurve, EnvelopeFramingOverheadIsPinned) {
