@@ -19,7 +19,11 @@ namespace {
 
 // Format 2 added the wire codec byte to the "run" section (resume must be
 // bitwise-faithful per codec, so the codec is part of the saved config).
-constexpr std::uint32_t kManifestFormat = 2;
+// Format 3 added the platform roster (per-platform shard sizes) and the
+// membership flag to the "run" section, plus a "membership" manifest section
+// when the membership extension is on — resume refuses a roster or
+// membership-mode mismatch.
+constexpr std::uint32_t kManifestFormat = 3;
 
 void require_exhausted(const BufferReader& r, const std::string& what) {
   if (!r.exhausted()) {
@@ -208,12 +212,23 @@ void SplitTrainer::save_checkpoint(const std::string& dir,
     run.write_u64(step_id_);
     run.write_u64(config_.seed);
     run.write_u32(static_cast<std::uint32_t>(platforms_.size()));
+    // The roster: each platform's shard size. Platform count alone cannot
+    // tell two different partitions of the same dataset apart, and resuming
+    // under a re-shuffled roster would silently feed every hospital someone
+    // else's loader state.
+    for (const auto& p : platforms_) run.write_i64(p->shard_size());
     run.write_string(model_name_);
     run.write_u8(static_cast<std::uint8_t>(config_.codec));
+    run.write_u8(membership_ ? 1 : 0);
     run.write_i64(examples_processed_);
     run.write_i64(skipped_steps_);
     encode_rng(participation_rng_, run);
     file.add("run", std::move(run));
+    if (membership_) {
+      BufferWriter membership;
+      membership_->save_state(membership);
+      file.add("membership", std::move(membership));
+    }
     BufferWriter network;
     network_.save_state(network);
     file.add("network", std::move(network));
@@ -250,6 +265,18 @@ void SplitTrainer::load_checkpoint(const std::string& round_dir) {
                              " platforms, this run has " +
                              std::to_string(platforms_.size()));
   }
+  for (std::size_t k = 0; k < platforms_.size(); ++k) {
+    const std::int64_t saved_shard = run.read_i64();
+    const std::int64_t this_shard = platforms_[k]->shard_size();
+    if (saved_shard != this_shard) {
+      throw SerializationError(
+          "checkpoint manifest: platform " + std::to_string(k) +
+          " was saved with a shard of " + std::to_string(saved_shard) +
+          " example(s) but this run partitions it " +
+          std::to_string(this_shard) +
+          " — refusing to resume under a different roster");
+    }
+  }
   const std::string model = run.read_string();
   if (model != model_name_) {
     throw SerializationError("checkpoint manifest: model '" + model +
@@ -266,6 +293,18 @@ void SplitTrainer::load_checkpoint(const std::string& round_dir) {
         std::string("checkpoint manifest: saved under wire codec ") +
         wire_codec_name(static_cast<WireCodec>(codec)) +
         ", this run is configured for " + wire_codec_name(config_.codec));
+  }
+  const std::uint8_t saved_membership = run.read_u8();
+  if (saved_membership > 1) {
+    throw SerializationError(
+        "checkpoint manifest: membership flag must be 0 or 1, got " +
+        std::to_string(saved_membership));
+  }
+  if ((saved_membership == 1) != (membership_ != nullptr)) {
+    throw SerializationError(
+        std::string("checkpoint manifest: saved with membership ") +
+        (saved_membership ? "enabled" : "disabled") + ", this run has it " +
+        (membership_ ? "enabled" : "disabled"));
   }
   const std::int64_t examples_processed = run.read_i64();
   const std::int64_t skipped_steps = run.read_i64();
@@ -298,6 +337,17 @@ void SplitTrainer::load_checkpoint(const std::string& round_dir) {
   BufferReader report = manifest.reader("report");
   report_ = decode_report(report);
   require_exhausted(report, "checkpoint manifest 'report' section");
+  if (membership_) {
+    if (!manifest.has("membership")) {
+      throw SerializationError(
+          "checkpoint manifest: membership is enabled but the manifest has "
+          "no 'membership' section");
+    }
+    BufferReader membership = manifest.reader("membership");
+    membership_->load_state(membership);
+    require_exhausted(membership,
+                      "checkpoint manifest 'membership' section");
+  }
 
   {
     BufferReader state = server_file.reader("state");

@@ -1,0 +1,864 @@
+#include "src/core/membership.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/obs/obs.hpp"
+#include "src/serial/codec.hpp"
+#include "src/serial/state_codec.hpp"
+
+namespace splitmed::core {
+namespace {
+
+constexpr std::uint64_t kChurnSalt = 0xA24BAED4963EE407ULL;
+constexpr std::uint64_t kProbationSalt = 0x9FB21C651E98DF25ULL;
+/// Re-quarantine spells double up to this cap (rounds).
+constexpr std::int64_t kMaxQuarantineSpell = std::int64_t{1} << 20;
+/// ChurnPlan::random leaves at least this many rounds between events on the
+/// same platform, so a generated schedule never crashes a platform that is
+/// still serving the previous outage.
+constexpr std::int64_t kRandomEventGapRounds = 8;
+
+void require_state_byte(std::uint8_t v, const char* where) {
+  if (v >= kMemberStateCount) {
+    std::ostringstream os;
+    os << where << ": unknown lifecycle state byte " << int{v};
+    throw SerializationError(os.str());
+  }
+}
+
+void require_mode_byte(std::uint8_t v, const char* where) {
+  if (v > static_cast<std::uint8_t>(RejoinMode::kCold)) {
+    std::ostringstream os;
+    os << where << ": unknown rejoin mode byte " << int{v};
+    throw SerializationError(os.str());
+  }
+}
+
+void require_exhausted(const BufferReader& r, const char* where) {
+  if (!r.exhausted()) {
+    std::ostringstream os;
+    os << where << ": " << r.remaining() << " trailing byte(s) after payload";
+    throw SerializationError(os.str());
+  }
+}
+
+}  // namespace
+
+const char* member_state_name(MemberState s) {
+  switch (s) {
+    case MemberState::kJoining:
+      return "joining";
+    case MemberState::kActive:
+      return "active";
+    case MemberState::kSuspect:
+      return "suspect";
+    case MemberState::kQuarantined:
+      return "quarantined";
+    case MemberState::kDead:
+      return "dead";
+    case MemberState::kRejoining:
+      return "rejoining";
+  }
+  return "unknown";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNonFinite:
+      return "non-finite";
+    case RejectReason::kNormBomb:
+      return "norm-bomb";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// ChurnPlan
+// ---------------------------------------------------------------------------
+
+void ChurnPlan::validate(std::size_t num_platforms) const {
+  for (const CrashEvent& e : crashes) {
+    SPLITMED_CHECK(e.platform < num_platforms,
+                   "churn.crashes: platform index " << e.platform
+                       << " out of range for " << num_platforms
+                       << " platform(s)");
+    SPLITMED_CHECK(e.round >= 1,
+                   "churn.crashes: round must be >= 1, got " << e.round);
+    SPLITMED_CHECK(std::isfinite(e.offline_sec) && e.offline_sec > 0.0,
+                   "churn.crashes: offline_sec must be finite and positive, "
+                   "got "
+                       << e.offline_sec);
+  }
+  for (const PoisonEvent& e : poisons) {
+    SPLITMED_CHECK(e.platform < num_platforms,
+                   "churn.poisons: platform index " << e.platform
+                       << " out of range for " << num_platforms
+                       << " platform(s)");
+    SPLITMED_CHECK(e.round >= 1,
+                   "churn.poisons: round must be >= 1, got " << e.round);
+    SPLITMED_CHECK(e.duration_rounds >= 1,
+                   "churn.poisons: duration_rounds must be >= 1, got "
+                       << e.duration_rounds);
+    SPLITMED_CHECK(std::isfinite(e.scale),
+                   "churn.poisons: scale must be finite, got " << e.scale);
+  }
+}
+
+ChurnPlan ChurnPlan::random(std::uint64_t seed, std::size_t num_platforms,
+                            std::int64_t rounds, const ChurnRates& rates) {
+  SPLITMED_CHECK(num_platforms > 0, "ChurnPlan::random: no platforms");
+  SPLITMED_CHECK(rounds >= 1, "ChurnPlan::random: rounds must be >= 1, got "
+                                  << rounds);
+  SPLITMED_CHECK(rates.crash_rate >= 0.0 && rates.crash_rate <= 1.0,
+                 "ChurnPlan::random: crash_rate must be in [0,1], got "
+                     << rates.crash_rate);
+  SPLITMED_CHECK(rates.poison_rate >= 0.0 && rates.poison_rate <= 1.0,
+                 "ChurnPlan::random: poison_rate must be in [0,1], got "
+                     << rates.poison_rate);
+  SPLITMED_CHECK(rates.mean_offline_sec > 0.0,
+                 "ChurnPlan::random: mean_offline_sec must be positive, got "
+                     << rates.mean_offline_sec);
+  SPLITMED_CHECK(rates.cold_fraction >= 0.0 && rates.cold_fraction <= 1.0,
+                 "ChurnPlan::random: cold_fraction must be in [0,1], got "
+                     << rates.cold_fraction);
+  SPLITMED_CHECK(rates.poison_rounds >= 1,
+                 "ChurnPlan::random: poison_rounds must be >= 1, got "
+                     << rates.poison_rounds);
+
+  Rng rng(seed ^ kChurnSalt);
+  ChurnPlan plan;
+  std::vector<std::int64_t> next_free(num_platforms, 1);
+  // Round-major, platform-minor walk: the draw order (and therefore the
+  // schedule) is a pure function of (seed, num_platforms, rounds, rates).
+  for (std::int64_t r = 1; r <= rounds; ++r) {
+    for (std::size_t p = 0; p < num_platforms; ++p) {
+      if (r < next_free[p]) continue;
+      if (rates.crash_rate > 0.0 && rng.bernoulli(rates.crash_rate)) {
+        CrashEvent e;
+        e.platform = p;
+        e.round = r;
+        e.offline_sec =
+            rates.mean_offline_sec * (0.5 + static_cast<double>(rng.uniform()));
+        e.rejoin = rng.bernoulli(rates.cold_fraction) ? RejoinMode::kCold
+                                                      : RejoinMode::kWarm;
+        plan.crashes.push_back(e);
+        next_free[p] = r + kRandomEventGapRounds;
+        continue;
+      }
+      if (rates.poison_rate > 0.0 && rng.bernoulli(rates.poison_rate)) {
+        PoisonEvent e;
+        e.platform = p;
+        e.round = r;
+        e.duration_rounds = rates.poison_rounds;
+        e.kind = rng.bernoulli(0.5F) ? PoisonKind::kNonFinite
+                                     : PoisonKind::kNormBomb;
+        e.scale = rates.poison_scale;
+        plan.poisons.push_back(e);
+        next_free[p] = r + kRandomEventGapRounds;
+      }
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// MembershipConfig
+// ---------------------------------------------------------------------------
+
+void MembershipConfig::validate(std::size_t num_platforms) const {
+  SPLITMED_CHECK(std::isfinite(heartbeat_interval_sec) &&
+                     heartbeat_interval_sec > 0.0,
+                 "membership.heartbeat_interval_sec must be positive, got "
+                     << heartbeat_interval_sec);
+  SPLITMED_CHECK(std::isfinite(lease_sec) && lease_sec > 0.0,
+                 "membership.lease_sec must be positive, got " << lease_sec);
+  SPLITMED_CHECK(std::isfinite(dead_sec) && dead_sec > lease_sec,
+                 "membership.dead_sec must exceed membership.lease_sec ("
+                     << lease_sec << "), got " << dead_sec);
+  SPLITMED_CHECK(std::isfinite(round_deadline_sec) && round_deadline_sec > 0.0,
+                 "membership.round_deadline_sec must be positive, got "
+                     << round_deadline_sec);
+  SPLITMED_CHECK(min_quorum >= 1,
+                 "membership.min_quorum must be >= 1, got " << min_quorum);
+  SPLITMED_CHECK(min_quorum <= static_cast<std::int64_t>(num_platforms),
+                 "membership.min_quorum (" << min_quorum
+                     << ") exceeds the platform count (" << num_platforms
+                     << ") — no round could ever reach quorum");
+  SPLITMED_CHECK(std::isfinite(norm_bomb_factor) && norm_bomb_factor > 1.0,
+                 "membership.norm_bomb_factor must be > 1, got "
+                     << norm_bomb_factor);
+  SPLITMED_CHECK(norm_window >= 1,
+                 "membership.norm_window must be >= 1, got " << norm_window);
+  SPLITMED_CHECK(norm_warmup >= 1 && norm_warmup <= norm_window,
+                 "membership.norm_warmup must be in [1, norm_window="
+                     << norm_window << "], got " << norm_warmup);
+  SPLITMED_CHECK(strikes_to_quarantine >= 1,
+                 "membership.strikes_to_quarantine must be >= 1, got "
+                     << strikes_to_quarantine);
+  SPLITMED_CHECK(quarantine_rounds >= 1,
+                 "membership.quarantine_rounds must be >= 1, got "
+                     << quarantine_rounds);
+  SPLITMED_CHECK(probation_readmit_prob > 0.0 && probation_readmit_prob <= 1.0,
+                 "membership.probation_readmit_prob must be in (0,1], got "
+                     << probation_readmit_prob
+                     << " (0 would quarantine forever)");
+  SPLITMED_CHECK(probation_clean_steps >= 1,
+                 "membership.probation_clean_steps must be >= 1, got "
+                     << probation_clean_steps);
+}
+
+// ---------------------------------------------------------------------------
+// Control-frame payload codecs
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_heartbeat_payload(const HeartbeatMsg& m) {
+  BufferWriter w;
+  w.write_u32(m.platform);
+  w.write_u64(m.beat);
+  w.write_u64(m.last_completed_round);
+  return w.take();
+}
+
+HeartbeatMsg decode_heartbeat_payload(std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  HeartbeatMsg m;
+  m.platform = r.read_u32();
+  m.beat = r.read_u64();
+  m.last_completed_round = r.read_u64();
+  require_exhausted(r, "heartbeat");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_join_request_payload(const JoinRequestMsg& m) {
+  BufferWriter w;
+  w.write_u32(m.platform);
+  w.write_u8(static_cast<std::uint8_t>(m.mode));
+  w.write_u64(m.last_completed_round);
+  return w.take();
+}
+
+JoinRequestMsg decode_join_request_payload(
+    std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  JoinRequestMsg m;
+  m.platform = r.read_u32();
+  const std::uint8_t mode = r.read_u8();
+  require_mode_byte(mode, "join request");
+  m.mode = static_cast<RejoinMode>(mode);
+  m.last_completed_round = r.read_u64();
+  require_exhausted(r, "join request");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_join_accept_payload(const JoinAcceptMsg& m) {
+  BufferWriter w;
+  w.write_u64(m.current_round);
+  w.write_u8(m.has_l1 ? 1 : 0);
+  // Genesis weights always travel full-precision: a lossy codec here would
+  // fork a cold-rejoined platform's L1 from every other replica's bitwise.
+  if (m.has_l1) encode_tensor_tagged(m.l1, WireCodec::kF32, w);
+  return w.take();
+}
+
+JoinAcceptMsg decode_join_accept_payload(
+    std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  JoinAcceptMsg m;
+  m.current_round = r.read_u64();
+  const std::uint8_t has_l1 = r.read_u8();
+  if (has_l1 > 1) {
+    std::ostringstream os;
+    os << "join accept: has_l1 flag must be 0 or 1, got " << int{has_l1};
+    throw SerializationError(os.str());
+  }
+  m.has_l1 = has_l1 == 1;
+  if (m.has_l1) {
+    TaggedTensor tagged = decode_tensor_tagged(r);
+    if (tagged.codec != WireCodec::kF32) {
+      throw SerializationError(
+          "join accept: genesis L1 payload must be f32-tagged");
+    }
+    m.l1 = std::move(tagged.tensor);
+  }
+  require_exhausted(r, "join accept");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_update_reject_payload(
+    const UpdateRejectMsg& m) {
+  BufferWriter w;
+  w.write_u8(static_cast<std::uint8_t>(m.reason));
+  w.write_u32(m.strikes);
+  w.write_u8(static_cast<std::uint8_t>(m.state));
+  return w.take();
+}
+
+UpdateRejectMsg decode_update_reject_payload(
+    std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  UpdateRejectMsg m;
+  const std::uint8_t reason = r.read_u8();
+  if (reason != static_cast<std::uint8_t>(RejectReason::kNonFinite) &&
+      reason != static_cast<std::uint8_t>(RejectReason::kNormBomb)) {
+    std::ostringstream os;
+    os << "update reject: unknown reason byte " << int{reason};
+    throw SerializationError(os.str());
+  }
+  m.reason = static_cast<RejectReason>(reason);
+  m.strikes = r.read_u32();
+  const std::uint8_t state = r.read_u8();
+  require_state_byte(state, "update reject");
+  m.state = static_cast<MemberState>(state);
+  require_exhausted(r, "update reject");
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Ledger
+// ---------------------------------------------------------------------------
+
+std::uint64_t MembershipLedger::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::int64_t v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (8 * i)) & 0xFFU;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const auto& row : transitions) {
+    for (std::int64_t v : row) mix(v);
+  }
+  mix(strikes);
+  mix(quarantines);
+  mix(readmissions);
+  mix(probation_clears);
+  mix(rejected_nonfinite);
+  mix(rejected_normbomb);
+  mix(rejoins_warm);
+  mix(rejoins_cold);
+  mix(heartbeats_fresh);
+  mix(heartbeats_stale);
+  mix(deadline_misses);
+  mix(void_rounds);
+  mix(crashes);
+  mix(outage_examples_lost);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// MembershipService
+// ---------------------------------------------------------------------------
+
+double update_rms_norm(const Tensor& t) {
+  if (t.numel() == 0) return 0.0;
+  double sumsq = 0.0;
+  for (float v : t.data()) {
+    const double d = static_cast<double>(v);
+    sumsq += d * d;
+  }
+  return std::sqrt(sumsq / static_cast<double>(t.numel()));
+}
+
+MembershipService::MembershipService(const MembershipConfig& config,
+                                     ChurnPlan plan, std::size_t num_platforms,
+                                     std::uint64_t seed,
+                                     std::vector<std::int64_t> minibatches)
+    : config_(config),
+      plan_(std::move(plan)),
+      minibatches_(std::move(minibatches)),
+      probation_rng_(seed ^ kProbationSalt) {
+  SPLITMED_CHECK(num_platforms > 0, "MembershipService: no platforms");
+  SPLITMED_CHECK(minibatches_.size() == num_platforms,
+                 "MembershipService: minibatch profile has "
+                     << minibatches_.size() << " entries for " << num_platforms
+                     << " platform(s)");
+  config_.validate(num_platforms);
+  plan_.validate(num_platforms);
+  records_.resize(num_platforms);
+}
+
+void MembershipService::check_platform(std::size_t p) const {
+  if (p >= records_.size()) {
+    std::ostringstream os;
+    os << "membership: platform index " << p << " out of range for "
+       << records_.size() << " platform(s)";
+    throw ProtocolError(os.str());
+  }
+}
+
+void MembershipService::transition(std::size_t p, MemberState to) {
+  MemberRecord& rec = records_[p];
+  if (rec.state == to) return;
+  ++ledger_.transitions[static_cast<std::size_t>(rec.state)]
+                       [static_cast<std::size_t>(to)];
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("splitmed_membership_transitions_total",
+               "Membership lifecycle transitions by (from, to) state.",
+               {{"from", member_state_name(rec.state)},
+                {"to", member_state_name(to)}})
+        .inc();
+  }
+  rec.state = to;
+}
+
+void MembershipService::quarantine(std::size_t p) {
+  MemberRecord& rec = records_[p];
+  rec.quarantine_spell =
+      rec.quarantine_spell == 0
+          ? config_.quarantine_rounds
+          : std::min(rec.quarantine_spell * 2, kMaxQuarantineSpell);
+  rec.quarantined_until_round = current_round_ + rec.quarantine_spell;
+  rec.strikes = 0;
+  rec.probation = 0;
+  rec.clean_accepts = 0;
+  ++ledger_.quarantines;
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("splitmed_membership_quarantines_total",
+               "Platforms quarantined by the strike policy.")
+        .inc();
+  }
+  transition(p, MemberState::kQuarantined);
+}
+
+void MembershipService::begin_round(std::int64_t round, double now) {
+  current_round_ = round;
+
+  // 1. Environment script: crashes scheduled for this round take effect
+  //    before anything else — the platform is simply gone.
+  for (const CrashEvent& e : plan_.crashes) {
+    if (e.round != round) continue;
+    MemberRecord& rec = records_[e.platform];
+    if (rec.offline_until >= 0.0) continue;  // already mid-outage
+    rec.offline_until = now + e.offline_sec;
+    rec.pending_rejoin = 1;
+    rec.rejoin_mode = static_cast<std::uint8_t>(e.rejoin);
+    ++ledger_.crashes;
+  }
+
+  // 2. Lease sweep over the server's belief. JOINING platforms have never
+  //    been heard from and are exempt; quarantine outranks liveness (a
+  //    quarantined platform leaves quarantine only through probation).
+  for (std::size_t p = 0; p < records_.size(); ++p) {
+    MemberRecord& rec = records_[p];
+    const double silence = now - rec.last_heard;
+    if (rec.state == MemberState::kActive && silence > config_.lease_sec) {
+      transition(p, MemberState::kSuspect);
+    }
+    if (rec.state == MemberState::kSuspect && silence > config_.dead_sec) {
+      transition(p, MemberState::kDead);
+    }
+  }
+
+  // 3. Quarantine expiry: once the spell is served, an ONLINE platform gets
+  //    one seeded probation draw per round. Ascending platform order keeps
+  //    the rng stream deterministic.
+  for (std::size_t p = 0; p < records_.size(); ++p) {
+    MemberRecord& rec = records_[p];
+    if (rec.state != MemberState::kQuarantined) continue;
+    if (round <= rec.quarantined_until_round) continue;
+    if (rec.offline_until >= 0.0 && now < rec.offline_until) continue;
+    if (probation_rng_.bernoulli(config_.probation_readmit_prob)) {
+      rec.probation = 1;
+      rec.clean_accepts = 0;
+      ++ledger_.readmissions;
+      transition(p, MemberState::kActive);
+    }
+  }
+
+  // 4. Returned platforms: end finished outages, then promote everything
+  //    that owes a join handshake (a served crash, or a belief-DEAD platform
+  //    the server will not admit without one) to REJOINING.
+  for (std::size_t p = 0; p < records_.size(); ++p) {
+    MemberRecord& rec = records_[p];
+    if (rec.offline_until >= 0.0 && now >= rec.offline_until) {
+      rec.offline_until = -1.0;
+    }
+    if (!online(p) || rec.state == MemberState::kQuarantined) continue;
+    if (rec.state == MemberState::kDead && !rec.pending_rejoin) {
+      // Believed dead from silence alone (dropped heartbeats, long deadline
+      // starvation): the platform is intact, so a warm handshake suffices.
+      rec.pending_rejoin = 1;
+      rec.rejoin_mode = static_cast<std::uint8_t>(RejoinMode::kWarm);
+    }
+    if (rec.pending_rejoin && rec.state != MemberState::kRejoining) {
+      transition(p, MemberState::kRejoining);
+    }
+  }
+
+  // 5. Outage accounting: an offline platform's minibatch this round is
+  //    examples the global model never saw.
+  for (std::size_t p = 0; p < records_.size(); ++p) {
+    if (!online(p)) ledger_.outage_examples_lost += minibatches_[p];
+  }
+
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    for (std::size_t s = 0; s < kMemberStateCount; ++s) {
+      m->gauge("splitmed_membership_platforms",
+               "Platforms currently in each membership lifecycle state.",
+               {{"state",
+                 member_state_name(static_cast<MemberState>(s))}})
+          .set(static_cast<double>(
+              count_in_state(static_cast<MemberState>(s))));
+    }
+  }
+}
+
+bool MembershipService::online(std::size_t p) const {
+  return records_[p].offline_until < 0.0;
+}
+
+bool MembershipService::can_step(std::size_t p) const {
+  const MemberRecord& rec = records_[p];
+  if (!online(p) || rec.pending_rejoin) return false;
+  return rec.state == MemberState::kJoining ||
+         rec.state == MemberState::kActive ||
+         rec.state == MemberState::kSuspect;
+}
+
+bool MembershipService::needs_rejoin(std::size_t p) const {
+  const MemberRecord& rec = records_[p];
+  return online(p) && rec.pending_rejoin != 0 &&
+         rec.state == MemberState::kRejoining;
+}
+
+bool MembershipService::sends_heartbeat(std::size_t p, double now) const {
+  const MemberRecord& rec = records_[p];
+  if (!online(p) || needs_rejoin(p)) return false;
+  return now - rec.last_beat_sent >= config_.heartbeat_interval_sec;
+}
+
+void MembershipService::note_heartbeat_sent(std::size_t p, double now) {
+  records_[p].last_beat_sent = now;
+}
+
+RejoinMode MembershipService::rejoin_mode(std::size_t p) const {
+  return static_cast<RejoinMode>(records_[p].rejoin_mode);
+}
+
+std::optional<PoisonEvent> MembershipService::active_poison(
+    std::size_t p, std::int64_t round) const {
+  for (const PoisonEvent& e : plan_.poisons) {
+    if (e.platform == p && round >= e.round &&
+        round < e.round + e.duration_rounds) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+void MembershipService::note_rejoin_completed(std::size_t p, double now) {
+  MemberRecord& rec = records_[p];
+  if (rec.rejoin_mode == static_cast<std::uint8_t>(RejoinMode::kCold)) {
+    ++ledger_.rejoins_cold;
+  } else {
+    ++ledger_.rejoins_warm;
+  }
+  rec.pending_rejoin = 0;
+  rec.last_heard = now;
+  if (rec.state == MemberState::kRejoining) {
+    transition(p, MemberState::kActive);
+  }
+}
+
+void MembershipService::note_deadline_miss(std::size_t p) {
+  ++ledger_.deadline_misses;
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("splitmed_membership_deadline_misses_total",
+               "Platform-steps skipped because the round deadline passed "
+               "before they could start.")
+        .inc();
+  }
+  (void)p;
+}
+
+void MembershipService::note_step_completed(std::size_t p, double now) {
+  MemberRecord& rec = records_[p];
+  rec.last_heard = now;
+  if (rec.probation) {
+    ++rec.clean_accepts;
+    if (rec.clean_accepts >= config_.probation_clean_steps) {
+      rec.probation = 0;
+      rec.strikes = 0;
+      rec.quarantine_spell = 0;  // served clean — escalation resets
+      ++ledger_.probation_clears;
+    }
+  }
+}
+
+bool MembershipService::end_round(std::int64_t round,
+                                  std::int64_t steps_completed) {
+  (void)round;
+  const bool voided = steps_completed < config_.min_quorum;
+  if (voided) {
+    ++ledger_.void_rounds;
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->counter("splitmed_membership_void_rounds_total",
+                 "Rounds closed below min_quorum (loss carried, no update "
+                 "fabricated).")
+          .inc();
+    }
+  }
+  return voided;
+}
+
+void MembershipService::observe_contact(std::size_t p, double now) {
+  check_platform(p);
+  MemberRecord& rec = records_[p];
+  rec.last_heard = now;
+  if (rec.state == MemberState::kJoining ||
+      rec.state == MemberState::kSuspect ||
+      rec.state == MemberState::kDead) {
+    transition(p, MemberState::kActive);
+  }
+}
+
+MembershipService::Verdict MembershipService::admit_update(std::size_t p,
+                                                           int kind_index,
+                                                           const Tensor& t) {
+  check_platform(p);
+  SPLITMED_CHECK(kind_index == 0 || kind_index == 1,
+                 "admit_update: kind_index must be 0 (activation) or 1 "
+                 "(logit grad), got "
+                     << kind_index);
+  const double rms = update_rms_norm(t);
+
+  Verdict verdict = Verdict::kAccept;
+  if (!std::isfinite(rms)) {
+    verdict = Verdict::kRejectNonFinite;
+  } else {
+    std::deque<double>& hist = norm_history_[kind_index];
+    if (static_cast<std::int64_t>(hist.size()) >= config_.norm_warmup) {
+      // Lower median of the accepted history — nth_element on a scratch
+      // copy; deterministic, and O(window) is nothing next to a GEMM.
+      std::vector<double> scratch(hist.begin(), hist.end());
+      const std::size_t mid = (scratch.size() - 1) / 2;
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(mid),
+                       scratch.end());
+      const double median = scratch[mid];
+      if (rms > config_.norm_bomb_factor * std::max(median, 1.0e-12)) {
+        verdict = Verdict::kRejectNormBomb;
+      }
+    }
+    if (verdict == Verdict::kAccept) {
+      hist.push_back(rms);
+      while (static_cast<std::int64_t>(hist.size()) > config_.norm_window) {
+        hist.pop_front();
+      }
+    }
+  }
+
+  if (verdict == Verdict::kAccept) return verdict;
+
+  MemberRecord& rec = records_[p];
+  ++rec.strikes;
+  ++ledger_.strikes;
+  if (verdict == Verdict::kRejectNonFinite) {
+    ++ledger_.rejected_nonfinite;
+  } else {
+    ++ledger_.rejected_normbomb;
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("splitmed_updates_rejected_total",
+               "Incoming tensor updates refused by validation.",
+               {{"reason", verdict == Verdict::kRejectNonFinite
+                               ? "non_finite"
+                               : "norm_bomb"}})
+        .inc();
+  }
+  // On probation one strike re-quarantines immediately (with a doubled
+  // spell); otherwise strikes accumulate to the configured threshold.
+  if (rec.probation ||
+      rec.strikes >= static_cast<std::int32_t>(config_.strikes_to_quarantine)) {
+    quarantine(p);
+  }
+  return verdict;
+}
+
+bool MembershipService::note_heartbeat(std::size_t p, std::uint64_t beat,
+                                       double now) {
+  check_platform(p);
+  MemberRecord& rec = records_[p];
+  if (beat <= rec.last_beat_seen) {
+    // Replayed or duplicated beat (WAN duplicate, or hostile replay): count
+    // it and ignore it — stale liveness evidence must not renew a lease.
+    ++ledger_.heartbeats_stale;
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->counter("splitmed_membership_heartbeats_total",
+                 "Heartbeat control frames by freshness.",
+                 {{"freshness", "stale"}})
+          .inc();
+    }
+    return false;
+  }
+  rec.last_beat_seen = beat;
+  ++ledger_.heartbeats_fresh;
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("splitmed_membership_heartbeats_total",
+               "Heartbeat control frames by freshness.",
+               {{"freshness", "fresh"}})
+        .inc();
+  }
+  observe_contact(p, now);
+  return true;
+}
+
+void MembershipService::note_join_request(std::size_t p, RejoinMode mode,
+                                          double now) {
+  check_platform(p);
+  MemberRecord& rec = records_[p];
+  if (rec.state == MemberState::kQuarantined) {
+    std::ostringstream os;
+    os << "join request from quarantined platform " << p
+       << " refused — quarantine ends only through probation (until round "
+       << rec.quarantined_until_round << ")";
+    throw ProtocolError(os.str());
+  }
+  rec.last_heard = now;
+  rec.rejoin_mode = static_cast<std::uint8_t>(mode);
+  if (rec.state != MemberState::kActive) {
+    transition(p, MemberState::kActive);
+  }
+}
+
+MemberState MembershipService::state(std::size_t p) const {
+  return records_[p].state;
+}
+
+int MembershipService::strikes(std::size_t p) const {
+  return records_[p].strikes;
+}
+
+bool MembershipService::on_probation(std::size_t p) const {
+  return records_[p].probation != 0;
+}
+
+std::size_t MembershipService::count_in_state(MemberState s) const {
+  std::size_t n = 0;
+  for (const MemberRecord& rec : records_) {
+    if (rec.state == s) ++n;
+  }
+  return n;
+}
+
+void MembershipService::save_state(BufferWriter& w) const {
+  w.write_u32(static_cast<std::uint32_t>(records_.size()));
+  for (const MemberRecord& rec : records_) {
+    w.write_u8(static_cast<std::uint8_t>(rec.state));
+    w.write_f64(rec.last_heard);
+    w.write_f64(rec.last_beat_sent);
+    w.write_f64(rec.offline_until);
+    w.write_u8(rec.rejoin_mode);
+    w.write_u8(rec.pending_rejoin);
+    w.write_i64(rec.strikes);
+    w.write_i64(rec.quarantined_until_round);
+    w.write_i64(rec.quarantine_spell);
+    w.write_u8(rec.probation);
+    w.write_i64(rec.clean_accepts);
+    w.write_u64(rec.last_beat_seen);
+  }
+  for (const std::deque<double>& hist : norm_history_) {
+    w.write_u32(static_cast<std::uint32_t>(hist.size()));
+    for (double v : hist) w.write_f64(v);
+  }
+  encode_rng(probation_rng_, w);
+  w.write_i64(current_round_);
+  for (const auto& row : ledger_.transitions) {
+    for (std::int64_t v : row) w.write_i64(v);
+  }
+  w.write_i64(ledger_.strikes);
+  w.write_i64(ledger_.quarantines);
+  w.write_i64(ledger_.readmissions);
+  w.write_i64(ledger_.probation_clears);
+  w.write_i64(ledger_.rejected_nonfinite);
+  w.write_i64(ledger_.rejected_normbomb);
+  w.write_i64(ledger_.rejoins_warm);
+  w.write_i64(ledger_.rejoins_cold);
+  w.write_i64(ledger_.heartbeats_fresh);
+  w.write_i64(ledger_.heartbeats_stale);
+  w.write_i64(ledger_.deadline_misses);
+  w.write_i64(ledger_.void_rounds);
+  w.write_i64(ledger_.crashes);
+  w.write_i64(ledger_.outage_examples_lost);
+}
+
+void MembershipService::load_state(BufferReader& r) {
+  const std::uint32_t n = r.read_u32();
+  if (n != records_.size()) {
+    std::ostringstream os;
+    os << "membership state: checkpoint roster has " << n
+       << " platform(s), this session has " << records_.size();
+    throw SerializationError(os.str());
+  }
+  for (MemberRecord& rec : records_) {
+    const std::uint8_t state = r.read_u8();
+    require_state_byte(state, "membership state");
+    rec.state = static_cast<MemberState>(state);
+    rec.last_heard = r.read_f64();
+    rec.last_beat_sent = r.read_f64();
+    rec.offline_until = r.read_f64();
+    rec.rejoin_mode = r.read_u8();
+    require_mode_byte(rec.rejoin_mode, "membership state");
+    rec.pending_rejoin = r.read_u8();
+    if (rec.pending_rejoin > 1) {
+      throw SerializationError(
+          "membership state: pending_rejoin flag must be 0 or 1");
+    }
+    const std::int64_t strikes = r.read_i64();
+    if (strikes < 0 ||
+        strikes > std::numeric_limits<std::int32_t>::max()) {
+      // Validate BEFORE the i32 narrowing: a sign-bit-corrupted i64 (e.g.
+      // 2^63) would otherwise truncate to a harmless-looking value.
+      throw SerializationError(
+          "membership state: strike counter out of range");
+    }
+    rec.strikes = static_cast<std::int32_t>(strikes);
+    rec.quarantined_until_round = r.read_i64();
+    rec.quarantine_spell = r.read_i64();
+    rec.probation = r.read_u8();
+    if (rec.probation > 1) {
+      throw SerializationError(
+          "membership state: probation flag must be 0 or 1");
+    }
+    rec.clean_accepts = r.read_i64();
+    if (rec.clean_accepts < 0 || rec.quarantine_spell < 0) {
+      throw SerializationError(
+          "membership state: negative counter in member record");
+    }
+    rec.last_beat_seen = r.read_u64();
+  }
+  for (std::deque<double>& hist : norm_history_) {
+    const std::uint32_t len = r.read_u32();
+    hist.clear();
+    for (std::uint32_t i = 0; i < len; ++i) hist.push_back(r.read_f64());
+  }
+  decode_rng(r, probation_rng_);
+  current_round_ = r.read_i64();
+  for (auto& row : ledger_.transitions) {
+    for (std::int64_t& v : row) v = r.read_i64();
+  }
+  ledger_.strikes = r.read_i64();
+  ledger_.quarantines = r.read_i64();
+  ledger_.readmissions = r.read_i64();
+  ledger_.probation_clears = r.read_i64();
+  ledger_.rejected_nonfinite = r.read_i64();
+  ledger_.rejected_normbomb = r.read_i64();
+  ledger_.rejoins_warm = r.read_i64();
+  ledger_.rejoins_cold = r.read_i64();
+  ledger_.heartbeats_fresh = r.read_i64();
+  ledger_.heartbeats_stale = r.read_i64();
+  ledger_.deadline_misses = r.read_i64();
+  ledger_.void_rounds = r.read_i64();
+  ledger_.crashes = r.read_i64();
+  ledger_.outage_examples_lost = r.read_i64();
+}
+
+}  // namespace splitmed::core

@@ -1,0 +1,391 @@
+// Membership subsystem — platform lifecycle under churn (extension).
+//
+// The paper's deployment is geo-distributed hospitals whose platforms go
+// offline for hours, rejoin, and occasionally misbehave. This module gives
+// the split-learning session a membership authority on the server side:
+//
+//   * a per-platform lifecycle state machine
+//         JOINING -> ACTIVE <-> SUSPECT -> DEAD -> REJOINING -> ACTIVE
+//                       \-> QUARANTINED -> (probation) -> ACTIVE
+//     driven by liveness leases over the simulated clock (heartbeat /
+//     protocol contact renews the lease; silence degrades the belief),
+//   * deadline-based round admission: the trainer closes each round at a
+//     configurable sim-time deadline and degrades to whichever quorum
+//     arrived (below min_quorum the round is void and the reported loss is
+//     carried — never fabricated, see docs/PROTOCOL.md "Reported train
+//     loss"),
+//   * update validation and quarantine: incoming activation / logit-grad
+//     payloads are policed for non-finite values and norm-bombs against a
+//     running per-kind median RMS norm; strikes escalate to quarantine with
+//     seeded probation readmission,
+//   * a deterministic ChurnPlan: seeded crash-at-round / offline-for-
+//     d-sim-seconds / rejoin-mode schedules (plus poisoned-platform spells)
+//     that compose with net::FaultPlan.
+//
+// Determinism contract: with MembershipConfig::enabled == false nothing in
+// this module runs — no bytes, no RNG draws, bitwise identical to a build
+// without it. With it enabled, every decision is a pure function of
+// (config, churn plan, seed, sim clock), so the full quarantine ledger and
+// every curve are bit-reproducible across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/serial/buffer.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed::core {
+
+// ---------------------------------------------------------------------------
+// Lifecycle states
+// ---------------------------------------------------------------------------
+
+/// Server-side belief about one platform. Serialized in checkpoints and in
+/// kUpdateReject frames — decode validates the byte (unknown states are a
+/// SerializationError, never UB).
+enum class MemberState : std::uint8_t {
+  kJoining = 0,      ///< registered, never heard from
+  kActive = 1,       ///< lease current, admitted to rounds
+  kSuspect = 2,      ///< lease expired — still admitted, watched
+  kQuarantined = 3,  ///< struck out — updates refused until probation
+  kDead = 4,         ///< silent past the grace window — must rejoin
+  kRejoining = 5,    ///< join handshake in flight
+};
+inline constexpr std::size_t kMemberStateCount = 6;
+
+/// Readable name ("joining", "active", ...).
+const char* member_state_name(MemberState s);
+
+// ---------------------------------------------------------------------------
+// ChurnPlan — the deterministic environment script
+// ---------------------------------------------------------------------------
+
+/// What a crashed platform still has when it comes back.
+enum class RejoinMode : std::uint8_t {
+  kWarm = 0,  ///< local L1 / optimizer state survived (process restart)
+  kCold = 1,  ///< local state lost — pulls the server-held genesis L1
+};
+
+/// How a compromised platform corrupts its outgoing tensors.
+enum class PoisonKind : std::uint8_t {
+  /// Injects a NaN into the outgoing logit-grad (the always-f32 channel —
+  /// an i8-negotiated activation could not even encode a NaN).
+  kNonFinite = 0,
+  /// Scales the outgoing activation and logit-grad by `scale`.
+  kNormBomb = 1,
+};
+
+/// Platform `platform` goes offline at the START of round `round` for
+/// `offline_sec` simulated seconds, then rejoins in `rejoin` mode.
+struct CrashEvent {
+  std::size_t platform = 0;
+  std::int64_t round = 1;
+  double offline_sec = 60.0;
+  RejoinMode rejoin = RejoinMode::kWarm;
+};
+
+/// Platform `platform` sends poisoned updates for rounds
+/// [round, round + duration_rounds).
+struct PoisonEvent {
+  std::size_t platform = 0;
+  std::int64_t round = 1;
+  std::int64_t duration_rounds = 1;
+  PoisonKind kind = PoisonKind::kNormBomb;
+  float scale = 1.0e6F;
+};
+
+/// Rates for ChurnPlan::random — per platform-round probabilities.
+struct ChurnRates {
+  double crash_rate = 0.0;
+  double mean_offline_sec = 60.0;  ///< outage duration ~ U[0.5, 1.5] * mean
+  double cold_fraction = 0.5;      ///< fraction of crashes that lose state
+  double poison_rate = 0.0;
+  std::int64_t poison_rounds = 3;
+  float poison_scale = 1.0e6F;
+};
+
+/// A fully explicit, deterministic churn schedule. An empty plan is inert.
+struct ChurnPlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<PoisonEvent> poisons;
+
+  [[nodiscard]] bool any() const {
+    return !crashes.empty() || !poisons.empty();
+  }
+
+  /// Throws InvalidArgument naming the offending field when an event is out
+  /// of range (platform index, non-positive round/duration, non-finite or
+  /// non-positive outage / scale).
+  void validate(std::size_t num_platforms) const;
+
+  /// Seeded generator: walks rounds x platforms with a dedicated Rng, so the
+  /// same (seed, shape, rates) always yields the identical schedule. At most
+  /// one event per platform per 8-round window (a hospital that just crashed
+  /// does not crash again mid-outage).
+  static ChurnPlan random(std::uint64_t seed, std::size_t num_platforms,
+                          std::int64_t rounds, const ChurnRates& rates);
+};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Membership / lease / quarantine policy. Defaults are inert: enabled is
+/// false and the trainer never constructs the service.
+struct MembershipConfig {
+  bool enabled = false;
+
+  /// Liveness beacon period: an online platform sends a kHeartbeat control
+  /// frame at round start when this much sim time passed since its last one.
+  double heartbeat_interval_sec = 5.0;
+  /// No contact for this long (sim seconds) -> ACTIVE degrades to SUSPECT.
+  double lease_sec = 30.0;
+  /// No contact for this long -> SUSPECT degrades to DEAD (must rejoin).
+  double dead_sec = 90.0;
+
+  /// The server closes each round at round_start + this; platforms whose
+  /// step has not STARTED by then are skipped (graceful degradation).
+  double round_deadline_sec = 120.0;
+  /// Fewer completed steps than this voids the round (loss is carried).
+  std::int64_t min_quorum = 1;
+
+  /// An accepted update's RMS norm may exceed the running per-kind median
+  /// by at most this factor; beyond it is a norm-bomb strike.
+  double norm_bomb_factor = 8.0;
+  /// Accepted-norm history window per message kind.
+  std::int64_t norm_window = 32;
+  /// Accepted updates per kind before norm policing arms.
+  std::int64_t norm_warmup = 8;
+
+  /// Strikes before a platform is quarantined.
+  int strikes_to_quarantine = 3;
+  /// Base quarantine length in rounds (doubles on each re-quarantine).
+  std::int64_t quarantine_rounds = 8;
+  /// Seeded per-round readmission probability once quarantine expired.
+  double probation_readmit_prob = 0.5;
+  /// Accepted updates on probation before the slate is wiped clean.
+  std::int64_t probation_clean_steps = 4;
+
+  /// Throws InvalidArgument naming the offending field (and the platform
+  /// count for contradictory combinations like min_quorum > platforms).
+  void validate(std::size_t num_platforms) const;
+};
+
+// ---------------------------------------------------------------------------
+// Control-frame payloads (MsgKind::kHeartbeat / kJoinRequest / kJoinAccept /
+// kUpdateReject). Little-endian, fixed-width; decode validates every enum
+// byte and the exact length — truncation, trailing bytes, and unknown
+// lifecycle/mode/reason values raise SerializationError before any state is
+// touched.
+// ---------------------------------------------------------------------------
+
+struct HeartbeatMsg {
+  std::uint32_t platform = 0;        ///< sender's platform index
+  std::uint64_t beat = 0;            ///< per-platform sequence, 1-based
+  std::uint64_t last_completed_round = 0;
+};
+
+struct JoinRequestMsg {
+  std::uint32_t platform = 0;
+  RejoinMode mode = RejoinMode::kWarm;
+  std::uint64_t last_completed_round = 0;
+};
+
+struct JoinAcceptMsg {
+  std::uint64_t current_round = 0;
+  bool has_l1 = false;
+  Tensor l1;  ///< flattened genesis L1 values (kCold rejoin only)
+};
+
+/// Why an update was refused (rides in kUpdateReject).
+enum class RejectReason : std::uint8_t {
+  kNonFinite = 1,
+  kNormBomb = 2,
+};
+const char* reject_reason_name(RejectReason r);
+
+struct UpdateRejectMsg {
+  RejectReason reason = RejectReason::kNonFinite;
+  std::uint32_t strikes = 0;
+  MemberState state = MemberState::kActive;  ///< sender's new belief
+};
+
+std::vector<std::uint8_t> encode_heartbeat_payload(const HeartbeatMsg& m);
+HeartbeatMsg decode_heartbeat_payload(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> encode_join_request_payload(const JoinRequestMsg& m);
+JoinRequestMsg decode_join_request_payload(
+    std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> encode_join_accept_payload(const JoinAcceptMsg& m);
+JoinAcceptMsg decode_join_accept_payload(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> encode_update_reject_payload(
+    const UpdateRejectMsg& m);
+UpdateRejectMsg decode_update_reject_payload(
+    std::span<const std::uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// Ledger — every counter is deterministic (bit-identical across runs and
+// thread counts for the same plan + seed) and checkpointed.
+// ---------------------------------------------------------------------------
+
+struct MembershipLedger {
+  /// transitions[from][to], indexed by MemberState.
+  std::int64_t transitions[kMemberStateCount][kMemberStateCount] = {};
+  std::int64_t strikes = 0;
+  std::int64_t quarantines = 0;
+  std::int64_t readmissions = 0;      ///< probation readmissions
+  std::int64_t probation_clears = 0;  ///< probations served clean
+  std::int64_t rejected_nonfinite = 0;
+  std::int64_t rejected_normbomb = 0;
+  std::int64_t rejoins_warm = 0;
+  std::int64_t rejoins_cold = 0;
+  std::int64_t heartbeats_fresh = 0;
+  std::int64_t heartbeats_stale = 0;  ///< replayed / duplicated beats ignored
+  std::int64_t deadline_misses = 0;
+  std::int64_t void_rounds = 0;
+  std::int64_t crashes = 0;
+  /// Examples a platform would have contributed during offline rounds —
+  /// the outage extension of Platform::examples_lost.
+  std::int64_t outage_examples_lost = 0;
+
+  [[nodiscard]] std::int64_t rejected_updates() const {
+    return rejected_nonfinite + rejected_normbomb;
+  }
+  /// FNV-1a over every counter — the value the chaos tests pin and compare
+  /// across runs / thread counts.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+// ---------------------------------------------------------------------------
+// MembershipService
+// ---------------------------------------------------------------------------
+
+/// The membership authority. One instance per training session, owned by the
+/// trainer and shared with the CentralServer (which consults it for update
+/// admission and feeds it contact observations). All times are simulated
+/// seconds from net::SimClock.
+class MembershipService {
+ public:
+  MembershipService(const MembershipConfig& config, ChurnPlan plan,
+                    std::size_t num_platforms, std::uint64_t seed,
+                    std::vector<std::int64_t> minibatches);
+
+  // --- trainer-side round driver -------------------------------------------
+
+  /// Opens round `round` at sim time `now`: applies this round's crash
+  /// events, sweeps leases (ACTIVE -> SUSPECT -> DEAD), expires quarantines
+  /// into seeded probation draws, promotes returned platforms to REJOINING,
+  /// and accounts outage example loss.
+  void begin_round(std::int64_t round, double now);
+
+  /// Ground truth (the environment script): is the platform powered on?
+  [[nodiscard]] bool online(std::size_t p) const;
+  /// May the trainer start a protocol step for p this round?
+  [[nodiscard]] bool can_step(std::size_t p) const;
+  /// Must the trainer run the join handshake for p this round?
+  [[nodiscard]] bool needs_rejoin(std::size_t p) const;
+  /// Should p send a liveness heartbeat at this round's start?
+  [[nodiscard]] bool sends_heartbeat(std::size_t p, double now) const;
+  /// Marks p's heartbeat as sent at `now` (interval bookkeeping).
+  void note_heartbeat_sent(std::size_t p, double now);
+  [[nodiscard]] RejoinMode rejoin_mode(std::size_t p) const;
+  /// The poison spell active for (p, round), if any.
+  [[nodiscard]] std::optional<PoisonEvent> active_poison(
+      std::size_t p, std::int64_t round) const;
+
+  /// The platform completed the join handshake (JoinAccept landed).
+  void note_rejoin_completed(std::size_t p, double now);
+  /// The platform's step never started — the round deadline had passed.
+  void note_deadline_miss(std::size_t p);
+  /// The platform's protocol step completed (optimizer stepped both sides).
+  void note_step_completed(std::size_t p, double now);
+  /// Closes the round; returns true when it is VOID (fewer completed steps
+  /// than min_quorum — the caller carries the reported loss).
+  bool end_round(std::int64_t round, std::int64_t steps_completed);
+
+  // --- server-side hooks ---------------------------------------------------
+
+  [[nodiscard]] std::int64_t current_round() const { return current_round_; }
+  /// Any authenticated frame from p renews its lease; JOINING / SUSPECT /
+  /// DEAD beliefs recover to ACTIVE (quarantine and a join-in-flight do
+  /// not — quarantine only ends through probation).
+  void observe_contact(std::size_t p, double now);
+
+  enum class Verdict : std::uint8_t {
+    kAccept = 0,
+    kRejectNonFinite = 1,
+    kRejectNormBomb = 2,
+  };
+  /// Polices one incoming tensor update (activation or logit-grad RMS norm
+  /// against the running per-kind median). kAccept feeds the norm history;
+  /// a rejection records a strike and may quarantine the platform.
+  /// `kind_index` selects the norm history (0 = activation, 1 = logit-grad).
+  Verdict admit_update(std::size_t p, int kind_index, const Tensor& t);
+
+  /// Heartbeat bookkeeping; false = replayed/duplicated beat (counted and
+  /// ignored — no state mutation beyond the stale counter).
+  bool note_heartbeat(std::size_t p, std::uint64_t beat, double now);
+  /// Join admission. Throws ProtocolError (before any mutation) when p is
+  /// quarantined — a rejoin must never bypass quarantine.
+  void note_join_request(std::size_t p, RejoinMode mode, double now);
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_platforms() const { return records_.size(); }
+  [[nodiscard]] MemberState state(std::size_t p) const;
+  [[nodiscard]] int strikes(std::size_t p) const;
+  [[nodiscard]] bool on_probation(std::size_t p) const;
+  [[nodiscard]] std::size_t count_in_state(MemberState s) const;
+  [[nodiscard]] const MembershipLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const ChurnPlan& plan() const { return plan_; }
+
+  /// Serializes the complete membership state: every member record, the
+  /// probation Rng, the per-kind norm histories, and the ledger. The churn
+  /// plan itself is config (rebuilt, never trusted from disk).
+  void save_state(BufferWriter& w) const;
+  /// Mirror of save_state. Throws SerializationError on malformed input,
+  /// unknown lifecycle states, or a record count that does not match this
+  /// session's roster.
+  void load_state(BufferReader& r);
+
+ private:
+  struct MemberRecord {
+    MemberState state = MemberState::kJoining;
+    double last_heard = 0.0;
+    double last_beat_sent = -1.0e300;  ///< -inf-ish: first beat fires at once
+    double offline_until = -1.0;       ///< >= 0 while offline (sim seconds)
+    std::uint8_t rejoin_mode = 0;      ///< RejoinMode while pending_rejoin
+    std::uint8_t pending_rejoin = 0;   ///< crash consumed local liveness
+    std::int32_t strikes = 0;
+    std::int64_t quarantined_until_round = 0;
+    std::int64_t quarantine_spell = 0;  ///< current spell length (escalates)
+    std::uint8_t probation = 0;
+    std::int64_t clean_accepts = 0;
+    std::uint64_t last_beat_seen = 0;  ///< replay horizon for heartbeats
+  };
+
+  void transition(std::size_t p, MemberState to);
+  void quarantine(std::size_t p);
+  void check_platform(std::size_t p) const;
+
+  MembershipConfig config_;
+  ChurnPlan plan_;
+  std::vector<std::int64_t> minibatches_;
+  std::vector<MemberRecord> records_;
+  /// Accepted RMS-norm history: [0] activations, [1] logit grads.
+  std::deque<double> norm_history_[2];
+  Rng probation_rng_;
+  std::int64_t current_round_ = 0;
+  MembershipLedger ledger_;
+};
+
+/// RMS norm (sqrt(sum(x^2)/numel), doubles, serial fold) — the batch-size-
+/// invariant magnitude the norm-bomb policy compares. NaN/Inf payloads
+/// produce a non-finite result. Exposed for tests.
+double update_rms_norm(const Tensor& t);
+
+}  // namespace splitmed::core

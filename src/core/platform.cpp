@@ -1,5 +1,8 @@
 #include "src/core/platform.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "src/common/error.hpp"
 #include "src/nn/checkpoint.hpp"
 #include "src/obs/obs.hpp"
@@ -45,6 +48,7 @@ void PlatformNode::send_activation(net::Network& network,
     auto d = activation.data();
     for (auto& v : d) v += options_.smash_noise_std * noise_rng_.normal();
   }
+  apply_poison(activation, /*f32_channel=*/false);
   Envelope out = make_tensor_envelope(id_, server_, MsgKind::kActivation,
                                       round, activation, options_.codec);
   if (options_.tolerate_faults) last_sent_ = out;
@@ -86,14 +90,21 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
   }
   const auto kind = static_cast<MsgKind>(envelope.kind);
   // Which message would advance the state machine right now?
+  const bool mid_step = state_ == PlatformState::kAwaitLogits ||
+                        state_ == PlatformState::kAwaitCutGrad;
   const bool expected =
       (state_ == PlatformState::kAwaitLogits && kind == MsgKind::kLogits &&
        envelope.round == pending_round_) ||
       (state_ == PlatformState::kAwaitCutGrad && kind == MsgKind::kCutGrad &&
-       envelope.round == pending_round_);
+       envelope.round == pending_round_) ||
+      (mid_step && kind == MsgKind::kUpdateReject &&
+       envelope.round == pending_round_) ||
+      (awaiting_join_ && kind == MsgKind::kJoinAccept &&
+       envelope.round == join_round_);
   if (!expected) {
     if (options_.tolerate_faults &&
-        (kind == MsgKind::kLogits || kind == MsgKind::kCutGrad)) {
+        (kind == MsgKind::kLogits || kind == MsgKind::kCutGrad ||
+         kind == MsgKind::kUpdateReject || kind == MsgKind::kJoinAccept)) {
       // A duplicated delivery or a reply to a step already completed or
       // abandoned — drop it; the WAN produced it, not a peer bug.
       ++stale_ignored_;
@@ -128,11 +139,64 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
     const Tensor logits = decode_tensor_payload(envelope.payload);
     last_loss_ = loss_.forward(logits, pending_labels_);
     last_batch_accuracy_ = nn::accuracy(logits, pending_labels_);
+    Tensor logit_grad = loss_.backward();
+    apply_poison(logit_grad, /*f32_channel=*/true);
     Envelope grad = make_tensor_envelope(id_, server_, MsgKind::kLogitGrad,
-                                         pending_round_, loss_.backward());
+                                         pending_round_, logit_grad);
     if (options_.tolerate_faults) last_sent_ = grad;
     network.send(std::move(grad));
     state_ = PlatformState::kAwaitCutGrad;
+    return;
+  }
+  if (kind == MsgKind::kUpdateReject) {
+    // The server refused this step's update (validation strike). The step is
+    // over: the drawn minibatch is lost, exactly like an unreachable abort.
+    const UpdateRejectMsg msg = decode_update_reject_payload(envelope.payload);
+    if (obs::FlightRecorder* fr = obs::flight()) {
+      fr->note(-1.0, "platform " + std::to_string(id_) + " update rejected (" +
+                         reject_reason_name(msg.reason) + ", strikes=" +
+                         std::to_string(msg.strikes) + ", now " +
+                         member_state_name(msg.state) + ") round=" +
+                         std::to_string(envelope.round));
+    }
+    ++rejected_steps_;
+    abort_step();
+    return;
+  }
+  if (kind == MsgKind::kJoinAccept) {
+    const JoinAcceptMsg msg = decode_join_accept_payload(envelope.payload);
+    if (msg.has_l1) {
+      // Cold rejoin: local training state was lost with the crash. Overwrite
+      // L1 with the server-held genesis weights and drop momentum — it was
+      // accumulated against a trajectory that no longer exists.
+      std::span<const float> flat = msg.l1.data();
+      std::size_t off = 0;
+      for (nn::Parameter* p : l1_.parameters()) {
+        auto dst = p->value.data();
+        if (off + dst.size() > flat.size()) {
+          const std::string reason =
+              "platform " + std::to_string(id_) +
+              ": genesis L1 payload too small for the local model";
+          obs::postmortem(reason);
+          throw ProtocolError(reason);
+        }
+        std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                    dst.size(), dst.begin());
+        off += dst.size();
+      }
+      if (off != flat.size()) {
+        const std::string reason =
+            "platform " + std::to_string(id_) + ": genesis L1 payload has " +
+            std::to_string(flat.size()) + " values, local model takes " +
+            std::to_string(off);
+        obs::postmortem(reason);
+        throw ProtocolError(reason);
+      }
+      opt_.reset_state();
+    }
+    awaiting_join_ = false;
+    last_sent_.reset();
+    ++rejoins_completed_;
     return;
   }
   // kCutGrad
@@ -149,7 +213,67 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
   last_sent_.reset();
 }
 
+void PlatformNode::send_heartbeat(net::Network& network, std::uint32_t index,
+                                  std::uint64_t round) {
+  HeartbeatMsg msg;
+  msg.platform = index;
+  msg.beat = ++beats_sent_;
+  msg.last_completed_round = static_cast<std::uint64_t>(steps_completed_);
+  network.send(make_envelope(id_, server_,
+                             static_cast<std::uint32_t>(MsgKind::kHeartbeat),
+                             round, encode_heartbeat_payload(msg)));
+}
+
+void PlatformNode::send_join_request(net::Network& network,
+                                     std::uint32_t index, std::uint64_t round,
+                                     RejoinMode mode) {
+  SPLITMED_CHECK(state_ == PlatformState::kIdle,
+                 "platform " << id_ << ": send_join_request while mid-step");
+  SPLITMED_CHECK(!awaiting_join_,
+                 "platform " << id_ << ": join handshake already in flight");
+  JoinRequestMsg msg;
+  msg.platform = index;
+  msg.mode = mode;
+  msg.last_completed_round = static_cast<std::uint64_t>(steps_completed_);
+  Envelope out = make_envelope(
+      id_, server_, static_cast<std::uint32_t>(MsgKind::kJoinRequest), round,
+      encode_join_request_payload(msg));
+  if (options_.tolerate_faults) last_sent_ = out;
+  network.send(std::move(out));
+  awaiting_join_ = true;
+  join_round_ = round;
+}
+
+void PlatformNode::abort_join() {
+  SPLITMED_CHECK(awaiting_join_,
+                 "platform " << id_ << ": abort_join without a handshake");
+  awaiting_join_ = false;
+  last_sent_.reset();
+}
+
+void PlatformNode::set_poison(PoisonKind kind, float scale) {
+  poison_ = kind;
+  poison_scale_ = scale;
+}
+
+void PlatformNode::clear_poison() { poison_.reset(); }
+
+void PlatformNode::apply_poison(Tensor& t, bool f32_channel) const {
+  if (!poison_) return;
+  if (*poison_ == PoisonKind::kNonFinite) {
+    if (f32_channel && t.numel() > 0) {
+      t.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    return;
+  }
+  for (auto& v : t.data()) v *= poison_scale_;
+}
+
 void PlatformNode::save_state(BufferWriter& writer) {
+  SPLITMED_CHECK(!awaiting_join_,
+                 "platform " << id_
+                             << ": checkpoint requires no join handshake in "
+                                "flight (round boundary)");
   SPLITMED_CHECK(state_ == PlatformState::kIdle,
                  "platform " << id_
                              << ": checkpoint requires an idle protocol "
@@ -165,6 +289,9 @@ void PlatformNode::save_state(BufferWriter& writer) {
   writer.write_i64(stale_ignored_);
   writer.write_i64(aborted_steps_);
   writer.write_i64(examples_lost_);
+  writer.write_u64(beats_sent_);
+  writer.write_i64(rejected_steps_);
+  writer.write_i64(rejoins_completed_);
 }
 
 void PlatformNode::load_state(BufferReader& reader) {
@@ -182,8 +309,11 @@ void PlatformNode::load_state(BufferReader& reader) {
   stale_ignored_ = reader.read_i64();
   aborted_steps_ = reader.read_i64();
   examples_lost_ = reader.read_i64();
+  beats_sent_ = reader.read_u64();
+  rejected_steps_ = reader.read_i64();
+  rejoins_completed_ = reader.read_i64();
   if (steps_completed_ < 0 || stale_ignored_ < 0 || aborted_steps_ < 0 ||
-      examples_lost_ < 0) {
+      examples_lost_ < 0 || rejected_steps_ < 0 || rejoins_completed_ < 0) {
     throw SerializationError("platform " + std::to_string(id_) +
                              ": negative counter in checkpoint");
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/core/membership.hpp"
 #include "src/core/protocol.hpp"
 #include "src/data/dataloader.hpp"
 #include "src/net/network.hpp"
@@ -47,11 +48,35 @@ class PlatformNode {
   /// set_minibatch_size), runs L1 forward, ships the activations.
   void send_activation(net::Network& network, std::uint64_t round);
 
-  /// Handles kLogits (compute loss + send logit grads) and kCutGrad
-  /// (backprop L1, apply the local optimizer step). Throws ProtocolError on
-  /// out-of-order or foreign messages — unless tolerate_faults, which
-  /// counts and ignores stale/duplicate frames (WAN recovery).
+  /// Handles kLogits (compute loss + send logit grads), kCutGrad (backprop
+  /// L1, apply the local optimizer step), kUpdateReject (abort the in-flight
+  /// step — the server refused the update) and kJoinAccept (complete a
+  /// rejoin handshake; a cold accept overwrites L1 with the genesis weights
+  /// and resets the optimizer). Throws ProtocolError on out-of-order or
+  /// foreign messages — unless tolerate_faults, which counts and ignores
+  /// stale/duplicate frames (WAN recovery).
   void handle(net::Network& network, const Envelope& envelope);
+
+  /// Membership liveness beacon (kHeartbeat). `index` is this platform's
+  /// roster position (payloads carry indices, not NodeIds).
+  void send_heartbeat(net::Network& network, std::uint32_t index,
+                      std::uint64_t round);
+
+  /// Opens a rejoin handshake (kJoinRequest); the platform then awaits a
+  /// kJoinAccept for `round`. Requires kIdle and no handshake in flight.
+  void send_join_request(net::Network& network, std::uint32_t index,
+                         std::uint64_t round, RejoinMode mode);
+
+  /// Abandons an unanswered join handshake (retransmissions exhausted); the
+  /// trainer retries next round.
+  void abort_join();
+
+  /// Chaos-harness hook: corrupt outgoing tensors until clear_poison().
+  /// kNonFinite injects a NaN into the logit-grad (the always-f32 channel —
+  /// an i8-negotiated activation could not even encode a NaN); kNormBomb
+  /// scales both the activation and the logit-grad by `scale`.
+  void set_poison(PoisonKind kind, float scale);
+  void clear_poison();
 
   /// Re-sends the most recent outgoing message, flagged as a retransmission
   /// (recovery path; requires tolerate_faults and a message in flight).
@@ -86,6 +111,15 @@ class PlatformNode {
   /// Examples drawn from the loader but discarded by abort_step() — work the
   /// epoch accounting would otherwise silently lose.
   [[nodiscard]] std::int64_t examples_lost() const { return examples_lost_; }
+  /// True while a join handshake awaits its kJoinAccept.
+  [[nodiscard]] bool awaiting_join() const { return awaiting_join_; }
+  /// Steps aborted because the server refused the update (kUpdateReject).
+  [[nodiscard]] std::int64_t rejected_steps() const { return rejected_steps_; }
+  /// Join handshakes completed (kJoinAccept received).
+  [[nodiscard]] std::int64_t rejoins_completed() const {
+    return rejoins_completed_;
+  }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const { return beats_sent_; }
   [[nodiscard]] nn::Sequential& l1() { return l1_; }
 
   /// Serializes the platform's complete training state: L1 parameters and
@@ -113,6 +147,8 @@ class PlatformNode {
   PlatformOptions options_;
   Rng noise_rng_;
 
+  void apply_poison(Tensor& t, bool f32_channel) const;
+
   PlatformState state_ = PlatformState::kIdle;
   std::uint64_t pending_round_ = 0;
   std::vector<std::int64_t> pending_labels_;
@@ -123,6 +159,17 @@ class PlatformNode {
   std::int64_t stale_ignored_ = 0;
   std::int64_t aborted_steps_ = 0;
   std::int64_t examples_lost_ = 0;
+
+  // Membership extension state. The poison fields are chaos-harness config
+  // (reapplied per round from the ChurnPlan), not checkpointed; the
+  // counters and the beat sequence are.
+  bool awaiting_join_ = false;
+  std::uint64_t join_round_ = 0;
+  std::uint64_t beats_sent_ = 0;
+  std::int64_t rejected_steps_ = 0;
+  std::int64_t rejoins_completed_ = 0;
+  std::optional<PoisonKind> poison_;
+  float poison_scale_ = 1.0F;
 };
 
 }  // namespace splitmed::core

@@ -17,6 +17,10 @@ const char* msg_kind_name(MsgKind kind) {
     case MsgKind::kCutGrad: return "cut-grad";
     case MsgKind::kL1SyncUp: return "l1-sync-up";
     case MsgKind::kL1SyncDown: return "l1-sync-down";
+    case MsgKind::kHeartbeat: return "heartbeat";
+    case MsgKind::kJoinRequest: return "join-request";
+    case MsgKind::kJoinAccept: return "join-accept";
+    case MsgKind::kUpdateReject: return "update-reject";
   }
   return "unknown";
 }

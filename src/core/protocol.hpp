@@ -33,6 +33,13 @@ enum class MsgKind : std::uint32_t {
   kCutGrad = 4,
   kL1SyncUp = 5,
   kL1SyncDown = 6,
+  // Membership control plane (src/core/membership.hpp). Only flows when
+  // SplitConfig::membership.enabled — a zero-churn, membership-off session
+  // never puts these on the wire, keeping the golden byte series fixed.
+  kHeartbeat = 7,    ///< platform -> server : liveness beacon
+  kJoinRequest = 8,  ///< platform -> server : rejoin handshake open
+  kJoinAccept = 9,   ///< server -> platform : admission (+ genesis L1 if cold)
+  kUpdateReject = 10,  ///< server -> platform : update refused, step aborted
 };
 
 /// Readable name for reports ("activation", "logits", ...).

@@ -17,6 +17,56 @@ CentralServer::CentralServer(NodeId id, nn::Sequential body,
 
 void CentralServer::expect_round(std::uint64_t round) { min_round_ = round; }
 
+void CentralServer::set_membership(MembershipService* service,
+                                   std::vector<NodeId> platform_nodes) {
+  SPLITMED_CHECK(service != nullptr, "set_membership: null service");
+  SPLITMED_CHECK(platform_nodes.size() == service->num_platforms(),
+                 "set_membership: roster has " << platform_nodes.size()
+                     << " node(s), service tracks "
+                     << service->num_platforms());
+  membership_ = service;
+  node_to_index_.clear();
+  for (std::size_t i = 0; i < platform_nodes.size(); ++i) {
+    node_to_index_[platform_nodes[i]] = i;
+  }
+}
+
+void CentralServer::set_genesis_l1(Tensor flat) {
+  genesis_l1_ = std::move(flat);
+  has_genesis_ = true;
+}
+
+std::size_t CentralServer::member_index(NodeId src) const {
+  const auto it = node_to_index_.find(src);
+  if (it == node_to_index_.end()) {
+    const std::string reason = "server: membership frame from node " +
+                               std::to_string(src) +
+                               ", which is not on the roster";
+    obs::postmortem(reason);
+    throw ProtocolError(reason);
+  }
+  return it->second;
+}
+
+void CentralServer::send_reject(net::Network& network, const Envelope& request,
+                                MembershipService::Verdict verdict) {
+  const std::size_t p = member_index(request.src);
+  UpdateRejectMsg msg;
+  msg.reason = verdict == MembershipService::Verdict::kRejectNonFinite
+                   ? RejectReason::kNonFinite
+                   : RejectReason::kNormBomb;
+  msg.strikes = static_cast<std::uint32_t>(membership_->strikes(p));
+  msg.state = membership_->state(p);
+  Envelope reply = make_envelope(
+      id_, request.src, static_cast<std::uint32_t>(MsgKind::kUpdateReject),
+      request.round, encode_update_reject_payload(msg));
+  if (options_.tolerate_faults) {
+    reply_cache_[request.src] = CachedReply{request.kind, request.round, reply};
+    last_request_round_[request.src] = request.round;
+  }
+  network.send(std::move(reply));
+}
+
 void CentralServer::abort_pending(NodeId platform) {
   if (awaiting_grad_ && pending_platform_ == platform) {
     awaiting_grad_ = false;
@@ -24,12 +74,14 @@ void CentralServer::abort_pending(NodeId platform) {
 }
 
 void CentralServer::process_activation(net::Network& network,
-                                       const Envelope& envelope) {
+                                       const Envelope& envelope,
+                                       Tensor* decoded) {
   obs::Span span(obs::trace(), "server.forward", "core");
   span.arg("platform", static_cast<std::uint64_t>(envelope.src));
   span.arg("round", envelope.round);
   const Tensor activation =
-      decode_tensor_payload(envelope.payload, options_.codec);
+      decoded ? std::move(*decoded)
+              : decode_tensor_payload(envelope.payload, options_.codec);
   const Tensor logits = body_.forward(activation, /*training=*/true);
   pending_platform_ = envelope.src;
   pending_round_ = envelope.round;
@@ -82,6 +134,12 @@ bool CentralServer::absorb_faulty(net::Network& network,
       return false;
     }
   }
+  // Membership control frames are idempotent in the main switch (stale
+  // heartbeats are counted there; a repeated join request is re-accepted) —
+  // never absorb them as debris.
+  if (kind == MsgKind::kHeartbeat || kind == MsgKind::kJoinRequest) {
+    return false;
+  }
   // Anything else is WAN debris: a reply to an abandoned round, a duplicate
   // whose cache slot was already superseded, a frame from before the
   // current expect_round() horizon.
@@ -109,6 +167,22 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
         queued_activations_.push_back(envelope);
         return;
       }
+      if (membership_ != nullptr) {
+        // Admission control: decode once, police the payload, and only then
+        // let it anywhere near the model. A refused update answers with
+        // kUpdateReject — the platform aborts its step, nothing trains.
+        const std::size_t p = member_index(envelope.src);
+        Tensor activation =
+            decode_tensor_payload(envelope.payload, options_.codec);
+        membership_->observe_contact(p, network.clock().now());
+        const auto verdict = membership_->admit_update(p, 0, activation);
+        if (verdict != MembershipService::Verdict::kAccept) {
+          send_reject(network, envelope, verdict);
+          return;
+        }
+        process_activation(network, envelope, &activation);
+        return;
+      }
       process_activation(network, envelope);
       return;
     }
@@ -121,10 +195,22 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
         obs::postmortem(reason);
         throw ProtocolError(reason);
       }
+      const Tensor logit_grad = decode_tensor_payload(envelope.payload);
+      if (membership_ != nullptr) {
+        const std::size_t p = member_index(envelope.src);
+        membership_->observe_contact(p, network.clock().now());
+        const auto verdict = membership_->admit_update(p, 1, logit_grad);
+        if (verdict != MembershipService::Verdict::kAccept) {
+          // The pending forward's activations came from this same poisoned
+          // step — discard them along with the gradient.
+          awaiting_grad_ = false;
+          send_reject(network, envelope, verdict);
+          return;
+        }
+      }
       obs::Span span(obs::trace(), "server.backward", "core");
       span.arg("platform", static_cast<std::uint64_t>(envelope.src));
       span.arg("round", envelope.round);
-      const Tensor logit_grad = decode_tensor_payload(envelope.payload);
       body_.zero_grad();
       const Tensor cut_grad = body_.backward(logit_grad);
       opt_.step();
@@ -144,6 +230,72 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
         queued_activations_.pop_front();
         process_activation(network, next);
       }
+      return;
+    }
+    case MsgKind::kHeartbeat: {
+      if (membership_ == nullptr) {
+        const std::string reason =
+            "server: heartbeat received but membership is not enabled";
+        obs::postmortem(reason);
+        throw ProtocolError(reason);
+      }
+      // Decode and validate fully before any membership state moves.
+      const HeartbeatMsg msg = decode_heartbeat_payload(envelope.payload);
+      const std::size_t p = member_index(envelope.src);
+      if (msg.platform != p) {
+        const std::string reason =
+            "server: heartbeat from node " + std::to_string(envelope.src) +
+            " claims platform index " + std::to_string(msg.platform) +
+            " but the roster maps it to " + std::to_string(p);
+        obs::postmortem(reason);
+        throw ProtocolError(reason);
+      }
+      membership_->note_heartbeat(p, msg.beat, network.clock().now());
+      return;
+    }
+    case MsgKind::kJoinRequest: {
+      if (membership_ == nullptr) {
+        const std::string reason =
+            "server: join request received but membership is not enabled";
+        obs::postmortem(reason);
+        throw ProtocolError(reason);
+      }
+      const JoinRequestMsg msg = decode_join_request_payload(envelope.payload);
+      const std::size_t p = member_index(envelope.src);
+      if (msg.platform != p) {
+        const std::string reason =
+            "server: join request from node " + std::to_string(envelope.src) +
+            " claims platform index " + std::to_string(msg.platform) +
+            " but the roster maps it to " + std::to_string(p);
+        obs::postmortem(reason);
+        throw ProtocolError(reason);
+      }
+      // Throws ProtocolError (quarantine bypass attempt) before anything
+      // below runs; re-requests from an already-ACTIVE platform are
+      // idempotently re-accepted (retransmitted joins under WAN faults).
+      membership_->note_join_request(p, msg.mode, network.clock().now());
+      JoinAcceptMsg accept;
+      accept.current_round =
+          static_cast<std::uint64_t>(membership_->current_round());
+      accept.has_l1 = msg.mode == RejoinMode::kCold;
+      if (accept.has_l1) {
+        SPLITMED_CHECK(has_genesis_,
+                       "server: cold rejoin needs a genesis L1 snapshot "
+                       "(set_genesis_l1 was never called)");
+        accept.l1 = genesis_l1_;
+      }
+      Envelope reply = make_envelope(
+          id_, envelope.src, static_cast<std::uint32_t>(MsgKind::kJoinAccept),
+          envelope.round, encode_join_accept_payload(accept));
+      if (options_.tolerate_faults) {
+        // Cache for duplicate-join replay, but do NOT advance the
+        // last-request horizon: join envelopes are stamped with the ROUND
+        // number while protocol steps are stamped with step ids, and mixing
+        // the namespaces could absorb a legitimate later activation.
+        reply_cache_[envelope.src] =
+            CachedReply{envelope.kind, envelope.round, reply};
+      }
+      network.send(std::move(reply));
       return;
     }
     default: {

@@ -7,7 +7,9 @@
 
 #include <deque>
 #include <map>
+#include <vector>
 
+#include "src/core/membership.hpp"
 #include "src/core/protocol.hpp"
 #include "src/net/network.hpp"
 #include "src/nn/sequential.hpp"
@@ -55,6 +57,21 @@ class CentralServer {
 
   void set_learning_rate(float lr) { opt_.set_learning_rate(lr); }
 
+  /// Attaches the membership authority (not owned; the trainer holds it) and
+  /// the roster mapping NodeId -> platform index. Once attached, the server
+  /// handles the membership control plane (kHeartbeat / kJoinRequest),
+  /// renews leases on every platform frame, and polices incoming updates —
+  /// a refused update is answered with kUpdateReject instead of training.
+  void set_membership(MembershipService* service,
+                      std::vector<NodeId> platform_nodes);
+
+  /// Genesis L1 snapshot (flattened parameter values captured at t=0, when
+  /// every platform's replica is identical) served to cold rejoins. The
+  /// server never sees a platform's CURRENT L1 — that privacy boundary is
+  /// the paper's core argument — so a platform that lost its state restarts
+  /// its L1 from genesis.
+  void set_genesis_l1(Tensor flat);
+
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] nn::Sequential& body() { return body_; }
   [[nodiscard]] std::int64_t steps_completed() const {
@@ -80,8 +97,16 @@ class CentralServer {
   void load_state(BufferReader& reader);
 
  private:
-  /// Runs forward on a (decoded) activation and replies with logits.
-  void process_activation(net::Network& network, const Envelope& envelope);
+  /// Runs forward on a (decoded) activation and replies with logits. When
+  /// membership admission already decoded the payload it is passed in via
+  /// `decoded` (consumed) so the tensor is never decoded twice.
+  void process_activation(net::Network& network, const Envelope& envelope,
+                          Tensor* decoded = nullptr);
+  /// Roster position of `src`; throws ProtocolError for unknown senders.
+  std::size_t member_index(NodeId src) const;
+  /// Builds, caches (under tolerate_faults) and sends a kUpdateReject reply.
+  void send_reject(net::Network& network, const Envelope& request,
+                   MembershipService::Verdict verdict);
   /// Tolerant-mode triage for frames that do not match the strict state
   /// machine: replay the cached reply for a duplicated request, ignore the
   /// rest. Returns true when the frame was consumed.
@@ -113,6 +138,13 @@ class CentralServer {
   std::uint64_t min_round_ = 0;
   std::int64_t replays_ = 0;
   std::int64_t stale_ignored_ = 0;
+
+  // Membership extension (null/empty when the feature is off — the default,
+  // in which case none of the code paths below ever run).
+  MembershipService* membership_ = nullptr;
+  std::map<NodeId, std::size_t> node_to_index_;
+  Tensor genesis_l1_;
+  bool has_genesis_ = false;
 };
 
 }  // namespace splitmed::core

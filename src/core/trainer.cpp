@@ -16,37 +16,67 @@
 
 namespace splitmed::core {
 
+void SplitConfig::validate(std::size_t num_platforms) const {
+  SPLITMED_CHECK(num_platforms > 0, "partition has no platforms");
+  SPLITMED_CHECK(rounds > 0, "rounds must be positive, got " << rounds);
+  SPLITMED_CHECK(eval_every > 0,
+                 "eval_every must be positive, got " << eval_every);
+  SPLITMED_CHECK(total_batch > 0,
+                 "total_batch must be positive, got " << total_batch);
+  SPLITMED_CHECK(eval_batch > 0,
+                 "eval_batch must be positive, got " << eval_batch);
+  SPLITMED_CHECK(threads >= 0, "threads must be >= 0, got " << threads);
+  SPLITMED_CHECK(participation > 0.0 && participation <= 1.0,
+                 "participation must be in (0, 1]");
+  faults.validate();
+  recovery.validate();
+  SPLITMED_CHECK(checkpoint_every >= 0,
+                 "checkpoint_every must be >= 0, got " << checkpoint_every);
+  SPLITMED_CHECK(checkpoint_every == 0 || !checkpoint_dir.empty(),
+                 "checkpoint_every > 0 requires a checkpoint_dir");
+  SPLITMED_CHECK(sync_l1_every >= 0,
+                 "sync_l1_every must be >= 0, got " << sync_l1_every);
+  if (faults.any()) {
+    SPLITMED_CHECK(schedule == Schedule::kSequential,
+                   "WAN fault injection requires the sequential schedule");
+    SPLITMED_CHECK(sync_l1_every == 0,
+                   "WAN fault injection does not cover the L1-sync extension");
+  }
+  if (schedule == Schedule::kBoundedStaleness) {
+    SPLITMED_CHECK(staleness_bound >= 0,
+                   "staleness_bound must be >= 0, got " << staleness_bound);
+    SPLITMED_CHECK(sync_l1_every == 0,
+                   "bounded staleness does not cover the L1-sync extension "
+                   "(its sync barrier assumes drained round boundaries)");
+  }
+  if (membership.enabled) {
+    membership.validate(num_platforms);
+    churn.validate(num_platforms);
+    SPLITMED_CHECK(schedule == Schedule::kSequential,
+                   "membership requires the sequential schedule");
+    SPLITMED_CHECK(sync_l1_every == 0,
+                   "membership does not cover the L1-sync extension");
+    SPLITMED_CHECK(participation >= 1.0,
+                   "membership subsumes participation sampling (the churn "
+                   "plan is the absence model) — participation must stay 1.0, "
+                   "got "
+                       << participation);
+  } else {
+    SPLITMED_CHECK(!churn.any(),
+                   "churn plan has " << churn.crashes.size() << " crash and "
+                                     << churn.poisons.size()
+                                     << " poison event(s) but "
+                                        "membership.enabled is false");
+  }
+}
+
 SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
                            data::Partition partition,
                            const data::Dataset& test, SplitConfig config)
     : config_(std::move(config)), train_(&train), test_(&test) {
-  SPLITMED_CHECK(!partition.empty(), "partition has no platforms");
+  config_.validate(partition.size());
   if (config_.threads > 0) set_global_threads(config_.threads);
-  SPLITMED_CHECK(config_.rounds > 0 && config_.eval_every > 0,
-                 "rounds and eval_every must be positive");
-  SPLITMED_CHECK(config_.participation > 0.0 && config_.participation <= 1.0,
-                 "participation must be in (0, 1]");
-  config_.faults.validate();
-  config_.recovery.validate();
-  SPLITMED_CHECK(config_.checkpoint_every >= 0,
-                 "checkpoint_every must be >= 0");
-  SPLITMED_CHECK(config_.checkpoint_every == 0 ||
-                     !config_.checkpoint_dir.empty(),
-                 "checkpoint_every > 0 requires a checkpoint_dir");
   const bool faulted = config_.faults.any();
-  if (faulted) {
-    SPLITMED_CHECK(config_.schedule == Schedule::kSequential,
-                   "WAN fault injection requires the sequential schedule");
-    SPLITMED_CHECK(config_.sync_l1_every == 0,
-                   "WAN fault injection does not cover the L1-sync extension");
-  }
-  if (config_.schedule == Schedule::kBoundedStaleness) {
-    SPLITMED_CHECK(config_.staleness_bound >= 0,
-                   "staleness_bound must be >= 0");
-    SPLITMED_CHECK(config_.sync_l1_every == 0,
-                   "bounded staleness does not cover the L1-sync extension "
-                   "(its sync barrier assumes drained round boundaries)");
-  }
   if (config_.obs.enabled) {
     obs_session_ = std::make_unique<obs::ObsSession>(config_.obs);
     obs_session_->set_sim_source([this] { return network_.clock().now(); });
@@ -131,6 +161,17 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
   }
   scheduler_ = std::make_unique<EventScheduler>(network_, *server_,
                                                 platforms_);
+  if (config_.membership.enabled) {
+    membership_ = std::make_unique<MembershipService>(
+        config_.membership, config_.churn, platforms_.size(), config_.seed,
+        minibatches_);
+    server_->set_membership(membership_.get(), topology_.platforms);
+    // Genesis L1 snapshot: at construction every replica is identical (the
+    // paper's postulate), so platform 0's flattened values ARE the weights a
+    // cold rejoin restarts from — the server never sees a CURRENT L1.
+    server_->set_genesis_l1(
+        nn::flatten_values(platforms_[0]->l1().parameters()));
+  }
   report_.protocol = "split";
   report_.model = model_name_;
   if (!config_.resume_from.empty()) {
@@ -198,15 +239,18 @@ bool SplitTrainer::await_platform_progress(PlatformNode& platform) {
   return false;
 }
 
-bool SplitTrainer::run_platform_step_reliable(PlatformNode& platform,
-                                              std::uint64_t step_id) {
+SplitTrainer::StepOutcome SplitTrainer::run_platform_step_reliable(
+    PlatformNode& platform, std::uint64_t step_id) {
   obs::Span span(obs::trace(), "trainer.step", "trainer");
   span.arg("platform", static_cast<std::uint64_t>(platform.id()));
   span.arg("step", step_id);
+  const std::int64_t before = platform.steps_completed();
   server_->expect_round(step_id);
   platform.send_activation(network_, step_id);
   // Stage 1: reach kAwaitCutGrad (activation delivered, logits back).
   // Stage 2: reach kIdle (logit grad delivered, cut grad back).
+  // Either stage may instead end at kIdle on a kUpdateReject (membership
+  // admission refused the update and the platform aborted the step).
   for (int stage = 0; stage < 2; ++stage) {
     if (!await_platform_progress(platform)) {
       SPLITMED_LOG(kWarn) << "platform " << platform.id()
@@ -221,10 +265,151 @@ bool SplitTrainer::run_platform_step_reliable(PlatformNode& platform,
       }
       platform.abort_step();
       server_->abort_pending(platform.id());
-      return false;
+      return StepOutcome::kUnreachable;
+    }
+    if (platform.state() == PlatformState::kIdle) break;
+  }
+  if (platform.steps_completed() > before) return StepOutcome::kCompleted;
+  span.arg("rejected", true);
+  return StepOutcome::kRejected;
+}
+
+SplitTrainer::StepOutcome SplitTrainer::run_membership_step(
+    PlatformNode& platform, std::uint64_t step_id) {
+  obs::Span span(obs::trace(), "trainer.step", "trainer");
+  span.arg("platform", static_cast<std::uint64_t>(platform.id()));
+  span.arg("step", step_id);
+  const std::int64_t before = platform.steps_completed();
+  platform.send_activation(network_, step_id);
+  server_->handle(network_, network_.receive(server_->id()));  // activation
+  platform.handle(network_, network_.receive(platform.id()));  // logits|reject
+  if (platform.state() != PlatformState::kIdle) {
+    server_->handle(network_, network_.receive(server_->id()));  // logit grad
+    platform.handle(network_, network_.receive(platform.id()));  // cut|reject
+  }
+  if (platform.steps_completed() > before) return StepOutcome::kCompleted;
+  span.arg("rejected", true);
+  return StepOutcome::kRejected;
+}
+
+void SplitTrainer::drain_network() {
+  while (const auto event = network_.next_event()) {
+    const auto env = network_.receive_before(
+        event->node, std::numeric_limits<double>::infinity());
+    if (!env) continue;  // window held only corrupted frames
+    scheduler_->dispatch(*env);
+  }
+}
+
+bool SplitTrainer::await_join(PlatformNode& platform) {
+  double timeout = config_.recovery.timeout_sec;
+  for (int attempt = 0; attempt <= config_.recovery.max_retries; ++attempt) {
+    const double deadline = network_.clock().now() + timeout;
+    while (platform.awaiting_join()) {
+      const auto event = network_.next_event();
+      if (!event) break;
+      if (event->arrival > deadline) break;
+      const auto env = network_.receive_before(event->node, deadline);
+      if (!env) continue;
+      scheduler_->dispatch(*env);
+    }
+    if (!platform.awaiting_join()) return true;
+    network_.clock().advance_to(deadline);
+    if (attempt == config_.recovery.max_retries) break;
+    platform.resend_last(network_);
+    timeout *= config_.recovery.backoff;
+  }
+  return false;
+}
+
+bool SplitTrainer::run_rejoin_handshake(std::size_t p, std::int64_t round) {
+  PlatformNode& platform = *platforms_[p];
+  const RejoinMode mode = membership_->rejoin_mode(p);
+  platform.send_join_request(network_, static_cast<std::uint32_t>(p),
+                             static_cast<std::uint64_t>(round), mode);
+  if (!config_.faults.any()) {
+    server_->handle(network_, network_.receive(server_->id()));    // request
+    platform.handle(network_, network_.receive(platform.id()));    // accept
+  } else if (!await_join(platform)) {
+    // Request or accept lost beyond the retry budget: abandon the handshake;
+    // begin_round re-promotes the platform to REJOINING next round.
+    if (obs::FlightRecorder* fr = obs::flight()) {
+      fr->note(network_.clock().now(),
+               "ABANDON join: platform " + std::to_string(platform.id()) +
+                   " unreachable, retries exhausted");
+    }
+    platform.abort_join();
+    return false;
+  }
+  membership_->note_rejoin_completed(p, network_.clock().now());
+  return true;
+}
+
+void SplitTrainer::run_membership_round(std::int64_t round,
+                                        std::vector<std::size_t>& stepped) {
+  const double round_start = network_.clock().now();
+  membership_->begin_round(round, round_start);
+  const double deadline = round_start + config_.membership.round_deadline_sec;
+
+  // Poison spells are chaos-harness config, reapplied from the plan every
+  // round — they need no checkpoint state.
+  for (std::size_t p = 0; p < platforms_.size(); ++p) {
+    if (const auto poison = membership_->active_poison(p, round)) {
+      platforms_[p]->set_poison(poison->kind, poison->scale);
+    } else {
+      platforms_[p]->clear_poison();
     }
   }
-  return true;
+
+  // Liveness beacons, delivered before any step so the server's lease sweep
+  // next round sees them even when this round's steps never start.
+  for (std::size_t p = 0; p < platforms_.size(); ++p) {
+    if (membership_->sends_heartbeat(p, network_.clock().now())) {
+      platforms_[p]->send_heartbeat(network_, static_cast<std::uint32_t>(p),
+                                    static_cast<std::uint64_t>(round));
+      membership_->note_heartbeat_sent(p, network_.clock().now());
+    }
+  }
+  drain_network();
+
+  // Returned platforms owe a join handshake before they may step again.
+  for (std::size_t p = 0; p < platforms_.size(); ++p) {
+    if (membership_->needs_rejoin(p)) run_rejoin_handshake(p, round);
+  }
+
+  // Deadline-gated protocol steps, start order rotated by round so a tight
+  // deadline does not starve the same tail of hospitals every round. The
+  // first eligible platform always steps (the liveness floor every other
+  // schedule also guarantees); the deadline gates the rest.
+  const std::size_t n = platforms_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = (i + static_cast<std::size_t>(round)) % n;
+    if (!membership_->can_step(p)) continue;
+    if (!stepped.empty() && network_.clock().now() >= deadline) {
+      membership_->note_deadline_miss(p);
+      continue;
+    }
+    StepOutcome outcome;
+    if (config_.faults.any()) {
+      outcome = run_platform_step_reliable(*platforms_[p], ++step_id_);
+    } else {
+      outcome = run_membership_step(*platforms_[p], ++step_id_);
+    }
+    if (outcome == StepOutcome::kCompleted) {
+      stepped.push_back(p);
+      membership_->note_step_completed(p, network_.clock().now());
+    } else if (outcome == StepOutcome::kUnreachable) {
+      ++skipped_steps_;
+    }
+    // kRejected: the platform aborted on the server's refusal — the strike
+    // is on the ledger and the drawn minibatch rides in examples_lost.
+  }
+  // Completion order is the rotated start order; report ascending so
+  // downstream accounting is independent of the rotation.
+  std::sort(stepped.begin(), stepped.end());
+  last_round_void_ =
+      membership_->end_round(round,
+                             static_cast<std::int64_t>(stepped.size()));
 }
 
 void SplitTrainer::run_event_round(
@@ -382,7 +567,9 @@ metrics::TrainReport SplitTrainer::run() {
     // unreachable); only platforms that actually stepped count toward the
     // examples processed and the reported loss.
     std::vector<std::size_t> stepped;
-    if (config_.schedule != Schedule::kSequential) {
+    if (membership_) {
+      run_membership_round(round, stepped);
+    } else if (config_.schedule != Schedule::kSequential) {
       // Event-driven schedules: checkpoint boundaries and the final round
       // force a full drain barrier (quiescence — every straggler folds in
       // before state is captured or the report closes).
@@ -400,9 +587,12 @@ metrics::TrainReport SplitTrainer::run() {
       stepped = participants;
     } else {
       for (const std::size_t p : participants) {
-        if (run_platform_step_reliable(*platforms_[p], ++step_id_)) {
+        if (run_platform_step_reliable(*platforms_[p], ++step_id_) ==
+            StepOutcome::kCompleted) {
           stepped.push_back(p);
         } else {
+          // Without membership the server never rejects, so every
+          // non-completed step was an unreachable hospital.
           ++skipped_steps_;
         }
       }
@@ -436,8 +626,14 @@ metrics::TrainReport SplitTrainer::run() {
       point.sim_seconds = network_.clock().now();
       // When every participant was unreachable this round, fall back to the
       // sampled participants' (stale) losses rather than averaging nothing.
-      point.train_loss = round_train_loss(stepped.empty() ? participants
-                                                          : stepped);
+      // A VOID membership round (below min_quorum) carries the previous
+      // point's loss instead — the round is declared not to have happened.
+      if (membership_ && last_round_void_ && !report_.curve.empty()) {
+        point.train_loss = report_.curve.back().train_loss;
+      } else {
+        point.train_loss = round_train_loss(stepped.empty() ? participants
+                                                            : stepped);
+      }
       {
         obs::Span eval_span(obs::trace(), "trainer.eval", "trainer");
         eval_span.arg("round", static_cast<std::uint64_t>(round));
@@ -496,6 +692,16 @@ metrics::TrainReport SplitTrainer::run() {
   report_.skipped_steps = skipped_steps_;
   report_.examples_lost = 0;
   for (const auto& p : platforms_) report_.examples_lost += p->examples_lost();
+  if (membership_) {
+    // Outage windows are the membership extension of examples_lost: the
+    // minibatches an offline hospital never even drew.
+    const MembershipLedger& led = membership_->ledger();
+    report_.examples_lost += led.outage_examples_lost;
+    report_.rejected_updates = led.rejected_updates();
+    report_.quarantines = led.quarantines;
+    report_.void_rounds = led.void_rounds;
+    report_.deadline_misses = led.deadline_misses;
+  }
   return report_;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/membership.hpp"
 #include "src/core/minibatch_policy.hpp"
 #include "src/core/platform.hpp"
 #include "src/core/scheduler.hpp"
@@ -123,6 +124,22 @@ struct SplitConfig {
   /// inert, and enabling it never changes bytes, RNG streams, or curves —
   /// asserted by golden_curve_test.
   obs::ObsConfig obs{};
+
+  /// Platform membership under churn (extension; see docs/PROTOCOL.md
+  /// "Membership"): liveness leases, deadline-closed rounds with quorum
+  /// degradation, update validation with quarantine, and rejoin handshakes.
+  /// Disabled (the default) is bitwise inert. Requires the sequential
+  /// schedule, sync_l1_every == 0, and participation == 1.0 (membership
+  /// subsumes participation sampling — churn IS the absence model).
+  MembershipConfig membership{};
+  /// Deterministic environment script (crashes / outages / poison spells)
+  /// driving the chaos harness. Requires membership.enabled when non-empty.
+  ChurnPlan churn{};
+
+  /// Full config validation; throws InvalidArgument naming the offending
+  /// flag (and both sides of a contradictory combination). Called by the
+  /// trainer constructor with the partition's platform count.
+  void validate(std::size_t num_platforms) const;
 };
 
 class SplitTrainer {
@@ -151,6 +168,10 @@ class SplitTrainer {
   /// The trainer-owned observability session; null when config.obs is
   /// disabled. Benches use it to flush trace/metrics files mid-run.
   [[nodiscard]] obs::ObsSession* obs_session() { return obs_session_.get(); }
+  /// The membership authority; null when config.membership is disabled.
+  [[nodiscard]] const MembershipService* membership() const {
+    return membership_.get();
+  }
 
   /// Writes a complete round-stamped checkpoint to
   /// `<dir>/round_<round>/` (node files first, manifest last; every file
@@ -171,13 +192,37 @@ class SplitTrainer {
   [[nodiscard]] std::uint64_t next_round() const { return next_round_; }
 
  private:
+  /// How one platform's protocol step ended.
+  enum class StepOutcome {
+    kCompleted,    ///< optimizer stepped on both sides
+    kRejected,     ///< the server refused the update (kUpdateReject)
+    kUnreachable,  ///< retransmissions exhausted, step abandoned
+  };
+
   /// One full 4-message protocol exchange for one platform.
   void run_platform_step(PlatformNode& platform, std::uint64_t step_id);
   /// Fault-tolerant variant: pumps the WAN with per-stage timeouts and
-  /// bounded retransmissions; returns false when the step was abandoned
-  /// (the platform was unreachable this round).
-  bool run_platform_step_reliable(PlatformNode& platform,
+  /// bounded retransmissions.
+  StepOutcome run_platform_step_reliable(PlatformNode& platform,
+                                         std::uint64_t step_id);
+  /// Fault-free membership variant of run_platform_step: the server may
+  /// answer either protocol stage with kUpdateReject, which ends the step.
+  StepOutcome run_membership_step(PlatformNode& platform,
                                   std::uint64_t step_id);
+  /// One membership round: crash/poison script, heartbeats, rejoin
+  /// handshakes, then deadline-gated protocol steps in rotated order.
+  /// `stepped` receives the completed platforms in ascending index order.
+  void run_membership_round(std::int64_t round,
+                            std::vector<std::size_t>& stepped);
+  /// Runs the join handshake for platform p; false = retransmissions
+  /// exhausted (the handshake is abandoned and retried next round).
+  bool run_rejoin_handshake(std::size_t p, std::int64_t round);
+  /// Delivers frames until `platform`'s join handshake completes,
+  /// retransmitting on timeout (mirrors await_platform_progress).
+  bool await_join(PlatformNode& platform);
+  /// Delivers every frame currently in flight (heartbeat batches; under
+  /// fault injection also strays, which the state machines absorb).
+  void drain_network();
   /// Delivers frames until `platform` leaves its current protocol state,
   /// retransmitting its last message on timeout (exponential backoff over
   /// simulated time). False = retries exhausted without progress.
@@ -218,6 +263,12 @@ class SplitTrainer {
   std::int64_t examples_processed_ = 0;
   std::int64_t skipped_steps_ = 0;
   Rng participation_rng_{0};
+  /// Membership authority (null unless config.membership.enabled); the
+  /// server holds a non-owning pointer for admission and lease renewal.
+  std::unique_ptr<MembershipService> membership_;
+  /// Set by run_membership_round when the round closed below min_quorum —
+  /// the curve point carries the previous loss instead of fabricating one.
+  bool last_round_void_ = false;
   /// Run-progress state, members (not run() locals) so a checkpoint can
   /// capture them and a resumed trainer continues mid-report.
   std::uint64_t next_round_ = 1;

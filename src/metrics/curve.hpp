@@ -31,8 +31,19 @@ struct TrainReport {
   std::int64_t skipped_steps = 0;
   /// Examples consumed from platform loaders but never applied to any
   /// optimizer step because the step was abandoned (sum of the platforms'
-  /// examples_lost counters; always 0 in a fault-free run).
+  /// examples_lost counters; under membership also the minibatches offline
+  /// hospitals never drew; always 0 in a fault-free run).
   std::int64_t examples_lost = 0;
+
+  /// Membership extension (all 0 unless SplitConfig::membership.enabled).
+  /// Updates the server refused (non-finite or norm-bomb payloads).
+  std::int64_t rejected_updates = 0;
+  /// Platforms quarantined by the strike policy (counting re-quarantines).
+  std::int64_t quarantines = 0;
+  /// Rounds closed below min_quorum (loss carried, never fabricated).
+  std::int64_t void_rounds = 0;
+  /// Platform-steps skipped because the round deadline had passed.
+  std::int64_t deadline_misses = 0;
 
   /// Accuracy of the last point at or under the byte budget (0.0 when the
   /// first point already exceeds it).

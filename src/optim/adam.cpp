@@ -21,6 +21,12 @@ Adam::Adam(std::vector<nn::Parameter*> params, AdamOptions options)
   }
 }
 
+void Adam::reset_state() {
+  for (Tensor& m : m_) m.zero();
+  for (Tensor& v : v_) v.zero();
+  t_ = 0;
+}
+
 void Adam::step() {
   ++t_;
   const float bc1 =

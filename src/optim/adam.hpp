@@ -19,6 +19,7 @@ class Adam final : public Optimizer {
   Adam(std::vector<nn::Parameter*> params, AdamOptions options);
 
   void step() override;
+  void reset_state() override;
   [[nodiscard]] float learning_rate() const override {
     return options_.learning_rate;
   }

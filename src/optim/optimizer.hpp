@@ -30,6 +30,12 @@ class Optimizer {
   [[nodiscard]] virtual float learning_rate() const = 0;
   virtual void set_learning_rate(float lr) = 0;
 
+  /// Clears all accumulator state (momentum / moment estimates) back to the
+  /// freshly-constructed value. Used by a cold platform rejoin: a platform
+  /// that lost its local state restarts from the genesis L1 weights, and
+  /// momentum accumulated against the lost trajectory must not leak in.
+  virtual void reset_state() = 0;
+
   /// Serializes accumulator state (momentum / moment estimates). Hyper-
   /// parameters are NOT included: they come from config at reconstruction,
   /// so a checkpoint cannot silently override the configured run.

@@ -18,6 +18,10 @@ Sgd::Sgd(std::vector<nn::Parameter*> params, SgdOptions options)
   }
 }
 
+void Sgd::reset_state() {
+  for (Tensor& v : velocity_) v.zero();
+}
+
 void Sgd::step() {
   const float lr = options_.learning_rate;
   for (std::size_t i = 0; i < params_.size(); ++i) {

@@ -18,6 +18,7 @@ class Sgd final : public Optimizer {
   Sgd(std::vector<nn::Parameter*> params, SgdOptions options);
 
   void step() override;
+  void reset_state() override;
   [[nodiscard]] float learning_rate() const override {
     return options_.learning_rate;
   }

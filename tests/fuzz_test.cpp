@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "src/common/error.hpp"
@@ -19,7 +20,12 @@
 #include "src/nn/linear.hpp"
 #include "src/nn/pool.hpp"
 #include "src/nn/sequential.hpp"
+#include "src/core/membership.hpp"
 #include "src/core/protocol.hpp"
+#include "src/core/server.hpp"
+#include "src/core/split_model.hpp"
+#include "src/models/mlp.hpp"
+#include "src/optim/sgd.hpp"
 #include "src/serial/codec.hpp"
 #include "src/serial/crc32.hpp"
 #include "src/serial/quantize.hpp"
@@ -657,6 +663,515 @@ TEST(DataLoaderStress, EveryIndexSeenOncePerEpoch) {
     }
     for (const int count : seen) EXPECT_EQ(count, kEpochs);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Membership control frames (kHeartbeat / kJoinRequest / kJoinAccept /
+// kUpdateReject) — churn makes these the frames most likely to arrive torn,
+// replayed, or forged, so they get the same exhaustive treatment as tensors.
+// ---------------------------------------------------------------------------
+
+/// One encoded instance of each membership payload, labelled for messages.
+struct EncodedMembershipFrame {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+  void (*decode)(std::span<const std::uint8_t>);
+};
+
+std::vector<EncodedMembershipFrame> sample_membership_frames() {
+  std::vector<EncodedMembershipFrame> frames;
+  frames.push_back({"heartbeat",
+                    core::encode_heartbeat_payload({1, 9, 4}),
+                    [](std::span<const std::uint8_t> p) {
+                      (void)core::decode_heartbeat_payload(p);
+                    }});
+  frames.push_back({"join request",
+                    core::encode_join_request_payload(
+                        {2, core::RejoinMode::kCold, 7}),
+                    [](std::span<const std::uint8_t> p) {
+                      (void)core::decode_join_request_payload(p);
+                    }});
+  core::JoinAcceptMsg bare;
+  bare.current_round = 3;
+  bare.has_l1 = false;
+  frames.push_back({"join accept (no genesis)",
+                    core::encode_join_accept_payload(bare),
+                    [](std::span<const std::uint8_t> p) {
+                      (void)core::decode_join_accept_payload(p);
+                    }});
+  Rng rng(21);
+  core::JoinAcceptMsg cold;
+  cold.current_round = 3;
+  cold.has_l1 = true;
+  cold.l1 = Tensor::normal(Shape{5}, rng);
+  frames.push_back({"join accept (genesis)",
+                    core::encode_join_accept_payload(cold),
+                    [](std::span<const std::uint8_t> p) {
+                      (void)core::decode_join_accept_payload(p);
+                    }});
+  core::UpdateRejectMsg reject;
+  reject.reason = core::RejectReason::kNormBomb;
+  reject.strikes = 2;
+  reject.state = core::MemberState::kSuspect;
+  frames.push_back({"update reject",
+                    core::encode_update_reject_payload(reject),
+                    [](std::span<const std::uint8_t> p) {
+                      (void)core::decode_update_reject_payload(p);
+                    }});
+  return frames;
+}
+
+TEST(MembershipFuzz, EveryTruncatedControlFramePrefixThrows) {
+  // Exhaustive over every byte boundary of every membership payload: a torn
+  // control frame must be SerializationError, never a crash or short read.
+  for (const auto& frame : sample_membership_frames()) {
+    for (std::size_t len = 0; len < frame.bytes.size(); ++len) {
+      EXPECT_THROW(frame.decode({frame.bytes.data(), len}),
+                   SerializationError)
+          << frame.name << " prefix of " << len << " bytes";
+    }
+    // Sanity: the untruncated payload decodes.
+    EXPECT_NO_THROW(frame.decode({frame.bytes.data(), frame.bytes.size()}))
+        << frame.name;
+  }
+}
+
+TEST(MembershipFuzz, TrailingBytesAfterControlFrameRejected) {
+  // require_exhausted guards every membership decoder: smuggled trailing
+  // bytes (frame-in-frame, lying lengths upstream) must throw.
+  for (const auto& frame : sample_membership_frames()) {
+    auto padded = frame.bytes;
+    padded.push_back(0x00);
+    EXPECT_THROW(frame.decode({padded.data(), padded.size()}),
+                 SerializationError)
+        << frame.name;
+  }
+}
+
+TEST(MembershipFuzz, UnknownEnumBytesRejectedExhaustively) {
+  // Every enum byte on the membership wire, swept over its full unknown
+  // range — forward-compatibility junk from a newer peer must throw, never
+  // reinterpret.
+  const auto join = core::encode_join_request_payload(
+      {0, core::RejoinMode::kWarm, 0});
+  auto bytes = join;
+  for (int mode = 2; mode <= 255; ++mode) {  // rejoin mode at offset 4
+    bytes[4] = static_cast<std::uint8_t>(mode);
+    EXPECT_THROW(
+        (void)core::decode_join_request_payload({bytes.data(), bytes.size()}),
+        SerializationError)
+        << "mode byte " << mode;
+  }
+
+  core::UpdateRejectMsg msg;
+  msg.reason = core::RejectReason::kNonFinite;
+  msg.strikes = 1;
+  msg.state = core::MemberState::kActive;
+  const auto reject = core::encode_update_reject_payload(msg);
+  bytes = reject;
+  for (int reason = 0; reason <= 255; ++reason) {  // reason at offset 0
+    if (reason == 1 || reason == 2) continue;
+    bytes[0] = static_cast<std::uint8_t>(reason);
+    EXPECT_THROW((void)core::decode_update_reject_payload(
+                     {bytes.data(), bytes.size()}),
+                 SerializationError)
+        << "reason byte " << reason;
+  }
+  bytes = reject;
+  for (int state = 6; state <= 255; ++state) {  // lifecycle state at offset 5
+    bytes[5] = static_cast<std::uint8_t>(state);
+    EXPECT_THROW((void)core::decode_update_reject_payload(
+                     {bytes.data(), bytes.size()}),
+                 SerializationError)
+        << "state byte " << state;
+  }
+
+  core::JoinAcceptMsg accept;
+  accept.current_round = 1;
+  accept.has_l1 = false;
+  const auto accept_bytes = core::encode_join_accept_payload(accept);
+  bytes = accept_bytes;
+  for (int flag = 2; flag <= 255; ++flag) {  // has_l1 flag at offset 8
+    bytes[8] = static_cast<std::uint8_t>(flag);
+    EXPECT_THROW(
+        (void)core::decode_join_accept_payload({bytes.data(), bytes.size()}),
+        SerializationError)
+        << "has_l1 byte " << flag;
+  }
+}
+
+TEST(MembershipFuzz, JoinAcceptGenesisMustBeF32Tagged) {
+  // A lossy-coded genesis L1 would fork a cold-rejoined platform's weights
+  // from every other replica bitwise. The decoder must refuse any codec but
+  // f32 even when the frame itself is perfectly well-formed.
+  Rng rng(22);
+  const Tensor l1 = Tensor::normal(Shape{6}, rng);
+  for (const WireCodec codec : {WireCodec::kF16, WireCodec::kI8}) {
+    BufferWriter w;
+    w.write_u64(5);  // current_round
+    w.write_u8(1);   // has_l1
+    encode_tensor_tagged(l1, codec, w);
+    const auto bytes = w.bytes();
+    EXPECT_THROW(
+        (void)core::decode_join_accept_payload({bytes.data(), bytes.size()}),
+        SerializationError)
+        << wire_codec_name(codec);
+  }
+}
+
+TEST(MembershipFuzz, CorruptedControlFramesNeverCrash) {
+  // Random multi-byte corruption of each membership payload: every trial
+  // either decodes to some message or throws SerializationError — never UB.
+  Rng rng(23);
+  for (const auto& frame : sample_membership_frames()) {
+    int threw = 0, decoded = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+      auto bytes = frame.bytes;
+      const int mutations = 1 + static_cast<int>(rng.uniform_u64(4));
+      for (int m = 0; m < mutations; ++m) {
+        bytes[rng.uniform_u64(bytes.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+      }
+      try {
+        frame.decode({bytes.data(), bytes.size()});
+        ++decoded;
+      } catch (const SerializationError&) {
+        ++threw;
+      } catch (const InvalidArgument&) {
+        ++threw;  // genesis tensor with absurd-but-positive dims
+      }
+    }
+    EXPECT_EQ(threw + decoded, 300) << frame.name;
+  }
+}
+
+TEST(MembershipFuzz, ReplayedHeartbeatsNeverRenewTheLease) {
+  // A replay attack (or WAN duplicate) re-delivers an old beat. The beat
+  // counter is the replay horizon: any beat <= the last seen one is counted
+  // stale and must NOT refresh the liveness lease — the platform still
+  // degrades to SUSPECT on schedule.
+  core::MembershipConfig cfg;
+  cfg.enabled = true;
+  cfg.lease_sec = 30.0;
+  cfg.dead_sec = 90.0;
+  core::MembershipService svc(cfg, core::ChurnPlan{}, 1, /*seed=*/7, {4});
+
+  EXPECT_TRUE(svc.note_heartbeat(0, 5, 0.0));
+  EXPECT_EQ(svc.state(0), core::MemberState::kActive);
+  // Replays land well inside the lease window; none may renew it.
+  for (const std::uint64_t replayed : {5ULL, 4ULL, 1ULL, 0ULL}) {
+    EXPECT_FALSE(svc.note_heartbeat(0, replayed, 25.0));
+  }
+  EXPECT_EQ(svc.ledger().heartbeats_fresh, 1);
+  EXPECT_EQ(svc.ledger().heartbeats_stale, 4);
+
+  // 40 sim-seconds after the one FRESH beat: the lease (30 s) has expired
+  // even though stale beats arrived at t=25.
+  svc.begin_round(1, 40.0);
+  EXPECT_EQ(svc.state(0), core::MemberState::kSuspect);
+}
+
+TEST(MembershipFuzz, RandomBeatSequencesKeepFreshStaleAccountingExact) {
+  // Property: over any beat sequence, fresh + stale == delivered, and a beat
+  // is fresh iff it strictly exceeds the running maximum.
+  Rng rng(24);
+  core::MembershipConfig cfg;
+  cfg.enabled = true;
+  core::MembershipService svc(cfg, core::ChurnPlan{}, 1, /*seed=*/7, {4});
+  std::uint64_t horizon = 0;
+  std::int64_t expect_fresh = 0, expect_stale = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t beat = rng.uniform_u64(32);
+    const bool fresh = beat > horizon;
+    EXPECT_EQ(svc.note_heartbeat(0, beat, 0.1 * i), fresh) << "beat " << beat;
+    if (fresh) {
+      horizon = beat;
+      ++expect_fresh;
+    } else {
+      ++expect_stale;
+    }
+  }
+  EXPECT_EQ(svc.ledger().heartbeats_fresh, expect_fresh);
+  EXPECT_EQ(svc.ledger().heartbeats_stale, expect_stale);
+  EXPECT_EQ(expect_fresh + expect_stale, 500);
+}
+
+/// Server + membership fixture for hostile-frame tests: a real split model
+/// behind a CentralServer with a 2-platform roster (and one rogue node that
+/// is NOT on it).
+struct HostileFixture {
+  net::Network network;
+  NodeId server_id, p0, p1, rogue;
+  std::unique_ptr<core::MembershipService> service;
+  std::unique_ptr<core::CentralServer> server;
+
+  explicit HostileFixture(const core::MembershipConfig& cfg) {
+    server_id = network.add_node("server");
+    p0 = network.add_node("p0");
+    p1 = network.add_node("p1");
+    rogue = network.add_node("rogue");
+    models::MlpConfig mcfg;
+    mcfg.input_shape = Shape{3, 8, 8};
+    mcfg.hidden = {8};
+    mcfg.num_classes = 4;
+    auto model = models::make_mlp(mcfg);
+    auto parts = core::split_at(std::move(model.net), model.default_cut);
+    server = std::make_unique<core::CentralServer>(
+        server_id, std::move(parts.server), optim::SgdOptions{});
+    service = std::make_unique<core::MembershipService>(
+        cfg, core::ChurnPlan{}, 2, /*seed=*/7,
+        std::vector<std::int64_t>{4, 4});
+    server->set_membership(service.get(), {p0, p1});
+  }
+
+  Envelope frame(NodeId src, core::MsgKind kind,
+                 std::vector<std::uint8_t> payload) {
+    return make_envelope(src, server_id, static_cast<std::uint32_t>(kind),
+                         /*round=*/1, std::move(payload));
+  }
+};
+
+TEST(MembershipFuzz, ForgedPlatformIndexRejectedNamingBothSides) {
+  // A heartbeat / join request whose payload claims a different platform
+  // index than the roster maps the sender to is a forgery attempt; the
+  // server must refuse it BEFORE any membership state moves, and the error
+  // must name both indices for the operator.
+  core::MembershipConfig cfg;
+  cfg.enabled = true;
+  HostileFixture fx(cfg);
+
+  const auto forged_beat = core::encode_heartbeat_payload({1, 1, 0});
+  try {
+    fx.server->handle(fx.network,
+                      fx.frame(fx.p0, core::MsgKind::kHeartbeat, forged_beat));
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("claims platform index 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("maps it to 0"), std::string::npos) << what;
+  }
+  const auto forged_join = core::encode_join_request_payload(
+      {7, core::RejoinMode::kWarm, 0});
+  EXPECT_THROW(fx.server->handle(fx.network,
+                                 fx.frame(fx.p1, core::MsgKind::kJoinRequest,
+                                          forged_join)),
+               ProtocolError);
+  // Nothing moved: both platforms still in their boot state, zero contact.
+  EXPECT_EQ(fx.service->state(0), core::MemberState::kJoining);
+  EXPECT_EQ(fx.service->state(1), core::MemberState::kJoining);
+  EXPECT_EQ(fx.service->ledger().heartbeats_fresh, 0);
+  EXPECT_EQ(fx.service->ledger().heartbeats_stale, 0);
+  EXPECT_EQ(fx.service->ledger().rejoins_warm, 0);
+}
+
+TEST(MembershipFuzz, OffRosterNodeCannotSpeakMembership) {
+  core::MembershipConfig cfg;
+  cfg.enabled = true;
+  HostileFixture fx(cfg);
+  const auto beat = core::encode_heartbeat_payload({0, 1, 0});
+  try {
+    fx.server->handle(fx.network,
+                      fx.frame(fx.rogue, core::MsgKind::kHeartbeat, beat));
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("not on the roster"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(fx.service->ledger().heartbeats_fresh, 0);
+}
+
+TEST(MembershipFuzz, MembershipFramesWithoutMembershipAreProtocolErrors) {
+  // A server that never enabled membership must refuse control frames
+  // loudly — silently dropping them would mask a misconfigured fleet.
+  net::Network network;
+  const NodeId server_id = network.add_node("server");
+  const NodeId sender = network.add_node("sender");
+  models::MlpConfig mcfg;
+  mcfg.input_shape = Shape{3, 8, 8};
+  mcfg.hidden = {8};
+  mcfg.num_classes = 4;
+  auto model = models::make_mlp(mcfg);
+  auto parts = core::split_at(std::move(model.net), model.default_cut);
+  core::CentralServer server(server_id, std::move(parts.server),
+                             optim::SgdOptions{});
+  const auto beat = core::encode_heartbeat_payload({0, 1, 0});
+  EXPECT_THROW(
+      server.handle(network,
+                    make_envelope(sender, server_id,
+                                  static_cast<std::uint32_t>(
+                                      core::MsgKind::kHeartbeat),
+                                  1, beat)),
+      ProtocolError);
+  const auto join = core::encode_join_request_payload(
+      {0, core::RejoinMode::kWarm, 0});
+  EXPECT_THROW(
+      server.handle(network,
+                    make_envelope(sender, server_id,
+                                  static_cast<std::uint32_t>(
+                                      core::MsgKind::kJoinRequest),
+                                  1, join)),
+      ProtocolError);
+}
+
+TEST(MembershipFuzz, HostileRejoinCannotBypassQuarantine) {
+  // The quarantine-evasion play: get struck out, then immediately send a
+  // join request hoping admission resets the slate. The server must refuse
+  // at the protocol layer with the quarantine intact.
+  core::MembershipConfig cfg;
+  cfg.enabled = true;
+  cfg.strikes_to_quarantine = 1;
+  HostileFixture fx(cfg);
+
+  const Tensor poisoned =
+      Tensor::full(Shape{4}, std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(fx.service->admit_update(0, 0, poisoned),
+            core::MembershipService::Verdict::kRejectNonFinite);
+  ASSERT_EQ(fx.service->state(0), core::MemberState::kQuarantined);
+
+  for (const core::RejoinMode mode :
+       {core::RejoinMode::kWarm, core::RejoinMode::kCold}) {
+    const auto join = core::encode_join_request_payload({0, mode, 0});
+    EXPECT_THROW(fx.server->handle(fx.network,
+                                   fx.frame(fx.p0, core::MsgKind::kJoinRequest,
+                                            join)),
+                 ProtocolError);
+  }
+  EXPECT_EQ(fx.service->state(0), core::MemberState::kQuarantined);
+  EXPECT_EQ(fx.service->ledger().rejoins_warm, 0);
+  EXPECT_EQ(fx.service->ledger().rejoins_cold, 0);
+}
+
+/// A membership state blob with some lived-in history: contact, strikes, a
+/// quarantine, accepted-norm history on both kinds.
+std::vector<std::uint8_t> sample_membership_state() {
+  core::MembershipConfig cfg;
+  cfg.enabled = true;
+  cfg.strikes_to_quarantine = 1;
+  core::MembershipService svc(cfg, core::ChurnPlan{}, 2, /*seed=*/7, {4, 4});
+  svc.begin_round(1, 0.0);
+  (void)svc.note_heartbeat(0, 1, 0.0);
+  (void)svc.note_heartbeat(1, 1, 0.0);
+  (void)svc.admit_update(0, 0, Tensor::full(Shape{8}, 1.0F));
+  (void)svc.admit_update(0, 1, Tensor::full(Shape{8}, 0.5F));
+  (void)svc.admit_update(
+      1, 0, Tensor::full(Shape{8}, std::numeric_limits<float>::infinity()));
+  BufferWriter w;
+  svc.save_state(w);
+  return w.bytes();
+}
+
+core::MembershipService sink_service() {
+  core::MembershipConfig cfg;
+  cfg.enabled = true;
+  cfg.strikes_to_quarantine = 1;
+  return core::MembershipService(cfg, core::ChurnPlan{}, 2, /*seed=*/7,
+                                 {4, 4});
+}
+
+TEST(MembershipFuzz, EveryTruncatedStatePrefixThrows) {
+  const auto full = sample_membership_state();
+  auto sink = sink_service();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    BufferReader r({full.data(), len});
+    EXPECT_THROW(sink.load_state(r), SerializationError)
+        << "prefix of " << len << " bytes";
+  }
+  BufferReader ok({full.data(), full.size()});
+  EXPECT_NO_THROW(sink.load_state(ok));
+}
+
+TEST(MembershipFuzz, MalformedStateBytesRejectedExhaustively) {
+  // Record layout (offsets within the blob): u32 count, then the first
+  // record at offset 4 — state u8, 3 x f64, rejoin_mode u8 (+25),
+  // pending u8 (+26), strikes i64 (+27), 2 x i64, probation u8 (+51), ...
+  const auto full = sample_membership_state();
+
+  auto corrupt = full;
+  for (int state = 6; state <= 255; ++state) {
+    corrupt[4] = static_cast<std::uint8_t>(state);
+    auto sink = sink_service();
+    BufferReader r({corrupt.data(), corrupt.size()});
+    EXPECT_THROW(sink.load_state(r), SerializationError)
+        << "state byte " << state;
+  }
+  corrupt = full;
+  for (int mode = 2; mode <= 255; ++mode) {
+    corrupt[4 + 25] = static_cast<std::uint8_t>(mode);
+    auto sink = sink_service();
+    BufferReader r({corrupt.data(), corrupt.size()});
+    EXPECT_THROW(sink.load_state(r), SerializationError)
+        << "mode byte " << mode;
+  }
+  for (const std::size_t flag_at : {std::size_t{4 + 26}, std::size_t{4 + 51}}) {
+    corrupt = full;
+    corrupt[flag_at] = 2;
+    auto sink = sink_service();
+    BufferReader r({corrupt.data(), corrupt.size()});
+    EXPECT_THROW(sink.load_state(r), SerializationError)
+        << "flag at offset " << flag_at;
+  }
+  // Negative strike counter (sign bit of the i64 at record offset 27).
+  corrupt = full;
+  corrupt[4 + 27 + 7] |= 0x80;
+  {
+    auto sink = sink_service();
+    BufferReader r({corrupt.data(), corrupt.size()});
+    EXPECT_THROW(sink.load_state(r), SerializationError) << "negative strikes";
+  }
+  // Roster-count lie: claims 3 platforms into a 2-platform session.
+  corrupt = full;
+  corrupt[0] = 3;
+  {
+    auto sink = sink_service();
+    BufferReader r({corrupt.data(), corrupt.size()});
+    try {
+      sink.load_state(r);
+      FAIL() << "expected SerializationError";
+    } catch (const SerializationError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find('3'), std::string::npos) << what;
+      EXPECT_NE(what.find('2'), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(MembershipFuzz, CorruptedAndSoupStateNeverCrashes) {
+  // Random corruption of a valid blob, and pure byte soup: load_state must
+  // either decode cleanly (floats are raw — many flips are representable) or
+  // throw SerializationError. Never UB, never a crash.
+  Rng rng(25);
+  const auto full = sample_membership_state();
+  auto sink = sink_service();
+  int threw = 0, loaded = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = full;
+    const int mutations = 1 + static_cast<int>(rng.uniform_u64(4));
+    for (int m = 0; m < mutations; ++m) {
+      bytes[rng.uniform_u64(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    try {
+      BufferReader r({bytes.data(), bytes.size()});
+      sink.load_state(r);
+      ++loaded;
+    } catch (const SerializationError&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw + loaded, 300);
+  EXPECT_GT(threw, 0);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> soup(rng.uniform_u64(128));
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    try {
+      BufferReader r({soup.data(), soup.size()});
+      sink.load_state(r);
+    } catch (const SerializationError&) {
+    }
+  }
+  SUCCEED();
 }
 
 }  // namespace

@@ -1,0 +1,544 @@
+// Unit tests for the membership subsystem: lifecycle leases, strike /
+// quarantine / probation policy, control-frame codecs, the deterministic
+// ChurnPlan generator, config validation, and bitwise state roundtrips.
+// Everything here drives MembershipService directly with hand-picked sim
+// times — the end-to-end churn behaviour lives in churn_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/core/membership.hpp"
+#include "src/serial/buffer.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace splitmed {
+namespace {
+
+using core::ChurnPlan;
+using core::ChurnRates;
+using core::CrashEvent;
+using core::HeartbeatMsg;
+using core::JoinAcceptMsg;
+using core::JoinRequestMsg;
+using core::MemberState;
+using core::MembershipConfig;
+using core::MembershipService;
+using core::PoisonEvent;
+using core::PoisonKind;
+using core::RejectReason;
+using core::RejoinMode;
+using core::UpdateRejectMsg;
+using core::decode_heartbeat_payload;
+using core::decode_join_accept_payload;
+using core::decode_join_request_payload;
+using core::decode_update_reject_payload;
+using core::encode_heartbeat_payload;
+using core::encode_join_accept_payload;
+using core::encode_join_request_payload;
+using core::encode_update_reject_payload;
+
+MembershipConfig base_config() {
+  MembershipConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+MembershipService make_service(const MembershipConfig& cfg,
+                               std::size_t platforms = 2,
+                               ChurnPlan plan = {}) {
+  return MembershipService(cfg, std::move(plan), platforms, /*seed=*/7,
+                           std::vector<std::int64_t>(platforms, 8));
+}
+
+// --- configuration validation (errors must name the flag) -------------------
+
+TEST(MembershipConfigValidation, RejectsNonPositiveDeadline) {
+  auto cfg = base_config();
+  cfg.round_deadline_sec = 0.0;
+  try {
+    cfg.validate(2);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("round_deadline_sec"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MembershipConfigValidation, RejectsQuorumAbovePlatformCount) {
+  auto cfg = base_config();
+  cfg.min_quorum = 5;
+  try {
+    cfg.validate(3);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("min_quorum"), std::string::npos) << msg;
+    EXPECT_NE(msg.find('3'), std::string::npos) << msg;  // platform count too
+  }
+}
+
+TEST(MembershipConfigValidation, RejectsEachBadField) {
+  const auto expect_throw = [](auto mutate) {
+    auto cfg = base_config();
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(4), InvalidArgument);
+  };
+  expect_throw([](auto& c) { c.heartbeat_interval_sec = -1.0; });
+  expect_throw([](auto& c) { c.lease_sec = 0.0; });
+  expect_throw([](auto& c) { c.dead_sec = c.lease_sec; });  // must exceed
+  expect_throw([](auto& c) {
+    c.round_deadline_sec = std::numeric_limits<double>::infinity();
+  });
+  expect_throw([](auto& c) { c.min_quorum = 0; });
+  expect_throw([](auto& c) { c.norm_bomb_factor = 1.0; });
+  expect_throw([](auto& c) { c.norm_window = 0; });
+  expect_throw([](auto& c) { c.norm_warmup = c.norm_window + 1; });
+  expect_throw([](auto& c) { c.strikes_to_quarantine = 0; });
+  expect_throw([](auto& c) { c.quarantine_rounds = 0; });
+  expect_throw([](auto& c) { c.probation_readmit_prob = 0.0; });
+  expect_throw([](auto& c) { c.probation_clean_steps = 0; });
+  EXPECT_NO_THROW(base_config().validate(4));
+}
+
+TEST(ChurnPlanValidation, RejectsOutOfRangeEvents) {
+  ChurnPlan plan;
+  plan.crashes.push_back(CrashEvent{/*platform=*/5, /*round=*/1, 60.0,
+                                    RejoinMode::kWarm});
+  EXPECT_THROW(plan.validate(3), InvalidArgument);
+  plan.crashes[0] = CrashEvent{0, /*round=*/0, 60.0, RejoinMode::kWarm};
+  EXPECT_THROW(plan.validate(3), InvalidArgument);
+  plan.crashes[0] = CrashEvent{0, 1, /*offline_sec=*/-1.0, RejoinMode::kWarm};
+  EXPECT_THROW(plan.validate(3), InvalidArgument);
+  plan.crashes.clear();
+  plan.poisons.push_back(
+      PoisonEvent{1, 2, /*duration_rounds=*/0, PoisonKind::kNormBomb, 10.0F});
+  EXPECT_THROW(plan.validate(3), InvalidArgument);
+  plan.poisons[0].duration_rounds = 2;
+  EXPECT_NO_THROW(plan.validate(3));
+}
+
+// --- ChurnPlan::random ------------------------------------------------------
+
+std::vector<std::tuple<std::size_t, std::int64_t, double, int>> crash_tuples(
+    const ChurnPlan& plan) {
+  std::vector<std::tuple<std::size_t, std::int64_t, double, int>> out;
+  for (const auto& e : plan.crashes) {
+    out.emplace_back(e.platform, e.round, e.offline_sec,
+                     static_cast<int>(e.rejoin));
+  }
+  return out;
+}
+
+TEST(ChurnPlanRandom, DeterministicInSeedAndRates) {
+  ChurnRates rates;
+  rates.crash_rate = 0.05;
+  rates.poison_rate = 0.03;
+  const auto a = ChurnPlan::random(42, 8, 200, rates);
+  const auto b = ChurnPlan::random(42, 8, 200, rates);
+  const auto c = ChurnPlan::random(43, 8, 200, rates);
+  EXPECT_EQ(crash_tuples(a), crash_tuples(b));
+  ASSERT_EQ(a.poisons.size(), b.poisons.size());
+  EXPECT_TRUE(a.any());
+  EXPECT_NE(crash_tuples(a), crash_tuples(c));  // a different seed reschedules
+  EXPECT_NO_THROW(a.validate(8));
+}
+
+TEST(ChurnPlanRandom, RespectsPerPlatformEventGap) {
+  ChurnRates rates;
+  rates.crash_rate = 0.5;  // dense schedule stresses the gap rule
+  rates.poison_rate = 0.3;
+  const auto plan = ChurnPlan::random(9, 4, 100, rates);
+  std::vector<std::int64_t> last(4, -100);
+  // Events are generated round-major, so per-platform rounds are ascending.
+  const auto check = [&last](std::size_t platform, std::int64_t round) {
+    EXPECT_GE(round - last[platform], 8)
+        << "platform " << platform << " has events at rounds "
+        << last[platform] << " and " << round;
+    last[platform] = round;
+  };
+  std::vector<std::pair<std::int64_t, std::size_t>> events;
+  for (const auto& e : plan.crashes) events.emplace_back(e.round, e.platform);
+  for (const auto& e : plan.poisons) events.emplace_back(e.round, e.platform);
+  std::sort(events.begin(), events.end());
+  for (const auto& [round, platform] : events) check(platform, round);
+  EXPECT_GT(events.size(), 10U);
+}
+
+TEST(ChurnPlanRandom, ZeroRatesYieldEmptyPlan) {
+  const auto plan = ChurnPlan::random(1, 4, 50, ChurnRates{});
+  EXPECT_FALSE(plan.any());
+}
+
+// --- control-frame codecs ---------------------------------------------------
+
+TEST(MembershipCodec, HeartbeatRoundtrips) {
+  HeartbeatMsg m;
+  m.platform = 3;
+  m.beat = 17;
+  m.last_completed_round = 255;
+  const auto bytes = encode_heartbeat_payload(m);
+  const auto out = decode_heartbeat_payload(bytes);
+  EXPECT_EQ(out.platform, m.platform);
+  EXPECT_EQ(out.beat, m.beat);
+  EXPECT_EQ(out.last_completed_round, m.last_completed_round);
+}
+
+TEST(MembershipCodec, JoinRequestRoundtripsAndValidatesMode) {
+  JoinRequestMsg m;
+  m.platform = 1;
+  m.mode = RejoinMode::kCold;
+  m.last_completed_round = 9;
+  auto bytes = encode_join_request_payload(m);
+  const auto out = decode_join_request_payload(bytes);
+  EXPECT_EQ(out.mode, RejoinMode::kCold);
+  EXPECT_EQ(out.last_completed_round, 9U);
+  bytes[4] = 7;  // the mode byte
+  EXPECT_THROW(decode_join_request_payload(bytes), SerializationError);
+}
+
+TEST(MembershipCodec, JoinAcceptRoundtripsWithAndWithoutGenesis) {
+  JoinAcceptMsg bare;
+  bare.current_round = 12;
+  const auto out1 = decode_join_accept_payload(encode_join_accept_payload(bare));
+  EXPECT_EQ(out1.current_round, 12U);
+  EXPECT_FALSE(out1.has_l1);
+
+  JoinAcceptMsg full;
+  full.current_round = 13;
+  full.has_l1 = true;
+  full.l1 = Tensor::full(Shape{6}, 0.25F);
+  const auto out2 = decode_join_accept_payload(encode_join_accept_payload(full));
+  ASSERT_TRUE(out2.has_l1);
+  ASSERT_EQ(out2.l1.numel(), 6);
+  for (float v : out2.l1.data()) EXPECT_EQ(v, 0.25F);
+}
+
+TEST(MembershipCodec, UpdateRejectRoundtripsAndValidatesEnums) {
+  UpdateRejectMsg m;
+  m.reason = RejectReason::kNormBomb;
+  m.strikes = 2;
+  m.state = MemberState::kQuarantined;
+  auto bytes = encode_update_reject_payload(m);
+  const auto out = decode_update_reject_payload(bytes);
+  EXPECT_EQ(out.reason, RejectReason::kNormBomb);
+  EXPECT_EQ(out.strikes, 2U);
+  EXPECT_EQ(out.state, MemberState::kQuarantined);
+  bytes[0] = 0;  // reason 0 is not a valid RejectReason
+  EXPECT_THROW(decode_update_reject_payload(bytes), SerializationError);
+  bytes[0] = 1;
+  bytes[5] = 6;  // lifecycle state byte out of range
+  EXPECT_THROW(decode_update_reject_payload(bytes), SerializationError);
+}
+
+// --- lifecycle leases -------------------------------------------------------
+
+TEST(MembershipLifecycle, LeaseSilenceDegradesActiveToSuspectToDead) {
+  auto cfg = base_config();  // lease 30s, dead 90s
+  auto svc = make_service(cfg);
+  svc.begin_round(1, 0.0);
+  EXPECT_EQ(svc.state(0), MemberState::kJoining);  // never heard from: exempt
+  svc.observe_contact(0, 1.0);
+  EXPECT_EQ(svc.state(0), MemberState::kActive);
+  svc.begin_round(2, 20.0);  // 19s of silence: lease still current
+  EXPECT_EQ(svc.state(0), MemberState::kActive);
+  svc.begin_round(3, 40.0);  // 39s: past the 30s lease
+  EXPECT_EQ(svc.state(0), MemberState::kSuspect);
+  EXPECT_TRUE(svc.can_step(0));  // suspect is watched, not excluded
+  svc.observe_contact(0, 41.0);  // any frame renews the lease
+  EXPECT_EQ(svc.state(0), MemberState::kActive);
+  // 159s of silence: ACTIVE -> SUSPECT -> DEAD in one sweep, and the
+  // online-but-believed-dead platform is promoted straight to REJOINING —
+  // the server will not admit it without a (warm) handshake.
+  svc.begin_round(4, 200.0);
+  EXPECT_EQ(svc.state(0), MemberState::kRejoining);
+  EXPECT_FALSE(svc.can_step(0));
+  EXPECT_TRUE(svc.needs_rejoin(0));
+  EXPECT_EQ(svc.rejoin_mode(0), RejoinMode::kWarm);
+  // The ledger proves it passed through SUSPECT and DEAD.
+  const auto idx = [](MemberState s) { return static_cast<std::size_t>(s); };
+  EXPECT_EQ(svc.ledger().transitions[idx(MemberState::kSuspect)]
+                                    [idx(MemberState::kDead)],
+            1);
+  svc.note_join_request(0, RejoinMode::kWarm, 201.5);
+  svc.note_rejoin_completed(0, 201.5);
+  EXPECT_EQ(svc.state(0), MemberState::kActive);
+  EXPECT_TRUE(svc.can_step(0));
+  EXPECT_EQ(svc.ledger().rejoins_warm, 1);
+}
+
+TEST(MembershipLifecycle, CrashEventTakesPlatformOfflineAndBack) {
+  ChurnPlan plan;
+  plan.crashes.push_back(CrashEvent{0, /*round=*/2, /*offline_sec=*/10.0,
+                                    RejoinMode::kCold});
+  auto svc = make_service(base_config(), 2, plan);
+  svc.begin_round(1, 0.0);
+  EXPECT_TRUE(svc.online(0));
+  svc.begin_round(2, 1.0);  // crash fires: offline until t=11
+  EXPECT_FALSE(svc.online(0));
+  EXPECT_FALSE(svc.can_step(0));
+  EXPECT_FALSE(svc.sends_heartbeat(0, 1.0));
+  EXPECT_TRUE(svc.can_step(1));
+  EXPECT_EQ(svc.ledger().crashes, 1);
+  // Offline rounds bleed the platform's minibatch into the outage ledger.
+  EXPECT_EQ(svc.ledger().outage_examples_lost, 8);
+  svc.begin_round(3, 5.0);  // still mid-outage
+  EXPECT_FALSE(svc.online(0));
+  EXPECT_EQ(svc.ledger().outage_examples_lost, 16);
+  svc.begin_round(4, 12.0);  // outage served: owes a COLD handshake
+  EXPECT_TRUE(svc.online(0));
+  EXPECT_TRUE(svc.needs_rejoin(0));
+  EXPECT_EQ(svc.rejoin_mode(0), RejoinMode::kCold);
+  EXPECT_FALSE(svc.can_step(0));  // not until the handshake lands
+  svc.note_join_request(0, RejoinMode::kCold, 12.5);
+  svc.note_rejoin_completed(0, 12.5);
+  EXPECT_TRUE(svc.can_step(0));
+  EXPECT_EQ(svc.ledger().rejoins_cold, 1);
+  EXPECT_EQ(svc.ledger().outage_examples_lost, 16);  // back — no more loss
+}
+
+// --- heartbeats -------------------------------------------------------------
+
+TEST(MembershipHeartbeat, ReplayedBeatsAreCountedAndIgnored) {
+  auto svc = make_service(base_config());
+  svc.begin_round(1, 0.0);
+  EXPECT_TRUE(svc.note_heartbeat(0, 1, 1.0));
+  EXPECT_EQ(svc.state(0), MemberState::kActive);  // beat renews the lease
+  EXPECT_FALSE(svc.note_heartbeat(0, 1, 2.0));    // duplicate
+  EXPECT_FALSE(svc.note_heartbeat(0, 0, 3.0));    // hostile replay
+  EXPECT_TRUE(svc.note_heartbeat(0, 2, 4.0));
+  EXPECT_EQ(svc.ledger().heartbeats_fresh, 2);
+  EXPECT_EQ(svc.ledger().heartbeats_stale, 2);
+}
+
+TEST(MembershipHeartbeat, IntervalGatesTheBeacon) {
+  auto cfg = base_config();
+  cfg.heartbeat_interval_sec = 5.0;
+  auto svc = make_service(cfg);
+  EXPECT_TRUE(svc.sends_heartbeat(0, 0.0));  // first beat fires immediately
+  svc.note_heartbeat_sent(0, 0.0);
+  EXPECT_FALSE(svc.sends_heartbeat(0, 4.9));
+  EXPECT_TRUE(svc.sends_heartbeat(0, 5.0));
+}
+
+// --- update admission: strikes, quarantine, probation -----------------------
+
+Tensor uniform_tensor(float value) { return Tensor::full(Shape{16}, value); }
+
+MembershipConfig strict_policing() {
+  auto cfg = base_config();
+  cfg.norm_warmup = 2;
+  cfg.norm_window = 4;
+  cfg.norm_bomb_factor = 8.0;
+  cfg.strikes_to_quarantine = 2;
+  cfg.quarantine_rounds = 2;
+  cfg.probation_readmit_prob = 1.0;  // deterministic readmission for tests
+  cfg.probation_clean_steps = 2;
+  return cfg;
+}
+
+TEST(MembershipAdmission, NonFinitePayloadIsRejectedEvenDuringWarmup) {
+  auto svc = make_service(strict_policing());
+  svc.begin_round(1, 0.0);
+  Tensor bad = uniform_tensor(1.0F);
+  bad.data()[3] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(svc.admit_update(0, 1, bad),
+            MembershipService::Verdict::kRejectNonFinite);
+  EXPECT_EQ(svc.strikes(0), 1);
+  EXPECT_EQ(svc.ledger().rejected_nonfinite, 1);
+}
+
+TEST(MembershipAdmission, NormBombArmsAfterWarmupAndEscalates) {
+  auto svc = make_service(strict_policing());
+  svc.begin_round(1, 0.0);
+  // Warmup: the first bomb-sized payload sails through (no history yet).
+  EXPECT_EQ(svc.admit_update(0, 0, uniform_tensor(1.0F)),
+            MembershipService::Verdict::kAccept);
+  EXPECT_EQ(svc.admit_update(0, 0, uniform_tensor(1.0F)),
+            MembershipService::Verdict::kAccept);
+  // Armed: median RMS is 1.0, factor 8 — a 100x payload is a bomb.
+  EXPECT_EQ(svc.admit_update(0, 0, uniform_tensor(100.0F)),
+            MembershipService::Verdict::kRejectNormBomb);
+  EXPECT_EQ(svc.strikes(0), 1);
+  EXPECT_EQ(svc.state(0), MemberState::kJoining);  // one strike: not yet
+  // A clean update between strikes is accepted and does NOT reset strikes.
+  EXPECT_EQ(svc.admit_update(0, 0, uniform_tensor(1.0F)),
+            MembershipService::Verdict::kAccept);
+  EXPECT_EQ(svc.admit_update(0, 0, uniform_tensor(100.0F)),
+            MembershipService::Verdict::kRejectNormBomb);
+  EXPECT_EQ(svc.state(0), MemberState::kQuarantined);
+  EXPECT_EQ(svc.strikes(0), 0);  // reset on entering quarantine
+  EXPECT_FALSE(svc.can_step(0));
+  EXPECT_EQ(svc.ledger().quarantines, 1);
+  // Norm histories are per kind: the logit-grad channel is still in warmup.
+  EXPECT_EQ(svc.admit_update(1, 1, uniform_tensor(100.0F)),
+            MembershipService::Verdict::kAccept);
+}
+
+TEST(MembershipAdmission, QuarantineServesProbationAndClears) {
+  auto svc = make_service(strict_policing());
+  svc.begin_round(1, 0.0);
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(0, 0, uniform_tensor(100.0F));
+  svc.admit_update(0, 0, uniform_tensor(100.0F));
+  ASSERT_EQ(svc.state(0), MemberState::kQuarantined);  // until round 1+2
+  svc.begin_round(2, 1.0);
+  EXPECT_EQ(svc.state(0), MemberState::kQuarantined);
+  svc.begin_round(3, 2.0);
+  EXPECT_EQ(svc.state(0), MemberState::kQuarantined);
+  svc.begin_round(4, 3.0);  // spell served; readmit_prob 1.0 readmits now
+  EXPECT_EQ(svc.state(0), MemberState::kActive);
+  EXPECT_TRUE(svc.on_probation(0));
+  EXPECT_EQ(svc.ledger().readmissions, 1);
+  // Two clean protocol steps wipe the slate.
+  svc.note_step_completed(0, 3.5);
+  EXPECT_TRUE(svc.on_probation(0));
+  svc.note_step_completed(0, 3.6);
+  EXPECT_FALSE(svc.on_probation(0));
+  EXPECT_EQ(svc.ledger().probation_clears, 1);
+}
+
+TEST(MembershipAdmission, ProbationStrikeRequarantinesWithDoubledSpell) {
+  auto svc = make_service(strict_policing());
+  svc.begin_round(1, 0.0);
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(0, 0, uniform_tensor(100.0F));
+  svc.admit_update(0, 0, uniform_tensor(100.0F));
+  svc.begin_round(4, 3.0);  // readmitted on probation (spell was 2 rounds)
+  ASSERT_TRUE(svc.on_probation(0));
+  // One strike on probation: straight back in, spell doubled to 4 rounds.
+  EXPECT_EQ(svc.admit_update(0, 0, uniform_tensor(100.0F)),
+            MembershipService::Verdict::kRejectNormBomb);
+  EXPECT_EQ(svc.state(0), MemberState::kQuarantined);
+  EXPECT_EQ(svc.ledger().quarantines, 2);
+  for (std::int64_t r = 5; r <= 8; ++r) {
+    svc.begin_round(r, static_cast<double>(r));
+    EXPECT_EQ(svc.state(0), MemberState::kQuarantined) << "round " << r;
+  }
+  svc.begin_round(9, 9.0);  // 4-round spell (rounds 5-8) served
+  EXPECT_EQ(svc.state(0), MemberState::kActive);
+}
+
+TEST(MembershipAdmission, QuarantinedJoinRequestIsRefusedBeforeMutation) {
+  auto svc = make_service(strict_policing());
+  svc.begin_round(1, 0.0);
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(0, 0, uniform_tensor(100.0F));
+  svc.admit_update(0, 0, uniform_tensor(100.0F));
+  ASSERT_EQ(svc.state(0), MemberState::kQuarantined);
+  EXPECT_THROW(svc.note_join_request(0, RejoinMode::kWarm, 1.0),
+               ProtocolError);
+  EXPECT_EQ(svc.state(0), MemberState::kQuarantined);  // untouched
+}
+
+TEST(MembershipAdmission, ProbationDrawsAreSeededDeterministic) {
+  auto cfg = strict_policing();
+  cfg.probation_readmit_prob = 0.5;
+  const auto run = [&cfg] {
+    auto svc = make_service(cfg);
+    svc.begin_round(1, 0.0);
+    svc.admit_update(0, 0, uniform_tensor(1.0F));
+    svc.admit_update(0, 0, uniform_tensor(1.0F));
+    svc.admit_update(0, 0, uniform_tensor(100.0F));
+    svc.admit_update(0, 0, uniform_tensor(100.0F));
+    std::vector<int> states;
+    for (std::int64_t r = 2; r <= 20; ++r) {
+      svc.begin_round(r, static_cast<double>(r));
+      states.push_back(static_cast<int>(svc.state(0)));
+    }
+    return states;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- round closing ----------------------------------------------------------
+
+TEST(MembershipRounds, BelowQuorumVoidsTheRound) {
+  auto cfg = base_config();
+  cfg.min_quorum = 2;
+  auto svc = make_service(cfg, 3);
+  svc.begin_round(1, 0.0);
+  EXPECT_FALSE(svc.end_round(1, 2));
+  EXPECT_TRUE(svc.end_round(2, 1));
+  EXPECT_EQ(svc.ledger().void_rounds, 1);
+  svc.note_deadline_miss(2);
+  EXPECT_EQ(svc.ledger().deadline_misses, 1);
+}
+
+// --- RMS norm ---------------------------------------------------------------
+
+TEST(MembershipNorm, RmsIsBatchSizeInvariant) {
+  EXPECT_DOUBLE_EQ(core::update_rms_norm(Tensor::full(Shape{4}, 2.0F)), 2.0);
+  EXPECT_DOUBLE_EQ(core::update_rms_norm(Tensor::full(Shape{64}, 2.0F)), 2.0);
+  EXPECT_DOUBLE_EQ(core::update_rms_norm(Tensor(Shape{0})), 0.0);
+  Tensor inf = Tensor::full(Shape{4}, 1.0F);
+  inf.data()[2] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(std::isfinite(core::update_rms_norm(inf)));
+}
+
+// --- state roundtrip --------------------------------------------------------
+
+TEST(MembershipState, SaveLoadIsBitwise) {
+  ChurnPlan plan;
+  plan.crashes.push_back(CrashEvent{1, 3, 25.0, RejoinMode::kCold});
+  auto svc = make_service(strict_policing(), 3, plan);
+  svc.begin_round(1, 0.0);
+  svc.note_heartbeat(0, 1, 0.5);
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(0, 0, uniform_tensor(1.0F));
+  svc.admit_update(1, 0, uniform_tensor(100.0F));  // strike for platform 1
+  svc.begin_round(2, 1.0);
+  svc.begin_round(3, 2.0);  // platform 1 crashes (offline 25s)
+
+  BufferWriter w1;
+  svc.save_state(w1);
+  const auto bytes = w1.take();
+
+  auto restored = make_service(strict_policing(), 3, plan);
+  BufferReader r(bytes);
+  restored.load_state(r);
+  EXPECT_TRUE(r.exhausted());
+  BufferWriter w2;
+  restored.save_state(w2);
+  EXPECT_EQ(bytes, w2.take());
+  EXPECT_EQ(restored.state(0), svc.state(0));
+  EXPECT_EQ(restored.strikes(1), 1);
+  EXPECT_FALSE(restored.online(1));
+  EXPECT_EQ(restored.ledger().fingerprint(), svc.ledger().fingerprint());
+  // The restored service continues identically.
+  svc.begin_round(4, 30.0);
+  restored.begin_round(4, 30.0);
+  EXPECT_EQ(restored.state(1), svc.state(1));
+  EXPECT_TRUE(restored.needs_rejoin(1));
+}
+
+TEST(MembershipState, LoadRejectsRosterMismatchAndBadBytes) {
+  auto svc = make_service(base_config(), 2);
+  BufferWriter w;
+  svc.save_state(w);
+  const auto bytes = w.take();
+
+  auto other = make_service(base_config(), 3);
+  BufferReader r1(bytes);
+  EXPECT_THROW(other.load_state(r1), SerializationError);
+
+  auto mutated = bytes;
+  mutated[4] = 0xEE;  // first record's lifecycle state byte
+  auto same = make_service(base_config(), 2);
+  BufferReader r2(mutated);
+  EXPECT_THROW(same.load_state(r2), SerializationError);
+}
+
+}  // namespace
+}  // namespace splitmed
