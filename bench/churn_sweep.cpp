@@ -5,10 +5,14 @@
 // actually costs: accuracy, wire bytes, and the examples hospitals never
 // contributed — plus the quarantine ledger showing the policing at work.
 //
-//   --smoke        one fast K=64 run with a scripted outage + poison spell;
-//                  prints a machine-parseable `churn-smoke:` line for CI
-//   --json-out F   machine-readable sweep rows
-//   --rounds N     rounds per run (default 24; smoke always uses 8)
+//   --smoke             one fast K=64 run with a scripted outage + poison
+//                       spell; prints a machine-parseable `churn-smoke:`
+//                       line for CI
+//   --json-out F        machine-readable sweep rows
+//   --rounds N          rounds per run (default 24; smoke always uses 8)
+//   --attribution-out F per-round critical-path attribution JSONL, one file
+//                       per run (suffixed _k<K>_r<rate%> in sweep mode);
+//                       render with scripts/trace_report.py
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -35,6 +39,15 @@ struct Row {
   metrics::TrainReport report;
 };
 
+/// "attr.jsonl" + tag "_k16_r2" -> "attr_k16_r2.jsonl": every sweep row is
+/// its own training run (and ObsSession), so each gets its own file.
+std::string tag_suffixed(const std::string& path, const std::string& tag) {
+  if (path.empty()) return path;
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
 core::SplitConfig churn_config(std::int64_t platforms, std::int64_t rounds) {
   core::SplitConfig cfg;
   cfg.total_batch = 2 * platforms;
@@ -56,7 +69,8 @@ core::SplitConfig churn_config(std::int64_t platforms, std::int64_t rounds) {
   return cfg;
 }
 
-Row run_rate(std::int64_t platforms, double crash_rate, std::int64_t rounds) {
+Row run_rate(std::int64_t platforms, double crash_rate, std::int64_t rounds,
+             const std::string& attribution_out) {
   const auto train = make_cifar(4 * platforms, kClasses, 42, 8, 0, 0.4F);
   const auto test = make_cifar(96, kClasses, 42, 8, 4 * platforms, 0.4F);
   const auto builder = mini_builder("mlp", kClasses, 8);
@@ -76,6 +90,10 @@ Row run_rate(std::int64_t platforms, double crash_rate, std::int64_t rounds) {
   rates.poison_rounds = 4;
   cfg.churn = core::ChurnPlan::random(
       kChurnSeed, static_cast<std::size_t>(platforms), rounds, rates);
+  if (!attribution_out.empty()) {
+    cfg.obs.enabled = true;
+    cfg.obs.attribution_path = attribution_out;
+  }
 
   core::SplitTrainer trainer(builder, train, partition, test, cfg);
   Row row;
@@ -114,7 +132,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
 /// CI smoke: a scripted plan (not rate-sampled) so the assertions are
 /// deterministic — two crashes (one cold) plus a norm-bomb spell long
 /// enough to strike the platform out. Prints one parseable line.
-int run_smoke(std::int64_t rounds) {
+int run_smoke(std::int64_t rounds, const std::string& attribution_out) {
   constexpr std::int64_t kPlatforms = 64;
   const auto train = make_cifar(4 * kPlatforms, kClasses, 42, 8, 0, 0.4F);
   const auto test = make_cifar(96, kClasses, 42, 8, 4 * kPlatforms, 0.4F);
@@ -127,6 +145,10 @@ int run_smoke(std::int64_t rounds) {
   cfg.churn.crashes.push_back({11, 3, 45.0, core::RejoinMode::kCold});
   cfg.churn.poisons.push_back(
       {23, 2, 4, core::PoisonKind::kNormBomb, 1.0e6F});
+  if (!attribution_out.empty()) {
+    cfg.obs.enabled = true;
+    cfg.obs.attribution_path = attribution_out;
+  }
 
   core::SplitTrainer trainer(builder, train, partition, test, cfg);
   const auto report = trainer.run();
@@ -157,11 +179,12 @@ int main(int argc, char** argv) {
   splitmed::Flags flags(argc, argv);
   const bool smoke = flags.get_bool("smoke", false);
   const std::string json_out = flags.get_string("json-out", "");
+  const std::string attribution_out = flags.get_string("attribution-out", "");
   std::int64_t rounds = flags.get_int("rounds", 24);
   flags.validate_no_unknown();
 
   if (smoke) {
-    return run_smoke(/*rounds=*/8);
+    return run_smoke(/*rounds=*/8, attribution_out);
   }
 
   std::cout << "=== Platform churn sweep (mlp, K in {16, 256}, " << rounds
@@ -177,7 +200,10 @@ int main(int argc, char** argv) {
     const std::int64_t r = k > 64 ? std::max<std::int64_t>(rounds / 3, 4)
                                   : rounds;
     for (const double rate : {0.0, 0.005, 0.02, 0.05}) {
-      Row row = run_rate(k, rate, r);
+      const std::string tag =
+          "_k" + std::to_string(k) + "_r" +
+          std::to_string(static_cast<int>(rate * 1000.0 + 0.5));
+      Row row = run_rate(k, rate, r, tag_suffixed(attribution_out, tag));
       table.add_row({std::to_string(row.k), format_percent(rate, 1),
                      std::to_string(row.crashes),
                      format_bytes(row.report.total_bytes),
@@ -191,6 +217,11 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   if (!json_out.empty()) write_json(json_out, rows, rounds);
+  if (!attribution_out.empty()) {
+    std::cout << "\nper-round attribution written per run (e.g. "
+              << tag_suffixed(attribution_out, "_k16_r20")
+              << "; render with scripts/trace_report.py)\n";
+  }
   std::cout << "\nreading: every row is bit-reproducible from the churn "
                "seed. examples_lost grows with the crash rate — outages are "
                "paid in silence, not corruption. The byte trend flips with "

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   splitmed::Flags flags(argc, argv);
   const std::string trace_out = flags.get_string("trace-out", "");
   const std::string metrics_out = flags.get_string("metrics-out", "");
+  const std::string attribution_out = flags.get_string("attribution-out", "");
   const std::int64_t trace_detail = flags.get_int("trace-detail", 1);
   const splitmed::WireCodec codec =
       splitmed::parse_wire_codec(flags.get_string("codec", "f32"));
@@ -66,10 +67,12 @@ int main(int argc, char** argv) {
     cfg.faults.corrupt_rate = rate;
     cfg.faults.delay_spike_rate = rate;
     cfg.faults.delay_spike_sec = 2.0;
-    if (!trace_out.empty() || !metrics_out.empty()) {
+    if (!trace_out.empty() || !metrics_out.empty() ||
+        !attribution_out.empty()) {
       cfg.obs.enabled = true;
       cfg.obs.trace_path = rate_suffixed(trace_out, rate);
       cfg.obs.metrics_path = rate_suffixed(metrics_out, rate);
+      cfg.obs.attribution_path = rate_suffixed(attribution_out, rate);
       cfg.obs.detail = static_cast<int>(trace_detail);
     }
     core::SplitTrainer trainer(builder, train, partition, test, cfg);
@@ -94,6 +97,11 @@ int main(int argc, char** argv) {
     std::cout << (trace_out.empty() ? "\n" : "")
               << "metrics snapshots written per fault rate (e.g. "
               << rate_suffixed(metrics_out, 0.05) << ")\n";
+  }
+  if (!attribution_out.empty()) {
+    std::cout << "\nper-round attribution written per fault rate (e.g. "
+              << rate_suffixed(attribution_out, 0.05)
+              << "; render with scripts/trace_report.py)\n";
   }
   std::cout << "\nreading: every row is bit-reproducible from the seed. "
                "Recovery holds accuracy near the fault-free run while the "

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cfg.resume_from = flags.get_string("resume", cfg.resume_from);
   cfg.trace_out = flags.get_string("trace-out", cfg.trace_out);
   cfg.metrics_out = flags.get_string("metrics-out", cfg.metrics_out);
+  cfg.attribution_out = flags.get_string("attribution-out", cfg.attribution_out);
   cfg.trace_detail = flags.get_int("trace-detail", cfg.trace_detail);
   cfg.codec = flags.get_string("codec", cfg.codec);
   flags.validate_no_unknown();

@@ -47,6 +47,10 @@ struct Fig4Config {
   /// curves. trace_detail=2 adds per-layer nn spans.
   std::string trace_out;
   std::string metrics_out;
+  /// Per-round critical-path attribution JSONL (one object per round:
+  /// segment split + straggler identity; schema in docs/OBSERVABILITY.md,
+  /// rendered by scripts/trace_report.py).
+  std::string attribution_out;
   std::int64_t trace_detail = 1;
   /// Negotiated wire codec for activation / cut-grad payloads ("f32",
   /// "f16", "i8"). Applies to the proposed framework only — the baselines
@@ -85,10 +89,12 @@ inline int run_fig4(const Fig4Config& cfg) {
   split_cfg.checkpoint_every = cfg.checkpoint_every;
   split_cfg.checkpoint_dir = cfg.checkpoint_dir;
   split_cfg.resume_from = cfg.resume_from;
-  if (!cfg.trace_out.empty() || !cfg.metrics_out.empty()) {
+  if (!cfg.trace_out.empty() || !cfg.metrics_out.empty() ||
+      !cfg.attribution_out.empty()) {
     split_cfg.obs.enabled = true;
     split_cfg.obs.trace_path = cfg.trace_out;
     split_cfg.obs.metrics_path = cfg.metrics_out;
+    split_cfg.obs.attribution_path = cfg.attribution_out;
     split_cfg.obs.detail = static_cast<int>(cfg.trace_detail);
   }
   core::SplitTrainer split(builder, train, partition, test, split_cfg);
@@ -181,6 +187,10 @@ inline int run_fig4(const Fig4Config& cfg) {
     }
     if (!cfg.metrics_out.empty()) {
       std::cout << "\nmetrics snapshot written to " << cfg.metrics_out;
+    }
+    if (!cfg.attribution_out.empty()) {
+      std::cout << "\nper-round attribution written to " << cfg.attribution_out
+                << " (render with scripts/trace_report.py)";
     }
     std::cout << "\n";
   }

@@ -19,6 +19,9 @@
 //   --smoke        CI mode: single K=1000 sweep point, 3 rounds
 //   --json-out F   machine-readable rows for scripts/bench_scaling.py
 //   --codec NAME   wire codec for activation/cut-grad payloads (f32/f16/i8)
+//   --attribution-out F  per-round critical-path attribution JSONL, one file
+//                  per sweep row (suffixed _k<K>_<schedule>); render with
+//                  scripts/trace_report.py
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -51,9 +54,21 @@ struct Row {
   double wall_ms_per_round = 0.0;
 };
 
+/// "attr.jsonl" + k=256, tag "overlapped" -> "attr_k256_overlapped.jsonl":
+/// every sweep row is its own training run (and ObsSession).
+std::string attribution_path(const std::string& base, std::int64_t k,
+                             const char* tag) {
+  if (base.empty()) return base;
+  const std::string suffix = "_k" + std::to_string(k) + "_" + tag;
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string::npos || dot == 0) return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 Row run_one(const data::Dataset& train, const data::Dataset& test,
             std::int64_t k, std::int64_t rounds, core::Schedule schedule,
-            double participation, const char* label, WireCodec codec) {
+            double participation, const char* label, WireCodec codec,
+            const std::string& attribution_out) {
   Rng prng(3);
   const auto partition = data::partition_iid(train.size(), k, prng);
 
@@ -68,6 +83,10 @@ Row run_one(const data::Dataset& train, const data::Dataset& test,
   cfg.sgd = comparison_sgd();
   cfg.schedule = schedule;
   cfg.participation = participation;
+  if (!attribution_out.empty()) {
+    cfg.obs.enabled = true;
+    cfg.obs.attribution_path = attribution_out;
+  }
 
   core::SplitTrainer trainer(mini_builder("mlp", kClasses, kImage), train,
                              partition, test, cfg);
@@ -127,6 +146,7 @@ int main(int argc, char** argv) {
   std::int64_t rounds = 5;
   bool smoke = false;
   std::string json_out;
+  std::string attribution_out;
   WireCodec codec = WireCodec::kF32;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,11 +158,14 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--json-out" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--attribution-out" && i + 1 < argc) {
+      attribution_out = argv[++i];
     } else if (arg == "--codec" && i + 1 < argc) {
       codec = parse_wire_codec(argv[++i]);
     } else {
       std::cerr << "usage: platform_scaling [--max-k N] [--rounds N] "
-                   "[--smoke] [--json-out FILE] [--codec f32|f16|i8]\n";
+                   "[--smoke] [--json-out FILE] [--attribution-out FILE] "
+                   "[--codec f32|f16|i8]\n";
       return 2;
     }
   }
@@ -173,7 +196,9 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (const std::int64_t k : ks) {
     rows.push_back(run_one(train, test, k, rounds, core::Schedule::kOverlapped,
-                           1.0, "overlapped", codec));
+                           1.0, "overlapped", codec,
+                           attribution_path(attribution_out, k,
+                                            "overlapped")));
     // Fixed active set: ~kActiveTarget platforms sampled per round, late
     // completions fold in within one round of staleness.
     const double part =
@@ -182,7 +207,8 @@ int main(int argc, char** argv) {
             : static_cast<double>(kActiveTarget) / static_cast<double>(k);
     rows.push_back(run_one(train, test, k, rounds,
                            core::Schedule::kBoundedStaleness, part,
-                           "bounded(S=1)", codec));
+                           "bounded(S=1)", codec,
+                           attribution_path(attribution_out, k, "bounded")));
     for (std::size_t i = rows.size() - 2; i < rows.size(); ++i) {
       const Row& r = rows[i];
       table.add_row({std::to_string(r.k), r.schedule,

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Render a per-round critical-path attribution JSONL file.
+
+Input is the file written by ObsConfig::attribution_path (or the
+--attribution-out flag of fig4_vgg / fig4_resnet / fault_sweep /
+churn_sweep / platform_scaling): one JSON object per round with the
+simulated-time split across {platform_compute, uplink, server_queue,
+server_compute, downlink, retransmit, deadline_slack} plus the straggler
+platform (docs/OBSERVABILITY.md has the schema).
+
+Prints a p50/p99 table per segment and the top straggler platforms, and
+verifies the analyzer's core invariant on every round — the segments must
+sum to the round's simulated duration (within --tolerance, default 1 µs).
+Exits nonzero on an empty file or any violated round, so CI can gate on it:
+
+    build/bench/fig4_vgg --rounds 10 --attribution-out attribution.jsonl
+    python3 scripts/trace_report.py attribution.jsonl
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SEGMENTS = [
+    "platform_compute",
+    "uplink",
+    "server_queue",
+    "server_compute",
+    "downlink",
+    "retransmit",
+    "deadline_slack",
+]
+
+
+def load_rounds(path: Path) -> list:
+    rounds = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{path}:{lineno}: invalid JSON: {e}")
+        for key in ("round", "duration_s", "segments"):
+            if key not in obj:
+                raise SystemExit(f"{path}:{lineno}: missing '{key}'")
+        rounds.append(obj)
+    return rounds
+
+
+def check_sums(rounds: list, tolerance: float) -> list:
+    """Returns [(round, duration, segment_sum)] for every violated round."""
+    bad = []
+    for r in rounds:
+        total = sum(float(r["segments"].get(s, 0.0)) for s in SEGMENTS)
+        if abs(total - float(r["duration_s"])) > tolerance:
+            bad.append((r["round"], float(r["duration_s"]), total))
+    return bad
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile on an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def print_segment_table(rounds: list) -> None:
+    total_sim = sum(float(r["duration_s"]) for r in rounds)
+    print(f"{len(rounds)} rounds, {total_sim:.3f} simulated seconds total\n")
+    header = f"{'segment':<18} {'total s':>10} {'share':>7} {'p50 s':>10} {'p99 s':>10}"
+    print(header)
+    print("-" * len(header))
+    for seg in SEGMENTS:
+        values = sorted(float(r["segments"].get(seg, 0.0)) for r in rounds)
+        total = sum(values)
+        share = total / total_sim if total_sim > 0 else 0.0
+        print(f"{seg:<18} {total:>10.3f} {share:>6.1%} "
+              f"{percentile(values, 0.50):>10.4f} "
+              f"{percentile(values, 0.99):>10.4f}")
+
+
+def print_stragglers(rounds: list, top: int) -> None:
+    tallies = {}  # platform -> [rounds_as_straggler, seconds, {reason: n}]
+    for r in rounds:
+        s = r.get("straggler")
+        if not s:
+            continue
+        entry = tallies.setdefault(s["platform"], [0, 0.0, {}])
+        entry[0] += 1
+        entry[1] += float(s["seconds"])
+        entry[2][s["reason"]] = entry[2].get(s["reason"], 0) + 1
+    if not tallies:
+        print("\nno straggler identified in any round")
+        return
+    print(f"\ntop stragglers ({sum(e[0] for e in tallies.values())} "
+          f"attributed rounds):")
+    ranked = sorted(tallies.items(), key=lambda kv: (-kv[1][0], kv[0]))
+    for platform, (count, seconds, reasons) in ranked[:top]:
+        dominant = max(sorted(reasons), key=lambda k: reasons[k])
+        print(f"  {platform:<16} straggler in {count} round(s), "
+              f"{seconds:.3f} s attributed, mostly {dominant}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("jsonl", help="attribution JSONL file to render")
+    ap.add_argument("--top", type=int, default=5,
+                    help="straggler platforms to list (default 5)")
+    ap.add_argument("--tolerance", type=float, default=1e-6,
+                    help="allowed |sum(segments) - duration| per round in "
+                         "seconds (default 1 µs)")
+    args = ap.parse_args()
+
+    path = Path(args.jsonl)
+    if not path.exists():
+        raise SystemExit(f"{path}: no such file")
+    rounds = load_rounds(path)
+    if not rounds:
+        raise SystemExit(f"{path}: no per-round attribution records")
+
+    print_segment_table(rounds)
+    print_stragglers(rounds, args.top)
+
+    bad = check_sums(rounds, args.tolerance)
+    if bad:
+        for rnd, duration, total in bad:
+            sys.stderr.write(
+                f"round {rnd}: segments sum to {total:.9f} s but the round "
+                f"lasted {duration:.9f} s (tolerance {args.tolerance})\n")
+        raise SystemExit(
+            f"{len(bad)} round(s) violate the sum-to-duration invariant")
+    print(f"\nOK: all {len(rounds)} rounds sum to their duration "
+          f"(±{args.tolerance} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -425,6 +425,13 @@ void MembershipService::quarantine(std::size_t p) {
                "Platforms quarantined by the strike policy.")
         .inc();
   }
+  // Quarantine is the strike policy's terminal verdict on a misbehaving
+  // hospital — exactly the moment an operator wants the recent protocol
+  // history that led to it.
+  obs::postmortem("platform " + std::to_string(p) +
+                  " quarantined until round " +
+                  std::to_string(rec.quarantined_until_round) + " (spell " +
+                  std::to_string(rec.quarantine_spell) + " rounds)");
   transition(p, MemberState::kQuarantined);
 }
 
@@ -595,7 +602,6 @@ void MembershipService::note_step_completed(std::size_t p, double now) {
 
 bool MembershipService::end_round(std::int64_t round,
                                   std::int64_t steps_completed) {
-  (void)round;
   const bool voided = steps_completed < config_.min_quorum;
   if (voided) {
     ++ledger_.void_rounds;
@@ -605,6 +611,11 @@ bool MembershipService::end_round(std::int64_t round,
                  "fabricated).")
           .inc();
     }
+    obs::postmortem("round " + std::to_string(round) +
+                    " closed below min_quorum (" +
+                    std::to_string(steps_completed) + " of " +
+                    std::to_string(config_.min_quorum) +
+                    " required steps) — declared void");
   }
   return voided;
 }

@@ -51,6 +51,8 @@ void PlatformNode::send_activation(net::Network& network,
   apply_poison(activation, /*f32_channel=*/false);
   Envelope out = make_tensor_envelope(id_, server_, MsgKind::kActivation,
                                       round, activation, options_.codec);
+  out.trace.platform = id_;
+  out.trace.step = round;
   if (options_.tolerate_faults) last_sent_ = out;
   network.send(std::move(out));
   state_ = PlatformState::kAwaitLogits;
@@ -63,6 +65,7 @@ void PlatformNode::resend_last(net::Network& network) {
                  "platform " << id_ << ": nothing to retransmit");
   Envelope copy = *last_sent_;
   copy.retransmit = true;
+  copy.trace.attempt = ++last_sent_->trace.attempt;
   network.send(std::move(copy));
 }
 
@@ -143,6 +146,9 @@ void PlatformNode::handle(net::Network& network, const Envelope& envelope) {
     apply_poison(logit_grad, /*f32_channel=*/true);
     Envelope grad = make_tensor_envelope(id_, server_, MsgKind::kLogitGrad,
                                          pending_round_, logit_grad);
+    grad.trace.platform = id_;
+    grad.trace.step = pending_round_;
+    grad.trace.parent_flow = envelope.trace.flow_id;
     if (options_.tolerate_faults) last_sent_ = grad;
     network.send(std::move(grad));
     state_ = PlatformState::kAwaitCutGrad;
@@ -219,9 +225,12 @@ void PlatformNode::send_heartbeat(net::Network& network, std::uint32_t index,
   msg.platform = index;
   msg.beat = ++beats_sent_;
   msg.last_completed_round = static_cast<std::uint64_t>(steps_completed_);
-  network.send(make_envelope(id_, server_,
-                             static_cast<std::uint32_t>(MsgKind::kHeartbeat),
-                             round, encode_heartbeat_payload(msg)));
+  Envelope out = make_envelope(id_, server_,
+                               static_cast<std::uint32_t>(MsgKind::kHeartbeat),
+                               round, encode_heartbeat_payload(msg));
+  out.trace.platform = id_;
+  out.trace.step = round;
+  network.send(std::move(out));
 }
 
 void PlatformNode::send_join_request(net::Network& network,
@@ -238,6 +247,8 @@ void PlatformNode::send_join_request(net::Network& network,
   Envelope out = make_envelope(
       id_, server_, static_cast<std::uint32_t>(MsgKind::kJoinRequest), round,
       encode_join_request_payload(msg));
+  out.trace.platform = id_;
+  out.trace.step = round;
   if (options_.tolerate_faults) last_sent_ = out;
   network.send(std::move(out));
   awaiting_join_ = true;

@@ -25,6 +25,12 @@ EventScheduler::EventScheduler(
   in_flight_.assign(platforms_.size(), std::nullopt);
 }
 
+void EventScheduler::sample_queue_depth() const {
+  if (obs::Gauge* g = obs::event_queue_depth_gauge()) {
+    g->set(static_cast<double>(network_.total_in_flight()));
+  }
+}
+
 void EventScheduler::begin_step(std::size_t platform, std::uint64_t step_id,
                                 std::int64_t round) {
   SPLITMED_CHECK(platform < platforms_.size(), "platform index out of range");
@@ -52,6 +58,7 @@ std::optional<std::size_t> EventScheduler::pump_one() {
   SPLITMED_ASSERT(event.has_value(), "pump_one with nothing in flight");
   if (event->node == server_.id()) {
     server_.handle(network_, network_.receive(server_.id()));
+    sample_queue_depth();
     return std::nullopt;
   }
   const std::size_t p = node_to_platform_[event->node];
@@ -61,6 +68,7 @@ std::optional<std::size_t> EventScheduler::pump_one() {
   const bool is_cut_grad =
       static_cast<MsgKind>(envelope.kind) == MsgKind::kCutGrad;
   platforms_[p]->handle(network_, envelope);
+  sample_queue_depth();
   if (!is_cut_grad || platforms_[p]->state() != PlatformState::kIdle) {
     return std::nullopt;
   }

@@ -82,6 +82,12 @@ class EventScheduler {
     std::int64_t start_round = 0;
   };
 
+  /// Publishes the current in-flight frame count to the pre-registered
+  /// splitmed_event_queue_depth gauge. One atomic load when observability is
+  /// off; called after every delivery so the gauge tracks the scheduler's
+  /// actual pump cadence, not just round boundaries.
+  void sample_queue_depth() const;
+
   net::Network& network_;
   CentralServer& server_;
   const std::vector<std::unique_ptr<PlatformNode>>& platforms_;

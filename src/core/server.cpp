@@ -60,6 +60,9 @@ void CentralServer::send_reject(net::Network& network, const Envelope& request,
   Envelope reply = make_envelope(
       id_, request.src, static_cast<std::uint32_t>(MsgKind::kUpdateReject),
       request.round, encode_update_reject_payload(msg));
+  reply.trace.platform = request.src;
+  reply.trace.step = request.round;
+  reply.trace.parent_flow = request.trace.flow_id;
   if (options_.tolerate_faults) {
     reply_cache_[request.src] = CachedReply{request.kind, request.round, reply};
     last_request_round_[request.src] = request.round;
@@ -88,6 +91,9 @@ void CentralServer::process_activation(net::Network& network,
   awaiting_grad_ = true;
   Envelope reply = make_tensor_envelope(id_, envelope.src, MsgKind::kLogits,
                                         envelope.round, logits);
+  reply.trace.platform = envelope.src;
+  reply.trace.step = envelope.round;
+  reply.trace.parent_flow = envelope.trace.flow_id;
   if (options_.tolerate_faults) {
     reply_cache_[envelope.src] =
         CachedReply{envelope.kind, envelope.round, reply};
@@ -117,6 +123,7 @@ bool CentralServer::absorb_faulty(net::Network& network,
     }
     Envelope again = cached->second.reply;
     again.retransmit = true;
+    again.trace.attempt = ++cached->second.reply.trace.attempt;
     network.send(std::move(again));
     ++replays_;
     return true;
@@ -219,6 +226,9 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
       Envelope reply =
           make_tensor_envelope(id_, envelope.src, MsgKind::kCutGrad,
                                envelope.round, cut_grad, options_.codec);
+      reply.trace.platform = envelope.src;
+      reply.trace.step = envelope.round;
+      reply.trace.parent_flow = envelope.trace.flow_id;
       if (options_.tolerate_faults) {
         reply_cache_[envelope.src] =
             CachedReply{envelope.kind, envelope.round, reply};
@@ -287,6 +297,9 @@ void CentralServer::handle(net::Network& network, const Envelope& envelope) {
       Envelope reply = make_envelope(
           id_, envelope.src, static_cast<std::uint32_t>(MsgKind::kJoinAccept),
           envelope.round, encode_join_accept_payload(accept));
+      reply.trace.platform = envelope.src;
+      reply.trace.step = envelope.round;
+      reply.trace.parent_flow = envelope.trace.flow_id;
       if (options_.tolerate_faults) {
         // Cache for duplicate-join replay, but do NOT advance the
         // last-request horizon: join envelopes are stamped with the ROUND

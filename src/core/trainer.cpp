@@ -12,6 +12,7 @@
 #include "src/core/split_model.hpp"
 #include "src/metrics/evaluate.hpp"
 #include "src/nn/param_util.hpp"
+#include "src/obs/critical_path.hpp"
 #include "src/tensor/ops.hpp"
 
 namespace splitmed::core {
@@ -161,6 +162,14 @@ SplitTrainer::SplitTrainer(ModelBuilder builder, const data::Dataset& train,
   }
   scheduler_ = std::make_unique<EventScheduler>(network_, *server_,
                                                 platforms_);
+  if (obs::CriticalPathAnalyzer* cp = obs::attribution()) {
+    std::vector<std::string> names;
+    names.reserve(network_.node_count());
+    for (NodeId n = 0; n < network_.node_count(); ++n) {
+      names.push_back(network_.node_name(n));
+    }
+    cp->set_topology(topology_.server, std::move(names));
+  }
   if (config_.membership.enabled) {
     membership_ = std::make_unique<MembershipService>(
         config_.membership, config_.churn, platforms_.size(), config_.seed,
@@ -218,6 +227,11 @@ bool SplitTrainer::await_platform_progress(PlatformNode& platform) {
       scheduler_->dispatch(*env);
     }
     if (platform.state() != entry) return true;
+    if (obs::CriticalPathAnalyzer* cp = obs::attribution()) {
+      // Waiting out the rest of the timeout window is pure recovery
+      // overhead, owned by the unresponsive platform.
+      cp->note_timeout_wait(network_.clock().now(), deadline, platform.id());
+    }
     network_.clock().advance_to(deadline);
     if (attempt == config_.recovery.max_retries) break;
     if (obs::TraceRecorder* tr = obs::trace()) {
@@ -314,6 +328,9 @@ bool SplitTrainer::await_join(PlatformNode& platform) {
       scheduler_->dispatch(*env);
     }
     if (!platform.awaiting_join()) return true;
+    if (obs::CriticalPathAnalyzer* cp = obs::attribution()) {
+      cp->note_timeout_wait(network_.clock().now(), deadline, platform.id());
+    }
     network_.clock().advance_to(deadline);
     if (attempt == config_.recovery.max_retries) break;
     platform.resend_last(network_);
@@ -551,6 +568,9 @@ metrics::TrainReport SplitTrainer::run() {
        round <= config_.rounds; ++round) {
     obs::Span round_span(obs::trace(), "trainer.round", "trainer");
     round_span.arg("round", static_cast<std::uint64_t>(round));
+    if (obs::CriticalPathAnalyzer* cp = obs::attribution()) {
+      cp->begin_round(round, network_.clock().now());
+    }
     const bool timed = obs::metrics() != nullptr;
     const auto round_begin = timed ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
@@ -604,10 +624,18 @@ metrics::TrainReport SplitTrainer::run() {
       m->gauge("splitmed_active_platforms",
                "Platforms whose protocol step completed this round")
           .set(static_cast<double>(stepped.size()));
-      m->gauge("splitmed_event_queue_depth",
-               "Frames in flight across every inbox at the round boundary "
-               "(straggler steps under bounded staleness)")
-          .set(static_cast<double>(network_.total_in_flight()));
+    }
+    if (obs::Gauge* g = obs::event_queue_depth_gauge()) {
+      g->set(static_cast<double>(network_.total_in_flight()));
+    }
+    // Every protocol step of this round has folded in (or been abandoned),
+    // so the round's attributable sim time is complete. Eval and
+    // checkpointing below are sim-instantaneous; the periodic L1 sync does
+    // move the clock, but that time belongs to the sync barrier, not to any
+    // round's critical path — it falls in the gap between this close and the
+    // next begin.
+    if (obs::CriticalPathAnalyzer* cp = obs::attribution()) {
+      cp->close_round(round, network_.clock().now());
     }
     if (config_.sync_l1_every > 0 && round % config_.sync_l1_every == 0) {
       sync_l1(step_id_);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/common/error.hpp"
+#include "src/obs/critical_path.hpp"
 #include "src/obs/obs.hpp"
 #include "src/serial/crc32.hpp"
 #include "src/serial/state_codec.hpp"
@@ -56,7 +57,9 @@ void obs_send(const std::vector<std::string>& nodes, const Envelope& e,
     m->histogram("splitmed_net_sim_latency_seconds",
                  "Simulated send-to-arrival latency (link queueing + "
                  "serialization + propagation + injected delay spikes)",
-                 kSimLatencyBounds, by_kind)
+                 kSimLatencyBounds,
+                 obs::Labels{{"kind", obs::kind_name(e.kind)},
+                             {"codec", wire_codec_name(e.codec)}})
         .observe(arrival - now);
   }
   if (obs::FlightRecorder* fr = obs::flight()) {
@@ -95,8 +98,31 @@ void obs_fault(const std::vector<std::string>& nodes, const Envelope& e,
   }
 }
 
-/// Delivery instant event + flight note (the moment protocol code gets the
-/// frame, or discards it as corrupted).
+/// Flow-start event ('s'): emitted per physical frame put in flight, at the
+/// flight's start on the sim clock. The matching flow-finish ('f') fires at
+/// delivery (obs_deliver), sharing the frame's sideband flow id — the edge
+/// that links the sender's net.send span to the receiver's timeline.
+void obs_flow_start(const std::vector<std::string>& nodes, const Envelope& e,
+                    double start) {
+  if (obs::TraceRecorder* tr = obs::trace()) {
+    obs::TraceEvent ev;
+    ev.ph = 's';
+    ev.name = "net.flow";
+    ev.cat = "net";
+    ev.sim_s = start;
+    ev.flow_id = e.trace.flow_id;
+    ev.args = {obs::arg("kind", obs::kind_name(e.kind)),
+               obs::arg("src", std::string_view(nodes[e.src])),
+               obs::arg("dst", std::string_view(nodes[e.dst])),
+               obs::arg("round", e.round),
+               obs::arg("attempt",
+                        static_cast<std::uint64_t>(e.trace.attempt))};
+    tr->record(std::move(ev));
+  }
+}
+
+/// Delivery instant event + flow-finish + flight note (the moment protocol
+/// code gets the frame, or discards it as corrupted).
 void obs_deliver(const std::vector<std::string>& nodes, const Envelope& e,
                  double sim_s, bool corrupt_discarded) {
   const char* name = corrupt_discarded ? "net.corrupt_discarded"
@@ -111,6 +137,17 @@ void obs_deliver(const std::vector<std::string>& nodes, const Envelope& e,
                obs::arg("dst", std::string_view(nodes[e.dst])),
                obs::arg("round", e.round)};
     tr->record(std::move(ev));
+    if (e.trace.flow_id != 0) {
+      // A CRC-discarded frame still finishes its flow — the WAN delivered
+      // it; the receiver observed and rejected it.
+      obs::TraceEvent fin;
+      fin.ph = 'f';
+      fin.name = "net.flow";
+      fin.cat = "net";
+      fin.sim_s = sim_s;
+      fin.flow_id = e.trace.flow_id;
+      tr->record(std::move(fin));
+    }
   }
   if (obs::FlightRecorder* fr = obs::flight()) {
     fr->note(sim_s, std::string(corrupt_discarded ? "DISCARD corrupt "
@@ -125,6 +162,24 @@ void obs_deliver(const std::vector<std::string>& nodes, const Envelope& e,
           .inc();
     }
   }
+}
+
+/// Reports a delivery wait [before, after) on frame `e` to the critical-path
+/// analyzer: the receiver's clock moved because this frame gated it.
+void obs_wait(obs::CriticalPathAnalyzer* cp, double before, double after,
+              const Envelope& e, bool corrupt_discarded) {
+  obs::MsgWait wait;
+  wait.from = before;
+  wait.to = after;
+  wait.sent_sim = e.trace.sent_sim;
+  wait.src = e.src;
+  wait.dst = e.dst;
+  wait.kind = e.kind;
+  wait.step = e.trace.step;
+  wait.attempt = e.trace.attempt;
+  wait.retransmit = e.retransmit;
+  wait.corrupt_discarded = corrupt_discarded;
+  cp->observe_wait(wait);
 }
 
 /// (arrival, sequence) total order — sequences are unique, so no two frames
@@ -346,6 +401,13 @@ void Network::index_rebuild() {
 
 // ---------------------------------------------------------------------------
 
+void Network::put_in_flight(Envelope envelope, double start, double arrival) {
+  envelope.trace.flow_id = ++flow_next_;
+  envelope.trace.sent_sim = start;
+  obs_flow_start(nodes_, envelope, start);
+  inbox_push(InFlight{arrival, sequence_++, std::move(envelope)});
+}
+
 void Network::send(Envelope envelope) {
   check_node(envelope.src);
   check_node(envelope.dst);
@@ -367,7 +429,7 @@ void Network::send(Envelope envelope) {
 
   if (!faults_enabled_) {
     obs_send(nodes_, envelope, bytes, now, start, arrival);
-    inbox_push(InFlight{arrival, sequence_++, std::move(envelope)});
+    put_in_flight(std::move(envelope), start, arrival);
     return;
   }
 
@@ -416,9 +478,9 @@ void Network::send(Envelope envelope) {
         }
       }
       if (!drop) {
-        inbox_push(InFlight{arrival, sequence_++, std::move(envelope)});
+        put_in_flight(std::move(envelope), start, arrival);
       }
-      inbox_push(InFlight{copy_arrival, sequence_++, std::move(copy)});
+      put_in_flight(std::move(copy), copy_start, copy_arrival);
       return;
     }
     if (drop) {
@@ -433,7 +495,7 @@ void Network::send(Envelope envelope) {
   } else {
     obs_send(nodes_, envelope, bytes, now, start, arrival);
   }
-  inbox_push(InFlight{arrival, sequence_++, std::move(envelope)});
+  put_in_flight(std::move(envelope), start, arrival);
 }
 
 Envelope Network::receive(NodeId node) {
@@ -445,14 +507,22 @@ Envelope Network::receive(NodeId node) {
       obs::postmortem(reason);
       throw ProtocolError(reason);
     }
+    obs::CriticalPathAnalyzer* cp = obs::attribution();
+    const double before = cp != nullptr ? clock_.now() : 0.0;
     InFlight f = inbox_pop(node);
     clock_.advance_to(f.arrival);
     Envelope out = std::move(f.envelope);
     if (!faults_enabled_ || intact(out)) {
+      if (cp != nullptr) {
+        obs_wait(cp, before, clock_.now(), out, /*corrupt_discarded=*/false);
+      }
       obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/false);
       return out;
     }
     stats_.record_corrupted(bytes_on_wire(out));
+    if (cp != nullptr) {
+      obs_wait(cp, before, clock_.now(), out, /*corrupt_discarded=*/true);
+    }
     obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/true);
   }
 }
@@ -483,14 +553,22 @@ std::optional<Envelope> Network::receive_before(NodeId node, double deadline) {
     if (box.empty() || box.front().arrival > deadline) {
       return std::nullopt;
     }
+    obs::CriticalPathAnalyzer* cp = obs::attribution();
+    const double before = cp != nullptr ? clock_.now() : 0.0;
     InFlight f = inbox_pop(node);
     clock_.advance_to(f.arrival);
     Envelope out = std::move(f.envelope);
     if (!faults_enabled_ || intact(out)) {
+      if (cp != nullptr) {
+        obs_wait(cp, before, clock_.now(), out, /*corrupt_discarded=*/false);
+      }
       obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/false);
       return out;
     }
     stats_.record_corrupted(bytes_on_wire(out));
+    if (cp != nullptr) {
+      obs_wait(cp, before, clock_.now(), out, /*corrupt_discarded=*/true);
+    }
     obs_deliver(nodes_, out, clock_.now(), /*corrupt_discarded=*/true);
   }
 }

@@ -149,6 +149,13 @@ class Network {
   };
 
   void check_node(NodeId id) const;
+  /// Final enqueue of a frame whose transmission window [start, arrival) is
+  /// settled: stamps the sideband trace context (fresh flow id, flight
+  /// start), emits the flow-start trace event, and pushes the frame. Every
+  /// physical frame put in flight — including injected duplicates — passes
+  /// through here exactly once; dropped frames never do (no flow, no
+  /// orphaned flow-start).
+  void put_in_flight(Envelope envelope, double start, double arrival);
   /// Bytes a frame occupies on the wire (adds the CRC trailer when faults
   /// are enabled).
   [[nodiscard]] std::uint64_t bytes_on_wire(const Envelope& envelope) const;
@@ -188,6 +195,12 @@ class Network {
   std::vector<std::size_t> index_pos_;
   std::size_t in_flight_count_ = 0;
   std::uint64_t sequence_ = 0;
+  /// Flow-id source for the sideband trace context: incremented for every
+  /// frame actually put in flight, a pure function of the send sequence and
+  /// the (seeded) fault draws — identical with observability on or off.
+  /// NOT serialized (the context is sideband): frames restored from a
+  /// checkpoint carry flow id 0 and emit no flow events.
+  std::uint64_t flow_next_ = 0;
   SimClock clock_;
   TrafficStats stats_;
 };

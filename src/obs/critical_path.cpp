@@ -1,0 +1,202 @@
+#include "src/obs/critical_path.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/common/logging.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/trace.hpp"
+
+namespace splitmed::obs {
+
+namespace {
+
+const char* const kSegmentNames[CriticalPathAnalyzer::kNumSegments] = {
+    "platform_compute", "uplink",     "server_queue", "server_compute",
+    "downlink",         "retransmit", "deadline_slack"};
+
+// Round critical-path buckets: segments range from sub-millisecond link
+// queueing up to multi-second delay-spiked / deadline-bounded rounds.
+const std::vector<double> kSegmentBounds{0.001, 0.005, 0.01,  0.05, 0.1,
+                                         0.25,  0.5,   1.0,   2.5,  5.0,
+                                         10.0,  30.0};
+
+}  // namespace
+
+const char* CriticalPathAnalyzer::segment_name(int segment) {
+  return segment >= 0 && segment < kNumSegments ? kSegmentNames[segment]
+                                                : "unknown";
+}
+
+void CriticalPathAnalyzer::set_topology(std::uint32_t server_node,
+                                        std::vector<std::string> node_names) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  server_node_ = server_node;
+  node_names_ = std::move(node_names);
+}
+
+void CriticalPathAnalyzer::begin_round(std::int64_t round, double now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  current_ = RoundRecord{};
+  current_.round = round;
+  current_.start_sim = now;
+  attributed_ = 0.0;
+  round_open_ = true;
+}
+
+void CriticalPathAnalyzer::attribute(int segment, std::uint32_t node,
+                                     double seconds) {
+  current_.segments[static_cast<std::size_t>(segment)] += seconds;
+  current_.per_platform[node][static_cast<std::size_t>(segment)] += seconds;
+  attributed_ += seconds;
+}
+
+void CriticalPathAnalyzer::observe_wait(const MsgWait& wait) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!round_open_) return;
+  const double dt = wait.to - wait.from;
+  if (dt <= 0.0) return;  // the frame had already arrived — no wait
+  const bool reply = wait.src == server_node_;
+  // The wait belongs to the step's platform: the non-server endpoint.
+  const std::uint32_t owner = reply ? wait.dst : wait.src;
+  if (wait.retransmit || wait.corrupt_discarded || wait.attempt > 0) {
+    // Time spent waiting on a retransmitted or corrupted frame exists only
+    // because the WAN faulted — all of it is recovery overhead.
+    attribute(kRetransmit, owner, dt);
+    return;
+  }
+  // Split the wait at the frame's flight start, clamped into the window
+  // (overlapped flights legitimately start before the driver waits on them):
+  // before it the frame was not on the wire yet — the sender's side was the
+  // bottleneck — after it the WAN flight itself was.
+  const double split = std::min(std::max(wait.sent_sim, wait.from), wait.to);
+  const double queued = split - wait.from;
+  const double flight = wait.to - split;
+  if (queued > 0.0) {
+    attribute(reply ? kServerQueue : kPlatformCompute, owner, queued);
+  }
+  if (flight > 0.0) attribute(reply ? kDownlink : kUplink, owner, flight);
+}
+
+void CriticalPathAnalyzer::note_timeout_wait(double from, double to,
+                                             std::uint32_t platform_node) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!round_open_) return;
+  if (to > from) attribute(kRetransmit, platform_node, to - from);
+}
+
+void CriticalPathAnalyzer::close_round(std::int64_t round, double now) {
+  RoundRecord record;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!round_open_ || current_.round != round) return;
+    round_open_ = false;
+    current_.end_sim = now;
+    // Everything the driver did not spend waiting on a frame is slack. The
+    // waits are disjoint sub-intervals of the round (the clock only moves
+    // inside them), so the remainder is >= 0 up to rounding — clamp the
+    // rounding away and the segments sum to the duration exactly.
+    current_.segments[kDeadlineSlack] =
+        std::max(0.0, current_.duration() - attributed_);
+    for (const auto& [node, segments] : current_.per_platform) {
+      double total = 0.0;
+      for (const double s : segments) total += s;
+      // Strict > : ties keep the earlier (lower node id) platform.
+      if (!current_.has_straggler || total > current_.straggler_seconds) {
+        current_.has_straggler = true;
+        current_.straggler_node = node;
+        current_.straggler_seconds = total;
+        int dominant = 0;
+        for (int s = 1; s < kNumSegments; ++s) {
+          if (segments[static_cast<std::size_t>(s)] >
+              segments[static_cast<std::size_t>(dominant)]) {
+            dominant = s;
+          }
+        }
+        current_.straggler_segment = dominant;
+      }
+    }
+    records_.push_back(current_);
+    record = current_;
+  }
+  if (MetricsRegistry* m = metrics()) {
+    for (int s = 0; s < kNumSegments; ++s) {
+      m->histogram("splitmed_round_critical_path_seconds",
+                   "Per-round simulated time by critical-path segment",
+                   kSegmentBounds, {{"segment", segment_name(s)}})
+          .observe(record.segments[static_cast<std::size_t>(s)]);
+    }
+    if (record.has_straggler) {
+      const std::uint32_t n = record.straggler_node;
+      m->counter("splitmed_straggler_total",
+                 "Rounds in which this platform was the critical-path "
+                 "straggler, by dominant segment",
+                 {{"platform", n < node_names_.size()
+                                   ? node_names_[n]
+                                   : "node" + std::to_string(n)},
+                  {"reason", segment_name(record.straggler_segment)}})
+          .inc();
+    }
+  }
+}
+
+std::vector<CriticalPathAnalyzer::RoundRecord> CriticalPathAnalyzer::records()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void CriticalPathAnalyzer::write_jsonl(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto name_of = [this](std::uint32_t node) {
+    return node < node_names_.size() ? node_names_[node]
+                                     : "node" + std::to_string(node);
+  };
+  for (const RoundRecord& r : records_) {
+    os << "{\"round\":" << r.round
+       << ",\"start_sim_s\":" << json_number(r.start_sim)
+       << ",\"end_sim_s\":" << json_number(r.end_sim)
+       << ",\"duration_s\":" << json_number(r.duration()) << ",\"segments\":{";
+    for (int s = 0; s < kNumSegments; ++s) {
+      if (s > 0) os << ',';
+      os << json_string(segment_name(s)) << ':'
+         << json_number(r.segments[static_cast<std::size_t>(s)]);
+    }
+    os << "},\"straggler\":";
+    if (r.has_straggler) {
+      os << "{\"node\":" << r.straggler_node
+         << ",\"platform\":" << json_string(name_of(r.straggler_node))
+         << ",\"reason\":" << json_string(segment_name(r.straggler_segment))
+         << ",\"seconds\":" << json_number(r.straggler_seconds) << '}';
+    } else {
+      os << "null";
+    }
+    os << ",\"per_platform\":{";
+    bool first = true;
+    for (const auto& [node, segments] : r.per_platform) {
+      if (!first) os << ',';
+      first = false;
+      os << json_string(name_of(node)) << ":{";
+      for (int s = 0; s < kNumSegments; ++s) {
+        if (s > 0) os << ',';
+        os << json_string(segment_name(s)) << ':'
+           << json_number(segments[static_cast<std::size_t>(s)]);
+      }
+      os << '}';
+    }
+    os << "}}\n";
+  }
+}
+
+bool CriticalPathAnalyzer::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SPLITMED_LOG(kError) << "attribution: cannot open '" << path
+                         << "' for writing";
+    return false;
+  }
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace splitmed::obs

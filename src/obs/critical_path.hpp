@@ -1,0 +1,131 @@
+// CriticalPathAnalyzer — per-round critical-path attribution and straggler
+// identification from the message waits the trainer actually experienced.
+//
+// The simulator is single-threaded and simulated time advances ONLY when the
+// driver waits for a frame (net::Network::receive* advancing the clock to an
+// arrival) or gives up on one (a recovery timeout advancing the clock to its
+// deadline). Every such advancement [from, to) is therefore a disjoint
+// interval of the round's simulated duration, attributable at the moment it
+// occurs to the frame (or timeout) that gated the driver — which IS the
+// round's critical path. Summing the attributed intervals and assigning the
+// remainder to deadline slack makes the per-round segments sum to the round's
+// sim duration exactly, by construction, in every schedule (sequential,
+// overlapped, bounded staleness, membership).
+//
+// A wait on frame F with flight window [sent_sim, arrival) splits at the
+// flight start: the part before F was even on the wire is queueing on the
+// sender's side (server queue for replies, platform compute for requests);
+// the part after is the WAN flight itself (downlink / uplink). Waits for
+// retransmitted or CRC-discarded frames, and timeout advances, are
+// retransmit overhead — sim time the run only spent because the WAN faulted.
+//
+// Layering: this library sits below serial/ and net/, so the observation API
+// takes plain scalars (MsgWait), not Envelopes. Determinism: everything here
+// derives from simulated-clock values on the driver thread — attribution and
+// straggler identity are invariant across thread counts and repeated runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace splitmed::obs {
+
+/// One observed wait: the driver's clock moved [from, to) to take delivery
+/// of (or discard) one frame. Plain scalars only — see the layering note.
+struct MsgWait {
+  double from = 0.0;      ///< clock before the advance
+  double to = 0.0;        ///< clock after (the frame's arrival)
+  double sent_sim = 0.0;  ///< the frame's flight start (TraceContext)
+  std::uint32_t src = 0;  ///< sending node
+  std::uint32_t dst = 0;  ///< receiving node
+  std::uint32_t kind = 0;           ///< protocol message kind
+  std::uint64_t step = 0;           ///< protocol step id (TraceContext)
+  std::uint32_t attempt = 0;        ///< retransmission attempt (TraceContext)
+  bool retransmit = false;          ///< protocol-level retransmission
+  bool corrupt_discarded = false;   ///< CRC-failed, discarded at delivery
+};
+
+class CriticalPathAnalyzer {
+ public:
+  /// Where a round's simulated time went.
+  enum Segment : int {
+    kPlatformCompute = 0,  ///< request queued behind platform-side work
+    kUplink,               ///< platform -> server WAN flight
+    kServerQueue,          ///< reply queued behind server-side work
+    kServerCompute,        ///< server compute (0 under the instantaneous-
+                           ///< compute WAN model; kept for future models)
+    kDownlink,             ///< server -> platform WAN flight
+    kRetransmit,           ///< retransmissions, CRC discards, timeouts
+    kDeadlineSlack,        ///< round time not spent waiting on any frame
+    kNumSegments,
+  };
+  [[nodiscard]] static const char* segment_name(int segment);
+
+  /// Per-round attribution record, in round order.
+  struct RoundRecord {
+    std::int64_t round = 0;
+    double start_sim = 0.0;
+    double end_sim = 0.0;
+    std::array<double, kNumSegments> segments{};
+    /// Per-platform attributed seconds by segment (node id keyed; ordered,
+    /// so iteration — and the straggler tie-break — is deterministic).
+    std::map<std::uint32_t, std::array<double, kNumSegments>> per_platform;
+    bool has_straggler = false;
+    std::uint32_t straggler_node = 0;   ///< node id of the slowest platform
+    int straggler_segment = 0;          ///< its dominant segment
+    double straggler_seconds = 0.0;     ///< its total attributed seconds
+    [[nodiscard]] double duration() const { return end_sim - start_sim; }
+  };
+
+  /// Installs the star topology: the server's node id and every node's
+  /// display name (indexed by node id). Called once by the trainer.
+  void set_topology(std::uint32_t server_node,
+                    std::vector<std::string> node_names);
+
+  /// Opens round bookkeeping at simulated time `now`. Waits observed while
+  /// no round is open (construction traffic, rejoin handshakes before the
+  /// first round) are ignored.
+  void begin_round(std::int64_t round, double now);
+
+  /// Records one delivery wait (called from the network's receive paths).
+  void observe_wait(const MsgWait& wait);
+
+  /// Records a recovery-timeout advance [from, to) waiting on
+  /// `platform_node` — pure retransmit overhead.
+  void note_timeout_wait(double from, double to, std::uint32_t platform_node);
+
+  /// Closes the round at simulated time `now`: assigns the unattributed
+  /// remainder to deadline slack, elects the straggler (max attributed
+  /// seconds; ties break to the lower node id — deterministic), emits the
+  /// splitmed_round_critical_path_seconds / splitmed_straggler_total metric
+  /// families, and appends the record.
+  void close_round(std::int64_t round, double now);
+
+  /// Snapshot of every closed round's record.
+  [[nodiscard]] std::vector<RoundRecord> records() const;
+
+  /// One JSON object per closed round (the attribution JSONL schema in
+  /// docs/OBSERVABILITY.md).
+  void write_jsonl(std::ostream& os) const;
+  /// Writes to `path`; returns false (and logs) on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  /// Adds `seconds` to a segment, both round-wide and for `node`'s tally.
+  void attribute(int segment, std::uint32_t node, double seconds);
+
+  mutable std::mutex mu_;
+  std::uint32_t server_node_ = 0;
+  std::vector<std::string> node_names_;
+  bool round_open_ = false;
+  RoundRecord current_;
+  double attributed_ = 0.0;
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace splitmed::obs

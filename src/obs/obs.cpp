@@ -6,6 +6,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/logging.hpp"
+#include "src/obs/critical_path.hpp"
 
 namespace splitmed::obs {
 
@@ -18,11 +19,13 @@ namespace {
 std::atomic<TraceRecorder*> g_trace{nullptr};
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
 std::atomic<FlightRecorder*> g_flight{nullptr};
+std::atomic<CriticalPathAnalyzer*> g_attribution{nullptr};
 std::atomic<int> g_detail{0};
 std::atomic<Counter*> g_gemm_seconds{nullptr};
 std::atomic<Counter*> g_gemm_calls{nullptr};
 std::atomic<Gauge*> g_ws_reserved{nullptr};
 std::atomic<Gauge*> g_ws_in_use{nullptr};
+std::atomic<Gauge*> g_event_queue_depth{nullptr};
 std::atomic<bool> g_session_active{false};
 
 // Flight-dump destination for postmortem(); guarded by g_mu (error paths
@@ -40,6 +43,10 @@ MetricsRegistry* metrics() {
 }
 FlightRecorder* flight() { return g_flight.load(std::memory_order_acquire); }
 
+CriticalPathAnalyzer* attribution() {
+  return g_attribution.load(std::memory_order_acquire);
+}
+
 bool detail_at_least(int level) {
   return g_detail.load(std::memory_order_acquire) >= level;
 }
@@ -56,6 +63,10 @@ Gauge* workspace_reserved_gauge() {
 }
 Gauge* workspace_in_use_gauge() {
   return g_ws_in_use.load(std::memory_order_acquire);
+}
+
+Gauge* event_queue_depth_gauge() {
+  return g_event_queue_depth.load(std::memory_order_acquire);
 }
 
 void set_kind_namer(std::function<std::string(std::uint32_t)> namer) {
@@ -120,6 +131,10 @@ ObsSession::ObsSession(const ObsConfig& config) : config_(config) {
   trace_ = std::make_unique<TraceRecorder>(config_.max_trace_events);
   metrics_ = std::make_unique<MetricsRegistry>();
   flight_ = std::make_unique<FlightRecorder>(config_.flight_capacity);
+  // The analyzer runs whenever the session does (it only reads sim-clock
+  // values the network hands it), so the inertness tests cover it and its
+  // metric families land in every snapshot, JSONL export or not.
+  attribution_ = std::make_unique<CriticalPathAnalyzer>();
   {
     const std::lock_guard<std::mutex> lock(g_mu);
     g_flight_dump_path = config_.flight_dump_path;
@@ -142,7 +157,13 @@ ObsSession::ObsSession(const ObsConfig& config) : config_(config) {
       &metrics_->gauge("splitmed_workspace_in_use_bytes",
                        "Workspace-arena bytes currently checked out"),
       std::memory_order_release);
+  g_event_queue_depth.store(
+      &metrics_->gauge("splitmed_event_queue_depth",
+                       "Frames in flight across every inbox (sampled on "
+                       "every scheduler pump and at round boundaries)"),
+      std::memory_order_release);
   g_detail.store(config_.detail, std::memory_order_release);
+  g_attribution.store(attribution_.get(), std::memory_order_release);
   g_flight.store(flight_.get(), std::memory_order_release);
   g_metrics.store(metrics_.get(), std::memory_order_release);
   g_trace.store(trace_.get(), std::memory_order_release);
@@ -164,6 +185,9 @@ void ObsSession::flush() {
   if (!config_.metrics_path.empty()) {
     metrics_->write_prometheus(config_.metrics_path);
   }
+  if (!config_.attribution_path.empty()) {
+    attribution_->write_jsonl(config_.attribution_path);
+  }
 }
 
 ObsSession::~ObsSession() { close(); }
@@ -176,10 +200,12 @@ void ObsSession::close() {
   g_trace.store(nullptr, std::memory_order_release);
   g_metrics.store(nullptr, std::memory_order_release);
   g_flight.store(nullptr, std::memory_order_release);
+  g_attribution.store(nullptr, std::memory_order_release);
   g_gemm_seconds.store(nullptr, std::memory_order_release);
   g_gemm_calls.store(nullptr, std::memory_order_release);
   g_ws_reserved.store(nullptr, std::memory_order_release);
   g_ws_in_use.store(nullptr, std::memory_order_release);
+  g_event_queue_depth.store(nullptr, std::memory_order_release);
   g_detail.store(0, std::memory_order_release);
   flush();
   // The black box lands on EVERY exit when a dump path is configured: a

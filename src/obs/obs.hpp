@@ -29,6 +29,8 @@
 
 namespace splitmed::obs {
 
+class CriticalPathAnalyzer;
+
 /// Everything observable about one run. Defaults are all-off and inert.
 struct ObsConfig {
   /// Master switch. False = every global accessor stays null.
@@ -50,12 +52,21 @@ struct ObsConfig {
   /// recorder. "" = postmortem dumps go to the error log only and the
   /// destructor does not dump.
   std::string flight_dump_path;
+  /// Per-round critical-path attribution JSONL output path ("" = don't
+  /// write). The CriticalPathAnalyzer itself runs whenever the session is
+  /// enabled — its metric families land in the Prometheus snapshot either
+  /// way — this only controls the JSONL export.
+  std::string attribution_path;
 };
 
 /// Global accessors — null/false while no session is active.
 [[nodiscard]] TraceRecorder* trace();
 [[nodiscard]] MetricsRegistry* metrics();
 [[nodiscard]] FlightRecorder* flight();
+/// The per-round critical-path analyzer (src/obs/critical_path.hpp); the
+/// network's receive paths feed it message waits, the trainer opens/closes
+/// its rounds. Null while no session is active.
+[[nodiscard]] CriticalPathAnalyzer* attribution();
 /// True when a session is active AND its detail level is >= `level`.
 [[nodiscard]] bool detail_at_least(int level);
 
@@ -72,6 +83,13 @@ struct ObsConfig {
 /// session is active.
 [[nodiscard]] Gauge* workspace_reserved_gauge();
 [[nodiscard]] Gauge* workspace_in_use_gauge();
+
+/// Pre-registered event-queue-depth gauge (frames in flight across every
+/// inbox), sampled on every EventScheduler::pump_one and at round
+/// boundaries — the intra-round arrival-queue depth, not just its value at
+/// the boundary. Same single-atomic-load discipline as the gemm counters.
+/// Null while no session is active.
+[[nodiscard]] Gauge* event_queue_depth_gauge();
 
 /// Installs a protocol-kind pretty-namer (core::msg_kind_name, injected by
 /// the trainer so this library stays below core/). Used for trace args and
@@ -119,6 +137,7 @@ class ObsSession {
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<CriticalPathAnalyzer> attribution_;
   bool installed_ = false;
 };
 

@@ -176,6 +176,12 @@ void write_chrome_event(std::ostream& os, const TraceEvent& ev, int pid) {
      << ",\"ts\":" << json_number(ts);
   if (ev.ph == 'X') os << ",\"dur\":" << json_number(dur);
   if (ev.ph == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+  if (ev.ph == 's' || ev.ph == 'f') {
+    os << ",\"id\":" << ev.flow_id;
+    // Binding point "enclosing slice": the finish binds to the slice under
+    // the arrival timestamp, not to the next slice that happens to start.
+    if (ev.ph == 'f') os << ",\"bp\":\"e\"";
+  }
   os << ",\"pid\":" << pid << ",\"tid\":" << ev.tid << ',';
   write_args_object(os, ev, /*include_sim=*/!sim);
   os << '}';
@@ -196,6 +202,14 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
   write_process_name(os, kSimPid, "simulated WAN clock");
   for (const auto& ev : events_) {
     os << ",\n";
+    if (ev.ph == 's' || ev.ph == 'f') {
+      // Flow events appear exactly once — mirroring them would duplicate
+      // the flow id, which Perfetto treats as two overlapping flows. They
+      // live on the sim timeline (the clock the WAN flight ran on) unless
+      // they carry no simulated timestamp at all.
+      write_chrome_event(os, ev, ev.sim_s >= 0.0 ? kSimPid : kWallPid);
+      continue;
+    }
     write_chrome_event(os, ev, kWallPid);
     if (ev.sim_s >= 0.0 && ev.ph != 'C') {
       os << ",\n";
@@ -227,6 +241,7 @@ void TraceRecorder::write_jsonl(std::ostream& os) const {
       os << ",\"sim_s\":" << json_number(ev.sim_s);
       if (ev.ph == 'X') os << ",\"sim_dur_s\":" << json_number(ev.sim_dur_s);
     }
+    if (ev.ph == 's' || ev.ph == 'f') os << ",\"flow_id\":" << ev.flow_id;
     os << ",\"tid\":" << ev.tid << ',';
     write_args_object(os, ev, /*include_sim=*/false);
     os << "}\n";

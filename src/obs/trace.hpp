@@ -54,7 +54,9 @@ TraceArg arg(std::string key, std::int64_t value);
 TraceArg arg(std::string key, bool value);
 
 /// One trace event. `ph` follows the Chrome trace-event phases actually
-/// emitted here: 'X' (complete span), 'i' (instant), 'C' (counter).
+/// emitted here: 'X' (complete span), 'i' (instant), 'C' (counter),
+/// 's'/'f' (flow start/finish — the causal edge linking a send on one node
+/// timeline to its delivery on another).
 struct TraceEvent {
   char ph = 'i';
   std::string name;
@@ -64,6 +66,10 @@ struct TraceEvent {
   double sim_s = -1.0;         // simulated seconds; < 0 = no sim timestamp
   double sim_dur_s = 0.0;      // 'X' only
   std::uint32_t tid = 0;
+  /// Flow binding id, 's'/'f' only; a matching pair shares one id. Flow
+  /// events are exported once, on the simulated timeline (pid 2) — the
+  /// clock the WAN flight actually happened on.
+  std::uint64_t flow_id = 0;
   std::vector<TraceArg> args;
 };
 

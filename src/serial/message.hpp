@@ -17,6 +17,32 @@ namespace splitmed {
 /// Identifies a node in the simulated network (platforms, server).
 using NodeId = std::uint32_t;
 
+/// Sideband trace/span context riding on every envelope — the causal
+/// identity of one protocol message. NEVER serialized: encode_envelope /
+/// decode_envelope skip it (checkpoints stay byte-identical) and it is not
+/// counted in wire_bytes(), so golden byte fingerprints are untouched. The
+/// flow id and flight start are stamped by net::Network::send (one per
+/// physical frame, including injected duplicates); the protocol fields are
+/// stamped by the platform/server state machines.
+struct TraceContext {
+  /// Unique per physical frame actually put in flight (a deterministic
+  /// network-owned counter); 0 = no flow (dropped frames, frames restored
+  /// from a checkpoint). The id Chrome flow events ("ph":"s"/"f") share.
+  std::uint64_t flow_id = 0;
+  /// Simulated time the flight started (link occupancy begin).
+  double sent_sim = 0.0;
+  /// Originating platform node of the protocol step this frame belongs to
+  /// (for server replies: the platform being replied to).
+  NodeId platform = 0;
+  /// Protocol step id (trace id = (round, platform, step)).
+  std::uint64_t step = 0;
+  /// Retransmission attempt: 0 = first transmission, 1+ = retries.
+  std::uint32_t attempt = 0;
+  /// Flow id of the request this frame replies to (0 = none) — the causal
+  /// edge from request to reply.
+  std::uint64_t parent_flow = 0;
+};
+
 struct Envelope {
   NodeId src = 0;
   NodeId dst = 0;
@@ -38,6 +64,8 @@ struct Envelope {
   /// Not a wire field (the authoritative tag lives inside the payload);
   /// kF32 for non-tensor and full-precision messages.
   WireCodec codec = WireCodec::kF32;
+  /// Causal trace context. Not a wire field — sideband metadata only.
+  TraceContext trace{};
 
   /// Bytes this envelope occupies on the wire (excluding the CRC trailer,
   /// which only exists — and is only accounted — on fault-injecting

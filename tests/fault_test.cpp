@@ -17,6 +17,8 @@
 #include "src/models/factory.hpp"
 #include "src/models/mlp.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/critical_path.hpp"
+#include "src/obs/obs.hpp"
 
 namespace splitmed {
 namespace {
@@ -398,6 +400,56 @@ TEST(FaultedTraining, ReproducibleAcrossIdenticalRuns) {
             t2.network().stats().corrupted());
   EXPECT_EQ(t1.network().stats().retransmits(),
             t2.network().stats().retransmits());
+}
+
+TEST(FaultedTraining, AttributionSumsToDurationAndIsThreadInvariant) {
+  // Critical-path attribution under real faults: every round's segments must
+  // sum to the round's simulated duration (the invariant trace_report.py and
+  // CI gate on), retransmit overhead must actually show up, and — because
+  // the analyzer reads nothing but the simulated clock — the whole record
+  // set, straggler identity included, must be bit-identical whether the
+  // tensor substrate runs serial or on a worker pool.
+  const auto train = make_train(64);
+  const auto test = make_train(16);
+  const auto run_with_threads = [&](int threads) {
+    Rng prng(3);
+    const auto partition = data::partition_iid(train.size(), 3, prng);
+    auto cfg = faulted_config();
+    cfg.rounds = 12;
+    cfg.eval_every = 12;
+    cfg.threads = threads;
+    cfg.obs.enabled = true;
+    core::SplitTrainer trainer(mlp_builder(), train, partition, test, cfg);
+    (void)trainer.run();
+    // The ObsSession is trainer-owned: snapshot before destruction.
+    obs::CriticalPathAnalyzer* cp = obs::attribution();
+    EXPECT_NE(cp, nullptr);
+    return cp->records();
+  };
+
+  const auto serial = run_with_threads(1);
+  const auto pooled = run_with_threads(4);
+  ASSERT_EQ(serial.size(), 12U);
+  double retransmit_total = 0.0;
+  for (const auto& r : serial) {
+    double sum = 0.0;
+    for (const double s : r.segments) sum += s;
+    EXPECT_NEAR(sum, r.duration(), 1e-6) << "round " << r.round;
+    EXPECT_GE(r.segments[obs::CriticalPathAnalyzer::kDeadlineSlack], 0.0);
+    retransmit_total += r.segments[obs::CriticalPathAnalyzer::kRetransmit];
+  }
+  // 5% drop/duplicate/corrupt over 12 rounds: recovery traffic is certain
+  // (and seeded, so this is a deterministic assertion, not a flaky one).
+  EXPECT_GT(retransmit_total, 0.0);
+
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].segments, pooled[i].segments);
+    EXPECT_EQ(serial[i].has_straggler, pooled[i].has_straggler);
+    EXPECT_EQ(serial[i].straggler_node, pooled[i].straggler_node);
+    EXPECT_EQ(serial[i].straggler_segment, pooled[i].straggler_segment);
+    EXPECT_EQ(serial[i].straggler_seconds, pooled[i].straggler_seconds);
+  }
 }
 
 TEST(FaultedTraining, UnreachablePlatformIsSkippedNotFatal) {

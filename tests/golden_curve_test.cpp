@@ -200,11 +200,14 @@ TEST(GoldenCurve, TracingIsBitwiseInert) {
   namespace fs = std::filesystem;
   const fs::path trace = fs::path(::testing::TempDir()) / "golden_trace.json";
   const fs::path prom = fs::path(::testing::TempDir()) / "golden_metrics.prom";
+  const fs::path attr =
+      fs::path(::testing::TempDir()) / "golden_attribution.jsonl";
   const auto report = golden_run([&](core::SplitConfig& cfg) {
     cfg.obs.enabled = true;
     cfg.obs.detail = 2;  // per-layer nn spans — the heaviest setting
     cfg.obs.trace_path = trace.string();
     cfg.obs.metrics_path = prom.string();
+    cfg.obs.attribution_path = attr.string();
   });
   ASSERT_EQ(report.curve.size(), 10U);
   std::vector<std::uint64_t> bytes;
@@ -221,8 +224,10 @@ TEST(GoldenCurve, TracingIsBitwiseInert) {
   // The instrumented run also actually produced its outputs.
   EXPECT_TRUE(fs::exists(trace));
   EXPECT_TRUE(fs::exists(prom));
+  EXPECT_TRUE(fs::exists(attr));
   fs::remove(trace);
   fs::remove(prom);
+  fs::remove(attr);
 }
 
 TEST(GoldenCurve, KF16FixedSeedRunMatchesFingerprint) {

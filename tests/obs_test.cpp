@@ -1,14 +1,18 @@
 // Unit tests for the observability subsystem (src/obs/): the metrics
 // registry and its Prometheus exposition, the dual-clock trace recorder and
-// its Chrome trace-event JSON / JSONL exports, the flight-recorder ring, and
+// its Chrome trace-event JSON / JSONL exports, the cross-node flow events
+// and their start/finish pairing through the simulated network, the
+// critical-path analyzer's attribution model, the flight-recorder ring, and
 // the ObsSession install/uninstall lifecycle with its single-session and
 // postmortem-dump guarantees. The exported JSON is checked with a small
 // recursive-descent validator, not substring matching, so a malformed
 // escape or a trailing comma fails loudly here instead of in Perfetto.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -16,7 +20,12 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/net/fault.hpp"
+#include "src/net/link.hpp"
+#include "src/net/network.hpp"
+#include "src/obs/critical_path.hpp"
 #include "src/obs/obs.hpp"
+#include "src/serial/message.hpp"
 
 namespace splitmed::obs {
 namespace {
@@ -393,6 +402,350 @@ TEST(Flight, DumpCarriesReasonAndEvents) {
                          std::istreambuf_iterator<char>());
   EXPECT_EQ(file, text);
   fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Flow events: the "ph":"s"/"f" pairs that link a send on one node timeline
+// to its delivery on another. The exporter writes one event per line, so the
+// pairing checks scan lines of the Chrome export.
+
+struct FlowEvent {
+  char ph = '?';
+  std::uint64_t id = 0;
+  bool bound_enclosing = false;  // carries "bp":"e"
+  bool on_sim_pid = false;       // exported on the simulated timeline (pid 2)
+};
+
+std::vector<FlowEvent> flow_events(const std::string& chrome) {
+  std::vector<FlowEvent> out;
+  std::istringstream in(chrome);
+  std::string line;
+  while (std::getline(in, line)) {
+    const bool start = line.find("\"ph\":\"s\"") != std::string::npos;
+    const bool finish = line.find("\"ph\":\"f\"") != std::string::npos;
+    if (!start && !finish) continue;
+    FlowEvent ev;
+    ev.ph = start ? 's' : 'f';
+    const std::size_t id_pos = line.find("\"id\":");
+    if (id_pos != std::string::npos) {
+      ev.id = std::strtoull(line.c_str() + id_pos + 5, nullptr, 10);
+    }
+    ev.bound_enclosing = line.find("\"bp\":\"e\"") != std::string::npos;
+    ev.on_sim_pid = line.find("\"pid\":2") != std::string::npos;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+/// Asserts the flow events in a Chrome export form a perfect bijection:
+/// every start has exactly one finish with the same (nonzero) id, every
+/// finish binds to its enclosing slice, and all live on the sim timeline.
+/// Returns the sorted flow ids.
+std::vector<std::uint64_t> expect_flows_paired(const std::string& chrome) {
+  std::vector<std::uint64_t> starts;
+  std::vector<std::uint64_t> finishes;
+  for (const FlowEvent& ev : flow_events(chrome)) {
+    EXPECT_NE(ev.id, 0U);
+    EXPECT_TRUE(ev.on_sim_pid);
+    EXPECT_EQ(ev.bound_enclosing, ev.ph == 'f');
+    (ev.ph == 's' ? starts : finishes).push_back(ev.id);
+  }
+  std::sort(starts.begin(), starts.end());
+  std::sort(finishes.begin(), finishes.end());
+  EXPECT_EQ(starts, finishes);
+  EXPECT_EQ(std::adjacent_find(starts.begin(), starts.end()), starts.end())
+      << "duplicate flow id";
+  return starts;
+}
+
+std::string session_chrome_trace() {
+  std::ostringstream os;
+  trace()->write_chrome_trace(os);
+  return os.str();
+}
+
+TEST(Flow, RecorderExportsEachFlowEventOnceWithIdAndBindingPoint) {
+  TraceRecorder rec;
+  TraceEvent start;
+  start.ph = 's';
+  start.name = "net.flow";
+  start.cat = "net";
+  start.sim_s = 1.0;
+  start.flow_id = 42;
+  rec.record(start);
+  TraceEvent finish;
+  finish.ph = 'f';
+  finish.name = "net.flow";
+  finish.cat = "net";
+  finish.sim_s = 2.5;
+  finish.flow_id = 42;
+  rec.record(finish);
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(is_valid_json(text)) << text;
+  // Exactly one 's' and one 'f' — flow events are never mirrored onto the
+  // wall timeline (a duplicated id reads as two overlapping flows).
+  const auto flows = flow_events(text);
+  ASSERT_EQ(flows.size(), 2U);
+  EXPECT_EQ(flows[0].ph, 's');
+  EXPECT_EQ(flows[1].ph, 'f');
+  EXPECT_EQ(expect_flows_paired(text), std::vector<std::uint64_t>{42});
+
+  std::ostringstream jsonl;
+  rec.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"flow_id\":42"), std::string::npos);
+}
+
+TEST(Flow, NetworkPairsEveryDeliveredFrame) {
+  ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.detail = 2;
+  const ObsSession session(cfg);
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  network.set_link(a, b, net::Link{100.0, 0.5});
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    network.send(make_envelope(a, b, 1, round, {1, 2, 3}));
+    (void)network.receive(b);
+  }
+  EXPECT_EQ(expect_flows_paired(session_chrome_trace()).size(), 3U);
+}
+
+TEST(Flow, InjectedDuplicateGetsItsOwnFlow) {
+  ObsConfig cfg;
+  cfg.enabled = true;
+  const ObsSession session(cfg);
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  network.set_link(a, b, net::Link{100.0, 0.1});
+  net::FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  network.set_fault_plan(a, b, plan);
+  network.set_fault_seed(7);
+
+  network.send(make_envelope(a, b, 1, 0, {9, 9}));
+  const Envelope first = network.receive(b);
+  const Envelope second = network.receive(b);
+  // Two physical frames flew: each carries its own sideband flow id, and
+  // the export holds two disjoint start/finish pairs.
+  EXPECT_NE(first.trace.flow_id, second.trace.flow_id);
+  EXPECT_EQ(expect_flows_paired(session_chrome_trace()).size(), 2U);
+}
+
+TEST(Flow, CorruptDiscardedFrameStillFinishesItsFlow) {
+  ObsConfig cfg;
+  cfg.enabled = true;
+  const ObsSession session(cfg);
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  network.set_link(a, b, net::Link{100.0, 0.1});
+  net::FaultPlan plan;
+  plan.corrupt_rate = 1.0;
+  network.set_fault_plan(a, b, plan);
+  network.set_fault_seed(7);
+
+  network.send(make_envelope(a, b, 1, 0, {1, 2, 3, 4}));
+  // The CRC trailer fails at delivery; the frame is discarded, never handed
+  // to protocol code — but the WAN did deliver it, so its flow finishes.
+  EXPECT_FALSE(network.receive_before(b, 1e9).has_value());
+  EXPECT_EQ(network.stats().corrupted(), 1U);
+  EXPECT_EQ(expect_flows_paired(session_chrome_trace()).size(), 1U);
+}
+
+TEST(Flow, EachRetransmissionAttemptIsItsOwnFlight) {
+  ObsConfig cfg;
+  cfg.enabled = true;
+  const ObsSession session(cfg);
+  net::Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  network.set_link(a, b, net::Link{100.0, 0.2});
+
+  Envelope request = make_envelope(a, b, 1, 0, {5});
+  request.trace.platform = a;
+  network.send(request);
+  // The recovery layer re-sends the same protocol message: a distinct
+  // physical frame with the attempt counter bumped (core::Platform's
+  // resend_last path).
+  Envelope retry = request;
+  retry.retransmit = true;
+  retry.trace.attempt = 1;
+  network.send(retry);
+
+  const Envelope d0 = network.receive(b);
+  const Envelope d1 = network.receive(b);
+  EXPECT_EQ(d0.trace.attempt, 0U);
+  EXPECT_EQ(d1.trace.attempt, 1U);
+  EXPECT_NE(d0.trace.flow_id, d1.trace.flow_id);
+  EXPECT_EQ(expect_flows_paired(session_chrome_trace()).size(), 2U);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path analyzer: the attribution model on crafted waits.
+
+using CP = CriticalPathAnalyzer;
+
+TEST(CriticalPath, WaitsSplitAtFlightStartAndSumToDuration) {
+  CP cp;
+  cp.set_topology(0, {"server", "p1", "p2"});
+  cp.begin_round(1, 10.0);
+  // Request wait 10->12 on a frame that took flight at 11: one second of
+  // platform-side queueing, one second of uplink.
+  MsgWait request;
+  request.from = 10.0;
+  request.to = 12.0;
+  request.sent_sim = 11.0;
+  request.src = 1;
+  request.dst = 0;
+  cp.observe_wait(request);
+  // Reply wait 12->15, flight start 13: one second of server queue, two of
+  // downlink — owned by the platform being replied to (dst).
+  MsgWait reply;
+  reply.from = 12.0;
+  reply.to = 15.0;
+  reply.sent_sim = 13.0;
+  reply.src = 0;
+  reply.dst = 1;
+  cp.observe_wait(reply);
+  cp.close_round(1, 16.0);  // one second not spent waiting -> slack
+
+  const auto records = cp.records();
+  ASSERT_EQ(records.size(), 1U);
+  const auto& r = records[0];
+  EXPECT_EQ(r.round, 1);
+  EXPECT_DOUBLE_EQ(r.duration(), 6.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kPlatformCompute], 1.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kUplink], 1.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kServerQueue], 1.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kServerCompute], 0.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kDownlink], 2.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kRetransmit], 0.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kDeadlineSlack], 1.0);
+  double sum = 0.0;
+  for (const double s : r.segments) sum += s;
+  EXPECT_DOUBLE_EQ(sum, r.duration());  // the invariant CI gates on
+  ASSERT_TRUE(r.has_straggler);
+  EXPECT_EQ(r.straggler_node, 1U);
+  EXPECT_EQ(r.straggler_segment, CP::kDownlink);
+  EXPECT_DOUBLE_EQ(r.straggler_seconds, 5.0);
+}
+
+TEST(CriticalPath, FaultedWaitsAndTimeoutsAreRetransmitOverhead) {
+  CP cp;
+  cp.set_topology(0, {"server", "p1", "p2"});
+  cp.begin_round(4, 0.0);
+  MsgWait resent;  // retransmitted reply: every second is recovery overhead
+  resent.from = 0.0;
+  resent.to = 3.0;
+  resent.sent_sim = 1.0;
+  resent.src = 0;
+  resent.dst = 1;
+  resent.retransmit = true;
+  cp.observe_wait(resent);
+  MsgWait corrupt;  // CRC-discarded request: same bucket
+  corrupt.from = 3.0;
+  corrupt.to = 4.0;
+  corrupt.sent_sim = 3.5;
+  corrupt.src = 1;
+  corrupt.dst = 0;
+  corrupt.corrupt_discarded = true;
+  cp.observe_wait(corrupt);
+  cp.note_timeout_wait(4.0, 6.0, 2);  // recovery timeout on platform 2
+  cp.close_round(4, 6.0);
+
+  const auto& r = cp.records().back();
+  EXPECT_DOUBLE_EQ(r.segments[CP::kRetransmit], 6.0);
+  EXPECT_DOUBLE_EQ(r.segments[CP::kDeadlineSlack], 0.0);
+  ASSERT_TRUE(r.has_straggler);
+  EXPECT_EQ(r.straggler_node, 1U);  // 4 s attributed vs p2's 2 s
+  EXPECT_EQ(r.straggler_segment, CP::kRetransmit);
+}
+
+TEST(CriticalPath, StragglerTiesBreakToTheLowerNodeId) {
+  CP cp;
+  cp.set_topology(0, {"server", "p1", "p2"});
+  cp.begin_round(1, 0.0);
+  // Identical two-second uplink waits, the HIGHER node id observed first:
+  // the election must still pick node 1 (ordered per-platform map + strict
+  // greater-than), so straggler identity is deterministic.
+  MsgWait wait;
+  wait.from = 0.0;
+  wait.to = 2.0;
+  wait.sent_sim = 0.0;
+  wait.src = 2;
+  wait.dst = 0;
+  cp.observe_wait(wait);
+  wait.from = 2.0;
+  wait.to = 4.0;
+  wait.sent_sim = 2.0;
+  wait.src = 1;
+  cp.observe_wait(wait);
+  cp.close_round(1, 4.0);
+
+  const auto& r = cp.records().back();
+  ASSERT_TRUE(r.has_straggler);
+  EXPECT_EQ(r.straggler_node, 1U);
+  EXPECT_DOUBLE_EQ(r.straggler_seconds, 2.0);
+}
+
+TEST(CriticalPath, WaitsOutsideAnOpenRoundAreIgnored) {
+  CP cp;
+  cp.set_topology(0, {"server", "p1"});
+  MsgWait wait;
+  wait.from = 0.0;
+  wait.to = 5.0;
+  wait.src = 1;
+  wait.dst = 0;
+  cp.observe_wait(wait);           // before any round: construction traffic
+  cp.note_timeout_wait(0.0, 5.0, 1);
+  cp.close_round(1, 5.0);          // nothing open: no record
+  EXPECT_TRUE(cp.records().empty());
+
+  cp.begin_round(2, 10.0);
+  cp.close_round(3, 12.0);         // wrong round id: round 2 stays open
+  EXPECT_TRUE(cp.records().empty());
+  cp.close_round(2, 12.0);
+  ASSERT_EQ(cp.records().size(), 1U);
+  // No wait was observed inside the round — all slack.
+  EXPECT_DOUBLE_EQ(cp.records()[0].segments[CP::kDeadlineSlack], 2.0);
+}
+
+TEST(CriticalPath, JsonlRecordsAreValidJsonWithTheDocumentedSchema) {
+  CP cp;
+  cp.set_topology(0, {"server", "metro-hospital-a-0"});
+  cp.begin_round(1, 0.0);
+  MsgWait wait;
+  wait.from = 0.0;
+  wait.to = 1.5;
+  wait.sent_sim = 0.5;
+  wait.src = 1;
+  wait.dst = 0;
+  cp.observe_wait(wait);
+  cp.close_round(1, 2.0);
+
+  std::ostringstream os;
+  cp.write_jsonl(os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(is_valid_json(line)) << line;
+    for (const char* key : {"\"round\":", "\"duration_s\":", "\"segments\":",
+                            "\"straggler\":", "\"per_platform\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key;
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1U);
+  // The straggler carries the display name and its dominant segment.
+  EXPECT_NE(os.str().find("\"platform\":\"metro-hospital-a-0\""),
+            std::string::npos);
+  EXPECT_NE(os.str().find("\"reason\":\"uplink\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
