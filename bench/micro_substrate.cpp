@@ -12,16 +12,35 @@
 #include "src/common/thread_pool.hpp"
 #include "src/core/protocol.hpp"
 #include "src/net/network.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/linear.hpp"
+#include "src/nn/plan.hpp"
+#include "src/nn/sequential.hpp"
 #include "src/serial/tensor_codec.hpp"
 #include "src/tensor/gemm.hpp"
 #include "src/tensor/im2col.hpp"
 #include "src/tensor/ops.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace {
 
 using namespace splitmed;
+
+// Tag every JSON capture with THIS binary's build type so
+// scripts/bench_substrate.py can refuse to record debug numbers. (The
+// benchmark library's own `library_build_type` context key reports how
+// libbenchmark was built, which on distro packages is always release — it
+// says nothing about our flags.)
+const int kBuildTypeContext = [] {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("splitmed_build_type", "release");
+#else
+  benchmark::AddCustomContext("splitmed_build_type", "debug");
+#endif
+  return 0;
+}();
 
 // Fixed thread pins per benchmark family. Kernel benches run serial so
 // GFLOP/s is per-core kernel speed; layer benches use a fixed small pool so
@@ -180,6 +199,92 @@ void BM_LinearForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinearForward);
+
+// --- Execution-planner fusion families -------------------------------------
+// Each pair runs the SAME bytes-identical computation (plan_test asserts
+// bitwise equality) through the fused epilogue path vs the legacy per-layer
+// path, so Fused/Unfused time ratios isolate what fusion buys: no
+// intermediate tensor materialization, no separate bias/BN/ReLU passes over
+// the output. `peak_ws_bytes` reports the step-peak arena watermark the
+// planner's slab chaining is measured by.
+
+void run_infer_bench(benchmark::State& state, nn::Sequential& seq,
+                     const Tensor& x, bool fused) {
+  nn::set_planner_enabled(fused);
+  (void)seq.infer(x);  // warm the arena to its high-water mark
+  ws::reset_step_peak();
+  for (auto _ : state) {
+    Tensor y = seq.infer(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.counters["peak_ws_bytes"] =
+      static_cast<double>(ws::global_step_peak_bytes());
+  state.SetItemsProcessed(state.iterations() * x.shape().dim(0));
+  nn::set_planner_enabled(true);
+}
+
+void conv_bn_relu_bench(benchmark::State& state, bool fused) {
+  set_global_threads(kLayerThreads);
+  Rng rng(8);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(16, 32, 3, 1, 1, rng);
+  seq.emplace<nn::BatchNorm2d>(32);
+  seq.emplace<nn::ReLU>();
+  const Tensor x = Tensor::normal(Shape{8, 16, 16, 16}, rng);
+  (void)seq.forward(x, true);  // make the BN running statistics non-trivial
+  run_infer_bench(state, seq, x, fused);
+}
+void BM_ConvBnRelu_Fused(benchmark::State& state) {
+  conv_bn_relu_bench(state, true);
+}
+void BM_ConvBnRelu_Unfused(benchmark::State& state) {
+  conv_bn_relu_bench(state, false);
+}
+BENCHMARK(BM_ConvBnRelu_Fused);
+BENCHMARK(BM_ConvBnRelu_Unfused);
+
+void linear_relu_bench(benchmark::State& state, bool fused) {
+  set_global_threads(kLayerThreads);
+  Rng rng(9);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(512, 512, rng);
+  seq.emplace<nn::ReLU>();
+  const Tensor x = Tensor::normal(Shape{32, 512}, rng);
+  run_infer_bench(state, seq, x, fused);
+}
+void BM_LinearRelu_Fused(benchmark::State& state) {
+  linear_relu_bench(state, true);
+}
+void BM_LinearRelu_Unfused(benchmark::State& state) {
+  linear_relu_bench(state, false);
+}
+BENCHMARK(BM_LinearRelu_Fused);
+BENCHMARK(BM_LinearRelu_Unfused);
+
+// Slab-chained deep inference: peak_ws_bytes must be flat in the depth arg
+// with the planner on (2-slab ping-pong) — the pass-2 memory claim in
+// numbers. Compare against the same depth Unfused, where every intermediate
+// is a heap Tensor.
+void conv_chain_bench(benchmark::State& state, bool fused) {
+  set_global_threads(kLayerThreads);
+  const std::int64_t depth = state.range(0);
+  Rng rng(10);
+  nn::Sequential seq;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    seq.emplace<nn::Conv2d>(8, 8, 3, 1, 1, rng);
+    seq.emplace<nn::ReLU>();
+  }
+  const Tensor x = Tensor::normal(Shape{4, 8, 16, 16}, rng);
+  run_infer_bench(state, seq, x, fused);
+}
+void BM_ConvChainInfer_Fused(benchmark::State& state) {
+  conv_chain_bench(state, true);
+}
+void BM_ConvChainInfer_Unfused(benchmark::State& state) {
+  conv_chain_bench(state, false);
+}
+BENCHMARK(BM_ConvChainInfer_Fused)->Arg(4)->Arg(16);
+BENCHMARK(BM_ConvChainInfer_Unfused)->Arg(4)->Arg(16);
 
 void BM_TensorCodecRoundTrip(benchmark::State& state) {
   set_global_threads(kKernelThreads);

@@ -84,8 +84,21 @@ def context_summary(raw: dict) -> dict:
         "date": ctx.get("date", ""),
         "num_cpus": ctx.get("num_cpus"),
         "mhz_per_cpu": ctx.get("mhz_per_cpu"),
-        "build_type": ctx.get("library_build_type", ""),
+        "build_type": build_type(raw),
     }
+
+
+def build_type(raw: dict) -> str:
+    """The build type of OUR code, not of libbenchmark.
+
+    micro_substrate stamps `splitmed_build_type` into the benchmark context
+    from its own NDEBUG state; `library_build_type` (the only key old
+    captures had) describes how the benchmark LIBRARY was compiled, which on
+    distro packages is always release. Prefer ours, fall back to the
+    library's for pre-existing JSON.
+    """
+    ctx = raw.get("context", {})
+    return ctx.get("splitmed_build_type", ctx.get("library_build_type", ""))
 
 
 def main() -> None:
@@ -108,12 +121,25 @@ def main() -> None:
                     help="trajectory file to merge into")
     ap.add_argument("--raw-out", default=None,
                     help="also write the raw benchmark JSON here (CI artifact)")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="record a non-release capture anyway; the entry is "
+                         "tagged with a loud 'warning' field")
     args = ap.parse_args()
 
     if args.from_json:
         raw = json.loads(Path(args.from_json).read_text())
     else:
         raw = run_bench(args.bin, args.filter, args.min_time, args.repetitions)
+
+    # Debug numbers are not a trajectory point — they move with assertion
+    # density, not with the code's speed. Refuse them unless explicitly
+    # overridden, and even then tag the entry so nobody reads it as real.
+    capture_build = build_type(raw)
+    if capture_build != "release" and not args.allow_debug:
+        raise SystemExit(
+            f"refusing to record a '{capture_build or 'unknown'}' build "
+            "capture: rebuild with -DCMAKE_BUILD_TYPE=Release, or pass "
+            "--allow-debug to record it tagged")
 
     if args.raw_out:
         Path(args.raw_out).write_text(json.dumps(raw, indent=1) + "\n")
@@ -129,10 +155,15 @@ def main() -> None:
             "entries": {},
         }
 
-    trajectory.setdefault("entries", {})[args.label] = {
+    entry = {
         "context": context_summary(raw),
         "benchmarks": distill(raw),
     }
+    if capture_build != "release":
+        entry["warning"] = (f"NON-RELEASE CAPTURE ({capture_build or 'unknown'}"
+                            ") recorded with --allow-debug; numbers are not "
+                            "comparable to release entries")
+    trajectory.setdefault("entries", {})[args.label] = entry
     out_path.write_text(json.dumps(trajectory, indent=1, sort_keys=False) + "\n")
 
     benches = trajectory["entries"][args.label]["benchmarks"]

@@ -7,6 +7,7 @@
 // hold — it is invisible to the determinism contract.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <new>
 #include <vector>
@@ -15,6 +16,43 @@ namespace splitmed {
 
 /// Cacheline alignment used for Tensor storage and workspace-arena blocks.
 inline constexpr std::size_t kTensorAlignment = 64;
+
+namespace detail {
+// Process-wide accounting of live aligned-buffer bytes (Tensor storage).
+// Relaxed monitoring counters only — never synchronization, never fed back
+// into any computed value, so bitwise inert. The peak watermark lets the
+// depth sweep measure how resident tensor bytes grow with chain depth when
+// the planner is off (per-layer intermediates) vs on (arena slabs).
+inline std::atomic<std::size_t> g_aligned_live_bytes{0};
+inline std::atomic<std::size_t> g_aligned_peak_bytes{0};
+
+inline void aligned_bytes_add(std::size_t bytes) {
+  const std::size_t now =
+      g_aligned_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t seen = g_aligned_peak_bytes.load(std::memory_order_relaxed);
+  while (seen < now && !g_aligned_peak_bytes.compare_exchange_weak(
+                           seen, now, std::memory_order_relaxed)) {
+  }
+}
+inline void aligned_bytes_sub(std::size_t bytes) {
+  g_aligned_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Live bytes currently held by AlignedAllocator buffers (Tensor storage,
+/// process-wide).
+[[nodiscard]] inline std::size_t aligned_live_bytes() {
+  return detail::g_aligned_live_bytes.load(std::memory_order_relaxed);
+}
+/// Max of aligned_live_bytes() since the last reset_aligned_peak_bytes().
+[[nodiscard]] inline std::size_t aligned_peak_bytes() {
+  return detail::g_aligned_peak_bytes.load(std::memory_order_relaxed);
+}
+/// Restarts the peak watermark at the current live total.
+inline void reset_aligned_peak_bytes() {
+  detail::g_aligned_peak_bytes.store(aligned_live_bytes(),
+                                     std::memory_order_relaxed);
+}
 
 /// Minimal std allocator handing out `Alignment`-aligned memory via the
 /// C++17 aligned operator new. Stateless: all instances compare equal.
@@ -38,10 +76,13 @@ class AlignedAllocator {
   };
 
   T* allocate(std::size_t n) {
-    return static_cast<T*>(
+    T* p = static_cast<T*>(
         ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+    detail::aligned_bytes_add(n * sizeof(T));
+    return p;
   }
-  void deallocate(T* p, std::size_t) noexcept {
+  void deallocate(T* p, std::size_t n) noexcept {
+    detail::aligned_bytes_sub(n * sizeof(T));
     ::operator delete(p, std::align_val_t{Alignment});
   }
 

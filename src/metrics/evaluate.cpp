@@ -58,8 +58,11 @@ double evaluate_composite(nn::Layer& front, nn::Layer* back,
     std::iota(idx.begin(), idx.end(), begin);
     Tensor x = dataset.batch_images(idx);
     const auto labels = dataset.batch_labels(idx);
-    Tensor logits = front.forward(x, /*training=*/false);
-    if (back != nullptr) logits = back->forward(logits, /*training=*/false);
+    // infer(): bitwise identical to forward(x, false), but lets the
+    // execution planner fuse eval BN and chain through workspace slabs
+    // instead of materializing per-layer Tensors.
+    Tensor logits = front.infer(x);
+    if (back != nullptr) logits = back->infer(logits);
     correct += count_correct(logits, labels);
   }
   return static_cast<double>(correct) / static_cast<double>(n);

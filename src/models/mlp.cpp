@@ -28,6 +28,7 @@ BuiltModel make_mlp(const MlpConfig& config) {
   model.net.emplace<nn::Linear>(features, config.num_classes, rng);
 
   model.default_cut = 3;  // Flatten + Linear + ReLU
+  model.net.prepare_plan();
   return model;
 }
 

@@ -85,6 +85,7 @@ BuiltModel make_resnet(const ResNetConfig& config) {
 
   // L1 = stem conv + BN + ReLU.
   model.default_cut = 3;
+  model.net.prepare_plan();
   return model;
 }
 

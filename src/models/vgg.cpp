@@ -108,6 +108,7 @@ BuiltModel make_vgg(const VggConfig& config) {
   // The paper's L1 = first hidden layer: the first conv + its activation
   // (+ its BN when enabled).
   model.default_cut = config.batch_norm ? 3 : 2;
+  model.net.prepare_plan();
   return model;
 }
 

@@ -17,6 +17,16 @@ Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
+Tensor ReLU::infer(const Tensor& input) {
+  Tensor out(input.shape());
+  auto id = input.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    od[i] = id[i] > 0.0F ? id[i] : 0.0F;
+  }
+  return out;
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   check_same_shape(grad_output.shape(), cached_input_.shape(),
                    "ReLU backward");

@@ -18,6 +18,9 @@ class BatchNorm2d final : public Layer {
   /// differentiates exactly that (used by privacy::reconstruct_inputs,
   /// which attacks the deployed eval-mode L1).
   Tensor backward(const Tensor& grad_output) override;
+  /// Eval normalization without the backward cache (no input copy, no
+  /// has_forward_ flip). Bitwise identical to forward(input, false).
+  Tensor infer(const Tensor& input) override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   [[nodiscard]] std::string name() const override;
@@ -29,6 +32,10 @@ class BatchNorm2d final : public Layer {
 
   [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
   [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+  [[nodiscard]] const Tensor& gamma_value() const { return gamma_.value; }
+  [[nodiscard]] const Tensor& beta_value() const { return beta_.value; }
+  [[nodiscard]] float eps() const { return eps_; }
+  [[nodiscard]] std::int64_t channels() const { return channels_; }
 
  private:
   std::int64_t channels_;

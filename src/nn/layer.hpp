@@ -37,6 +37,16 @@ class Layer {
   /// Precondition: forward() was called and its cache is still valid.
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Inference-only forward: bitwise identical outputs to
+  /// forward(input, /*training=*/false), but with NO obligation to leave a
+  /// usable backward cache behind (layers override to skip caching, and the
+  /// execution planner overrides to fuse whole chains through arena slabs).
+  /// Callers that need backward after an eval-mode pass — the privacy
+  /// reconstruction attack — must keep using forward(x, false).
+  virtual Tensor infer(const Tensor& input) {
+    return forward(input, /*training=*/false);
+  }
+
   /// Output shape for a given input shape, without executing.
   [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
 

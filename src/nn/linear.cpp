@@ -36,32 +36,78 @@ Tensor Linear::forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
+Tensor Linear::infer(const Tensor& input) {
+  // Inference-only: bias fused at GEMM write-back (same single add per
+  // element as forward's read-modify-write loop), no input cache. Bitwise
+  // identical to forward(input, false).
+  SPLITMED_CHECK(input.shape().rank() == 2 && input.shape().dim(1) == in_,
+                 "Linear(" << in_ << "->" << out_ << "): bad input "
+                           << input.shape().str());
+  gemmk::Epilogue ep;
+  ep.bias = bias_.value.data().data();
+  ep.per_row = false;  // bias indexed by output feature = C column
+  Tensor out(Shape{input.shape().dim(0), out_});
+  run_fused(input.data(), input.shape().dim(0), out.data(), ep);
+  return out;
+}
+
+Tensor Linear::forward_fused(const Tensor& input, const gemmk::Epilogue& ep,
+                             bool cache) {
+  SPLITMED_CHECK(input.shape().rank() == 2 && input.shape().dim(1) == in_,
+                 "Linear(" << in_ << "->" << out_ << "): bad input "
+                           << input.shape().str());
+  if (cache) cached_input_ = input;
+  Tensor out(Shape{input.shape().dim(0), out_});
+  run_fused(input.data(), input.shape().dim(0), out.data(), ep);
+  return out;
+}
+
+void Linear::run_fused(std::span<const float> input, std::int64_t batch,
+                       std::span<float> out,
+                       const gemmk::Epilogue& ep) const {
+  SPLITMED_CHECK(input.size() >= static_cast<std::size_t>(batch * in_) &&
+                     out.size() >= static_cast<std::size_t>(batch * out_),
+                 name() << ": run_fused span too small");
+  // Same x·Wᵀ GEMM ops::matmul_nt runs (gemm_nt with identical dims), with
+  // the elementwise tail applied per C column at write-back.
+  gemm_nt_ep(batch, out_, in_, input.first(static_cast<std::size_t>(
+                                  batch * in_)),
+             weight_.value.data(),
+             out.first(static_cast<std::size_t>(batch * out_)), ep);
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
-  SPLITMED_CHECK(grad_output.shape().rank() == 2 &&
-                     grad_output.shape().dim(1) == out_,
-                 "Linear backward: bad grad " << grad_output.shape().str());
+  return backward_from(grad_output.data(), grad_output.shape());
+}
+
+Tensor Linear::backward_from(std::span<const float> grad_output,
+                             const Shape& grad_shape) {
+  SPLITMED_CHECK(grad_shape.rank() == 2 && grad_shape.dim(1) == out_,
+                 "Linear backward: bad grad " << grad_shape.str());
   SPLITMED_CHECK(cached_input_.shape().rank() == 2,
                  "Linear backward before forward");
   // dW += gᵀ·x : [out,b]·[b,in]; db += column sums of g; dx = g·W.
   // The dW product lands in workspace scratch instead of a fresh Tensor —
   // no heap allocation in steady state. Adding it elementwise matches the
   // old axpy(1.0F, ...) bitwise (1.0f * x == x exactly).
+  const std::int64_t batch = grad_shape.dim(0);
   {
-    const std::int64_t batch = grad_output.shape().dim(0);
     ws::WorkspaceScope scratch;
     std::span<float> dw = scratch.floats(out_ * in_);
-    gemm_tn(out_, in_, batch, grad_output.data(), cached_input_.data(), dw);
+    gemm_tn(out_, in_, batch, grad_output, cached_input_.data(), dw);
     auto wg = weight_.grad.data();
     for (std::int64_t i = 0; i < out_ * in_; ++i) wg[i] += dw[i];
   }
-  auto gd = grad_output.data();
   auto bg = bias_.grad.data();
-  const std::int64_t batch = grad_output.shape().dim(0);
   for (std::int64_t r = 0; r < batch; ++r) {
-    const float* row = gd.data() + r * out_;
+    const float* row = grad_output.data() + r * out_;
     for (std::int64_t c = 0; c < out_; ++c) bg[c] += row[c];
   }
-  return ops::matmul(grad_output, weight_.value);
+  // dx = g·W — the same gemm_nn call ops::matmul(grad_output, weight_.value)
+  // lowers to (ops.cpp), bitwise identical.
+  Tensor dx(Shape{batch, in_});
+  gemm_nn(batch, in_, out_, grad_output, weight_.value.data(), dx.data());
+  return dx;
 }
 
 Shape Linear::output_shape(const Shape& input) const {

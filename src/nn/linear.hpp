@@ -1,8 +1,11 @@
 // Fully-connected layer: y = x·Wᵀ + b, x: [batch, in], W: [out, in].
 #pragma once
 
+#include <span>
+
 #include "src/common/rng.hpp"
 #include "src/nn/layer.hpp"
+#include "src/tensor/gemm_kernels.hpp"
 
 namespace splitmed::nn {
 
@@ -13,6 +16,7 @@ class Linear final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override;
@@ -21,6 +25,17 @@ class Linear final : public Layer {
   [[nodiscard]] std::int64_t out_features() const { return out_; }
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
+  [[nodiscard]] const Tensor& bias_value() const { return bias_.value; }
+
+  /// Planner entry points (src/nn/plan.cpp); see Conv2d for the contract.
+  /// Here the GEMM is x·Wᵀ so the epilogue parameters index C COLUMNS
+  /// (per_row=false, one per output feature).
+  Tensor forward_fused(const Tensor& input, const gemmk::Epilogue& ep,
+                       bool cache);
+  void run_fused(std::span<const float> input, std::int64_t batch,
+                 std::span<float> out, const gemmk::Epilogue& ep) const;
+  Tensor backward_from(std::span<const float> grad_output,
+                       const Shape& grad_shape);
 
  private:
   std::int64_t in_;

@@ -1,0 +1,174 @@
+#include "src/nn/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/common/error.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/linear.hpp"
+
+namespace splitmed::nn {
+namespace {
+
+bool planner_env_default() {
+  const char* env = std::getenv("SPLITMED_PLAN");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+std::atomic<int>& planner_state() {
+  // -1 = unresolved (read env on first query), 0 = off, 1 = on.
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+}  // namespace
+
+bool planner_enabled() {
+  int s = planner_state().load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = planner_env_default() ? 1 : 0;
+    planner_state().store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_planner_enabled(bool enabled) {
+  planner_state().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+SlabAssignment color_intervals(std::span<const LifeInterval> intervals) {
+  SlabAssignment out;
+  out.color.resize(intervals.size());
+  // Per color: last_use of its current occupant, and the slab size so far.
+  std::vector<std::int64_t> expires;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const LifeInterval& iv = intervals[i];
+    SPLITMED_CHECK(iv.def <= iv.last_use && iv.floats >= 0,
+                   "color_intervals: malformed interval [" << iv.def << ", "
+                                                           << iv.last_use
+                                                           << ")");
+    SPLITMED_CHECK(i == 0 || intervals[i - 1].def <= iv.def,
+                   "color_intervals: intervals must be sorted by def");
+    std::size_t c = expires.size();
+    for (std::size_t j = 0; j < expires.size(); ++j) {
+      // Closed intervals: reuse only when the occupant died strictly
+      // before this value is defined.
+      if (expires[j] < iv.def) {
+        c = j;
+        break;
+      }
+    }
+    if (c == expires.size()) {
+      expires.push_back(iv.last_use);
+      out.slab_floats.push_back(iv.floats);
+    } else {
+      expires[c] = iv.last_use;
+      out.slab_floats[c] = std::max(out.slab_floats[c], iv.floats);
+    }
+    out.color[i] = c;
+  }
+  return out;
+}
+
+gemmk::Epilogue make_conv_epilogue(const Conv2d& conv, const BatchNorm2d* bn,
+                                   std::span<float> inv_std, bool relu) {
+  gemmk::Epilogue ep;
+  ep.bias = conv.bias_value().data().data();
+  ep.per_row = true;  // conv GEMM rows are output channels
+  if (bn != nullptr) {
+    SPLITMED_CHECK(bn->channels() == conv.out_channels(),
+                   "make_conv_epilogue: BN channels " << bn->channels()
+                                                      << " != conv out "
+                                                      << conv.out_channels());
+    SPLITMED_CHECK(
+        inv_std.size() >= static_cast<std::size_t>(bn->channels()),
+        "make_conv_epilogue: inv_std scratch too small");
+    auto rv = bn->running_var().data();
+    const float eps = bn->eps();
+    for (std::int64_t c = 0; c < bn->channels(); ++c) {
+      // Exactly batchnorm.cpp's eval expression; precomputing it per
+      // channel (instead of per element) changes nothing — the unfused
+      // loop also hoists it per channel.
+      inv_std[static_cast<std::size_t>(c)] =
+          1.0F / std::sqrt(rv[static_cast<std::size_t>(c)] + eps);
+    }
+    ep.bn_gamma = bn->gamma_value().data().data();
+    ep.bn_mean = bn->running_mean().data().data();
+    ep.bn_inv_std = inv_std.data();
+    ep.bn_beta = bn->beta_value().data().data();
+  }
+  ep.relu = relu;
+  return ep;
+}
+
+gemmk::Epilogue make_linear_epilogue(const Linear& linear, bool relu) {
+  gemmk::Epilogue ep;
+  ep.bias = linear.bias_value().data().data();
+  ep.per_row = false;  // x·Wᵀ puts output features in C columns
+  ep.relu = relu;
+  return ep;
+}
+
+ExecutionPlan ExecutionPlan::build(std::span<const LayerPtr> layers) {
+  ExecutionPlan plan;
+  std::size_t i = 0;
+  while (i < layers.size()) {
+    FusedGroup g;
+    g.begin = i;
+    if (auto* conv = dynamic_cast<Conv2d*>(layers[i].get())) {
+      g.conv = conv;
+      auto* bn = (i + 1 < layers.size())
+                     ? dynamic_cast<BatchNorm2d*>(layers[i + 1].get())
+                     : nullptr;
+      if (bn != nullptr && bn->channels() == conv->out_channels()) {
+        g.bn = bn;
+        const bool relu =
+            i + 2 < layers.size() &&
+            dynamic_cast<ReLU*>(layers[i + 2].get()) != nullptr;
+        g.kind = relu ? FuseKind::kConvBnRelu : FuseKind::kConvBn;
+        g.end = i + (relu ? 3 : 2);
+      } else if (i + 1 < layers.size() &&
+                 dynamic_cast<ReLU*>(layers[i + 1].get()) != nullptr) {
+        g.kind = FuseKind::kConvRelu;
+        g.end = i + 2;
+      } else {
+        g.kind = FuseKind::kPassthrough;
+        g.conv = nullptr;
+        g.layer = layers[i].get();
+        g.end = i + 1;
+      }
+    } else if (auto* linear = dynamic_cast<Linear*>(layers[i].get())) {
+      if (i + 1 < layers.size() &&
+          dynamic_cast<ReLU*>(layers[i + 1].get()) != nullptr) {
+        g.kind = FuseKind::kLinearRelu;
+        g.linear = linear;
+        g.end = i + 2;
+      } else {
+        g.kind = FuseKind::kPassthrough;
+        g.layer = layers[i].get();
+        g.end = i + 1;
+      }
+    } else {
+      g.kind = FuseKind::kPassthrough;
+      g.layer = layers[i].get();
+      g.end = i + 1;
+    }
+    i = g.end;
+    plan.groups_.push_back(std::move(g));
+  }
+  return plan;
+}
+
+bool ExecutionPlan::has_fusion() const {
+  for (const FusedGroup& g : groups_) {
+    if (g.kind != FuseKind::kPassthrough) return true;
+  }
+  return false;
+}
+
+}  // namespace splitmed::nn

@@ -1,0 +1,147 @@
+// Static execution planner over layer chains.
+//
+// Two cooperating passes, both bitwise inert (docs/PROTOCOL.md):
+//
+//  Pass 1 — epilogue fusion. Recognizes conv→bn→relu / conv→relu /
+//  linear→relu chains in a Sequential and folds the elementwise tail into
+//  the producing GEMM's write-back (gemmk::Epilogue), so the intermediate
+//  tensors are never materialized. Legality is proved per edge:
+//    - bias-add and ReLU are elementwise on the finished per-element
+//      k-fold, so fusing them never reorders the reduction — legal in
+//      training AND inference forward. Backward masks dReLU on the fused
+//      OUTPUT (x > 0 on the output is exactly x > 0 on the pre-activation,
+//      including -0.0 and NaN→0), then feeds the producing layer's
+//      backward — the identical float sequence to ReLU::backward followed
+//      by the layer backward.
+//    - inference-mode BatchNorm is a frozen per-channel affine map — legal
+//      as an epilogue, but ONLY on the infer() path. Training-mode BN needs
+//      batch statistics of the conv output, so the plan REFUSES to fuse it
+//      in forward(): kConvBn/kConvBnRelu groups run per-layer (unfused)
+//      under training, and fuse only under Sequential::infer().
+//
+//  Pass 2 — lifetime-based buffer reuse. Under Sequential::infer(), runs of
+//  fused groups chain through workspace-arena slabs instead of Tensors:
+//  each intermediate's lifetime is the closed interval [def group,
+//  last-use group], and a greedy interval coloring assigns intervals to
+//  reusable slabs (a straight chain ping-pongs between 2), so steady-state
+//  peak memory stops scaling with depth. Measured via
+//  ws::global_step_peak_bytes() / `splitmed_workspace_step_peak_bytes`.
+//
+// The planner is ON by default; SPLITMED_PLAN=0 or
+// set_planner_enabled(false) disables it, falling every path back to the
+// legacy per-layer loops. Fused and unfused execution are BITWISE IDENTICAL
+// (asserted by plan_test and the pinned golden curves).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/nn/layer.hpp"
+#include "src/tensor/gemm_kernels.hpp"
+
+namespace splitmed::nn {
+
+class Conv2d;
+class Linear;
+class BatchNorm2d;
+
+/// Whether plan-driven execution is active. Defaults to the SPLITMED_PLAN
+/// environment variable (unset or anything but "0" → on), read once;
+/// set_planner_enabled overrides it at runtime (tests and the fusion smoke
+/// toggle it around runs).
+[[nodiscard]] bool planner_enabled();
+void set_planner_enabled(bool enabled);
+
+/// What a recognized group of consecutive layers fuses into.
+enum class FuseKind : std::uint8_t {
+  kPassthrough,  ///< single layer, no fusion
+  kConvRelu,     ///< Conv2d + ReLU  (fusible in training and inference)
+  kConvBn,       ///< Conv2d + BatchNorm2d  (fusible in inference only)
+  kConvBnRelu,   ///< Conv2d + BatchNorm2d + ReLU  (inference only)
+  kLinearRelu,   ///< Linear + ReLU  (fusible in training and inference)
+};
+
+/// One plan node: layers [begin, end) of the Sequential, plus typed views
+/// of the members the fused paths need. `ran_fused`/`fused_out` are
+/// per-forward state written by Sequential::forward so backward mirrors
+/// exactly what forward did.
+struct FusedGroup {
+  FuseKind kind = FuseKind::kPassthrough;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  Conv2d* conv = nullptr;
+  Linear* linear = nullptr;
+  BatchNorm2d* bn = nullptr;
+  Layer* layer = nullptr;  ///< the passthrough layer (kind == kPassthrough)
+  // Per-forward state (training path only):
+  bool ran_fused = false;
+  Tensor fused_out;  ///< group output, cached for the dReLU backward mask
+};
+
+/// Lifetime of one chained intermediate: defined by group `def`, last read
+/// by group `last_use` (closed interval — two values conflict iff their
+/// intervals intersect, so [i, i+1] and [i+1, i+2] DO conflict: both are
+/// live while group i+1 runs).
+struct LifeInterval {
+  std::int64_t def = 0;
+  std::int64_t last_use = 0;
+  std::int64_t floats = 0;
+};
+
+/// Result of the greedy interval coloring: one slab per color, each sized
+/// to the largest interval assigned to it.
+struct SlabAssignment {
+  std::vector<std::size_t> color;       ///< per interval, index into slabs
+  std::vector<std::int64_t> slab_floats;  ///< per color, max floats needed
+};
+
+/// Greedy interval-graph coloring in def order: an interval reuses the
+/// lowest color whose previous occupant's last_use is strictly before this
+/// def, else opens a new color. For a straight chain this yields the
+/// classic 2-slab ping-pong regardless of depth.
+[[nodiscard]] SlabAssignment color_intervals(
+    std::span<const LifeInterval> intervals);
+
+/// Assembles the write-back epilogue for a conv-rooted group: conv bias
+/// (per C row = output channel), optional inference-mode BN (caller
+/// provides `inv_std` scratch of bn->channels() floats, filled here with
+/// 1/sqrt(running_var + eps) — the exact expression batchnorm.cpp uses),
+/// optional trailing ReLU. Pointers alias the layers' parameter tensors;
+/// the epilogue is valid while the layers and scratch live.
+[[nodiscard]] gemmk::Epilogue make_conv_epilogue(const Conv2d& conv,
+                                                 const BatchNorm2d* bn,
+                                                 std::span<float> inv_std,
+                                                 bool relu);
+
+/// Linear-rooted variant: bias per C column (output feature), optional
+/// trailing ReLU.
+[[nodiscard]] gemmk::Epilogue make_linear_epilogue(const Linear& linear,
+                                                   bool relu);
+
+/// The static plan for one Sequential: its layer list partitioned into
+/// FusedGroups. Rebuilt whenever the layer list changes (Sequential tracks
+/// a structure version).
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  /// Chain recognition over the layer list. Greedy, left to right:
+  /// Conv2d [+ BatchNorm2d(channels match)] [+ ReLU] and Linear + ReLU
+  /// become fused groups; everything else is its own passthrough group.
+  [[nodiscard]] static ExecutionPlan build(std::span<const LayerPtr> layers);
+
+  [[nodiscard]] const std::vector<FusedGroup>& groups() const {
+    return groups_;
+  }
+  [[nodiscard]] std::vector<FusedGroup>& groups() { return groups_; }
+
+  /// True when any group actually fuses (the planned paths short-circuit to
+  /// the legacy loops otherwise).
+  [[nodiscard]] bool has_fusion() const;
+
+ private:
+  std::vector<FusedGroup> groups_;
+};
+
+}  // namespace splitmed::nn

@@ -3,7 +3,9 @@
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/nn/plan.hpp"
 #include "src/tensor/ops.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace splitmed::nn {
 
@@ -41,6 +43,50 @@ Tensor ResidualBlock::forward(const Tensor& input, bool training) {
   auto d = sum.data();
   for (auto& v : d) v = v > 0.0F ? v : 0.0F;
   return sum;
+}
+
+Tensor ResidualBlock::infer(const Tensor& input) {
+  if (!planner_enabled()) return forward(input, /*training=*/false);
+  // Fused inference: both main-path stages and the projection run as
+  // epilogue-fused GEMMs (bias + eval BN, plus ReLU on stage 1) into arena
+  // slabs — no intermediate Tensors, no backward caches. The residual join
+  // and final ReLU run elementwise on the finished stage outputs, the same
+  // float sequence as ops::add + the in-place ReLU of forward().
+  const Shape s1 = conv1_.output_shape(input.shape());
+  const Shape s2 = conv2_.output_shape(s1);
+  Tensor out(s2);
+  ws::WorkspaceScope scope;
+  std::span<float> t1 = scope.floats(s1.numel());
+  std::span<float> t2 = scope.floats(s2.numel());
+  std::span<float> inv1 = scope.floats(bn1_.channels());
+  std::span<float> inv2 = scope.floats(bn2_.channels());
+  {
+    const gemmk::Epilogue ep =
+        make_conv_epilogue(conv1_, &bn1_, inv1, /*relu=*/true);
+    conv1_.run_fused(input.data(), input.shape().dim(0),
+                     input.shape().dim(2), input.shape().dim(3), t1, ep);
+  }
+  {
+    const gemmk::Epilogue ep =
+        make_conv_epilogue(conv2_, &bn2_, inv2, /*relu=*/false);
+    conv2_.run_fused(t1, s1.dim(0), s1.dim(2), s1.dim(3), t2, ep);
+  }
+  std::span<const float> skip = input.data();
+  if (has_projection_) {
+    std::span<float> sp = scope.floats(s2.numel());
+    std::span<float> invp = scope.floats(proj_bn_->channels());
+    const gemmk::Epilogue ep = make_conv_epilogue(
+        *proj_conv_, proj_bn_.get(), invp, /*relu=*/false);
+    proj_conv_->run_fused(input.data(), input.shape().dim(0),
+                          input.shape().dim(2), input.shape().dim(3), sp, ep);
+    skip = sp;
+  }
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) {
+    const float v = t2[i] + skip[i];
+    od[i] = v > 0.0F ? v : 0.0F;
+  }
+  return out;
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_output) {

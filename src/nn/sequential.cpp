@@ -3,17 +3,55 @@
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/linear.hpp"
 #include "src/obs/obs.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace splitmed::nn {
+namespace {
+
+/// Trace label for one plan group, e.g. "Conv2d(3->16, k3 s1 p1)+ReLU".
+std::string group_label(const FusedGroup& g,
+                        const std::vector<LayerPtr>& layers) {
+  std::string label;
+  for (std::size_t i = g.begin; i < g.end; ++i) {
+    if (i > g.begin) label += '+';
+    label += layers[i]->name();
+  }
+  return label;
+}
+
+}  // namespace
 
 Sequential& Sequential::add(LayerPtr layer) {
   SPLITMED_CHECK(layer != nullptr, "Sequential::add: null layer");
   layers_.push_back(std::move(layer));
+  ++structure_version_;
   return *this;
 }
 
+void Sequential::ensure_plan() {
+  if (planned_version_ != structure_version_) {
+    plan_ = ExecutionPlan::build(layers_);
+    planned_version_ = structure_version_;
+  }
+}
+
+void Sequential::prepare_plan() { ensure_plan(); }
+
+const ExecutionPlan& Sequential::plan() {
+  ensure_plan();
+  return plan_;
+}
+
 Tensor Sequential::forward(const Tensor& input, bool training) {
+  ensure_plan();
+  if (planner_enabled() && plan_.has_fusion()) {
+    return forward_planned(input, training);
+  }
+  last_forward_planned_ = false;
   Tensor x = input;
   if (obs::detail_at_least(2)) {
     // Per-layer spans (--trace-detail=2): where the compute time goes.
@@ -30,7 +68,58 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
   return x;
 }
 
+Tensor Sequential::forward_planned(const Tensor& input, bool training) {
+  last_forward_planned_ = true;
+  Tensor x = input;
+  // Runs one plan group. conv→relu and linear→relu fuse the ReLU into the
+  // GEMM write-back in BOTH modes (elementwise-after-fold, bitwise inert;
+  // the group's output is cached for the dReLU backward mask). BN-rooted
+  // groups run per-layer here: training-mode BN needs batch statistics of
+  // the conv output, and eval-mode forward() must leave BatchNorm's
+  // backward cache intact (privacy::reconstruct_inputs differentiates an
+  // eval forward) — only infer() fuses BN.
+  auto run_group = [&](FusedGroup& g) {
+    switch (g.kind) {
+      case FuseKind::kConvRelu: {
+        const gemmk::Epilogue ep =
+            make_conv_epilogue(*g.conv, nullptr, {}, /*relu=*/true);
+        x = g.conv->forward_fused(x, ep, /*cache=*/true);
+        g.fused_out = x;
+        g.ran_fused = true;
+        break;
+      }
+      case FuseKind::kLinearRelu: {
+        const gemmk::Epilogue ep = make_linear_epilogue(*g.linear, true);
+        x = g.linear->forward_fused(x, ep, /*cache=*/true);
+        g.fused_out = x;
+        g.ran_fused = true;
+        break;
+      }
+      default: {
+        g.ran_fused = false;
+        for (std::size_t i = g.begin; i < g.end; ++i) {
+          x = layers_[i]->forward(x, training);
+        }
+        break;
+      }
+    }
+  };
+  if (obs::detail_at_least(2)) {
+    std::uint64_t index = 0;
+    for (FusedGroup& g : plan_.groups()) {
+      obs::Span span(obs::trace(), "nn." + group_label(g, layers_), "nn");
+      span.arg("dir", "forward");
+      span.arg("index", index++);
+      run_group(g);
+    }
+    return x;
+  }
+  for (FusedGroup& g : plan_.groups()) run_group(g);
+  return x;
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
+  if (last_forward_planned_) return backward_planned(grad_output);
   Tensor g = grad_output;
   if (obs::detail_at_least(2)) {
     for (std::size_t i = layers_.size(); i-- > 0;) {
@@ -45,6 +134,141 @@ Tensor Sequential::backward(const Tensor& grad_output) {
     g = layers_[i]->backward(g);
   }
   return g;
+}
+
+Tensor Sequential::backward_planned(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  auto& groups = plan_.groups();
+  // Mirrors forward_planned exactly: groups that ran fused get the dReLU
+  // mask applied to the incoming gradient on the cached fused OUTPUT
+  // (out > 0 ⟺ pre-activation > 0, including -0.0 and NaN→0, so the
+  // masked bytes equal ReLU::backward's result), scratch-buffered in the
+  // arena, then the producing layer's backward runs on those bytes.
+  auto run_group = [&](FusedGroup& grp) {
+    if (grp.ran_fused) {
+      check_same_shape(g.shape(), grp.fused_out.shape(),
+                       "Sequential fused backward");
+      ws::WorkspaceScope scope;
+      std::span<float> masked = scope.floats(grp.fused_out.numel());
+      auto fd = grp.fused_out.data();
+      auto gd = g.data();
+      for (std::size_t i = 0; i < gd.size(); ++i) {
+        masked[i] = fd[i] > 0.0F ? gd[i] : 0.0F;
+      }
+      g = (grp.conv != nullptr)
+              ? grp.conv->backward_from(masked, grp.fused_out.shape())
+              : grp.linear->backward_from(masked, grp.fused_out.shape());
+    } else {
+      for (std::size_t i = grp.end; i-- > grp.begin;) {
+        g = layers_[i]->backward(g);
+      }
+    }
+  };
+  if (obs::detail_at_least(2)) {
+    for (std::size_t gi = groups.size(); gi-- > 0;) {
+      obs::Span span(obs::trace(),
+                     "nn." + group_label(groups[gi], layers_), "nn");
+      span.arg("dir", "backward");
+      span.arg("index", static_cast<std::uint64_t>(gi));
+      run_group(groups[gi]);
+    }
+    return g;
+  }
+  for (std::size_t gi = groups.size(); gi-- > 0;) run_group(groups[gi]);
+  return g;
+}
+
+Tensor Sequential::infer(const Tensor& input) {
+  ensure_plan();
+  if (!planner_enabled() || !plan_.has_fusion()) {
+    // Legacy eval loop — per-layer forward(x, false), the unfused
+    // comparator (keeps every layer's backward cache, as evaluate did
+    // before the planner existed).
+    Tensor x = input;
+    for (const auto& layer : layers_) x = layer->forward(x, false);
+    return x;
+  }
+  Tensor x = input;
+  auto& groups = plan_.groups();
+  std::size_t gi = 0;
+  while (gi < groups.size()) {
+    if (groups[gi].kind == FuseKind::kPassthrough) {
+      x = groups[gi].layer->infer(x);
+      ++gi;
+      continue;
+    }
+    // Maximal run of fused groups chains through arena slabs.
+    std::size_t gj = gi + 1;
+    while (gj < groups.size() &&
+           groups[gj].kind != FuseKind::kPassthrough) {
+      ++gj;
+    }
+    x = infer_fused_run(x, gi, gj);
+    gi = gj;
+  }
+  return x;
+}
+
+Tensor Sequential::infer_fused_run(const Tensor& input, std::size_t g0,
+                                   std::size_t g1) {
+  auto& groups = plan_.groups();
+  const std::size_t r = g1 - g0;
+  // Output shape per group in the run.
+  std::vector<Shape> shapes;
+  shapes.reserve(r);
+  Shape s = input.shape();
+  for (std::size_t i = g0; i < g1; ++i) {
+    for (std::size_t li = groups[i].begin; li < groups[i].end; ++li) {
+      s = layers_[li]->output_shape(s);
+    }
+    shapes.push_back(s);
+  }
+  Tensor out(shapes.back());
+  ws::WorkspaceScope scope;
+  // Chained intermediates (every group output but the last, which writes
+  // the result Tensor): value i is defined by group i and last read by
+  // group i+1 — closed intervals, colored onto reusable slabs. A straight
+  // chain ping-pongs between two slabs regardless of depth.
+  std::vector<LifeInterval> intervals;
+  intervals.reserve(r > 0 ? r - 1 : 0);
+  for (std::size_t i = 0; i + 1 < r; ++i) {
+    intervals.push_back({static_cast<std::int64_t>(i),
+                         static_cast<std::int64_t>(i) + 1,
+                         shapes[i].numel()});
+  }
+  const SlabAssignment assignment = color_intervals(intervals);
+  std::vector<std::span<float>> slabs;
+  slabs.reserve(assignment.slab_floats.size());
+  for (std::int64_t f : assignment.slab_floats) {
+    slabs.push_back(scope.floats(f));
+  }
+  std::span<const float> cur = input.data();
+  Shape cur_shape = input.shape();
+  for (std::size_t i = 0; i < r; ++i) {
+    FusedGroup& g = groups[g0 + i];
+    std::span<float> dst =
+        (i + 1 == r)
+            ? out.data()
+            : slabs[assignment.color[i]].first(
+                  static_cast<std::size_t>(shapes[i].numel()));
+    if (g.conv != nullptr) {
+      std::span<float> inv_std =
+          (g.bn != nullptr) ? scope.floats(g.bn->channels())
+                            : std::span<float>{};
+      const bool relu = g.kind == FuseKind::kConvRelu ||
+                        g.kind == FuseKind::kConvBnRelu;
+      const gemmk::Epilogue ep =
+          make_conv_epilogue(*g.conv, g.bn, inv_std, relu);
+      g.conv->run_fused(cur, cur_shape.dim(0), cur_shape.dim(2),
+                        cur_shape.dim(3), dst, ep);
+    } else {
+      const gemmk::Epilogue ep = make_linear_epilogue(*g.linear, true);
+      g.linear->run_fused(cur, cur_shape.dim(0), dst, ep);
+    }
+    cur = dst;
+    cur_shape = shapes[i];
+  }
+  return out;
 }
 
 Shape Sequential::output_shape(const Shape& input) const {
@@ -90,6 +314,7 @@ Sequential Sequential::extract(std::size_t begin, std::size_t end) {
   }
   layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(begin),
                 layers_.begin() + static_cast<std::ptrdiff_t>(end));
+  ++structure_version_;  // stale plan would hold dangling layer pointers
   return out;
 }
 

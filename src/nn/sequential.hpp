@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/nn/layer.hpp"
+#include "src/nn/plan.hpp"
 
 namespace splitmed::nn {
 
@@ -22,6 +23,11 @@ class Sequential final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// Plan-driven inference: fused groups (including inference-mode BN)
+  /// chain through lifetime-colored workspace slabs; with the planner off,
+  /// falls back to the legacy per-layer forward(x, false) loop. Outputs are
+  /// bitwise identical either way.
+  Tensor infer(const Tensor& input) override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override;
@@ -44,8 +50,34 @@ class Sequential final : public Layer {
   /// result[0] = input, result[i+1] = output of layer i. Pure.
   [[nodiscard]] std::vector<Shape> activation_shapes(const Shape& input) const;
 
+  /// Builds (or rebuilds) the execution plan now instead of lazily on the
+  /// first forward. Models call this once after construction.
+  void prepare_plan();
+
+  /// The current plan (building it first if stale). Test/introspection
+  /// hook.
+  [[nodiscard]] const ExecutionPlan& plan();
+
+  /// Whether the most recent forward() took the plan-driven path (backward
+  /// mirrors this; exposed for tests).
+  [[nodiscard]] bool last_forward_planned() const {
+    return last_forward_planned_;
+  }
+
  private:
+  void ensure_plan();
+  Tensor forward_planned(const Tensor& input, bool training);
+  Tensor backward_planned(const Tensor& grad_output);
+  /// Chains fused groups [g0, g1) of the plan through lifetime-colored
+  /// arena slabs (inference only — no caches survive).
+  Tensor infer_fused_run(const Tensor& input, std::size_t g0, std::size_t g1);
+
   std::vector<LayerPtr> layers_;
+  // Plan cache, invalidated by structural edits (add/extract).
+  ExecutionPlan plan_;
+  std::uint64_t structure_version_ = 0;
+  std::uint64_t planned_version_ = ~std::uint64_t{0};
+  bool last_forward_planned_ = false;
 };
 
 }  // namespace splitmed::nn

@@ -25,6 +25,7 @@ std::atomic<Counter*> g_gemm_seconds{nullptr};
 std::atomic<Counter*> g_gemm_calls{nullptr};
 std::atomic<Gauge*> g_ws_reserved{nullptr};
 std::atomic<Gauge*> g_ws_in_use{nullptr};
+std::atomic<Gauge*> g_ws_step_peak{nullptr};
 std::atomic<Gauge*> g_event_queue_depth{nullptr};
 std::atomic<bool> g_session_active{false};
 
@@ -63,6 +64,9 @@ Gauge* workspace_reserved_gauge() {
 }
 Gauge* workspace_in_use_gauge() {
   return g_ws_in_use.load(std::memory_order_acquire);
+}
+Gauge* workspace_step_peak_gauge() {
+  return g_ws_step_peak.load(std::memory_order_acquire);
 }
 
 Gauge* event_queue_depth_gauge() {
@@ -157,6 +161,11 @@ ObsSession::ObsSession(const ObsConfig& config) : config_(config) {
       &metrics_->gauge("splitmed_workspace_in_use_bytes",
                        "Workspace-arena bytes currently checked out"),
       std::memory_order_release);
+  g_ws_step_peak.store(
+      &metrics_->gauge("splitmed_workspace_step_peak_bytes",
+                       "Peak workspace-arena bytes checked out since the "
+                       "last step-peak reset"),
+      std::memory_order_release);
   g_event_queue_depth.store(
       &metrics_->gauge("splitmed_event_queue_depth",
                        "Frames in flight across every inbox (sampled on "
@@ -205,6 +214,7 @@ void ObsSession::close() {
   g_gemm_calls.store(nullptr, std::memory_order_release);
   g_ws_reserved.store(nullptr, std::memory_order_release);
   g_ws_in_use.store(nullptr, std::memory_order_release);
+  g_ws_step_peak.store(nullptr, std::memory_order_release);
   g_event_queue_depth.store(nullptr, std::memory_order_release);
   g_detail.store(0, std::memory_order_release);
   flush();

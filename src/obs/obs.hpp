@@ -83,6 +83,10 @@ struct ObsConfig {
 /// session is active.
 [[nodiscard]] Gauge* workspace_reserved_gauge();
 [[nodiscard]] Gauge* workspace_in_use_gauge();
+/// Peak checked-out arena bytes since the last ws::reset_step_peak() — the
+/// execution planner's peak-bytes-per-step measurement
+/// (`splitmed_workspace_step_peak_bytes`). Null while no session is active.
+[[nodiscard]] Gauge* workspace_step_peak_gauge();
 
 /// Pre-registered event-queue-depth gauge (frames in flight across every
 /// inbox), sampled on every EventScheduler::pump_one and at round

@@ -102,6 +102,28 @@ bool handle_empty(std::int64_t m, std::int64_t n, std::int64_t k, float* c) {
   return false;
 }
 
+/// Scalar epilogue pass over all of C, used only for the degenerate k <= 0
+/// shape (where no micro-kernel runs): the same per-element op sequence as
+/// gemmk's epilogue_apply, applied to the zeroed C. This TU compiles with
+/// the project's default flags (generic x86-64, no FMA), so each step stays
+/// one separately-rounded op exactly like the kernel write-back path.
+void apply_epilogue_full(std::int64_t m, std::int64_t n, float* c,
+                         const gemmk::Epilogue& ep) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t p = ep.per_row ? i : j;
+      float x = c[i * n + j];
+      if (ep.bias != nullptr) x = x + ep.bias[p];
+      if (ep.bn_gamma != nullptr) {
+        x = ((ep.bn_gamma[p] * (x - ep.bn_mean[p])) * ep.bn_inv_std[p]) +
+            ep.bn_beta[p];
+      }
+      if (ep.relu) x = x > 0.0F ? x : 0.0F;
+      c[i * n + j] = x;
+    }
+  }
+}
+
 // A's element (i, kk) lives at a[i*k + kk] (kNormal, A is [m,k]) or at
 // a[kk*m + i] (kTransposed, A is [k,m]). Likewise B's (kk, j) is
 // b[kk*n + j] (kNormal, B is [k,n]) or b[j*k + kk] (kTransposed, B [n,k]).
@@ -171,7 +193,8 @@ void pack_a(AKind kind, std::int64_t m, std::int64_t k, const float* a,
 /// spans validated. C rows are partitioned across threads; chunks never
 /// split a row, so any partition is bitwise identical to serial execution.
 void gemm_packed(AKind ak, BKind bk, std::int64_t m, std::int64_t n,
-                 std::int64_t k, const float* a, const float* b, float* c) {
+                 std::int64_t k, const float* a, const float* b, float* c,
+                 const gemmk::Epilogue* ep = nullptr) {
   const gemmk::MicroKernel& mk = gemmk::active_kernel();
   const std::int64_t mr_max = mk.block_rows;
   const std::int64_t nr_max = mk.panel_cols;
@@ -195,7 +218,8 @@ void gemm_packed(AKind ak, BKind bk, std::int64_t m, std::int64_t n,
       for (std::int64_t jp = 0; jp < panels; ++jp) {
         const std::int64_t j0 = jp * nr_max;
         const std::int64_t nr = std::min(nr_max, n - j0);
-        mk.fn(k, ablock, bp + jp * k * nr_max, c + i0 * n + j0, n, mr, nr);
+        mk.fn(k, ablock, bp + jp * k * nr_max, c + i0 * n + j0, n, mr, nr, ep,
+              i0, j0);
       }
     }
   });
@@ -259,6 +283,32 @@ void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
   if (handle_empty(m, n, k, c.data())) return;
   gemm_packed(AKind::kNormal, BKind::kTransposed, m, n, k, a.data(), b.data(),
               c.data());
+}
+
+void gemm_nn_ep(std::int64_t m, std::int64_t n, std::int64_t k,
+                std::span<const float> a, std::span<const float> b,
+                std::span<float> c, const gemmk::Epilogue& ep) {
+  const GemmTimer timer;
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  if (handle_empty(m, n, k, c.data())) {
+    if (m > 0 && n > 0) apply_epilogue_full(m, n, c.data(), ep);
+    return;
+  }
+  gemm_packed(AKind::kNormal, BKind::kNormal, m, n, k, a.data(), b.data(),
+              c.data(), &ep);
+}
+
+void gemm_nt_ep(std::int64_t m, std::int64_t n, std::int64_t k,
+                std::span<const float> a, std::span<const float> b,
+                std::span<float> c, const gemmk::Epilogue& ep) {
+  const GemmTimer timer;
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  if (handle_empty(m, n, k, c.data())) {
+    if (m > 0 && n > 0) apply_epilogue_full(m, n, c.data(), ep);
+    return;
+  }
+  gemm_packed(AKind::kNormal, BKind::kTransposed, m, n, k, a.data(), b.data(),
+              c.data(), &ep);
 }
 
 // ---------------------------------------------------------------------------

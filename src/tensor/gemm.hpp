@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <span>
 
+#include "src/tensor/gemm_kernels.hpp"
+
 namespace splitmed {
 
 /// C[m,n] = A[m,k] * B[k,n]  (C is overwritten).
@@ -24,6 +26,21 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c);
+
+/// gemm_nn with a fused write-back epilogue (gemmk::Epilogue): each C
+/// element gets the elementwise tail applied AFTER its k-fold completes, at
+/// write-back — bitwise identical to gemm_nn followed by the same
+/// elementwise passes, for any thread count and ISA variant. When k <= 0
+/// the epilogue is applied to the zero matrix (matching the unfused
+/// sequence). Parameter spans must cover m (per_row) or n (per-column).
+void gemm_nn_ep(std::int64_t m, std::int64_t n, std::int64_t k,
+                std::span<const float> a, std::span<const float> b,
+                std::span<float> c, const gemmk::Epilogue& ep);
+
+/// gemm_nt with a fused write-back epilogue; see gemm_nn_ep.
+void gemm_nt_ep(std::int64_t m, std::int64_t n, std::int64_t k,
+                std::span<const float> a, std::span<const float> b,
+                std::span<float> c, const gemmk::Epilogue& ep);
 
 /// Serial naive reference kernels: the strict k-ascending, write-first left
 /// fold that the packed kernels above must reproduce BITWISE (asserted

@@ -22,13 +22,44 @@
 
 namespace splitmed::gemmk {
 
+/// Write-back epilogue: an elementwise transform applied to each C element
+/// AFTER its k-fold completes, at the moment the accumulator leaves the
+/// registers. Because it runs per element on the finished fold value, it
+/// never reorders the reduction — fused results are bitwise identical to
+/// running the same elementwise passes after an unfused GEMM (each step is
+/// one separately-rounded IEEE op in the same order the unfused layer code
+/// uses; the variant TUs compile with -ffp-contract=off so no FMA fusion).
+///
+/// Per-element sequence for C[i][j], with p = per_row ? i : j:
+///   1. bias      : x = x + bias[p]                       (conv/linear bias)
+///   2. bn scale  : x = ((gamma[p]*(x - mean[p])) * inv_std[p]) + beta[p]
+///                  (inference-mode BatchNorm; exactly batchnorm.cpp's
+///                  eval expression, left-associated)
+///   3. relu      : x = x > 0 ? x : 0
+/// Null pointers / relu=false skip a step. POD only — this header is
+/// included by every ISA variant TU, so it must carry no code with vague
+/// linkage, just types.
+struct Epilogue {
+  const float* bias = nullptr;      ///< [m] if per_row else [n]
+  const float* bn_gamma = nullptr;  ///< all four set together, or none
+  const float* bn_mean = nullptr;
+  const float* bn_inv_std = nullptr;
+  const float* bn_beta = nullptr;
+  bool relu = false;
+  bool per_row = true;  ///< parameter index: C row (conv) vs column (linear)
+};
+
 /// Computes the mr×nr tile C[r][j] (r < mr, j < nr) from packed panels:
 ///   ap[kk*MR + r] — A panel, MR floats per k step (rows ≥ mr zero-padded)
 ///   bp[kk*NR + j] — B panel, NR floats per k step (cols ≥ nr zero-padded)
 /// with k ≥ 1; C is written (write-first), ldc is C's row stride.
+/// `ep` (nullable) is applied at write-back; (i0, j0) is the tile's origin
+/// in C, used only to index the epilogue's per-row/per-column parameters.
 using MicroKernelFn = void (*)(std::int64_t k, const float* ap,
                                const float* bp, float* c, std::int64_t ldc,
-                               std::int64_t mr, std::int64_t nr);
+                               std::int64_t mr, std::int64_t nr,
+                               const Epilogue* ep, std::int64_t i0,
+                               std::int64_t j0);
 
 /// One compiled variant plus the panel geometry its packing must use.
 struct MicroKernel {

@@ -6,7 +6,8 @@
 // template COMDAT) linkage — a linker merging identically-named symbols
 // across variant TUs would silently route every variant through one ISA's
 // code, crashing CPUs that lack it. For the same reason this header may
-// include nothing beyond <cstdint>.
+// include nothing beyond <cstdint> and gemm_kernels.hpp (types and plain
+// function declarations only — nothing with vague linkage).
 //
 // The kernel is hand-vectorized with GCC/Clang vector extensions rather
 // than left to the auto-vectorizer (which produces shuffle-heavy code for
@@ -26,8 +27,28 @@
 
 #include <cstdint>
 
+#include "src/tensor/gemm_kernels.hpp"  // Epilogue (POD only; linkage-safe)
+
 namespace splitmed::gemmk {
 namespace {
+
+// Scalar epilogue application for edge tiles and the portable fallback.
+// Must stay the exact op-for-op sequence of the vector path below (and of
+// the unfused layer code): each step is one separately-rounded IEEE op, so
+// an element gets identical bits whether it was written by a full vector
+// tile, an edge-tile spill, or any ISA variant. (pi, pj) are the element's
+// global row/column in C.
+inline float epilogue_apply(float x, const Epilogue& ep, std::int64_t pi,
+                            std::int64_t pj) {
+  const std::int64_t p = ep.per_row ? pi : pj;
+  if (ep.bias != nullptr) x = x + ep.bias[p];
+  if (ep.bn_gamma != nullptr) {
+    x = ((ep.bn_gamma[p] * (x - ep.bn_mean[p])) * ep.bn_inv_std[p]) +
+        ep.bn_beta[p];
+  }
+  if (ep.relu) x = x > 0.0F ? x : 0.0F;
+  return x;
+}
 
 #if defined(__GNUC__) || defined(__clang__)
 
@@ -62,7 +83,8 @@ inline VecF vload(const float* p) {
 inline void vstore(float* p, VecF v) { *reinterpret_cast<VecF*>(p) = v; }
 
 void micro_kernel(std::int64_t k, const float* ap, const float* bp, float* c,
-                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                  const Epilogue* ep, std::int64_t i0, std::int64_t j0) {
   VecF acc[kMR][kNV];
   for (int r = 0; r < kMR; ++r) {
     const VecF ar = vsplat(ap[r]);
@@ -79,19 +101,66 @@ void micro_kernel(std::int64_t k, const float* ap, const float* bp, float* c,
     }
   }
   if (mr == kMR && nr == kNR) {
+    if (ep == nullptr) {
+      for (int r = 0; r < kMR; ++r) {
+        for (int v = 0; v < kNV; ++v) vstore(c + r * ldc + v * kW, acc[r][v]);
+      }
+      return;
+    }
+    // Vectorized write-back epilogue on the full tile. Per-row parameters
+    // broadcast (vsplat is a pure copy); per-column parameters load the
+    // lane-aligned slice [j0 + v*kW, +kW) — in bounds on a full tile. Every
+    // lane runs the identical scalar op sequence of epilogue_apply, one
+    // separately-rounded IEEE op per step (the vector ?: selects lanes,
+    // matching `x > 0 ? x : 0` including -0.0 and NaN-to-zero).
+    const VecF vzero = vsplat(0.0F);
     for (int r = 0; r < kMR; ++r) {
-      for (int v = 0; v < kNV; ++v) vstore(c + r * ldc + v * kW, acc[r][v]);
+      for (int v = 0; v < kNV; ++v) {
+        VecF x = acc[r][v];
+        if (ep->bias != nullptr) {
+          x = x + (ep->per_row ? vsplat(ep->bias[i0 + r])
+                               : vload(ep->bias + j0 + v * kW));
+        }
+        if (ep->bn_gamma != nullptr) {
+          VecF g, mean, inv, beta;
+          if (ep->per_row) {
+            g = vsplat(ep->bn_gamma[i0 + r]);
+            mean = vsplat(ep->bn_mean[i0 + r]);
+            inv = vsplat(ep->bn_inv_std[i0 + r]);
+            beta = vsplat(ep->bn_beta[i0 + r]);
+          } else {
+            g = vload(ep->bn_gamma + j0 + v * kW);
+            mean = vload(ep->bn_mean + j0 + v * kW);
+            inv = vload(ep->bn_inv_std + j0 + v * kW);
+            beta = vload(ep->bn_beta + j0 + v * kW);
+          }
+          x = ((g * (x - mean)) * inv) + beta;
+        }
+        if (ep->relu) x = x > vzero ? x : vzero;
+        vstore(c + r * ldc + v * kW, x);
+      }
     }
   } else {
     // Edge tile: spill the full block, then copy only the live mr×nr
     // corner (the packed panels are zero-padded past mr/nr, so the spilled
     // values are well-defined; identical floats to the full-tile path).
+    // The epilogue runs scalarly on the live corner — elementwise, so bits
+    // match the vector path exactly.
     float tmp[kMR][kNR];
     for (int r = 0; r < kMR; ++r) {
       for (int v = 0; v < kNV; ++v) vstore(&tmp[r][v * kW], acc[r][v]);
     }
-    for (std::int64_t r = 0; r < mr; ++r) {
-      for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] = tmp[r][j];
+    if (ep == nullptr) {
+      for (std::int64_t r = 0; r < mr; ++r) {
+        for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] = tmp[r][j];
+      }
+    } else {
+      for (std::int64_t r = 0; r < mr; ++r) {
+        for (std::int64_t j = 0; j < nr; ++j) {
+          c[r * ldc + j] =
+              epilogue_apply(tmp[r][j], *ep, i0 + r, j0 + j);
+        }
+      }
     }
   }
 }
@@ -103,7 +172,8 @@ constexpr int kMR = 4;
 constexpr int kNR = 8;
 
 void micro_kernel(std::int64_t k, const float* ap, const float* bp, float* c,
-                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                  const Epilogue* ep, std::int64_t i0, std::int64_t j0) {
   float acc[kMR][kNR];
   for (int r = 0; r < kMR; ++r) {
     const float ar = ap[r];
@@ -118,7 +188,11 @@ void micro_kernel(std::int64_t k, const float* ap, const float* bp, float* c,
     }
   }
   for (std::int64_t r = 0; r < mr; ++r) {
-    for (std::int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+    for (std::int64_t j = 0; j < nr; ++j) {
+      c[r * ldc + j] = (ep != nullptr)
+                           ? epilogue_apply(acc[r][j], *ep, i0 + r, j0 + j)
+                           : acc[r][j];
+    }
   }
 }
 

@@ -28,6 +28,20 @@ constexpr std::size_t round_up(std::size_t n, std::size_t unit) {
 std::atomic<std::size_t> g_reserved_bytes{0};
 std::atomic<std::size_t> g_in_use_bytes{0};
 std::atomic<std::uint64_t> g_block_allocs{0};
+std::atomic<std::size_t> g_step_peak_bytes{0};
+
+/// CAS-max of the step-peak watermark. Relaxed is fine: the value is a
+/// monitoring high-water mark, read at step boundaries.
+void bump_step_peak(std::size_t now) {
+  std::size_t seen = g_step_peak_bytes.load(std::memory_order_relaxed);
+  while (seen < now && !g_step_peak_bytes.compare_exchange_weak(
+                           seen, now, std::memory_order_relaxed)) {
+  }
+  if (obs::Gauge* g = obs::workspace_step_peak_gauge()) {
+    g->set(static_cast<double>(
+        g_step_peak_bytes.load(std::memory_order_relaxed)));
+  }
+}
 
 void publish_reserved(std::size_t delta_add, std::size_t delta_sub) {
   const std::size_t now =
@@ -44,6 +58,7 @@ void publish_in_use(std::size_t old_bytes, std::size_t new_bytes) {
       g_in_use_bytes.fetch_add(new_bytes - old_bytes,
                                std::memory_order_relaxed) +
       new_bytes - old_bytes;
+  if (new_bytes > old_bytes) bump_step_peak(now);
   if (obs::Gauge* g = obs::workspace_in_use_gauge()) {
     g->set(static_cast<double>(now));
   }
@@ -190,6 +205,13 @@ std::size_t global_bytes_in_use() {
 }
 std::uint64_t global_block_allocs() {
   return g_block_allocs.load(std::memory_order_relaxed);
+}
+std::size_t global_step_peak_bytes() {
+  return g_step_peak_bytes.load(std::memory_order_relaxed);
+}
+void reset_step_peak() {
+  g_step_peak_bytes.store(0, std::memory_order_relaxed);
+  if (obs::Gauge* g = obs::workspace_step_peak_gauge()) g->set(0.0);
 }
 
 }  // namespace splitmed::ws

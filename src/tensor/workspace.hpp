@@ -139,4 +139,12 @@ class WorkspaceScope {
 /// steady-state zero-allocation assertion watches this stand still.
 [[nodiscard]] std::uint64_t global_block_allocs();
 
+/// Max of global_bytes_in_use() observed since the last reset_step_peak():
+/// the peak concurrent arena footprint of a step (all threads combined),
+/// mirrored into the `splitmed_workspace_step_peak_bytes` gauge. The
+/// execution planner's depth-flat memory claim is measured against this.
+[[nodiscard]] std::size_t global_step_peak_bytes();
+/// Restarts the step-peak watermark (call at a step/measurement boundary).
+void reset_step_peak();
+
 }  // namespace splitmed::ws

@@ -2,7 +2,10 @@
 // parameterized across a sweep of (m, n, k) shapes including degenerate ones.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -183,6 +186,145 @@ TEST(GemmBitwise, ZeroDimsMatchReference) {
     gemm_nn_ref(m, n, k, a, b, ref);
     EXPECT_TRUE(bitwise_equal(c, ref)) << m << 'x' << n << 'x' << k;
   }
+}
+
+// Applies the epilogue sequence to an already-computed GEMM result with the
+// exact scalar expressions the unfused layer code uses (bias add, then the
+// left-associated eval-BN map, then ReLU). The fused kernels must reproduce
+// this BITWISE — the epilogue runs per element on the finished fold, so
+// fusion must never change a single rounding.
+void apply_epilogue_ref(std::int64_t m, std::int64_t n, std::vector<float>& c,
+                        const gemmk::Epilogue& ep) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t p = ep.per_row ? i : j;
+      float x = c[static_cast<std::size_t>(i * n + j)];
+      if (ep.bias != nullptr) x = x + ep.bias[p];
+      if (ep.bn_gamma != nullptr) {
+        x = ((ep.bn_gamma[p] * (x - ep.bn_mean[p])) * ep.bn_inv_std[p]) +
+            ep.bn_beta[p];
+      }
+      if (ep.relu) x = x > 0.0F ? x : 0.0F;
+      c[static_cast<std::size_t>(i * n + j)] = x;
+    }
+  }
+}
+
+// Fused-epilogue bitwise sweep: gemm_nn_ep / gemm_nt_ep against plain GEMM +
+// the scalar reference epilogue, across shapes (full tiles, padded tails),
+// thread counts, bias orientation, and every legal epilogue composition.
+// Run under all three ISA variants via the gemm_test_base_isa / avx dispatch
+// (same mechanism as the GemmBitwise sweep above).
+TEST(GemmEpilogue, FusedWriteBackMatchesUnfusedBitwise) {
+  const std::int64_t dims[] = {1, 3, 7, 17, 33, 64, 130};
+  PoolGuard guard;
+  for (const int threads : {1, 2, 8}) {
+    set_global_threads(threads);
+    for (const std::int64_t m : dims) {
+      for (const std::int64_t n : dims) {
+        for (const std::int64_t k : dims) {
+          Rng rng(static_cast<std::uint64_t>((m * 151 + n) * 151 + k));
+          std::vector<float> a(static_cast<std::size_t>(m * k));
+          std::vector<float> bkn(static_cast<std::size_t>(k * n));
+          std::vector<float> bnk(static_cast<std::size_t>(n * k));
+          for (auto& v : a) v = rng.normal();
+          for (auto& v : bkn) v = rng.normal();
+          for (auto& v : bnk) v = rng.normal();
+          const std::size_t pmax = static_cast<std::size_t>(std::max(m, n));
+          std::vector<float> bias(pmax), g(pmax), mean(pmax), inv(pmax),
+              beta(pmax);
+          for (std::size_t p = 0; p < pmax; ++p) {
+            bias[p] = rng.normal();
+            g[p] = rng.normal();
+            mean[p] = rng.normal();
+            inv[p] = 1.0F + 0.25F * rng.normal();  // plausible 1/sqrt scale
+            beta[p] = rng.normal();
+          }
+          gemmk::Epilogue eps[3];
+          // conv-style: per-row bias + relu
+          eps[0].bias = bias.data();
+          eps[0].relu = true;
+          eps[0].per_row = true;
+          // conv+bn+relu: the full inference stack
+          eps[1] = eps[0];
+          eps[1].bn_gamma = g.data();
+          eps[1].bn_mean = mean.data();
+          eps[1].bn_inv_std = inv.data();
+          eps[1].bn_beta = beta.data();
+          // linear-style: per-COLUMN bias + relu
+          eps[2].bias = bias.data();
+          eps[2].relu = true;
+          eps[2].per_row = false;
+          std::vector<float> c(static_cast<std::size_t>(m * n), -2.0F);
+          std::vector<float> ref(static_cast<std::size_t>(m * n), -3.0F);
+          for (int e = 0; e < 3; ++e) {
+            gemm_nn_ep(m, n, k, a, bkn, c, eps[e]);
+            gemm_nn(m, n, k, a, bkn, ref);
+            apply_epilogue_ref(m, n, ref, eps[e]);
+            EXPECT_TRUE(bitwise_equal(c, ref))
+                << "nn_ep[" << e << "] " << m << 'x' << n << 'x' << k
+                << " threads=" << threads << " isa=" << gemm_kernel_isa();
+
+            gemm_nt_ep(m, n, k, a, bnk, c, eps[e]);
+            gemm_nt(m, n, k, a, bnk, ref);
+            apply_epilogue_ref(m, n, ref, eps[e]);
+            EXPECT_TRUE(bitwise_equal(c, ref))
+                << "nt_ep[" << e << "] " << m << 'x' << n << 'x' << k
+                << " threads=" << threads << " isa=" << gemm_kernel_isa();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEpilogue, ZeroKAppliesEpilogueToZeroMatrix) {
+  // k == 0: the unfused sequence is "zero the output, then run the tail" —
+  // the fused entry point must match (bias/BN/ReLU of 0, not untouched 0).
+  const std::vector<float> bias = {1.5F, -2.0F, 0.25F};
+  gemmk::Epilogue ep;
+  ep.bias = bias.data();
+  ep.relu = true;
+  ep.per_row = false;
+  std::vector<float> c(2 * 3, -7.0F);
+  gemm_nn_ep(2, 3, 0, {}, {}, c, ep);
+  std::vector<float> ref(2 * 3, 0.0F);
+  apply_epilogue_ref(2, 3, ref, ep);
+  EXPECT_TRUE(bitwise_equal(c, ref));
+  for (std::size_t j = 0; j < 3; ++j) {
+    const float expect = bias[j] > 0.0F ? bias[j] : 0.0F;
+    EXPECT_EQ(c[j], expect);
+    EXPECT_EQ(c[3 + j], expect);
+  }
+}
+
+TEST(GemmEpilogue, NegativeZeroAndNanFollowScalarRelu) {
+  // The vector select lane must match the scalar `x > 0 ? x : 0` exactly in
+  // the edge cases: -0.0 is not > 0 (→ +0.0 out), NaN is not > 0 (→ 0 out).
+  // Build a k=1 product that lands -0.0 and NaN in C, with a wide n so the
+  // vectorized full-tile path (not just the scalar edge) sees them.
+  const std::int64_t n = 64;
+  std::vector<float> a = {1.0F};
+  std::vector<float> b(static_cast<std::size_t>(n), 1.0F);
+  b[3] = -0.0F;
+  b[7] = std::numeric_limits<float>::quiet_NaN();
+  b[11] = -5.0F;
+  std::vector<float> zero_bias(static_cast<std::size_t>(n), 0.0F);
+  gemmk::Epilogue ep;
+  ep.bias = zero_bias.data();
+  ep.relu = true;
+  ep.per_row = false;
+  std::vector<float> c(static_cast<std::size_t>(n), -1.0F);
+  gemm_nn_ep(1, n, 1, a, b, c, ep);
+  std::vector<float> ref(static_cast<std::size_t>(n), -1.0F);
+  gemm_nn(1, n, 1, a, b, ref);
+  apply_epilogue_ref(1, n, ref, ep);
+  EXPECT_TRUE(bitwise_equal(c, ref)) << "isa=" << gemm_kernel_isa();
+  EXPECT_EQ(c[3], 0.0F);
+  EXPECT_FALSE(std::signbit(c[3]));  // -0.0 + 0 bias → +0.0, relu keeps +0.0
+  EXPECT_EQ(c[7], 0.0F);             // NaN is not > 0 → clamped to 0
+  EXPECT_EQ(c[11], 0.0F);
+  EXPECT_EQ(c[0], 1.0F);
 }
 
 TEST(Gemm, KernelIsaIsReported) {
